@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one figure (or worked example) of the paper and
+prints the same rows/series the figure plots, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a textual version of the paper's evaluation.  The scales default
+to a fraction of the paper's full cardinalities so the whole harness runs
+in minutes on a laptop; set the ``REPRO_BENCH_SCALE`` environment variable
+to ``full`` to regenerate the full-size workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.workloads import (
+    Workload,
+    address_workload,
+    product_workload,
+    restaurant_workload,
+)
+
+#: Scale presets: (restaurant, product, address) dataset scales.
+_SCALES = {
+    "quick": (0.15, 0.08, 0.5),
+    "default": (0.25, 0.12, 1.0),
+    "full": (1.0, 1.0, 1.0),
+}
+
+
+def bench_scales() -> tuple:
+    """Return the (restaurant, product, address) scales for this run."""
+    preset = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    return _SCALES.get(preset, _SCALES["default"])
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiment benchmarks measure end-to-end harness time, not a tight
+    kernel, so repeated rounds would only slow the suite without adding
+    statistical value.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_restaurant_workload() -> Workload:
+    """Restaurant candidate pairs shared by the Figure 2 and 3 benchmarks."""
+    scale, _, _ = bench_scales()
+    return restaurant_workload(scale=scale, seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_product_workload() -> Workload:
+    """Product candidate pairs shared by the Figure 4 benchmark."""
+    _, scale, _ = bench_scales()
+    return product_workload(scale=scale, seed=11)
+
+
+@pytest.fixture(scope="session")
+def bench_address_workload() -> Workload:
+    """Address records shared by the Figure 5 benchmark."""
+    _, _, scale = bench_scales()
+    return address_workload(scale=scale, seed=13)

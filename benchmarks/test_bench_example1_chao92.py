@@ -1,0 +1,33 @@
+"""Benchmark: worked Example 1 of Section 3.2.1 (no false positives).
+
+Simulates 100 tasks of 20 pairs over 1000 candidate pairs with 100 true
+duplicates, a 90 % detection rate and no false positives, and reports the
+Chao92 remaining-error estimate.  The paper's arithmetic with the same
+statistics gives a remaining-error estimate of roughly 17, i.e. an almost
+perfect prediction; the benchmark asserts the same shape (the estimate of
+the *total* lands close to the true 100).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.examples_numeric import NumericExampleConfig, run_numeric_example
+
+
+def test_example1_chao92_without_false_positives(benchmark):
+    config = NumericExampleConfig(false_positive_rate=0.0, seed=42)
+    result = run_once(benchmark, lambda: run_numeric_example(config))
+
+    print()
+    print("Example 1 (no false positives)")
+    print(f"  errors found so far (nominal) : {result['nominal']:.0f}")
+    print(f"  Chao92 total estimate         : {result['chao92_total']:.1f}")
+    print(f"  Chao92 remaining estimate     : {result['chao92_remaining']:.1f}")
+    print(f"  SWITCH total estimate         : {result['switch_total']:.1f}")
+    print(f"  true number of errors         : {result['true_errors']:.0f}")
+
+    # Shape check: without false positives the species estimate is close to
+    # the truth (the paper reports an almost perfect remaining-error count).
+    assert result["chao92_total"] == pytest.approx(result["true_errors"], rel=0.15)

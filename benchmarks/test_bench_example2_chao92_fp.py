@@ -1,0 +1,39 @@
+"""Benchmark: worked Example 2 of Section 3.2.1 (1 % false positives).
+
+Identical to Example 1 except workers now wrongly flag 1 % of the clean
+pairs.  The paper shows the Chao92 estimate jumping far past the truth
+(an overestimate of more than 30 %) because false positives inflate both
+the observed distinct count and the singleton statistic.  The benchmark
+reports the same quantities and asserts the overestimation shape, plus the
+fact that the SWITCH estimate stays closer to the truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.examples_numeric import NumericExampleConfig, run_numeric_example
+
+
+def test_example2_chao92_with_false_positives(benchmark):
+    config = NumericExampleConfig(false_positive_rate=0.01, seed=42)
+    result = run_once(benchmark, lambda: run_numeric_example(config))
+
+    clean = run_numeric_example(NumericExampleConfig(false_positive_rate=0.0, seed=42))
+
+    print()
+    print("Example 2 (1% false positives)")
+    print(f"  errors found so far (nominal) : {result['nominal']:.0f}")
+    print(f"  Chao92 total estimate         : {result['chao92_total']:.1f}")
+    print(f"  Chao92 remaining estimate     : {result['chao92_remaining']:.1f}")
+    print(f"  SWITCH total estimate         : {result['switch_total']:.1f}")
+    print(f"  true number of errors         : {result['true_errors']:.0f}")
+    print(f"  (Example 1 Chao92 total       : {clean['chao92_total']:.1f})")
+
+    truth = result["true_errors"]
+    # Shape checks: false positives push Chao92 above the truth and above its
+    # own no-false-positive estimate, while SWITCH stays closer to the truth.
+    assert result["chao92_total"] > truth
+    assert result["chao92_total"] > clean["chao92_total"]
+    assert abs(result["switch_total"] - truth) < abs(result["chao92_total"] - truth)

@@ -1,0 +1,59 @@
+"""Benchmark: Figure 2 — the limits of the extrapolation baseline.
+
+Panel (a): four oracle-cleaned 2 % samples of the full restaurant pair
+population, each extrapolated to the population; the estimates swing
+widely around the true duplicate count because errors are rare.
+
+Panel (b): four crowd-cleaned samples of the candidate pairs, re-evaluated
+as more tasks arrive; the (fallible) crowd labels make the extrapolated
+totals drift rather than converge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.extrapolation_study import (
+    ExtrapolationStudyConfig,
+    run_extrapolation_study,
+)
+
+
+def test_fig2_extrapolation_limits(benchmark, bench_restaurant_workload):
+    config = ExtrapolationStudyConfig(
+        sample_fraction=0.02,
+        num_samples=4,
+        crowd_sample_size=100,
+        task_grid=(10, 20, 40, 80, 120),
+        seed=0,
+    )
+    result = run_once(
+        benchmark,
+        lambda: run_extrapolation_study(config, workload=bench_restaurant_workload),
+    )
+
+    print()
+    print("Figure 2(a): oracle-cleaned 2% samples of the full pair population")
+    print(f"  true duplicate pairs: {result.oracle_truth:.0f}")
+    for index, estimate in enumerate(result.oracle_estimates):
+        print(f"  sample {index + 1}: extrapolated total = {estimate:.1f}")
+
+    print()
+    print("Figure 2(b): crowd-cleaned samples of the candidate pairs")
+    print(f"  true duplicates among candidates: {result.crowd_truth:.0f}")
+    header = "  tasks " + "".join(f"  sample{i + 1:>2}" for i in range(len(result.crowd_estimates)))
+    print(header)
+    for column, tasks in enumerate(result.task_grid):
+        row = f"  {tasks:>5} "
+        for trace in result.crowd_estimates:
+            row += f"  {trace[column]:>8.1f}"
+        print(row)
+
+    # Shape checks: panel (a) estimates vary strongly across samples (high
+    # variance is the point of the figure); none of them is negative.
+    spread = max(result.oracle_estimates) - min(result.oracle_estimates)
+    assert spread > 0.3 * result.oracle_truth
+    assert all(value >= 0 for value in result.oracle_estimates)
+    # Panel (b) estimates exist for every sample and every checkpoint.
+    assert all(len(trace) == len(result.task_grid) for trace in result.crowd_estimates)

@@ -1,0 +1,50 @@
+"""Benchmark: Figure 3 — the restaurant dataset (false-positive-heavy crowd).
+
+Panel (a): SWITCH, V-CHAO and VOTING total-error estimates against the
+ground truth, with the EXTRAPOL one-standard-deviation band and the SCM
+task-cost marker in the metadata.  Panels (b)/(c): remaining positive and
+negative switch estimates against the number of switches actually needed.
+
+The expected shape (matching the paper): workers produce many false
+positives on the ambiguous restaurant pairs, VOTING drifts downward as they
+are corrected, and SWITCH corrects VOTING using the negative-switch
+estimate, tracking the ground truth more closely than V-CHAO.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.real_world import RealWorldExperimentConfig, run_real_world_experiment
+from repro.experiments.reporting import render_series_table
+
+
+def test_fig3_restaurant_total_error_and_switches(benchmark, bench_restaurant_workload):
+    config = RealWorldExperimentConfig(
+        num_tasks=300,
+        items_per_task=10,
+        num_permutations=3,
+        num_checkpoints=10,
+        seed=3,
+    )
+    panels = run_once(
+        benchmark, lambda: run_real_world_experiment(bench_restaurant_workload, config)
+    )
+
+    total = panels["total_error"]
+    print()
+    print(render_series_table(total, max_rows=10))
+    band = total.metadata["extrapolation_band"]
+    print(f"EXTRAPOL band: {band['low']:.1f} .. {band['high']:.1f} (mean {band['mean']:.1f})")
+    print(f"SCM task cost: {total.metadata['scm_tasks']} tasks")
+    print()
+    print(render_series_table(panels["positive_switches"], max_rows=6))
+    print()
+    print(render_series_table(panels["negative_switches"], max_rows=6))
+
+    truth = total.ground_truth
+    switch_final = total.series["switch_total"].final().mean
+    vchao_final = total.series["vchao92"].final().mean
+    # Shape checks: SWITCH ends near the ground truth and at least as close
+    # as V-CHAO on this FP-heavy workload.
+    assert abs(switch_final - truth) <= max(3.0, 0.5 * truth)
+    assert abs(switch_final - truth) <= abs(vchao_final - truth) + max(2.0, 0.25 * truth)

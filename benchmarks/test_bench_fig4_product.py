@@ -1,0 +1,49 @@
+"""Benchmark: Figure 4 — the product dataset (false-negative-heavy crowd).
+
+Matching Amazon and Google product records is harder than matching
+restaurant rows, so the simulated crowd misses many true duplicates.  The
+expected shape: VOTING increases over the task stream, SWITCH corrects it
+upward using the remaining positive-switch estimate and reaches the
+neighbourhood of the ground truth well before VOTING does.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.real_world import RealWorldExperimentConfig, run_real_world_experiment
+from repro.experiments.reporting import render_series_table
+
+
+def test_fig4_product_total_error_and_switches(benchmark, bench_product_workload):
+    config = RealWorldExperimentConfig(
+        num_tasks=400,
+        items_per_task=10,
+        num_permutations=3,
+        num_checkpoints=10,
+        seed=4,
+    )
+    panels = run_once(
+        benchmark, lambda: run_real_world_experiment(bench_product_workload, config)
+    )
+
+    total = panels["total_error"]
+    print()
+    print(render_series_table(total, max_rows=10))
+    print(f"SCM task cost: {total.metadata['scm_tasks']} tasks")
+    print()
+    print(render_series_table(panels["positive_switches"], max_rows=6))
+    print()
+    print(render_series_table(panels["negative_switches"], max_rows=6))
+
+    truth = total.ground_truth
+    voting = total.series["voting"]
+    switch = total.series["switch_total"]
+
+    # Shape checks: the FN-heavy crowd makes VOTING climb over time and stay
+    # below the truth; SWITCH's final estimate is at least as close to the
+    # truth as VOTING's.
+    assert voting.means[-1] >= voting.means[0]
+    assert voting.final().mean <= truth + 2
+    assert abs(switch.final().mean - truth) <= abs(voting.final().mean - truth) + max(
+        2.0, 0.15 * truth
+    )

@@ -1,0 +1,47 @@
+"""Benchmark: Figure 5 — the address dataset (both error types, no prioritisation).
+
+Malformed-address detection produces both false positives and false
+negatives in fair amounts.  The expected shape: SWITCH may overestimate
+early (while positive switches dominate) but converges to the ground truth
+once workers start correcting the earlier false positives, ending closer to
+the truth than V-CHAO.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.real_world import RealWorldExperimentConfig, run_real_world_experiment
+from repro.experiments.reporting import render_series_table
+
+
+def test_fig5_address_total_error_and_switches(benchmark, bench_address_workload):
+    config = RealWorldExperimentConfig(
+        num_tasks=500,
+        items_per_task=10,
+        num_permutations=3,
+        num_checkpoints=10,
+        seed=5,
+    )
+    panels = run_once(
+        benchmark, lambda: run_real_world_experiment(bench_address_workload, config)
+    )
+
+    total = panels["total_error"]
+    print()
+    print(render_series_table(total, max_rows=10))
+    band = total.metadata["extrapolation_band"]
+    print(f"EXTRAPOL band: {band['low']:.1f} .. {band['high']:.1f} (mean {band['mean']:.1f})")
+    print(f"SCM task cost: {total.metadata['scm_tasks']} tasks")
+    print()
+    print(render_series_table(panels["positive_switches"], max_rows=6))
+    print()
+    print(render_series_table(panels["negative_switches"], max_rows=6))
+
+    truth = total.ground_truth
+    switch = total.series["switch_total"]
+    # Shape checks: SWITCH converges to the neighbourhood of the truth by the
+    # end of the task stream, and its error shrinks over the second half.
+    early_error = abs(switch.value_at(switch.x[len(switch.x) // 2]) - truth)
+    final_error = abs(switch.final().mean - truth)
+    assert final_error <= max(5.0, 0.30 * truth)
+    assert final_error <= early_error + 5.0

@@ -1,0 +1,70 @@
+"""Benchmark: Figure 6 — sensitivity to worker precision and task coverage.
+
+Panel (a): with a fixed budget of 50 tasks x 15 items, the scaled error of
+Chao92, SWITCH and VOTING as a function of worker precision.  Expected
+shape: Chao92 degrades sharply as precision drops (false positives appear),
+SWITCH follows VOTING closely and beats it at high precision.
+
+Panel (b): with no false positives, the scaled error as a function of the
+number of items per task.  Expected shape: Chao92 is accurate in this
+regime; SWITCH remains competitive.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.sensitivity import SensitivityConfig, coverage_sweep, precision_sweep
+
+
+def _print_sweep(title, result):
+    print()
+    print(title)
+    names = sorted(result.srmse)
+    header = f"  {result.parameter_name:>14} " + "".join(f"{name:>14}" for name in names)
+    print(header)
+    for index, value in enumerate(result.values):
+        row = f"  {value:>14.2f} "
+        for name in names:
+            row += f"{result.srmse[name][index]:>14.3f}"
+        print(row)
+
+
+def test_fig6a_precision_sensitivity(benchmark):
+    config = SensitivityConfig(
+        num_items=1000,
+        num_errors=100,
+        num_tasks=50,
+        items_per_task=15,
+        precisions=(0.5, 0.7, 0.8, 0.9, 0.95, 1.0),
+        num_trials=3,
+        seed=6,
+    )
+    result = run_once(benchmark, lambda: precision_sweep(config))
+    _print_sweep("Figure 6(a): scaled error vs worker precision (50 tasks x 15 items)", result)
+
+    # Shape checks: at high precision every technique has a modest scaled
+    # error; as precision drops Chao92's error grows much faster than
+    # SWITCH's (the false-positive sensitivity).
+    high = result.values.index(0.95)
+    low = result.values.index(0.7)
+    assert result.srmse["chao92"][low] > result.srmse["chao92"][high]
+    assert result.srmse["switch_total"][low] <= result.srmse["chao92"][low]
+
+
+def test_fig6b_coverage_sensitivity(benchmark):
+    config = SensitivityConfig(
+        num_items=1000,
+        num_errors=100,
+        num_tasks=50,
+        items_per_task_grid=(5, 15, 30, 60, 100),
+        false_negative_rate_for_coverage=0.1,
+        num_trials=3,
+        seed=7,
+    )
+    result = run_once(benchmark, lambda: coverage_sweep(config))
+    _print_sweep("Figure 6(b): scaled error vs items per task (no false positives)", result)
+
+    # Shape checks: with no false positives and enough coverage Chao92 is
+    # accurate, and more items per task never makes VOTING worse.
+    assert result.srmse["chao92"][-1] < 0.25
+    assert result.srmse["voting"][-1] <= result.srmse["voting"][0] + 0.05

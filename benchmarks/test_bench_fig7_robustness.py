@@ -1,0 +1,61 @@
+"""Benchmark: Figure 7 — robustness of the estimators to worker error types.
+
+Three simulated regimes over the 1000-pair / 100-duplicate population:
+false negatives only, false positives only, and both.  Expected shapes
+(matching the paper): Chao92 converges fastest with no false positives but
+strongly overestimates once any false positives exist; V-CHAO is robust in
+the evenly-spread simulation; SWITCH is accurate in all three regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.reporting import render_series_table
+from repro.experiments.robustness import RobustnessConfig, run_robustness_scenario
+
+_CONFIG = RobustnessConfig(
+    num_items=1000,
+    num_errors=100,
+    num_tasks=150,
+    items_per_task=15,
+    num_permutations=3,
+    num_checkpoints=10,
+    seed=7,
+)
+
+
+def test_fig7a_false_negatives_only(benchmark):
+    result = run_once(benchmark, lambda: run_robustness_scenario("false_negatives_only", _CONFIG))
+    print()
+    print(render_series_table(result, max_rows=10))
+    truth = result.ground_truth
+    # Chao92 is the best technique in this regime and lands near the truth.
+    assert result.series["chao92"].final().mean == pytest.approx(truth, rel=0.15)
+    assert result.series["switch_total"].final().mean == pytest.approx(truth, rel=0.25)
+
+
+def test_fig7b_false_positives_only(benchmark):
+    result = run_once(benchmark, lambda: run_robustness_scenario("false_positives_only", _CONFIG))
+    print()
+    print(render_series_table(result, max_rows=10))
+    truth = result.ground_truth
+    chao = result.series["chao92"].final().mean
+    switch = result.series["switch_total"].final().mean
+    # Chao92 strongly overestimates; SWITCH stays much closer to the truth.
+    assert chao > 1.2 * truth
+    assert abs(switch - truth) < abs(chao - truth)
+
+
+def test_fig7c_both_error_types(benchmark):
+    result = run_once(benchmark, lambda: run_robustness_scenario("both", _CONFIG))
+    print()
+    print(render_series_table(result, max_rows=10))
+    truth = result.ground_truth
+    chao = result.series["chao92"].final().mean
+    switch = result.series["switch_total"].final().mean
+    vchao = result.series["vchao92"].final().mean
+    # SWITCH performs well while Chao92 overestimates; V-CHAO sits in between.
+    assert abs(switch - truth) < abs(chao - truth)
+    assert abs(switch - truth) <= abs(vchao - truth) + 0.15 * truth

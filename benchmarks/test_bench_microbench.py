@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the estimator kernels themselves.
+
+Unlike the figure benchmarks (which time a whole experiment once), these
+use pytest-benchmark's normal repeated timing to characterise the cost of
+a single estimator evaluation on a realistic-size vote matrix — the
+operation an interactive quality dashboard would run after every task.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chao92 import Chao92Estimator
+from repro.core.switch import switch_statistics
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.core.vchao92 import VChao92Estimator
+from repro.crowd.consensus import majority_count
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+@pytest.fixture(scope="module")
+def bench_matrix():
+    dataset = generate_synthetic_pairs(
+        SyntheticPairConfig(num_items=2000, num_errors=200), seed=99
+    )
+    config = SimulationConfig(
+        num_tasks=300,
+        items_per_task=15,
+        worker_profile=WorkerProfile(false_negative_rate=0.1, false_positive_rate=0.01),
+        seed=99,
+    )
+    return CrowdSimulator(dataset, config).run().matrix
+
+
+def test_micro_majority_count(benchmark, bench_matrix):
+    result = benchmark(majority_count, bench_matrix)
+    assert result >= 0
+
+
+def test_micro_chao92_estimate(benchmark, bench_matrix):
+    result = benchmark(lambda: Chao92Estimator().estimate(bench_matrix))
+    assert result.estimate >= result.observed
+
+
+def test_micro_vchao92_estimate(benchmark, bench_matrix):
+    result = benchmark(lambda: VChao92Estimator().estimate(bench_matrix))
+    assert result.estimate >= 0
+
+
+def test_micro_switch_statistics(benchmark, bench_matrix):
+    stats = benchmark(switch_statistics, bench_matrix)
+    assert stats.num_switches >= 0
+
+
+def test_micro_switch_total_error(benchmark, bench_matrix):
+    result = benchmark(lambda: SwitchTotalErrorEstimator().estimate(bench_matrix))
+    assert result.estimate >= 0

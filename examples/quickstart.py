@@ -1,0 +1,74 @@
+"""Quickstart: estimate the number of undetected errors in a dataset.
+
+This example builds a small synthetic candidate set with known errors,
+simulates a fallible crowd reviewing it in random tasks, and asks the
+library's estimators how many errors the dataset contains in total — which
+is exactly the question the DQM paper answers without ever looking at the
+ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Chao92Estimator,
+    CrowdSimulator,
+    SimulationConfig,
+    SwitchTotalErrorEstimator,
+    SyntheticPairConfig,
+    VChao92Estimator,
+    VotingEstimator,
+    WorkerProfile,
+    generate_synthetic_pairs,
+)
+from repro.core.remaining import data_quality_report
+
+
+def main() -> None:
+    # 1. A dataset with 1000 candidate items of which 100 are truly dirty.
+    #    (In a real deployment you would not know the gold labels; here the
+    #    simulator needs them to produce realistic worker votes.)
+    dataset = generate_synthetic_pairs(
+        SyntheticPairConfig(num_items=1000, num_errors=100), seed=1
+    )
+
+    # 2. A crowd of fallible workers: they miss 10 % of true errors and
+    #    wrongly flag 1 % of clean items.
+    crowd = WorkerProfile(false_negative_rate=0.10, false_positive_rate=0.01)
+    config = SimulationConfig(
+        num_tasks=120, items_per_task=15, worker_profile=crowd, seed=1
+    )
+    simulation = CrowdSimulator(dataset, config).run()
+    matrix = simulation.matrix
+
+    # 3. Ask the estimators how many errors the dataset contains in total.
+    print(f"true number of errors (hidden from the estimators): {simulation.true_error_count}")
+    print(f"tasks collected: {matrix.num_columns}, votes: {matrix.total_votes()}")
+    print()
+    for estimator in (
+        VotingEstimator(),
+        Chao92Estimator(),
+        VChao92Estimator(),
+        SwitchTotalErrorEstimator(),
+    ):
+        result = estimator.estimate(matrix)
+        print(
+            f"{estimator.name:>14}: total={result.estimate:7.1f}  "
+            f"observed={result.observed:6.1f}  remaining={result.remaining:6.1f}"
+        )
+
+    # 4. Or get a one-line quality report built on the SWITCH estimator.
+    report = data_quality_report(matrix)
+    print()
+    print(
+        f"quality report: {report.detected_errors:.0f} errors detected, "
+        f"an estimated {report.estimated_remaining_errors:.1f} still undetected "
+        f"(quality score {report.quality_score:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""repro — a reproduction of the DQM data-quality metric (VLDB 2017).
+
+The library estimates how many errors remain undetected in a dataset after
+crowd-based (or otherwise fallible) cleaning, using only the matrix of
+worker votes — no ground truth, no complete rule set.
+
+Quickstart
+----------
+>>> from repro import (
+...     SyntheticPairConfig, generate_synthetic_pairs,
+...     SimulationConfig, CrowdSimulator, WorkerProfile,
+...     SwitchTotalErrorEstimator,
+... )
+>>> dataset = generate_synthetic_pairs(SyntheticPairConfig(num_items=500, num_errors=50))
+>>> config = SimulationConfig(
+...     num_tasks=80, items_per_task=15,
+...     worker_profile=WorkerProfile(false_negative_rate=0.1, false_positive_rate=0.01),
+...     seed=0,
+... )
+>>> simulation = CrowdSimulator(dataset, config).run()
+>>> result = SwitchTotalErrorEstimator().estimate(simulation.matrix)
+>>> round(result.estimate) > 0
+True
+
+Package layout
+--------------
+* :mod:`repro.core` — the estimators (Chao92, vChao92, SWITCH, baselines).
+* :mod:`repro.crowd` — workers, tasks, the vote matrix and consensus.
+* :mod:`repro.data` — synthetic datasets matching the paper's evaluation.
+* :mod:`repro.er` — entity-resolution similarity, blocking and heuristics.
+* :mod:`repro.prioritization` — heuristic-prioritised estimation.
+* :mod:`repro.experiments` — the harness that regenerates every figure.
+"""
+
+from repro.common import CLEAN, DIRTY, UNSEEN, Label
+from repro.core import (
+    Chao92Estimator,
+    EstimateResult,
+    ExtrapolationEstimator,
+    NominalEstimator,
+    SwitchEstimator,
+    SwitchTotalErrorEstimator,
+    VChao92Estimator,
+    VotingEstimator,
+    available_estimators,
+    get_estimator,
+    scaled_rmse,
+)
+from repro.crowd import (
+    CrowdSimulator,
+    ResponseMatrix,
+    SimulationConfig,
+    Worker,
+    WorkerPool,
+    WorkerProfile,
+)
+from repro.data import (
+    AddressDatasetConfig,
+    Dataset,
+    PairDataset,
+    ProductDatasetConfig,
+    Record,
+    RestaurantDatasetConfig,
+    SyntheticPairConfig,
+    generate_address_dataset,
+    generate_product_dataset,
+    generate_restaurant_dataset,
+    generate_synthetic_pairs,
+)
+from repro.er import CrowdERPipeline, HeuristicBand
+from repro.prioritization import EpsilonGreedyPrioritizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # labels
+    "DIRTY",
+    "CLEAN",
+    "UNSEEN",
+    "Label",
+    # core estimators
+    "EstimateResult",
+    "NominalEstimator",
+    "VotingEstimator",
+    "Chao92Estimator",
+    "VChao92Estimator",
+    "ExtrapolationEstimator",
+    "SwitchEstimator",
+    "SwitchTotalErrorEstimator",
+    "available_estimators",
+    "get_estimator",
+    "scaled_rmse",
+    # crowd
+    "ResponseMatrix",
+    "Worker",
+    "WorkerPool",
+    "WorkerProfile",
+    "CrowdSimulator",
+    "SimulationConfig",
+    # data
+    "Record",
+    "Dataset",
+    "PairDataset",
+    "RestaurantDatasetConfig",
+    "generate_restaurant_dataset",
+    "ProductDatasetConfig",
+    "generate_product_dataset",
+    "AddressDatasetConfig",
+    "generate_address_dataset",
+    "SyntheticPairConfig",
+    "generate_synthetic_pairs",
+    # er / prioritization
+    "CrowdERPipeline",
+    "HeuristicBand",
+    "EpsilonGreedyPrioritizer",
+]

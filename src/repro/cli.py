@@ -1,0 +1,210 @@
+"""Command-line interface for the DQM reproduction.
+
+The CLI exposes the experiment harness without writing any Python::
+
+    python -m repro list                      # available experiments / estimators
+    python -m repro example1                  # worked Example 1 (Section 3.2.1)
+    python -m repro figure3 --tasks 300       # restaurant dataset experiment
+    python -m repro figure7 --scenario both   # robustness simulation
+    python -m repro quality --items 1000 --errors 100 --tasks 150
+
+Every command prints the same text tables the benchmark harness produces,
+so the CLI is the quickest way to eyeball a figure without running pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.registry import available_estimators
+from repro.core.remaining import data_quality_report
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+from repro.experiments.examples_numeric import NumericExampleConfig, run_numeric_example
+from repro.experiments.prioritization_study import PrioritizationConfig, epsilon_sweep
+from repro.experiments.real_world import RealWorldExperimentConfig, run_real_world_experiment
+from repro.experiments.reporting import render_series_table
+from repro.experiments.robustness import SCENARIOS, RobustnessConfig, run_robustness_scenario
+from repro.experiments.sensitivity import SensitivityConfig, coverage_sweep, precision_sweep
+from repro.experiments.workloads import address_workload, product_workload, restaurant_workload
+
+#: Experiments the CLI knows how to run.
+EXPERIMENTS = (
+    "example1",
+    "example2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DQM (VLDB 2017) experiments from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and estimators")
+
+    for name in ("example1", "example2"):
+        example = sub.add_parser(name, help=f"run worked {name} from Section 3.2.1")
+        example.add_argument("--seed", type=int, default=42)
+
+    for name, helptext in (
+        ("figure3", "restaurant dataset experiment (FP-heavy crowd)"),
+        ("figure4", "product dataset experiment (FN-heavy crowd)"),
+        ("figure5", "address dataset experiment (both error types)"),
+    ):
+        figure = sub.add_parser(name, help=helptext)
+        figure.add_argument("--tasks", type=int, default=300, help="number of crowd tasks")
+        figure.add_argument("--scale", type=float, default=0.25, help="dataset scale (1.0 = paper size)")
+        figure.add_argument("--permutations", type=int, default=3)
+        figure.add_argument("--seed", type=int, default=0)
+
+    figure6 = sub.add_parser("figure6", help="sensitivity sweeps (precision and coverage)")
+    figure6.add_argument("--trials", type=int, default=3)
+    figure6.add_argument("--seed", type=int, default=0)
+
+    figure7 = sub.add_parser("figure7", help="robustness simulation")
+    figure7.add_argument("--scenario", choices=SCENARIOS, default="both")
+    figure7.add_argument("--tasks", type=int, default=150)
+    figure7.add_argument("--seed", type=int, default=0)
+
+    figure8 = sub.add_parser("figure8", help="epsilon-prioritisation sweep")
+    figure8.add_argument("--trials", type=int, default=3)
+    figure8.add_argument("--seed", type=int, default=0)
+
+    quality = sub.add_parser("quality", help="run a synthetic quality-report demo")
+    quality.add_argument("--items", type=int, default=1000)
+    quality.add_argument("--errors", type=int, default=100)
+    quality.add_argument("--tasks", type=int, default=150)
+    quality.add_argument("--fn-rate", type=float, default=0.1)
+    quality.add_argument("--fp-rate", type=float, default=0.01)
+    quality.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _print_numeric_example(result: dict) -> None:
+    for key in ("nominal", "chao92_total", "chao92_remaining", "switch_total", "true_errors"):
+        print(f"  {key:>16}: {result[key]:.1f}")
+
+
+def _run_real_world(name: str, args: argparse.Namespace) -> None:
+    builders = {
+        "figure3": lambda: restaurant_workload(scale=args.scale, seed=7),
+        "figure4": lambda: product_workload(scale=max(0.02, args.scale / 2), seed=11),
+        "figure5": lambda: address_workload(scale=min(1.0, args.scale * 4), seed=13),
+    }
+    workload = builders[name]()
+    config = RealWorldExperimentConfig(
+        num_tasks=args.tasks,
+        num_permutations=args.permutations,
+        seed=args.seed,
+    )
+    panels = run_real_world_experiment(workload, config)
+    print(render_series_table(panels["total_error"], max_rows=12))
+    print()
+    print(render_series_table(panels["positive_switches"], max_rows=6))
+    print()
+    print(render_series_table(panels["negative_switches"], max_rows=6))
+
+
+def _print_sweep(result) -> None:
+    names = sorted(result.srmse)
+    print(f"  {result.parameter_name:>16} " + "".join(f"{str(n):>14}" for n in names))
+    for index, value in enumerate(result.values):
+        row = f"  {value:>16.2f} "
+        for name in names:
+            row += f"{result.srmse[name][index]:>14.3f}"
+        print(row)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("estimators:")
+        for name in available_estimators():
+            print(f"  {name}")
+        return 0
+
+    if args.command in ("example1", "example2"):
+        fp_rate = 0.0 if args.command == "example1" else 0.01
+        result = run_numeric_example(
+            NumericExampleConfig(false_positive_rate=fp_rate, seed=args.seed)
+        )
+        print(f"{args.command} (false positive rate = {fp_rate})")
+        _print_numeric_example(result)
+        return 0
+
+    if args.command in ("figure3", "figure4", "figure5"):
+        _run_real_world(args.command, args)
+        return 0
+
+    if args.command == "figure6":
+        config = SensitivityConfig(num_trials=args.trials, seed=args.seed)
+        print("Figure 6(a): scaled error vs precision")
+        _print_sweep(precision_sweep(config))
+        print()
+        print("Figure 6(b): scaled error vs items per task")
+        _print_sweep(coverage_sweep(config))
+        return 0
+
+    if args.command == "figure7":
+        config = RobustnessConfig(num_tasks=args.tasks, seed=args.seed)
+        result = run_robustness_scenario(args.scenario, config)
+        print(render_series_table(result, max_rows=12))
+        return 0
+
+    if args.command == "figure8":
+        config = PrioritizationConfig(num_trials=args.trials, seed=args.seed)
+        result = epsilon_sweep(config)
+        print("Figure 8: SWITCH scaled error vs epsilon")
+        header = "  epsilon " + "".join(f"  h-err={rate:>4.0%}" for rate in sorted(result.srmse))
+        print(header)
+        for index, epsilon in enumerate(result.epsilons):
+            row = f"  {epsilon:>7.2f} "
+            for rate in sorted(result.srmse):
+                row += f"  {result.srmse[rate][index]:>10.3f}"
+            print(row)
+        return 0
+
+    if args.command == "quality":
+        dataset = generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=args.items, num_errors=args.errors), seed=args.seed
+        )
+        simulation = CrowdSimulator(
+            dataset,
+            SimulationConfig(
+                num_tasks=args.tasks,
+                items_per_task=15,
+                worker_profile=WorkerProfile(
+                    false_negative_rate=args.fn_rate, false_positive_rate=args.fp_rate
+                ),
+                seed=args.seed,
+            ),
+        ).run()
+        report = data_quality_report(simulation.matrix)
+        print(f"detected errors      : {report.detected_errors:.0f}")
+        print(f"estimated total      : {report.estimated_total_errors:.1f}")
+        print(f"estimated remaining  : {report.estimated_remaining_errors:.1f}")
+        print(f"quality score        : {report.quality_score:.2f}")
+        print(f"(true errors         : {simulation.true_error_count})")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the command choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Shared infrastructure used across every ``repro`` subpackage.
+
+The :mod:`repro.common` package holds the small, dependency-free pieces that
+every other subsystem builds on: deterministic random-number plumbing,
+argument validation helpers, the vote-label constants, and the exception
+hierarchy.  Keeping them here avoids import cycles between the data, crowd
+and estimator layers.
+"""
+
+from repro.common.exceptions import (
+    ConfigurationError,
+    EstimationError,
+    InsufficientDataError,
+    ReproError,
+    ValidationError,
+)
+from repro.common.labels import CLEAN, DIRTY, UNSEEN, Label
+from repro.common.rng import RandomState, derive_rng, ensure_rng, spawn_seeds
+from repro.common.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "CLEAN",
+    "DIRTY",
+    "UNSEEN",
+    "Label",
+    "RandomState",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_seeds",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "ReproError",
+    "ValidationError",
+    "ConfigurationError",
+    "EstimationError",
+    "InsufficientDataError",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still being able to distinguish configuration mistakes
+(:class:`ValidationError`, :class:`ConfigurationError`) from runtime
+estimation failures (:class:`EstimationError`,
+:class:`InsufficientDataError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, wrong shape, wrong type).
+
+    Inherits from :class:`ValueError` so existing ``except ValueError``
+    call sites keep working.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or simulator configuration is inconsistent.
+
+    Raised when individually-valid parameters do not make sense together,
+    for example a task size larger than the candidate set, or a heuristic
+    band ``alpha > beta``.
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """An estimator could not produce a finite, meaningful estimate."""
+
+
+class InsufficientDataError(EstimationError):
+    """An estimator was asked for an estimate before it had any usable data.
+
+    Most estimators in the library degrade gracefully (returning the
+    descriptive count) instead of raising; this exception is reserved for
+    strict-mode calls where the caller explicitly requested a failure.
+    """

@@ -1,0 +1,113 @@
+"""Vote-label constants shared by the crowd substrate and the estimators.
+
+The paper represents worker responses in an ``N x K`` matrix ``I`` whose
+entries come from ``{1, 0, None}`` meaning *dirty*, *clean*, *unseen*
+(Problem 1).  We encode those three states as small integers so the matrix
+can be stored densely in a ``numpy`` ``int8`` array:
+
+========  =======  =================================================
+constant  value    meaning
+========  =======  =================================================
+DIRTY     ``1``    the worker marked the record as erroneous
+CLEAN     ``0``    the worker marked the record as clean
+UNSEEN    ``-1``   the worker never saw the record
+========  =======  =================================================
+
+``UNSEEN`` is ``-1`` (not ``None``) so that vectorised comparisons such as
+``votes == DIRTY`` work without masking; helper predicates below keep call
+sites readable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+#: Integer code for a positive ("dirty"/"error") vote.
+DIRTY: int = 1
+
+#: Integer code for a negative ("clean") vote.
+CLEAN: int = 0
+
+#: Integer code for a record the worker never saw.
+UNSEEN: int = -1
+
+
+class Label(enum.IntEnum):
+    """Enumerated view of the three vote states.
+
+    ``Label`` is an :class:`enum.IntEnum` so members compare equal to the
+    module-level integer constants (``Label.DIRTY == DIRTY``) and can be
+    stored directly in integer arrays.
+    """
+
+    DIRTY = DIRTY
+    CLEAN = CLEAN
+    UNSEEN = UNSEEN
+
+    @classmethod
+    def from_bool(cls, is_dirty: bool) -> "Label":
+        """Return :attr:`DIRTY` for truthy input and :attr:`CLEAN` otherwise."""
+        return cls.DIRTY if is_dirty else cls.CLEAN
+
+
+def is_vote(values: np.ndarray) -> np.ndarray:
+    """Return a boolean mask of the entries that are actual votes.
+
+    A vote is any entry that is not :data:`UNSEEN`.
+
+    Parameters
+    ----------
+    values:
+        Array of label codes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of the same shape as ``values``.
+    """
+    values = np.asarray(values)
+    return values != UNSEEN
+
+
+def is_dirty_vote(values: np.ndarray) -> np.ndarray:
+    """Return a boolean mask of the positive (dirty) votes."""
+    values = np.asarray(values)
+    return values == DIRTY
+
+
+def is_clean_vote(values: np.ndarray) -> np.ndarray:
+    """Return a boolean mask of the negative (clean) votes."""
+    values = np.asarray(values)
+    return values == CLEAN
+
+
+def validate_labels(values: np.ndarray) -> np.ndarray:
+    """Validate that every entry of ``values`` is one of the three label codes.
+
+    Parameters
+    ----------
+    values:
+        Array-like of integers.
+
+    Returns
+    -------
+    numpy.ndarray
+        The input converted to an ``int8`` array.
+
+    Raises
+    ------
+    repro.common.exceptions.ValidationError
+        If any entry is not in ``{DIRTY, CLEAN, UNSEEN}``.
+    """
+    from repro.common.exceptions import ValidationError
+
+    arr = np.asarray(values)
+    if arr.size and not np.isin(arr, (DIRTY, CLEAN, UNSEEN)).all():
+        bad = np.unique(arr[~np.isin(arr, (DIRTY, CLEAN, UNSEEN))])
+        raise ValidationError(
+            f"labels must be in {{DIRTY={DIRTY}, CLEAN={CLEAN}, UNSEEN={UNSEEN}}}; "
+            f"found unexpected values {bad.tolist()}"
+        )
+    return arr.astype(np.int8, copy=False)

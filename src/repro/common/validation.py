@@ -1,0 +1,83 @@
+"""Small argument-validation helpers shared across the library.
+
+These helpers keep public constructors short and produce consistent,
+descriptive error messages.  They all raise
+:class:`repro.common.exceptions.ValidationError`.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Optional
+
+from repro.common.exceptions import ValidationError
+
+
+def _check_real(value: object, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: object, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1].
+
+    Returns the value as a ``float``.
+    """
+    val = _check_real(value, name)
+    if not 0.0 <= val <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {val}")
+    return val
+
+
+def check_fraction(value: object, name: str, *, allow_zero: bool = True) -> float:
+    """Validate that ``value`` is a fraction in ``(0, 1]`` (or ``[0, 1]``).
+
+    Parameters
+    ----------
+    value:
+        Candidate fraction.
+    name:
+        Parameter name used in error messages.
+    allow_zero:
+        When ``False``, zero is rejected.
+    """
+    val = _check_real(value, name)
+    lower_ok = val >= 0.0 if allow_zero else val > 0.0
+    if not (lower_ok and val <= 1.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValidationError(f"{name} must be in {bound}, got {val}")
+    return val
+
+
+def check_positive(value: object, name: str) -> float:
+    """Validate that ``value`` is strictly positive.  Returns it as ``float``."""
+    val = _check_real(value, name)
+    if val <= 0:
+        raise ValidationError(f"{name} must be > 0, got {val}")
+    return val
+
+
+def check_non_negative(value: object, name: str) -> float:
+    """Validate that ``value`` is >= 0.  Returns it as ``float``."""
+    val = _check_real(value, name)
+    if val < 0:
+        raise ValidationError(f"{name} must be >= 0, got {val}")
+    return val
+
+
+def check_int(value: object, name: str, *, minimum: Optional[int] = None) -> int:
+    """Validate that ``value`` is an integer, optionally with a lower bound."""
+    if isinstance(value, bool) or not isinstance(value, Real) or int(value) != value:
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    ivalue = int(value)
+    if minimum is not None and ivalue < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {ivalue}")
+    return ivalue
+
+
+def check_in(value: object, name: str, allowed) -> object:
+    """Validate that ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValidationError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+    return value

@@ -1,0 +1,64 @@
+"""Common estimator interface and result container.
+
+Every estimator in :mod:`repro.core` implements the same tiny protocol —
+``estimate(matrix, upto=None) -> EstimateResult`` — so the experiment
+harness can sweep a heterogeneous set of estimators over a task stream
+without special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """The output of one estimator evaluation.
+
+    Attributes
+    ----------
+    estimate:
+        The estimated **total** number of errors (or switches) the dataset
+        contains — i.e. what the descriptive count would converge to with
+        infinite workers.
+    observed:
+        The descriptive count the estimator starts from (``c_nominal``,
+        ``c_majority`` or ``c_switch`` depending on the estimator).
+    remaining:
+        The estimated number of errors (switches) still undetected:
+        ``estimate - observed`` clipped at zero.
+    details:
+        Estimator-specific diagnostics (sample coverage, f-statistics,
+        skew coefficient, which switch direction was used, ...).
+    """
+
+    estimate: float
+    observed: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def remaining(self) -> float:
+        """Estimated number of still-undetected errors (never negative)."""
+        return max(0.0, float(self.estimate) - float(self.observed))
+
+
+@runtime_checkable
+class EstimatorProtocol(Protocol):
+    """Structural interface every estimator satisfies.
+
+    Implementations must be stateless with respect to the matrix (all state
+    is recomputed per call) so the harness can evaluate them on arbitrary
+    prefixes in any order.
+    """
+
+    #: Short, stable name used by the registry and in result tables.
+    name: str
+
+    def estimate(
+        self, matrix: ResponseMatrix, upto: Optional[int] = None
+    ) -> EstimateResult:
+        """Estimate the total error count from the first ``upto`` columns."""
+        ...

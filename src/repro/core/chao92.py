@@ -1,0 +1,157 @@
+"""The Chao92 sample-coverage species estimator (Section 3.2 of the paper).
+
+Given the fingerprint of positive votes, Chao92 estimates the total number
+of distinct errors as
+
+.. math::
+
+    \\hat{D}_{Chao92} = \\frac{c}{\\hat{C}} + \\frac{f_1 \\hat{\\gamma}^2}{\\hat{C}},
+    \\qquad \\hat{C} = 1 - f_1 / n^+,
+
+where ``c`` is the number of distinct observed errors, ``f_1`` the number
+of singleton errors, ``n^+`` the number of positive votes, and
+``\\hat{\\gamma}^2`` the estimated squared coefficient of variation of the
+item detection probabilities (Equation 5).  Without the skew term the
+estimator reduces to the plain sample-coverage estimate ``c / \\hat{C}``.
+
+The module exposes both a functional API (:func:`chao92_estimate`) working
+directly on a :class:`~repro.core.fstatistics.Fingerprint` and the
+matrix-level :class:`Chao92Estimator` used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.base import EstimateResult
+from repro.core.descriptive import nominal_estimate
+from repro.core.fstatistics import Fingerprint, positive_vote_fingerprint
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+def good_turing_coverage(fingerprint: Fingerprint) -> float:
+    """Good–Turing sample-coverage estimate ``C = 1 - f_1 / n``.
+
+    Returns 0.0 when there are no observations (coverage unknown) and
+    clips to 0.0 when ``f_1 >= n`` (every observation is a singleton, so
+    the sample says nothing about the unseen mass).
+    """
+    n = fingerprint.num_observations
+    if n <= 0:
+        return 0.0
+    return max(0.0, 1.0 - fingerprint.singletons / n)
+
+
+def skew_coefficient(
+    fingerprint: Fingerprint,
+    distinct: Optional[int] = None,
+    coverage: Optional[float] = None,
+) -> float:
+    """Estimated squared coefficient of variation ``gamma^2`` (Equation 5).
+
+    Parameters
+    ----------
+    fingerprint:
+        The f-statistics.
+    distinct:
+        ``c`` — the number of distinct observed items; defaults to the
+        fingerprint's own distinct count (callers may pass the majority
+        count instead, as vChao92 does).
+    coverage:
+        Sample coverage ``C``; defaults to :func:`good_turing_coverage`.
+
+    Returns
+    -------
+    float
+        ``max(gamma^2, 0)``; returns 0 when the sample is too small for the
+        formula (fewer than two observations or zero coverage).
+    """
+    n = fingerprint.num_observations
+    c = fingerprint.distinct if distinct is None else int(distinct)
+    cov = good_turing_coverage(fingerprint) if coverage is None else float(coverage)
+    if n <= 1 or cov <= 0.0 or c <= 0:
+        return 0.0
+    sum_term = sum(j * (j - 1) * fj for j, fj in fingerprint.frequencies.items())
+    gamma_squared = (c / cov) * sum_term / (n * (n - 1)) - 1.0
+    return max(gamma_squared, 0.0)
+
+
+def chao92_estimate(
+    fingerprint: Fingerprint,
+    *,
+    distinct: Optional[int] = None,
+    use_skew_correction: bool = True,
+) -> float:
+    """Chao92 estimate of the total number of distinct items.
+
+    Parameters
+    ----------
+    fingerprint:
+        f-statistics of the observed sample.
+    distinct:
+        The observed distinct count ``c`` to scale up.  Defaults to the
+        fingerprint's distinct count (``c_nominal`` for the vote
+        fingerprint); vChao92 passes ``c_majority`` instead.
+    use_skew_correction:
+        Include the ``f_1 * gamma^2 / C`` skew term (Equation 4).  Without
+        it the estimate is the basic sample-coverage estimate
+        (Equation 3).
+
+    Returns
+    -------
+    float
+        The estimated total number of distinct items.  When the sample
+        coverage is zero (no observations, or every observation a
+        singleton) the estimate falls back to the observed distinct count —
+        the estimator has no basis for extrapolation yet.
+    """
+    c = fingerprint.distinct if distinct is None else int(distinct)
+    coverage = good_turing_coverage(fingerprint)
+    if coverage <= 0.0:
+        return float(c)
+    estimate = c / coverage
+    if use_skew_correction:
+        gamma_squared = skew_coefficient(fingerprint, distinct=c, coverage=coverage)
+        estimate += fingerprint.singletons * gamma_squared / coverage
+    return float(estimate)
+
+
+@dataclass
+class Chao92Estimator:
+    """Matrix-level Chao92 estimator (the paper's CHAO92 baseline).
+
+    Parameters
+    ----------
+    use_skew_correction:
+        Include the coefficient-of-variation correction term.
+    name:
+        Registry / report name.
+    """
+
+    use_skew_correction: bool = True
+    name: str = "chao92"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total error count from the positive-vote fingerprint."""
+        fingerprint = positive_vote_fingerprint(matrix, upto)
+        observed = nominal_estimate(matrix, upto)
+        estimate = chao92_estimate(
+            fingerprint,
+            distinct=observed,
+            use_skew_correction=self.use_skew_correction,
+        )
+        coverage = good_turing_coverage(fingerprint)
+        return EstimateResult(
+            estimate=estimate,
+            observed=float(observed),
+            details={
+                "coverage": coverage,
+                "singletons": float(fingerprint.singletons),
+                "doubletons": float(fingerprint.doubletons),
+                "positive_votes": float(fingerprint.num_observations),
+                "gamma_squared": skew_coefficient(fingerprint, distinct=observed)
+                if self.use_skew_correction
+                else 0.0,
+            },
+        )

@@ -1,0 +1,55 @@
+"""Descriptive baselines: nominal count and majority voting (Section 2.2).
+
+These are not predictive — they summarise what the first ``K`` workers have
+already said — but they are both the baselines the paper plots (VOTING) and
+building blocks of the predictive estimators (Chao92 starts from the
+nominal count, vChao92 and SWITCH start from the majority count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.base import EstimateResult
+from repro.crowd.consensus import majority_count, nominal_count
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+def nominal_estimate(matrix: ResponseMatrix, upto: Optional[int] = None) -> int:
+    """``c_nominal`` — items marked dirty by at least one worker (Section 2.2.1)."""
+    return nominal_count(matrix, upto)
+
+
+def majority_estimate(matrix: ResponseMatrix, upto: Optional[int] = None) -> int:
+    """``c_majority`` — items whose majority consensus is dirty (Section 2.2.2)."""
+    return majority_count(matrix, upto)
+
+
+@dataclass
+class NominalEstimator:
+    """Descriptive estimator returning the nominal error count."""
+
+    name: str = "nominal"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Return the nominal count; ``estimate == observed`` by construction."""
+        count = float(nominal_estimate(matrix, upto))
+        return EstimateResult(estimate=count, observed=count, details={})
+
+
+@dataclass
+class VotingEstimator:
+    """Descriptive estimator returning the majority-consensus error count.
+
+    This is the paper's VOTING baseline: the best purely descriptive answer
+    available with the current workers, but with no predictive power about
+    how many errors additional workers would still uncover.
+    """
+
+    name: str = "voting"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Return the majority count; ``estimate == observed`` by construction."""
+        count = float(majority_estimate(matrix, upto))
+        return EstimateResult(estimate=count, observed=count, details={})

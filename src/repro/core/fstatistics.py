@@ -1,0 +1,196 @@
+"""f-statistics (the "data fingerprint") used by the species estimators.
+
+In species estimation, ``f_j`` is the number of distinct observed items
+that occur exactly ``j`` times in the sample.  ``f_1`` (singletons) is the
+key quantity: the Good–Turing estimate of the unseen probability mass is
+``f_1 / n``, and Chao92 uses it to estimate the sample coverage.
+
+For the data-quality problem (Section 3.2 of the paper) the "occurrences"
+of an error are its positive (dirty) votes, so the fingerprint is built
+from the per-item positive-vote counts ``n_i^+`` and ``n`` is the total
+number of positive votes ``n^+``.  The switch estimator builds a different
+fingerprint (over switch rediscoveries); both are represented by the same
+:class:`Fingerprint` container.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.common.exceptions import ValidationError
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """The frequency-of-frequencies summary of a sample.
+
+    Attributes
+    ----------
+    frequencies:
+        Mapping ``j -> f_j`` for ``j >= 1``; absent keys mean ``f_j = 0``.
+    num_observations:
+        ``n`` — the total number of observations the fingerprint summarises.
+        For the vote fingerprint this is the number of positive votes; for
+        the switch fingerprint it is the adjusted vote count ``n_switch``.
+    """
+
+    frequencies: Mapping[int, int] = field(default_factory=dict)
+    num_observations: int = 0
+
+    def __post_init__(self) -> None:
+        cleaned: Dict[int, int] = {}
+        for j, count in dict(self.frequencies).items():
+            j = int(j)
+            count = int(count)
+            if j < 1:
+                raise ValidationError(f"fingerprint keys must be >= 1, got {j}")
+            if count < 0:
+                raise ValidationError(f"fingerprint counts must be >= 0, got f_{j} = {count}")
+            if count:
+                cleaned[j] = count
+        object.__setattr__(self, "frequencies", cleaned)
+        if self.num_observations < 0:
+            raise ValidationError("num_observations must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def f(self, j: int) -> int:
+        """Return ``f_j`` (0 when no item was observed exactly ``j`` times)."""
+        return int(self.frequencies.get(int(j), 0))
+
+    @property
+    def singletons(self) -> int:
+        """``f_1`` — items observed exactly once."""
+        return self.f(1)
+
+    @property
+    def doubletons(self) -> int:
+        """``f_2`` — items observed exactly twice."""
+        return self.f(2)
+
+    @property
+    def distinct(self) -> int:
+        """``c`` — the number of distinct observed items (``sum_j f_j``)."""
+        return int(sum(self.frequencies.values()))
+
+    @property
+    def total_occurrences(self) -> int:
+        """``sum_j j * f_j`` — occurrences accounted for by the fingerprint.
+
+        For the plain vote fingerprint this equals :attr:`num_observations`;
+        the switch fingerprint deliberately breaks that equality (see
+        Section 4.2 of the paper), which is why the two are stored
+        separately.
+        """
+        return int(sum(j * count for j, count in self.frequencies.items()))
+
+    @property
+    def max_frequency(self) -> int:
+        """The largest observed occurrence count."""
+        return max(self.frequencies) if self.frequencies else 0
+
+    def shifted(self, shift: int) -> "Fingerprint":
+        """Return the fingerprint shifted by ``shift`` (vChao92, Section 3.3).
+
+        Shifting by ``s`` treats ``f_{1+s}`` as the new ``f_1`` (etc.) and
+        removes the first ``s`` frequency classes from the observation
+        count: ``n^{+,s} = n^+ - sum_{i<=s} f_i``.
+
+        Parameters
+        ----------
+        shift:
+            Non-negative integer shift ``s``; 0 returns ``self`` unchanged.
+        """
+        shift = int(shift)
+        if shift < 0:
+            raise ValidationError(f"shift must be >= 0, got {shift}")
+        if shift == 0:
+            return self
+        removed = sum(self.f(i) for i in range(1, shift + 1))
+        new_frequencies = {
+            j - shift: count for j, count in self.frequencies.items() if j > shift
+        }
+        new_n = max(0, self.num_observations - removed)
+        return Fingerprint(frequencies=new_frequencies, num_observations=new_n)
+
+    def as_dict(self) -> Dict[int, int]:
+        """Return a plain ``{j: f_j}`` dictionary copy."""
+        return dict(self.frequencies)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        head = {j: self.f(j) for j in sorted(self.frequencies)[:4]}
+        return (
+            f"Fingerprint(distinct={self.distinct}, n={self.num_observations}, head={head})"
+        )
+
+
+def fingerprint_from_counts(
+    counts: Iterable[int],
+    num_observations: Optional[int] = None,
+) -> Fingerprint:
+    """Build a fingerprint from per-item occurrence counts.
+
+    Parameters
+    ----------
+    counts:
+        Occurrence count of every item; zeros are ignored (unseen items do
+        not contribute to the fingerprint).
+    num_observations:
+        ``n``; defaults to ``sum(counts)``.
+
+    Returns
+    -------
+    Fingerprint
+    """
+    counts = [int(c) for c in counts]
+    if any(c < 0 for c in counts):
+        raise ValidationError("occurrence counts must be non-negative")
+    frequency_of = Counter(c for c in counts if c > 0)
+    total = sum(counts)
+    return Fingerprint(
+        frequencies=dict(frequency_of),
+        num_observations=int(total if num_observations is None else num_observations),
+    )
+
+
+def positive_vote_fingerprint(
+    matrix: ResponseMatrix,
+    upto: Optional[int] = None,
+) -> Fingerprint:
+    """The fingerprint the Chao92-style estimators use (Section 3.2).
+
+    Items are "species", occurrences are positive (dirty) votes, and ``n``
+    is the total number of positive votes ``n^+`` — negative votes are
+    no-ops under the paper's no-false-positive framing.
+
+    Parameters
+    ----------
+    matrix:
+        The worker-response matrix.
+    upto:
+        Use only the first ``upto`` columns.
+    """
+    positives = matrix.positive_counts(upto)
+    return fingerprint_from_counts(positives.tolist())
+
+
+def fingerprint_entropy(fingerprint: Fingerprint) -> float:
+    """Shannon entropy (nats) of the occurrence-count distribution.
+
+    Not used by the paper's estimators; provided as a diagnostic for the
+    ablation benchmarks (highly skewed fingerprints are where Chao92's
+    coefficient-of-variation correction matters most).
+    """
+    counts = np.array(
+        [count for count in fingerprint.frequencies.values()], dtype=float
+    )
+    if counts.size == 0:
+        return 0.0
+    p = counts / counts.sum()
+    return float(-(p * np.log(p)).sum())

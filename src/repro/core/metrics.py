@@ -1,0 +1,80 @@
+"""Error metrics used to score estimators against the ground truth.
+
+The paper's simulation study reports a *scaled* root-mean-square error
+
+.. math::
+
+    SRMSE = \\frac{1}{D} \\sqrt{\\frac{1}{r} \\sum_r (\\hat{D} - D)^2}
+
+over ``r`` repeated trials, because the raw estimates of different
+techniques differ by orders of magnitude when Chao92 blows up on false
+positives.  The plain absolute/relative/signed errors are provided for the
+per-trace figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ValidationError
+
+
+def absolute_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth|``."""
+    return abs(float(estimate) - float(truth))
+
+
+def signed_error(estimate: float, truth: float) -> float:
+    """``estimate - truth`` (positive = overestimate)."""
+    return float(estimate) - float(truth)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth``.
+
+    Raises
+    ------
+    repro.common.exceptions.ValidationError
+        If ``truth`` is zero (the relative error is undefined).
+    """
+    truth = float(truth)
+    if truth == 0.0:
+        raise ValidationError("relative_error is undefined for truth == 0")
+    return abs(float(estimate) - truth) / abs(truth)
+
+
+def scaled_rmse(estimates: Iterable[float], truth: float) -> float:
+    """The paper's SRMSE: RMSE over trials, scaled by the true value.
+
+    Parameters
+    ----------
+    estimates:
+        The estimate produced in each of the ``r`` trials.
+    truth:
+        The true value ``D``.
+
+    Raises
+    ------
+    repro.common.exceptions.ValidationError
+        If no estimates are given or ``truth`` is zero.
+    """
+    values = np.asarray(list(estimates), dtype=float)
+    truth = float(truth)
+    if values.size == 0:
+        raise ValidationError("scaled_rmse needs at least one estimate")
+    if truth == 0.0:
+        raise ValidationError("scaled_rmse is undefined for truth == 0")
+    rmse = float(np.sqrt(np.mean((values - truth) ** 2)))
+    return rmse / abs(truth)
+
+
+def mean_and_std(values: Sequence[float]) -> tuple:
+    """Convenience ``(mean, sample std)`` pair used by the report tables."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return (0.0, 0.0)
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return (mean, std)

@@ -1,0 +1,93 @@
+"""Estimator registry.
+
+Experiment configurations refer to estimators by short string names
+(``"chao92"``, ``"switch"``, ...) so that figure definitions can be plain
+data.  The registry maps each name to a zero-argument factory producing a
+fresh estimator instance; user code can register additional estimators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.base import EstimatorProtocol
+
+_FACTORIES: Dict[str, Callable[[], EstimatorProtocol]] = {}
+
+
+def register_estimator(name: str, factory: Callable[[], EstimatorProtocol], *, overwrite: bool = False) -> None:
+    """Register an estimator factory under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (lower-case by convention).
+    factory:
+        Zero-argument callable returning a new estimator instance.
+    overwrite:
+        Allow replacing an existing registration.
+
+    Raises
+    ------
+    repro.common.exceptions.ConfigurationError
+        If the name is already registered and ``overwrite`` is false.
+    """
+    key = str(name).lower()
+    if key in _FACTORIES and not overwrite:
+        raise ConfigurationError(f"estimator {key!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_estimator(name: str) -> EstimatorProtocol:
+    """Instantiate the estimator registered under ``name``.
+
+    Raises
+    ------
+    repro.common.exceptions.ConfigurationError
+        If no estimator is registered under that name.
+    """
+    key = str(name).lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown estimator {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_estimators() -> List[str]:
+    """Names of all registered estimators, sorted."""
+    return sorted(_FACTORIES)
+
+
+def _register_builtins() -> None:
+    """Register the estimators shipped with the library."""
+    # Imports are local to avoid import cycles at package-load time.
+    from repro.core.chao92 import Chao92Estimator
+    from repro.core.descriptive import NominalEstimator, VotingEstimator
+    from repro.core.extrapolation import ExtrapolationEstimator
+    from repro.core.species import Chao84Estimator, GoodTuringEstimator, JackknifeEstimator
+    from repro.core.switch import SwitchEstimator
+    from repro.core.total_error import SwitchTotalErrorEstimator
+    from repro.core.vchao92 import VChao92Estimator
+
+    builtins: Dict[str, Callable[[], EstimatorProtocol]] = {
+        "nominal": NominalEstimator,
+        "voting": VotingEstimator,
+        "chao92": Chao92Estimator,
+        "vchao92": VChao92Estimator,
+        "extrapolation": ExtrapolationEstimator,
+        "switch": SwitchEstimator,
+        "switch_total": SwitchTotalErrorEstimator,
+        "good_turing": GoodTuringEstimator,
+        "chao84": Chao84Estimator,
+        "jackknife": JackknifeEstimator,
+    }
+    for name, factory in builtins.items():
+        if name not in _FACTORIES:
+            register_estimator(name, factory)
+
+
+_register_builtins()

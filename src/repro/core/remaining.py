@@ -1,0 +1,96 @@
+"""Convenience wrappers for "how many errors are still undetected?".
+
+The estimators return total-error estimates; callers usually want the
+*remaining* count (total minus what the crowd already found) and a simple
+quality grade.  These helpers wrap that arithmetic so application code and
+the examples stay short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.base import EstimateResult, EstimatorProtocol
+from repro.core.descriptive import majority_estimate
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+@dataclass(frozen=True)
+class DataQualityReport:
+    """A user-facing summary of the estimated data quality.
+
+    Attributes
+    ----------
+    detected_errors:
+        Errors the current majority consensus already marks (``c_majority``).
+    estimated_total_errors:
+        The estimator's total-error estimate.
+    estimated_remaining_errors:
+        ``max(0, total - detected)``.
+    quality_score:
+        ``detected / total`` clipped to [0, 1]: the estimated fraction of
+        (eventually detectable) errors already found.  1.0 when the
+        estimate says nothing remains.
+    num_tasks:
+        Number of worker-task columns the estimate is based on.
+    estimator_name:
+        Name of the estimator that produced the numbers.
+    """
+
+    detected_errors: float
+    estimated_total_errors: float
+    estimated_remaining_errors: float
+    quality_score: float
+    num_tasks: int
+    estimator_name: str
+
+
+def remaining_errors(
+    matrix: ResponseMatrix,
+    estimator: Optional[EstimatorProtocol] = None,
+    upto: Optional[int] = None,
+) -> float:
+    """Estimated number of errors not yet reflected in the majority consensus."""
+    estimator = estimator or SwitchTotalErrorEstimator()
+    result = estimator.estimate(matrix, upto)
+    detected = float(majority_estimate(matrix, upto))
+    return max(0.0, result.estimate - detected)
+
+
+def data_quality_report(
+    matrix: ResponseMatrix,
+    estimator: Optional[EstimatorProtocol] = None,
+    upto: Optional[int] = None,
+) -> DataQualityReport:
+    """Produce a :class:`DataQualityReport` from a vote matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The worker-response matrix.
+    estimator:
+        Estimator to use; defaults to the paper's SWITCH total-error
+        estimator.
+    upto:
+        Column prefix to evaluate.
+    """
+    estimator = estimator or SwitchTotalErrorEstimator()
+    result: EstimateResult = estimator.estimate(matrix, upto)
+    detected = float(majority_estimate(matrix, upto))
+    total = float(result.estimate)
+    remaining = max(0.0, total - detected)
+    if total <= 0.0:
+        quality = 1.0
+    else:
+        quality = min(1.0, max(0.0, detected / total))
+    num_tasks = matrix.num_columns if upto is None else int(upto)
+    return DataQualityReport(
+        detected_errors=detected,
+        estimated_total_errors=total,
+        estimated_remaining_errors=remaining,
+        quality_score=quality,
+        num_tasks=num_tasks,
+        estimator_name=getattr(estimator, "name", type(estimator).__name__),
+    )

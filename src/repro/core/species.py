@@ -1,0 +1,130 @@
+"""Additional classical species estimators used for ablations.
+
+The paper uses Chao92; the species-estimation literature it cites offers
+several other estimators with different bias/variance trade-offs.  These
+are not required for any headline experiment, but the ablation benchmark
+(``benchmarks/test_bench_ablation_estimators.py``) compares them against
+Chao92 and SWITCH on the same vote matrices to show that the false-positive
+sensitivity is a property of the whole family, not of Chao92 specifically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.base import EstimateResult
+from repro.core.chao92 import good_turing_coverage
+from repro.core.descriptive import nominal_estimate
+from repro.core.fstatistics import Fingerprint, positive_vote_fingerprint
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+def good_turing_estimate(fingerprint: Fingerprint, *, distinct: Optional[int] = None) -> float:
+    """Plain Good–Turing (sample-coverage) estimate ``c / C`` without skew correction.
+
+    Equivalent to Chao92 with ``use_skew_correction=False``; exposed under
+    its own name because the paper's Example 1 refers to it as the
+    Good–Turing estimate.
+    """
+    c = fingerprint.distinct if distinct is None else int(distinct)
+    coverage = good_turing_coverage(fingerprint)
+    if coverage <= 0.0:
+        return float(c)
+    return float(c / coverage)
+
+
+def chao84_estimate(fingerprint: Fingerprint, *, distinct: Optional[int] = None) -> float:
+    """Chao84 lower-bound estimator ``c + f_1^2 / (2 f_2)``.
+
+    When there are no doubletons the bias-corrected form
+    ``c + f_1 (f_1 - 1) / 2`` is used.
+    """
+    c = fingerprint.distinct if distinct is None else int(distinct)
+    f1 = fingerprint.singletons
+    f2 = fingerprint.doubletons
+    if f2 > 0:
+        return float(c + (f1 * f1) / (2.0 * f2))
+    return float(c + f1 * (f1 - 1) / 2.0)
+
+
+def jackknife_estimate(
+    fingerprint: Fingerprint,
+    *,
+    distinct: Optional[int] = None,
+    order: int = 1,
+) -> float:
+    """First- or second-order jackknife species estimate.
+
+    ``order=1``: ``c + f_1 * (n - 1) / n``;
+    ``order=2``: ``c + 2 f_1 - f_2`` (the common large-``n`` approximation).
+    """
+    c = fingerprint.distinct if distinct is None else int(distinct)
+    n = fingerprint.num_observations
+    f1 = fingerprint.singletons
+    f2 = fingerprint.doubletons
+    if order == 1:
+        if n <= 0:
+            return float(c)
+        return float(c + f1 * (n - 1) / n)
+    if order == 2:
+        return float(max(c, c + 2 * f1 - f2))
+    raise ValueError(f"jackknife order must be 1 or 2, got {order}")
+
+
+@dataclass
+class GoodTuringEstimator:
+    """Matrix-level Good–Turing estimator (Chao92 without the skew term)."""
+
+    name: str = "good_turing"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total error count with the plain coverage estimate."""
+        fingerprint = positive_vote_fingerprint(matrix, upto)
+        observed = nominal_estimate(matrix, upto)
+        estimate = good_turing_estimate(fingerprint, distinct=observed)
+        return EstimateResult(
+            estimate=estimate,
+            observed=float(observed),
+            details={"coverage": good_turing_coverage(fingerprint)},
+        )
+
+
+@dataclass
+class Chao84Estimator:
+    """Matrix-level Chao84 lower-bound estimator."""
+
+    name: str = "chao84"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total error count with the Chao84 lower bound."""
+        fingerprint = positive_vote_fingerprint(matrix, upto)
+        observed = nominal_estimate(matrix, upto)
+        estimate = chao84_estimate(fingerprint, distinct=observed)
+        return EstimateResult(
+            estimate=estimate,
+            observed=float(observed),
+            details={
+                "singletons": float(fingerprint.singletons),
+                "doubletons": float(fingerprint.doubletons),
+            },
+        )
+
+
+@dataclass
+class JackknifeEstimator:
+    """Matrix-level jackknife estimator of configurable order."""
+
+    order: int = 1
+    name: str = "jackknife"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total error count with the jackknife formula."""
+        fingerprint = positive_vote_fingerprint(matrix, upto)
+        observed = nominal_estimate(matrix, upto)
+        estimate = jackknife_estimate(fingerprint, distinct=observed, order=self.order)
+        return EstimateResult(
+            estimate=estimate,
+            observed=float(observed),
+            details={"order": float(self.order)},
+        )

@@ -1,0 +1,347 @@
+"""Switch counting and the SWITCH remaining-switch estimator (Section 4).
+
+The paper reformulates the quality-estimation problem: instead of asking
+"how many errors does the dataset contain?" it asks "how many of the
+current majority-consensus decisions will still *switch* before reaching
+the ground truth?" (Problem 2).  Switches are far more robust to false
+positives than raw positive votes, because a single stray vote rarely flips
+a consensus that already has support.
+
+Per item, the vote sequence is scanned with the paper's conventions:
+
+* every item starts with the default label *clean*;
+* after each vote the consensus label is recomputed: a strict positive
+  majority means *dirty*, a strict negative majority means *clean*, and a
+  **tie** flips the label away from its current value (the paper's
+  "assume a switch happens every time there is a tie");
+* every change of the consensus label is a switch — this covers both the
+  first positive vote (Equation 7, part ii) and every tie (Equation 7,
+  part i);
+* a vote that does not change the consensus *rediscovers* the current
+  switch (singleton → doubleton → ...), defining the f'-statistics;
+* votes before an item's first switch are no-ops: they contribute neither
+  to the f'-statistics nor to the adjusted observation count ``n_switch``.
+
+The only place this deviates from a literal reading of Equation 7 is the
+vote immediately after a tie: when that vote restores the pre-tie
+majority, the consensus label changes again and we count a switch even
+though no new tie occurred.  Tracking the consensus directly keeps the
+final per-item labels consistent with the majority vote, which is what
+both the rediscovery bookkeeping and the total-error correction of
+Section 4.3 rely on.
+
+The total number of remaining switches is then estimated with the same
+sample-coverage machinery as Chao92 (Equation 8), and split into positive
+(clean→dirty) and negative (dirty→clean) switches for the total-error
+correction of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.base import EstimateResult
+from repro.core.chao92 import chao92_estimate, good_turing_coverage, skew_coefficient
+from repro.core.fstatistics import Fingerprint, fingerprint_from_counts
+from repro.crowd.response_matrix import ResponseMatrix
+
+#: Direction labels for switches.
+POSITIVE = "positive"  # consensus flips clean -> dirty
+NEGATIVE = "negative"  # consensus flips dirty -> clean
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """One observed consensus switch on one item.
+
+    Attributes
+    ----------
+    item_id:
+        The item whose consensus switched.
+    direction:
+        ``"positive"`` (clean→dirty) or ``"negative"`` (dirty→clean).
+    vote_index:
+        1-based position within the item's own vote sequence at which the
+        switch occurred.
+    rediscoveries:
+        How many times the switch was observed: 1 for the switch-causing
+        vote plus one per subsequent non-switching vote (this is the
+        occurrence count that feeds the f'-statistics).
+    """
+
+    item_id: int
+    direction: str
+    vote_index: int
+    rediscoveries: int
+
+
+@dataclass
+class SwitchStatistics:
+    """All switch-derived statistics of a response-matrix prefix.
+
+    Attributes
+    ----------
+    events:
+        Every observed switch event, in scan order.
+    num_switches:
+        ``switch(I)`` — the total number of observed switches (Equation 7).
+    items_with_switches:
+        ``c_switch`` — the number of items with at least one switch.
+    n_switch:
+        The adjusted observation count: all votes minus the per-item no-op
+        votes preceding the first switch.
+    total_votes:
+        The unadjusted total number of votes in the prefix.
+    final_consensus:
+        Mapping from item id to its consensus label after the scan
+        (0 = clean, 1 = dirty), using the paper's default-clean /
+        tie-switches convention.
+    """
+
+    events: List[SwitchEvent] = field(default_factory=list)
+    num_switches: int = 0
+    items_with_switches: int = 0
+    n_switch: int = 0
+    total_votes: int = 0
+    final_consensus: Dict[int, int] = field(default_factory=dict)
+
+    # -- convenience filters ------------------------------------------- #
+    def events_by_direction(self, direction: str) -> List[SwitchEvent]:
+        """Return the switch events of one direction."""
+        return [event for event in self.events if event.direction == direction]
+
+    def num_switches_by_direction(self, direction: str) -> int:
+        """Observed switch count restricted to one direction."""
+        return len(self.events_by_direction(direction))
+
+    def items_with_direction(self, direction: str) -> int:
+        """Number of items with at least one switch of the given direction."""
+        return len({event.item_id for event in self.events if event.direction == direction})
+
+    def fingerprint(self, direction: Optional[str] = None) -> Fingerprint:
+        """Build the f'-statistics fingerprint over switch rediscovery counts.
+
+        Parameters
+        ----------
+        direction:
+            Restrict to ``"positive"`` or ``"negative"`` switches; ``None``
+            uses every switch.  The observation count is always the full
+            ``n_switch`` (the adjusted vote count), matching the paper's
+            choice to "simply count all votes as n".
+        """
+        events = self.events if direction is None else self.events_by_direction(direction)
+        counts = [event.rediscoveries for event in events]
+        fingerprint = fingerprint_from_counts(counts, num_observations=self.n_switch)
+        return fingerprint
+
+
+def _scan_item_votes(item_id: int, votes: np.ndarray) -> Tuple[List[SwitchEvent], int, int, int]:
+    """Scan one item's vote sequence and return its switch bookkeeping.
+
+    Returns
+    -------
+    (events, n_contribution, votes_on_item, final_state)
+        ``events`` are the item's switch events, ``n_contribution`` is the
+        number of the item's votes that count toward ``n_switch`` (votes
+        from the first switch onward), ``votes_on_item`` is the raw vote
+        count, and ``final_state`` the consensus label after the scan.
+    """
+    seen_votes = votes[votes != UNSEEN]
+    positives = 0
+    negatives = 0
+    state = 0  # default label: clean
+    events: List[SwitchEvent] = []
+    current: Optional[Dict[str, int]] = None
+    n_contribution = 0
+    for index, vote in enumerate(seen_votes, start=1):
+        if vote == DIRTY:
+            positives += 1
+        else:
+            negatives += 1
+        if positives > negatives:
+            new_state = 1
+        elif negatives > positives:
+            new_state = 0
+        else:
+            # A tie flips the consensus away from its current value.
+            new_state = 1 - state
+        is_switch = new_state != state
+        if is_switch:
+            if current is not None:
+                events.append(
+                    SwitchEvent(
+                        item_id=item_id,
+                        direction=current["direction_label"],
+                        vote_index=current["vote_index"],
+                        rediscoveries=current["rediscoveries"],
+                    )
+                )
+            direction = POSITIVE if new_state == 1 else NEGATIVE
+            state = new_state
+            current = {
+                "direction_label": direction,
+                "vote_index": index,
+                "rediscoveries": 1,
+            }
+            n_contribution += 1
+        else:
+            if current is not None:
+                current["rediscoveries"] += 1
+                n_contribution += 1
+            # Votes before the first switch are no-ops and contribute nothing.
+    if current is not None:
+        events.append(
+            SwitchEvent(
+                item_id=item_id,
+                direction=current["direction_label"],
+                vote_index=current["vote_index"],
+                rediscoveries=current["rediscoveries"],
+            )
+        )
+    return events, n_contribution, int(seen_votes.size), state
+
+
+def switch_statistics(matrix: ResponseMatrix, upto: Optional[int] = None) -> SwitchStatistics:
+    """Compute all switch statistics of a response-matrix prefix.
+
+    Parameters
+    ----------
+    matrix:
+        The worker-response matrix.
+    upto:
+        Use only the first ``upto`` columns (``None`` = all).
+    """
+    values = matrix.values if upto is None else matrix.values[:, :upto]
+    stats = SwitchStatistics()
+    items_with_switches = 0
+    for row, item_id in enumerate(matrix.item_ids):
+        events, n_contribution, votes_on_item, final_state = _scan_item_votes(
+            item_id, values[row, :]
+        )
+        stats.events.extend(events)
+        stats.n_switch += n_contribution
+        stats.total_votes += votes_on_item
+        stats.final_consensus[item_id] = final_state
+        if events:
+            items_with_switches += 1
+    stats.num_switches = len(stats.events)
+    stats.items_with_switches = items_with_switches
+    return stats
+
+
+def count_switches(matrix: ResponseMatrix, upto: Optional[int] = None) -> int:
+    """``switch(I)`` — the total number of observed consensus switches (Equation 7)."""
+    return switch_statistics(matrix, upto).num_switches
+
+
+def estimate_total_switches(
+    stats: SwitchStatistics,
+    *,
+    direction: Optional[str] = None,
+    use_skew_correction: bool = True,
+) -> float:
+    """Estimate the total number of switches as ``K -> inf`` (Equation 8).
+
+    Parameters
+    ----------
+    stats:
+        Switch statistics of the observed prefix.
+    direction:
+        Estimate only ``"positive"`` or only ``"negative"`` switches, or
+        every switch when ``None``.
+    use_skew_correction:
+        Include the coefficient-of-variation correction term.
+
+    Returns
+    -------
+    float
+        The estimated total number of switches of the requested direction.
+        Falls back to the observed count when the sample coverage is zero.
+    """
+    fingerprint = stats.fingerprint(direction)
+    if direction is None:
+        distinct = stats.items_with_switches
+    else:
+        distinct = stats.items_with_direction(direction)
+    return chao92_estimate(
+        fingerprint,
+        distinct=distinct,
+        use_skew_correction=use_skew_correction,
+    )
+
+
+def estimate_remaining_switches(
+    stats: SwitchStatistics,
+    *,
+    direction: Optional[str] = None,
+    use_skew_correction: bool = True,
+) -> float:
+    """``xi`` — the estimated number of switches still to come.
+
+    ``xi = D_switch - switch(I)`` restricted to the requested direction,
+    clipped at zero.
+    """
+    total = estimate_total_switches(
+        stats, direction=direction, use_skew_correction=use_skew_correction
+    )
+    if direction is None:
+        observed = stats.num_switches
+    else:
+        observed = stats.num_switches_by_direction(direction)
+    return max(0.0, float(total) - float(observed))
+
+
+@dataclass
+class SwitchEstimator:
+    """Matrix-level remaining-switch estimator (Problem 2 / Equation 8).
+
+    The ``estimate`` field of the result is the estimated **total** number
+    of switches; ``observed`` is ``switch(I)``; ``remaining`` is the
+    expected number of consensus decisions that will still change.
+
+    Parameters
+    ----------
+    direction:
+        Restrict the estimation to ``"positive"`` or ``"negative"``
+        switches (``None`` estimates all switches).
+    use_skew_correction:
+        Include the coefficient-of-variation correction.
+    name:
+        Registry / report name.
+    """
+
+    direction: Optional[str] = None
+    use_skew_correction: bool = True
+    name: str = "switch"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total number of consensus switches."""
+        stats = switch_statistics(matrix, upto)
+        total = estimate_total_switches(
+            stats, direction=self.direction, use_skew_correction=self.use_skew_correction
+        )
+        if self.direction is None:
+            observed = stats.num_switches
+        else:
+            observed = stats.num_switches_by_direction(self.direction)
+        fingerprint = stats.fingerprint(self.direction)
+        return EstimateResult(
+            estimate=float(total),
+            observed=float(observed),
+            details={
+                "n_switch": float(stats.n_switch),
+                "total_votes": float(stats.total_votes),
+                "coverage": good_turing_coverage(fingerprint),
+                "singletons": float(fingerprint.singletons),
+                "items_with_switches": float(stats.items_with_switches),
+                "gamma_squared": skew_coefficient(
+                    fingerprint, distinct=stats.items_with_switches
+                )
+                if self.use_skew_correction
+                else 0.0,
+            },
+        )

@@ -1,0 +1,150 @@
+"""Switch-based total-error estimation (Section 4.3 of the paper).
+
+The remaining-switch estimate answers Problem 2, but the original question
+(Problem 1: how many errors does the dataset contain?) can be recovered by
+correcting the current majority count with the estimated remaining
+switches:
+
+* remaining **positive** switches (clean→dirty) will add errors to the
+  majority count, and
+* remaining **negative** switches (dirty→clean) will remove false positives
+  from it.
+
+Estimating both directions separately can be unreliable when one direction
+has very few observed switches, so the paper exploits the monotone trend of
+the majority count: if the majority count has been *increasing* the dataset
+is dominated by false negatives and only the positive-switch correction is
+applied (``majority + xi+``); if it has been *decreasing* the dataset is
+dominated by false positives and only the negative-switch correction is
+applied (``majority - xi-``).  :class:`SwitchTotalErrorEstimator` makes
+that decision dynamically from the recent history of the majority count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.exceptions import ValidationError
+from repro.common.validation import check_int
+from repro.core.base import EstimateResult
+from repro.core.descriptive import majority_estimate
+from repro.core.switch import (
+    NEGATIVE,
+    POSITIVE,
+    estimate_remaining_switches,
+    switch_statistics,
+)
+from repro.crowd.response_matrix import ResponseMatrix
+
+#: Valid trend-selection modes.
+TREND_MODES = ("auto", "positive", "negative", "both")
+
+
+@dataclass
+class SwitchTotalErrorEstimator:
+    """The paper's SWITCH / DQM total-error estimator.
+
+    Parameters
+    ----------
+    trend_mode:
+        ``"auto"`` (default) selects the correction direction from the
+        recent trend of the majority count, as in the paper.  ``"positive"``
+        and ``"negative"`` force one direction; ``"both"`` applies
+        ``majority + xi+ - xi-`` unconditionally (useful for ablations).
+    trend_window:
+        How many of the most recent columns to look back when measuring the
+        majority trend in ``"auto"`` mode.  The window is clipped to the
+        number of available columns.
+    use_skew_correction:
+        Include the coefficient-of-variation correction in the underlying
+        switch estimates.
+    name:
+        Registry / report name.
+    """
+
+    trend_mode: str = "auto"
+    trend_window: int = 10
+    use_skew_correction: bool = True
+    name: str = "switch_total"
+
+    def __post_init__(self) -> None:
+        if self.trend_mode not in TREND_MODES:
+            raise ValidationError(
+                f"trend_mode must be one of {TREND_MODES}, got {self.trend_mode!r}"
+            )
+        check_int(self.trend_window, "trend_window", minimum=1)
+
+    # ------------------------------------------------------------------ #
+    def _detect_trend(self, matrix: ResponseMatrix, upto: Optional[int]) -> str:
+        """Return ``"increasing"``, ``"decreasing"`` or ``"flat"``.
+
+        Compares the current majority count against the count
+        ``trend_window`` columns earlier.
+        """
+        num_columns = matrix.num_columns if upto is None else int(upto)
+        if num_columns <= 1:
+            return "flat"
+        lookback = min(self.trend_window, num_columns - 1)
+        current = majority_estimate(matrix, num_columns)
+        earlier = majority_estimate(matrix, num_columns - lookback)
+        if current > earlier:
+            return "increasing"
+        if current < earlier:
+            return "decreasing"
+        return "flat"
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total number of errors in the dataset.
+
+        The result's ``observed`` field is the current majority count; the
+        ``estimate`` field is the trend-corrected total.
+        """
+        majority = float(majority_estimate(matrix, upto))
+        stats = switch_statistics(matrix, upto)
+        xi_positive = estimate_remaining_switches(
+            stats, direction=POSITIVE, use_skew_correction=self.use_skew_correction
+        )
+        xi_negative = estimate_remaining_switches(
+            stats, direction=NEGATIVE, use_skew_correction=self.use_skew_correction
+        )
+
+        if self.trend_mode == "positive":
+            chosen = "positive"
+        elif self.trend_mode == "negative":
+            chosen = "negative"
+        elif self.trend_mode == "both":
+            chosen = "both"
+        else:
+            trend = self._detect_trend(matrix, upto)
+            if trend == "increasing":
+                chosen = "positive"
+            elif trend == "decreasing":
+                chosen = "negative"
+            else:
+                # No trend information yet: fall back to the symmetric
+                # correction, which reduces to the majority count when both
+                # directions lack observed switches.
+                chosen = "both"
+
+        if chosen == "positive":
+            estimate = majority + xi_positive
+        elif chosen == "negative":
+            estimate = majority - xi_negative
+        else:
+            estimate = majority + xi_positive - xi_negative
+        estimate = max(0.0, estimate)
+
+        return EstimateResult(
+            estimate=float(estimate),
+            observed=majority,
+            details={
+                "xi_positive": float(xi_positive),
+                "xi_negative": float(xi_negative),
+                "correction": 1.0 if chosen == "positive" else (-1.0 if chosen == "negative" else 0.0),
+                "observed_switches": float(stats.num_switches),
+                "observed_positive_switches": float(stats.num_switches_by_direction(POSITIVE)),
+                "observed_negative_switches": float(stats.num_switches_by_direction(NEGATIVE)),
+                "n_switch": float(stats.n_switch),
+            },
+        )

@@ -1,0 +1,49 @@
+"""Crowd substrate: workers, tasks, votes and consensus.
+
+Everything the estimators consume is produced here.  The central data
+structure is :class:`~repro.crowd.response_matrix.ResponseMatrix`, the
+``N x K`` matrix ``I`` of Problem 1 in the paper whose entries are
+``{dirty, clean, unseen}``.  The rest of the package simulates how such a
+matrix comes to be:
+
+* :mod:`~repro.crowd.worker` — parametric worker models with false-positive
+  and false-negative rates,
+* :mod:`~repro.crowd.assignment` — task construction (p random items per
+  task, uniform or ε-prioritised sampling, fixed-quorum assignment),
+* :mod:`~repro.crowd.simulator` — the end-to-end crowd simulation that
+  replaces the paper's Amazon Mechanical Turk deployment,
+* :mod:`~repro.crowd.consensus` — nominal / majority-vote aggregation,
+* :mod:`~repro.crowd.em` — Dawid–Skene expectation-maximisation label
+  aggregation (an extension used for ablations).
+"""
+
+from repro.crowd.assignment import (
+    FixedQuorumAssigner,
+    PrioritizedAssigner,
+    Task,
+    UniformRandomAssigner,
+)
+from repro.crowd.consensus import majority_labels, majority_vote_counts, nominal_labels
+from repro.crowd.em import DawidSkeneResult, dawid_skene
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.crowd.simulator import CrowdSimulation, CrowdSimulator, SimulationConfig
+from repro.crowd.worker import Worker, WorkerPool, WorkerProfile
+
+__all__ = [
+    "ResponseMatrix",
+    "Worker",
+    "WorkerPool",
+    "WorkerProfile",
+    "Task",
+    "UniformRandomAssigner",
+    "PrioritizedAssigner",
+    "FixedQuorumAssigner",
+    "CrowdSimulator",
+    "CrowdSimulation",
+    "SimulationConfig",
+    "nominal_labels",
+    "majority_labels",
+    "majority_vote_counts",
+    "dawid_skene",
+    "DawidSkeneResult",
+]

@@ -1,0 +1,293 @@
+"""End-to-end crowd simulation.
+
+This module replaces the paper's Amazon Mechanical Turk deployment with a
+calibrated simulator.  Given a dataset with gold labels, a worker pool and
+an assignment strategy, :class:`CrowdSimulator` produces a stream of
+worker-task columns and accumulates them into a
+:class:`~repro.crowd.response_matrix.ResponseMatrix` — the only artefact
+the estimators ever see, which is why the substitution preserves the
+experiments' behaviour (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RandomState, derive_rng, ensure_rng
+from repro.common.validation import check_int, check_probability
+from repro.crowd.assignment import (
+    FixedQuorumAssigner,
+    PrioritizedAssigner,
+    Task,
+    UniformRandomAssigner,
+)
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.crowd.worker import Worker, WorkerPool, WorkerProfile
+from repro.data.record import Dataset
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of a crowd simulation run.
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of worker-tasks to simulate.
+    items_per_task:
+        Items shown per task (``p``).
+    worker_profile:
+        Population error rates of the simulated workers.
+    worker_rate_jitter:
+        Per-worker variation of the error rates (models a heterogeneous
+        crowd; 0 disables it).
+    tasks_per_worker:
+        How many consecutive tasks a single simulated worker completes
+        before a new worker is drawn (AMT workers often take several tasks;
+        1 means every column comes from a fresh worker).
+    epsilon:
+        When a prioritised partition is supplied to the simulator, the
+        probability of drawing an item from the complement ``R_H^c``.
+    seed:
+        Root seed for the run.
+    """
+
+    num_tasks: int = 100
+    items_per_task: int = 10
+    worker_profile: WorkerProfile = field(default_factory=WorkerProfile)
+    worker_rate_jitter: float = 0.0
+    tasks_per_worker: int = 1
+    epsilon: float = 0.1
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        check_int(self.num_tasks, "num_tasks", minimum=0)
+        check_int(self.items_per_task, "items_per_task", minimum=1)
+        check_int(self.tasks_per_worker, "tasks_per_worker", minimum=1)
+        check_probability(self.epsilon, "epsilon")
+
+
+@dataclass
+class CrowdSimulation:
+    """The result of a crowd simulation run.
+
+    Attributes
+    ----------
+    matrix:
+        The accumulated worker-response matrix (one column per task).
+    tasks:
+        The tasks, in the order they were executed.
+    ground_truth:
+        Mapping from item id to its gold 0/1 label.
+    config:
+        The configuration the run used.
+    """
+
+    matrix: ResponseMatrix
+    tasks: List[Task]
+    ground_truth: Dict[int, int]
+    config: SimulationConfig
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of executed tasks (columns in the matrix)."""
+        return len(self.tasks)
+
+    @property
+    def true_error_count(self) -> int:
+        """``|R_dirty|`` restricted to the simulated candidate items."""
+        return int(sum(self.ground_truth.values()))
+
+
+class CrowdSimulator:
+    """Simulate a crowd of fallible workers reviewing a candidate set.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset whose ``dirty_ids`` define the gold labels of the candidate
+        items.  For entity resolution pass
+        ``pair_dataset.as_item_dataset()``.
+    config:
+        Simulation parameters.
+    candidate_ids:
+        Restrict the simulation to these item ids (defaults to the whole
+        dataset).
+    prioritized_partition:
+        Optional ``(ambiguous_ids, complement_ids)`` partition; when given,
+        tasks are drawn with the ε-prioritised assigner instead of the
+        uniform one.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: Optional[SimulationConfig] = None,
+        *,
+        candidate_ids: Optional[Sequence[int]] = None,
+        prioritized_partition: Optional[tuple] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or SimulationConfig()
+        self._candidate_ids = (
+            list(candidate_ids) if candidate_ids is not None else list(dataset.record_ids)
+        )
+        if not self._candidate_ids:
+            raise ConfigurationError("the candidate set is empty")
+        unknown = set(self._candidate_ids) - set(dataset.record_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"candidate_ids reference unknown records: {sorted(unknown)[:5]}"
+            )
+        self._partition = prioritized_partition
+        root = derive_rng(self.config.seed, 0)
+        self._assignment_rng = derive_rng(root, 1)
+        self._vote_rng = derive_rng(root, 2)
+        self._pool = WorkerPool(
+            self.config.worker_profile,
+            rate_jitter=self.config.worker_rate_jitter,
+            seed=derive_rng(root, 3),
+        )
+        self._assigner = self._build_assigner()
+
+    def _build_assigner(self):
+        items_per_task = min(self.config.items_per_task, len(self._candidate_ids))
+        if self._partition is not None:
+            ambiguous_ids, complement_ids = self._partition
+            return PrioritizedAssigner(
+                ambiguous_ids,
+                complement_ids,
+                items_per_task=items_per_task,
+                epsilon=self.config.epsilon,
+                seed=self._assignment_rng,
+            )
+        return UniformRandomAssigner(
+            self._candidate_ids,
+            items_per_task=items_per_task,
+            seed=self._assignment_rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _worker_for_task(self, task_index: int) -> Worker:
+        if task_index % self.config.tasks_per_worker == 0 or len(self._pool) == 0:
+            return self._pool.new_worker()
+        return self._pool.get(len(self._pool) - 1)
+
+    def _item_ids_for_matrix(self) -> List[int]:
+        if self._partition is not None:
+            ambiguous_ids, complement_ids = self._partition
+            ordered = list(ambiguous_ids) + [
+                item for item in complement_ids if item not in set(ambiguous_ids)
+            ]
+            return ordered
+        return list(self._candidate_ids)
+
+    def run(self, num_tasks: Optional[int] = None) -> CrowdSimulation:
+        """Run the simulation for ``num_tasks`` tasks (default: config value).
+
+        Returns
+        -------
+        CrowdSimulation
+        """
+        num_tasks = self.config.num_tasks if num_tasks is None else int(num_tasks)
+        check_int(num_tasks, "num_tasks", minimum=0)
+
+        item_ids = self._item_ids_for_matrix()
+        matrix = ResponseMatrix(item_ids)
+        tasks: List[Task] = []
+        for task_index in range(num_tasks):
+            task = self._assigner.next_task()
+            worker = self._worker_for_task(task_index)
+            votes = {
+                item_id: worker.vote(self.dataset.is_dirty(item_id), self._vote_rng)
+                for item_id in task.item_ids
+            }
+            matrix.add_column(votes, worker.worker_id)
+            tasks.append(task)
+
+        ground_truth = {item: int(self.dataset.is_dirty(item)) for item in item_ids}
+        return CrowdSimulation(
+            matrix=matrix,
+            tasks=tasks,
+            ground_truth=ground_truth,
+            config=self.config,
+        )
+
+    def stream(self, num_tasks: Optional[int] = None) -> Iterator[CrowdSimulation]:
+        """Yield the growing simulation after every task.
+
+        Convenient for estimators that want to observe the matrix as it
+        grows; the same :class:`ResponseMatrix` instance is reused, so
+        consumers must not mutate it.
+        """
+        num_tasks = self.config.num_tasks if num_tasks is None else int(num_tasks)
+        check_int(num_tasks, "num_tasks", minimum=0)
+
+        item_ids = self._item_ids_for_matrix()
+        matrix = ResponseMatrix(item_ids)
+        tasks: List[Task] = []
+        ground_truth = {item: int(self.dataset.is_dirty(item)) for item in item_ids}
+        for task_index in range(num_tasks):
+            task = self._assigner.next_task()
+            worker = self._worker_for_task(task_index)
+            votes = {
+                item_id: worker.vote(self.dataset.is_dirty(item_id), self._vote_rng)
+                for item_id in task.item_ids
+            }
+            matrix.add_column(votes, worker.worker_id)
+            tasks.append(task)
+            yield CrowdSimulation(
+                matrix=matrix,
+                tasks=list(tasks),
+                ground_truth=ground_truth,
+                config=self.config,
+            )
+
+
+def simulate_fixed_quorum(
+    dataset: Dataset,
+    *,
+    sample_ids: Sequence[int],
+    quorum: int = 3,
+    items_per_task: int = 10,
+    worker_profile: Optional[WorkerProfile] = None,
+    seed: RandomState = None,
+) -> CrowdSimulation:
+    """Simulate the conventional fixed-quorum cleaning of a sample.
+
+    This is the regime the paper's Sample-Clean-Minimum (SCM) reference
+    assumes: every item of a sample is reviewed by exactly ``quorum``
+    workers.  Returned in the same :class:`CrowdSimulation` form so the
+    descriptive estimators can be applied to it for cost comparisons.
+    """
+    profile = worker_profile or WorkerProfile.perfect()
+    rng = ensure_rng(seed)
+    assigner = FixedQuorumAssigner(
+        sample_ids,
+        quorum=quorum,
+        items_per_task=items_per_task,
+        seed=derive_rng(rng, 1),
+    )
+    vote_rng = derive_rng(rng, 2)
+    pool = WorkerPool(profile, seed=derive_rng(rng, 3))
+    matrix = ResponseMatrix(list(sample_ids))
+    tasks = assigner.tasks()
+    for task in tasks:
+        worker = pool.new_worker()
+        votes = {
+            item_id: worker.vote(dataset.is_dirty(item_id), vote_rng)
+            for item_id in task.item_ids
+        }
+        matrix.add_column(votes, worker.worker_id)
+    ground_truth = {item: int(dataset.is_dirty(item)) for item in sample_ids}
+    config = SimulationConfig(
+        num_tasks=len(tasks),
+        items_per_task=items_per_task,
+        worker_profile=profile,
+        seed=None,
+    )
+    return CrowdSimulation(matrix=matrix, tasks=tasks, ground_truth=ground_truth, config=config)

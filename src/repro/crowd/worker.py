@@ -1,0 +1,206 @@
+"""Parametric worker models.
+
+The paper's simulation study distinguishes three worker types: workers who
+only make false-negative errors (miss true errors), workers who only make
+false-positive errors (flag clean items), and workers who make both.  Real
+crowds mix all three.  :class:`WorkerProfile` captures the two error rates,
+:class:`Worker` applies them to gold labels, and :class:`WorkerPool` draws
+workers from a configurable population (optionally with per-worker rate
+variation, modelling the heterogeneous AMT workforce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.labels import CLEAN, DIRTY
+from repro.common.rng import RandomState, ensure_rng
+from repro.common.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """Error-rate profile of a worker (or a worker population).
+
+    Parameters
+    ----------
+    false_negative_rate:
+        Probability that the worker labels a truly dirty item as clean
+        (misses an error).  ``1 - false_negative_rate`` is the paper's
+        "error detection rate".
+    false_positive_rate:
+        Probability that the worker labels a truly clean item as dirty.
+    """
+
+    false_negative_rate: float = 0.1
+    false_positive_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.false_negative_rate, "false_negative_rate")
+        check_probability(self.false_positive_rate, "false_positive_rate")
+
+    @property
+    def detection_rate(self) -> float:
+        """Probability of correctly flagging a dirty item."""
+        return 1.0 - self.false_negative_rate
+
+    @property
+    def specificity(self) -> float:
+        """Probability of correctly passing a clean item."""
+        return 1.0 - self.false_positive_rate
+
+    @classmethod
+    def false_negative_only(cls, rate: float) -> "WorkerProfile":
+        """Profile for the paper's "false negative errors only" worker type."""
+        return cls(false_negative_rate=rate, false_positive_rate=0.0)
+
+    @classmethod
+    def false_positive_only(cls, rate: float) -> "WorkerProfile":
+        """Profile for the paper's "false positive errors only" worker type."""
+        return cls(false_negative_rate=0.0, false_positive_rate=rate)
+
+    @classmethod
+    def from_precision(cls, precision: float) -> "WorkerProfile":
+        """Profile with symmetric error rates ``1 - precision`` on both classes.
+
+        Figure 6(a) of the paper sweeps "worker quality (precision)"; this
+        constructor reproduces that knob: a precision of 0.9 means the
+        worker answers correctly with probability 0.9 regardless of the true
+        label.
+        """
+        check_probability(precision, "precision")
+        return cls(false_negative_rate=1.0 - precision, false_positive_rate=1.0 - precision)
+
+    @classmethod
+    def perfect(cls) -> "WorkerProfile":
+        """An infallible worker (oracle)."""
+        return cls(false_negative_rate=0.0, false_positive_rate=0.0)
+
+
+@dataclass
+class Worker:
+    """A single crowd worker.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identifier.
+    profile:
+        The worker's error rates.
+    """
+
+    worker_id: int
+    profile: WorkerProfile
+
+    def vote(self, truly_dirty: bool, rng: RandomState = None) -> int:
+        """Produce a vote for one item given its gold label.
+
+        Parameters
+        ----------
+        truly_dirty:
+            Whether the item is erroneous according to the gold standard.
+        rng:
+            Seed or generator.
+
+        Returns
+        -------
+        int
+            :data:`~repro.common.labels.DIRTY` or
+            :data:`~repro.common.labels.CLEAN`.
+        """
+        rng = ensure_rng(rng)
+        if truly_dirty:
+            return CLEAN if rng.random() < self.profile.false_negative_rate else DIRTY
+        return DIRTY if rng.random() < self.profile.false_positive_rate else CLEAN
+
+    def vote_batch(self, truly_dirty: Sequence[bool], rng: RandomState = None) -> List[int]:
+        """Vectorised :meth:`vote` over a sequence of gold labels."""
+        rng = ensure_rng(rng)
+        dirty = np.asarray(truly_dirty, dtype=bool)
+        draws = rng.random(dirty.shape[0])
+        votes = np.where(
+            dirty,
+            np.where(draws < self.profile.false_negative_rate, CLEAN, DIRTY),
+            np.where(draws < self.profile.false_positive_rate, DIRTY, CLEAN),
+        )
+        return [int(v) for v in votes]
+
+
+class WorkerPool:
+    """A population of workers drawn on demand.
+
+    The paper models workers as draws from a single infinite population with
+    some noise around the population error rates.  ``rate_jitter`` controls
+    that per-worker variation: each new worker's rates are drawn from a
+    truncated normal centred on the pool profile.
+
+    Parameters
+    ----------
+    profile:
+        Population-level error rates.
+    rate_jitter:
+        Standard deviation of the per-worker rate perturbation (0 disables
+        heterogeneity).
+    seed:
+        Seed or generator for worker-creation randomness.
+    """
+
+    def __init__(
+        self,
+        profile: WorkerProfile,
+        *,
+        rate_jitter: float = 0.0,
+        seed: RandomState = None,
+    ) -> None:
+        check_non_negative(rate_jitter, "rate_jitter")
+        self.profile = profile
+        self.rate_jitter = float(rate_jitter)
+        self._rng = ensure_rng(seed)
+        self._workers: List[Worker] = []
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> List[Worker]:
+        """Workers created so far."""
+        return list(self._workers)
+
+    def _jittered_rate(self, rate: float) -> float:
+        if self.rate_jitter == 0.0:
+            return rate
+        perturbed = rate + float(self._rng.normal(0.0, self.rate_jitter))
+        return float(min(1.0, max(0.0, perturbed)))
+
+    def new_worker(self) -> Worker:
+        """Create (and remember) a fresh worker from the population."""
+        profile = WorkerProfile(
+            false_negative_rate=self._jittered_rate(self.profile.false_negative_rate),
+            false_positive_rate=self._jittered_rate(self.profile.false_positive_rate),
+        )
+        worker = Worker(worker_id=len(self._workers), profile=profile)
+        self._workers.append(worker)
+        return worker
+
+    def get(self, worker_id: int) -> Worker:
+        """Return a previously created worker by id."""
+        return self._workers[worker_id]
+
+    def observed_rates(self) -> Dict[str, float]:
+        """Average realised error rates of the created workers (for reports)."""
+        if not self._workers:
+            return {
+                "false_negative_rate": self.profile.false_negative_rate,
+                "false_positive_rate": self.profile.false_positive_rate,
+            }
+        return {
+            "false_negative_rate": float(
+                np.mean([w.profile.false_negative_rate for w in self._workers])
+            ),
+            "false_positive_rate": float(
+                np.mean([w.profile.false_positive_rate for w in self._workers])
+            ),
+        }

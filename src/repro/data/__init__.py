@@ -1,0 +1,67 @@
+"""Dataset substrate: records, gold standards and synthetic generators.
+
+The estimators in :mod:`repro.core` only ever see worker votes, but the
+experiments need realistic datasets to vote *about*.  This package provides
+
+* :class:`~repro.data.record.Record` / :class:`~repro.data.record.Dataset`
+  — the record-level abstraction with gold-standard error labels,
+* :class:`~repro.data.pairs.PairDataset` — the pair-level abstraction used
+  for entity resolution (records are *pairs* of base records and "dirty"
+  means "duplicate"),
+* synthetic generators reproducing the three evaluation datasets of the
+  paper at matching cardinalities:
+
+  ==========  =========================================  =====================
+  generator   paper dataset                              key cardinalities
+  ==========  =========================================  =====================
+  restaurant  Fodors/Zagat restaurant de-duplication     858 records, 106
+                                                         duplicate pairs, 1264
+                                                         candidate pairs / 12
+                                                         true duplicates
+  product     Amazon x Google product matching           2336 x 1363 records,
+                                                         13022 candidate pairs
+                                                         / 607 true duplicates
+  address     Portland, OR registered home addresses     1000 records, 90
+                                                         malformed entries
+  ==========  =========================================  =====================
+
+* :mod:`~repro.data.corruption` — reusable string/record perturbation
+  primitives used by the generators to create realistic duplicates and
+  malformed entries.
+"""
+
+from repro.data.address import AddressDatasetConfig, generate_address_dataset
+from repro.data.corruption import (
+    drop_field,
+    introduce_typos,
+    perturb_numeric,
+    swap_fields,
+    abbreviate_tokens,
+    shuffle_tokens,
+)
+from repro.data.pairs import CandidatePair, PairDataset
+from repro.data.product import ProductDatasetConfig, generate_product_dataset
+from repro.data.record import Dataset, Record
+from repro.data.restaurant import RestaurantDatasetConfig, generate_restaurant_dataset
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+__all__ = [
+    "Record",
+    "Dataset",
+    "CandidatePair",
+    "PairDataset",
+    "RestaurantDatasetConfig",
+    "generate_restaurant_dataset",
+    "ProductDatasetConfig",
+    "generate_product_dataset",
+    "AddressDatasetConfig",
+    "generate_address_dataset",
+    "SyntheticPairConfig",
+    "generate_synthetic_pairs",
+    "introduce_typos",
+    "abbreviate_tokens",
+    "shuffle_tokens",
+    "drop_field",
+    "swap_fields",
+    "perturb_numeric",
+]

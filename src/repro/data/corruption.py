@@ -1,0 +1,219 @@
+"""String and record perturbation primitives used by the dataset generators.
+
+The synthetic datasets need realistic *near*-duplicates (for the restaurant
+and product generators) and realistic format errors (for the address
+generator).  The functions here implement the individual perturbations; the
+generators compose them.
+
+All functions take the random generator explicitly so the generators stay
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.common.rng import RandomState, ensure_rng
+from repro.common.validation import check_probability
+
+_ALPHABET = string.ascii_lowercase
+
+#: Common token abbreviations applied by :func:`abbreviate_tokens`.
+DEFAULT_ABBREVIATIONS: Dict[str, str] = {
+    "street": "st",
+    "avenue": "ave",
+    "boulevard": "blvd",
+    "road": "rd",
+    "drive": "dr",
+    "suite": "ste",
+    "apartment": "apt",
+    "north": "n",
+    "south": "s",
+    "east": "e",
+    "west": "w",
+    "restaurant": "rest",
+    "cafe": "cafe",
+    "and": "&",
+    "corporation": "corp",
+    "incorporated": "inc",
+    "company": "co",
+    "edition": "ed",
+    "professional": "pro",
+    "deluxe": "dlx",
+    "version": "v",
+}
+
+
+def introduce_typos(
+    text: str,
+    rng: RandomState = None,
+    *,
+    rate: float = 0.05,
+    max_typos: Optional[int] = None,
+) -> str:
+    """Introduce character-level typos into ``text``.
+
+    Each typo is one of: substitution, deletion, insertion, or adjacent
+    transposition, chosen uniformly.  The expected number of typos is
+    ``rate * len(text)`` capped at ``max_typos``.
+
+    Parameters
+    ----------
+    text:
+        Input string.
+    rng:
+        Seed or generator.
+    rate:
+        Per-character probability of being the site of a typo.
+    max_typos:
+        Optional hard cap on the number of typos applied.
+    """
+    rng = ensure_rng(rng)
+    check_probability(rate, "rate")
+    if not text:
+        return text
+    chars = list(text)
+    n_typos = int(rng.binomial(len(chars), rate))
+    if max_typos is not None:
+        n_typos = min(n_typos, int(max_typos))
+    for _ in range(n_typos):
+        if not chars:
+            break
+        pos = int(rng.integers(0, len(chars)))
+        kind = int(rng.integers(0, 4))
+        if kind == 0:  # substitution
+            chars[pos] = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+        elif kind == 1:  # deletion
+            del chars[pos]
+        elif kind == 2:  # insertion
+            chars.insert(pos, _ALPHABET[int(rng.integers(0, len(_ALPHABET)))])
+        else:  # transposition with the next character
+            if pos + 1 < len(chars):
+                chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+    return "".join(chars)
+
+
+def abbreviate_tokens(
+    text: str,
+    rng: RandomState = None,
+    *,
+    probability: float = 0.5,
+    abbreviations: Optional[Dict[str, str]] = None,
+) -> str:
+    """Replace well-known tokens with their abbreviations.
+
+    ``"ritz carlton cafe buckhead street"`` may become
+    ``"ritz carlton cafe buckhead st"``.  Each abbreviable token is replaced
+    independently with ``probability``.
+    """
+    rng = ensure_rng(rng)
+    check_probability(probability, "probability")
+    table = DEFAULT_ABBREVIATIONS if abbreviations is None else abbreviations
+    tokens = text.split()
+    out = []
+    for token in tokens:
+        key = token.lower().strip(",.")
+        if key in table and rng.random() < probability:
+            out.append(table[key])
+        else:
+            out.append(token)
+    return " ".join(out)
+
+
+def shuffle_tokens(text: str, rng: RandomState = None, *, max_moves: int = 2) -> str:
+    """Reorder tokens, e.g. ``"cafe ritz-carlton buckhead"`` for
+    ``"ritz-carlton cafe buckhead"``.
+
+    Performs up to ``max_moves`` random adjacent-block rotations, which keeps
+    the result recognisably similar to the original (the generators rely on
+    the perturbed string still clearing the candidate-similarity band).
+    """
+    rng = ensure_rng(rng)
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    moves = int(rng.integers(1, max_moves + 1))
+    for _ in range(moves):
+        i = int(rng.integers(0, len(tokens) - 1))
+        tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+    return " ".join(tokens)
+
+
+def drop_field(
+    fields: Dict[str, object],
+    rng: RandomState = None,
+    *,
+    candidates: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Return a copy of ``fields`` with one field blanked out (missing value).
+
+    Parameters
+    ----------
+    fields:
+        Record fields.
+    rng:
+        Seed or generator.
+    candidates:
+        Field names eligible for dropping; defaults to every field.
+    """
+    rng = ensure_rng(rng)
+    names = list(candidates) if candidates else list(fields)
+    if not names:
+        return dict(fields)
+    victim = names[int(rng.integers(0, len(names)))]
+    out = dict(fields)
+    out[victim] = ""
+    return out
+
+
+def swap_fields(
+    fields: Dict[str, object],
+    first: str,
+    second: str,
+) -> Dict[str, object]:
+    """Return a copy of ``fields`` with the values of two fields swapped."""
+    out = dict(fields)
+    out[first], out[second] = out.get(second), out.get(first)
+    return out
+
+
+def perturb_numeric(
+    value: float,
+    rng: RandomState = None,
+    *,
+    relative: float = 0.1,
+    minimum: float = 0.0,
+) -> float:
+    """Perturb a numeric value multiplicatively by up to ``relative``.
+
+    Used to vary product prices between the Amazon and Google copies of the
+    same product.
+    """
+    rng = ensure_rng(rng)
+    factor = 1.0 + float(rng.uniform(-relative, relative))
+    return max(minimum, float(value) * factor)
+
+
+def corrupt_zip(zip_code: str, rng: RandomState = None) -> str:
+    """Corrupt a 5-digit zip code (wrong digit, truncated, or letters)."""
+    rng = ensure_rng(rng)
+    kind = int(rng.integers(0, 3))
+    if kind == 0 and len(zip_code) >= 1:  # wrong digit
+        pos = int(rng.integers(0, len(zip_code)))
+        digit = str(int(rng.integers(0, 10)))
+        return zip_code[:pos] + digit + zip_code[pos + 1 :]
+    if kind == 1:  # truncated
+        return zip_code[: max(1, len(zip_code) - int(rng.integers(1, 3)))]
+    # letters smuggled in
+    pos = int(rng.integers(0, max(1, len(zip_code))))
+    letter = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+    return zip_code[:pos] + letter + zip_code[pos + 1 :]
+
+
+def misspell_city(city: str, rng: RandomState = None) -> str:
+    """Misspell a city/state name with one or two character typos."""
+    rng = ensure_rng(rng)
+    return introduce_typos(city, rng, rate=0.25, max_typos=2) or city

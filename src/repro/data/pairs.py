@@ -1,0 +1,269 @@
+"""Pair-level datasets for entity resolution.
+
+For entity resolution the paper defines ``R = Q x Q``: the records to be
+cleaned are *pairs* of base records, a pair is "dirty" when the two base
+records refer to the same real-world entity, and commutative / transitive
+duplicates are removed so each duplicate relationship is counted once.
+
+:class:`PairDataset` captures exactly that view while keeping a pointer to
+the base :class:`~repro.data.record.Dataset` so similarity heuristics can
+look at the underlying field values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.exceptions import ValidationError
+from repro.data.record import Dataset, Record
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """A single candidate pair of base records.
+
+    Parameters
+    ----------
+    pair_id:
+        Stable integer identifier of the pair within its
+        :class:`PairDataset`.
+    left_id / right_id:
+        Record ids of the two base records, stored with ``left_id <
+        right_id`` so that the pair is orientation-free.
+    similarity:
+        Optional similarity score attached by the heuristic that produced
+        the pair (``H(r)`` in the paper).
+    """
+
+    pair_id: int
+    left_id: int
+    right_id: int
+    similarity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.left_id == self.right_id:
+            raise ValidationError("a candidate pair must join two distinct records")
+        if self.left_id > self.right_id:
+            left, right = self.right_id, self.left_id
+            object.__setattr__(self, "left_id", left)
+            object.__setattr__(self, "right_id", right)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Canonical (left, right) tuple identifying the pair."""
+        return (self.left_id, self.right_id)
+
+    def with_similarity(self, similarity: float) -> "CandidatePair":
+        """Return a copy of the pair carrying ``similarity``."""
+        return CandidatePair(self.pair_id, self.left_id, self.right_id, float(similarity))
+
+
+def canonical_pair_key(a: int, b: int) -> Tuple[int, int]:
+    """Return the canonical ordering of a pair of record ids."""
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class PairDataset:
+    """A set of candidate pairs with duplicate gold labels.
+
+    This plays the role of ``R`` (or the prioritised subset ``R_H``) for
+    entity-resolution experiments: the "records" the crowd votes on are the
+    pairs, and a pair is *dirty* when its two base records are duplicates.
+
+    Parameters
+    ----------
+    base:
+        The base record dataset the pairs are drawn from.
+    pairs:
+        The candidate pairs, in stable order.
+    duplicate_keys:
+        Canonical ``(left_id, right_id)`` keys of the truly duplicate pairs
+        **within this candidate set** (the gold standard).
+    name:
+        Human-readable name used in reports.
+    total_duplicates:
+        The number of duplicate pairs in the *full* cross product, which may
+        exceed the number within this candidate set when the heuristic that
+        produced the candidates has false negatives.  Defaults to
+        ``len(duplicate_keys)``.
+    """
+
+    base: Dataset
+    pairs: List[CandidatePair]
+    duplicate_keys: FrozenSet[Tuple[int, int]] = frozenset()
+    name: str = "pairs"
+    total_duplicates: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.pairs = list(self.pairs)
+        self.duplicate_keys = frozenset(canonical_pair_key(*k) for k in self.duplicate_keys)
+        pair_ids = [p.pair_id for p in self.pairs]
+        if len(set(pair_ids)) != len(pair_ids):
+            raise ValidationError(f"pair dataset {self.name!r} contains duplicate pair ids")
+        keys = [p.key for p in self.pairs]
+        if len(set(keys)) != len(keys):
+            raise ValidationError(f"pair dataset {self.name!r} contains repeated record pairs")
+        self._by_id = {p.pair_id: p for p in self.pairs}
+        self._key_set = set(keys)
+        if self.total_duplicates is None:
+            self.total_duplicates = len(self.duplicate_keys)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[CandidatePair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, pair_id: int) -> CandidatePair:
+        try:
+            return self._by_id[pair_id]
+        except KeyError:
+            raise KeyError(f"no pair with id {pair_id} in {self.name!r}") from None
+
+    @property
+    def pair_ids(self) -> List[int]:
+        """Pair ids in dataset order."""
+        return [p.pair_id for p in self.pairs]
+
+    @property
+    def num_duplicates(self) -> int:
+        """Number of truly duplicate pairs within the candidate set."""
+        return sum(1 for p in self.pairs if p.key in self.duplicate_keys)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of candidate pairs that are true duplicates."""
+        if not self.pairs:
+            return 0.0
+        return self.num_duplicates / len(self.pairs)
+
+    def is_duplicate(self, pair_id: int) -> bool:
+        """Return ``True`` if the gold standard marks the pair as a duplicate."""
+        return self._by_id[pair_id].key in self.duplicate_keys
+
+    def contains_key(self, a: int, b: int) -> bool:
+        """Return ``True`` if the candidate set contains the pair ``(a, b)``."""
+        return canonical_pair_key(a, b) in self._key_set
+
+    def records_for(self, pair_id: int) -> Tuple[Record, Record]:
+        """Return the two base records joined by ``pair_id``."""
+        pair = self._by_id[pair_id]
+        return self.base[pair.left_id], self.base[pair.right_id]
+
+    def ground_truth_vector(self) -> List[int]:
+        """Return the 0/1 duplicate labels aligned with :attr:`pairs`."""
+        return [1 if p.key in self.duplicate_keys else 0 for p in self.pairs]
+
+    def as_item_dataset(self) -> Dataset:
+        """View the pairs as a flat :class:`~repro.data.record.Dataset`.
+
+        Every pair becomes a record whose fields are the rendered text of
+        its two sides; the gold standard marks duplicate pairs as dirty.
+        The crowd simulator and the estimators operate on this flat view so
+        the same code paths serve both record-level and pair-level errors.
+        """
+        records = []
+        dirty: List[int] = []
+        for pair in self.pairs:
+            left, right = self.records_for(pair.pair_id)
+            records.append(
+                Record(
+                    record_id=pair.pair_id,
+                    fields={
+                        "left": left.text(),
+                        "right": right.text(),
+                        "similarity": pair.similarity,
+                    },
+                )
+            )
+            if pair.key in self.duplicate_keys:
+                dirty.append(pair.pair_id)
+        return Dataset(
+            records=records,
+            dirty_ids=frozenset(dirty),
+            name=f"{self.name}-items",
+            metadata={"kind": "pairs", **self.metadata},
+        )
+
+    def subset(self, pair_ids: Iterable[int], *, name: Optional[str] = None) -> "PairDataset":
+        """Return a new :class:`PairDataset` restricted to ``pair_ids``."""
+        keep = set(pair_ids)
+        pairs = [p for p in self.pairs if p.pair_id in keep]
+        keys = {p.key for p in pairs}
+        return PairDataset(
+            base=self.base,
+            pairs=pairs,
+            duplicate_keys=self.duplicate_keys & keys,
+            name=name or f"{self.name}-subset",
+            total_duplicates=None,
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Return a small dictionary describing the pair dataset."""
+        return {
+            "name": self.name,
+            "num_pairs": len(self.pairs),
+            "num_duplicates": self.num_duplicates,
+            "total_duplicates": self.total_duplicates,
+            "error_rate": self.error_rate,
+            "num_base_records": len(self.base),
+        }
+
+
+def enumerate_all_pairs(
+    dataset: Dataset,
+    *,
+    cross_source: Optional[Tuple[str, str]] = None,
+) -> Iterator[Tuple[int, int]]:
+    """Yield every candidate pair key from ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        Base record dataset.
+    cross_source:
+        When given, only pairs joining a record from the first source with a
+        record from the second source are yielded (the product dataset pairs
+        Amazon records with Google records only).  When ``None`` every
+        unordered pair of distinct records is yielded
+        (``N * (N - 1) / 2`` keys).
+    """
+    if cross_source is None:
+        ids = dataset.record_ids
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                yield canonical_pair_key(a, b)
+    else:
+        left_source, right_source = cross_source
+        left_ids = [r.record_id for r in dataset.records if r.source == left_source]
+        right_ids = [r.record_id for r in dataset.records if r.source == right_source]
+        for a in left_ids:
+            for b in right_ids:
+                yield canonical_pair_key(a, b)
+
+
+def duplicate_keys_from_entities(dataset: Dataset) -> FrozenSet[Tuple[int, int]]:
+    """Derive duplicate pair keys from shared ``entity_id`` values.
+
+    Records sharing an ``entity_id`` are duplicates of each other.  Pairs
+    are returned in canonical orientation with commutative duplicates
+    removed; transitive closure within an entity cluster is expanded into
+    all pairwise keys (a cluster of three records yields three keys), which
+    matches the paper's definition of ``R_dirty`` for entity resolution.
+    """
+    clusters: Dict[int, List[int]] = {}
+    for record in dataset.records:
+        if record.entity_id is None:
+            continue
+        clusters.setdefault(record.entity_id, []).append(record.record_id)
+    keys = set()
+    for members in clusters.values():
+        members = sorted(members)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                keys.add(canonical_pair_key(a, b))
+    return frozenset(keys)

@@ -1,0 +1,202 @@
+"""Record and dataset abstractions with gold-standard bookkeeping.
+
+A :class:`Record` is an immutable bag of named fields plus a stable integer
+identifier.  A :class:`Dataset` is an ordered collection of records with an
+optional *gold standard*: the set of record ids that are truly erroneous
+(``R_dirty`` in the paper).  The gold standard is only used by experiment
+harnesses to score estimators — the estimators themselves never see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.common.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single data record.
+
+    Parameters
+    ----------
+    record_id:
+        Stable, dataset-unique integer identifier.
+    fields:
+        Mapping from field name to value.  Values are typically strings but
+        any hashable value is accepted.
+    source:
+        Optional provenance tag (e.g. ``"amazon"`` or ``"google"`` for the
+        product dataset).
+    entity_id:
+        Optional identifier of the real-world entity the record describes.
+        Two records with the same ``entity_id`` are duplicates of each
+        other; ``None`` means the entity is unknown/unique.
+    """
+
+    record_id: int
+    fields: Mapping[str, object]
+    source: Optional[str] = None
+    entity_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", dict(self.fields))
+
+    def get(self, name: str, default: object = None) -> object:
+        """Return the value of field ``name`` or ``default`` if absent."""
+        return self.fields.get(name, default)
+
+    def __getitem__(self, name: str) -> object:
+        return self.fields[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def text(self, field_names: Optional[Sequence[str]] = None, *, separator: str = " ") -> str:
+        """Render the record as a single normalised text string.
+
+        Used by the similarity functions in :mod:`repro.er.similarity`.
+
+        Parameters
+        ----------
+        field_names:
+            Fields to include, in order.  Defaults to every field in
+            insertion order.
+        separator:
+            String inserted between field values.
+        """
+        names = list(field_names) if field_names is not None else list(self.fields)
+        parts = []
+        for name in names:
+            value = self.fields.get(name)
+            if value is None:
+                continue
+            parts.append(str(value))
+        return separator.join(parts).strip().lower()
+
+    def replace(self, **updates: object) -> "Record":
+        """Return a copy of this record with the given fields replaced."""
+        new_fields = dict(self.fields)
+        new_fields.update(updates)
+        return Record(
+            record_id=self.record_id,
+            fields=new_fields,
+            source=self.source,
+            entity_id=self.entity_id,
+        )
+
+
+@dataclass
+class Dataset:
+    """An ordered collection of :class:`Record` objects with a gold standard.
+
+    Parameters
+    ----------
+    records:
+        The records, in a stable order.
+    dirty_ids:
+        Record ids that are truly erroneous (the gold standard ``R_dirty``).
+        May be empty for datasets without ground truth.
+    name:
+        Human-readable dataset name used in reports.
+    metadata:
+        Free-form extra information (generator configuration, counts, ...).
+    """
+
+    records: List[Record]
+    dirty_ids: FrozenSet[int] = frozenset()
+    name: str = "dataset"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.records = list(self.records)
+        self.dirty_ids = frozenset(self.dirty_ids)
+        ids = [r.record_id for r in self.records]
+        if len(set(ids)) != len(ids):
+            raise ValidationError(f"dataset {self.name!r} contains duplicate record ids")
+        known = set(ids)
+        unknown = self.dirty_ids - known
+        if unknown:
+            raise ValidationError(
+                f"dirty_ids reference unknown record ids: {sorted(unknown)[:5]}"
+            )
+        self._by_id = {r.record_id: r for r in self.records}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, record_id: int) -> Record:
+        try:
+            return self._by_id[record_id]
+        except KeyError:
+            raise KeyError(f"no record with id {record_id} in dataset {self.name!r}") from None
+
+    @property
+    def record_ids(self) -> List[int]:
+        """The record ids, in dataset order."""
+        return [r.record_id for r in self.records]
+
+    @property
+    def num_dirty(self) -> int:
+        """``|R_dirty|`` — the true number of erroneous records."""
+        return len(self.dirty_ids)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of records that are truly erroneous."""
+        if not self.records:
+            return 0.0
+        return self.num_dirty / len(self.records)
+
+    def is_dirty(self, record_id: int) -> bool:
+        """Return ``True`` if the gold standard marks ``record_id`` as erroneous."""
+        return record_id in self.dirty_ids
+
+    def ground_truth_vector(self) -> List[int]:
+        """Return the ground-truth vector ``E`` aligned with :attr:`records`.
+
+        Entry ``i`` is 1 when record ``i`` is dirty and 0 otherwise.  This is
+        the vector the switch-estimation problem (Problem 2 in the paper)
+        measures consensus against.
+        """
+        return [1 if r.record_id in self.dirty_ids else 0 for r in self.records]
+
+    def subset(self, record_ids: Iterable[int], *, name: Optional[str] = None) -> "Dataset":
+        """Return a new :class:`Dataset` restricted to ``record_ids``.
+
+        The relative order of records is preserved and the gold standard is
+        filtered accordingly.
+        """
+        keep = set(record_ids)
+        records = [r for r in self.records if r.record_id in keep]
+        dirty = {rid for rid in self.dirty_ids if rid in keep}
+        return Dataset(
+            records=records,
+            dirty_ids=dirty,
+            name=name or f"{self.name}-subset",
+            metadata=dict(self.metadata),
+        )
+
+    def by_source(self, source: str) -> "Dataset":
+        """Return the subset of records whose provenance matches ``source``."""
+        records = [r for r in self.records if r.source == source]
+        keep = {r.record_id for r in records}
+        return Dataset(
+            records=records,
+            dirty_ids=self.dirty_ids & keep,
+            name=f"{self.name}-{source}",
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Return a small dictionary describing the dataset (for reports)."""
+        return {
+            "name": self.name,
+            "num_records": len(self.records),
+            "num_dirty": self.num_dirty,
+            "error_rate": self.error_rate,
+        }

@@ -1,0 +1,108 @@
+"""Vocabularies used by the synthetic dataset generators.
+
+The generators build record field values by composing tokens from these
+lists.  The lists are intentionally plain data (no randomness) so that the
+generators remain fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+#: First components of restaurant names.
+RESTAURANT_NAME_HEADS = [
+    "golden", "silver", "blue", "red", "green", "royal", "grand", "little",
+    "old", "new", "happy", "lucky", "sunny", "corner", "downtown", "uptown",
+    "riverside", "lakeside", "harbor", "garden", "village", "union", "liberty",
+    "central", "pacific", "atlantic", "metro", "urban", "rustic", "copper",
+]
+
+#: Second components of restaurant names.
+RESTAURANT_NAME_CORES = [
+    "dragon", "lotus", "olive", "basil", "pepper", "saffron", "truffle",
+    "lantern", "anchor", "bistro", "grill", "kitchen", "table", "spoon",
+    "fork", "plate", "oven", "hearth", "terrace", "courtyard", "tavern",
+    "cantina", "trattoria", "brasserie", "diner", "deli", "noodle", "dumpling",
+    "taqueria", "smokehouse",
+]
+
+#: Name suffixes for restaurants.
+RESTAURANT_NAME_TAILS = [
+    "cafe", "restaurant", "house", "bar", "room", "club", "express", "corner",
+    "place", "spot", "joint", "lounge", "garden", "palace", "works", "company",
+]
+
+#: Cuisine categories.
+RESTAURANT_CATEGORIES = [
+    "american", "italian", "french", "chinese", "japanese", "thai", "mexican",
+    "indian", "mediterranean", "seafood", "steakhouse", "bbq", "vegan",
+    "fusion", "continental", "delicatessen", "bakery", "pizzeria",
+]
+
+#: US cities with their state and a zip-code prefix used for consistency.
+US_CITIES = [
+    ("portland", "or", "972"),
+    ("seattle", "wa", "981"),
+    ("san francisco", "ca", "941"),
+    ("los angeles", "ca", "900"),
+    ("new york", "ny", "100"),
+    ("boston", "ma", "021"),
+    ("chicago", "il", "606"),
+    ("austin", "tx", "787"),
+    ("denver", "co", "802"),
+    ("atlanta", "ga", "303"),
+    ("miami", "fl", "331"),
+    ("philadelphia", "pa", "191"),
+    ("phoenix", "az", "850"),
+    ("minneapolis", "mn", "554"),
+    ("nashville", "tn", "372"),
+    ("providence", "ri", "029"),
+]
+
+#: Street names used by the address generator.
+STREET_NAMES = [
+    "oak", "maple", "pine", "cedar", "elm", "birch", "walnut", "chestnut",
+    "spruce", "willow", "magnolia", "juniper", "aspen", "laurel", "hawthorne",
+    "division", "burnside", "belmont", "alberta", "mississippi", "fremont",
+    "killingsworth", "stark", "morrison", "salmon", "taylor", "yamhill",
+    "couch", "davis", "everett", "flanders", "glisan", "hoyt", "irving",
+    "johnson", "kearney", "lovejoy", "marshall", "northrup", "overton",
+    "pettygrove", "quimby", "raleigh", "savier", "thurman", "upshur",
+    "vaughn", "wilson", "york",
+]
+
+#: Street type suffixes.
+STREET_TYPES = ["street", "avenue", "boulevard", "road", "drive", "lane", "court", "place"]
+
+#: Compass prefixes used in Portland-style addresses.
+STREET_PREFIXES = ["n", "ne", "nw", "se", "sw", ""]
+
+#: Product brand names.
+PRODUCT_BRANDS = [
+    "acme", "globex", "initech", "umbrella", "stark", "wayne", "wonka",
+    "tyrell", "cyberdyne", "aperture", "blackmesa", "hooli", "pied piper",
+    "massive dynamic", "vandelay", "oceanic", "soylent", "virtucon",
+    "monarch", "zorg", "weyland", "nakatomi", "gringotts", "duff",
+]
+
+#: Product category nouns.
+PRODUCT_NOUNS = [
+    "office suite", "photo editor", "antivirus", "firewall", "backup utility",
+    "video converter", "audio workstation", "pdf toolkit", "disk manager",
+    "password vault", "screen recorder", "file sync", "media player",
+    "spreadsheet", "database studio", "web builder", "email client",
+    "project planner", "accounting suite", "tax preparer", "font pack",
+    "clipart library", "language tutor", "typing trainer", "encyclopedia",
+    "atlas", "recipe organizer", "genealogy kit", "astronomy atlas",
+    "chess trainer",
+]
+
+#: Product edition qualifiers.
+PRODUCT_EDITIONS = [
+    "standard", "professional", "deluxe", "premium", "home", "student",
+    "enterprise", "ultimate", "basic", "plus", "gold", "platinum",
+]
+
+#: Product vendors (distinct from brand to mirror the paper's schema).
+PRODUCT_VENDORS = [
+    "softco", "digibyte", "megasoft", "appworks", "codehaus", "bitforge",
+    "pixelpress", "cloudnine", "quantumsoft", "brightapps",
+]

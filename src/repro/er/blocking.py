@@ -1,0 +1,109 @@
+"""Blocking: cheaply shortlist candidate pairs before similarity scoring.
+
+Scoring the full cross product is quadratic (the paper notes 858 records
+already yield 367,653 pairs and the product catalogues yield millions).
+Blocking groups records by cheap keys (shared tokens, name prefixes) and
+only pairs records within a block, which is how real entity-resolution
+pipelines — including the CrowdER design the paper builds on — keep the
+candidate generation tractable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.data.pairs import canonical_pair_key
+from repro.data.record import Dataset, Record
+
+
+def _record_tokens(record: Record, fields: Optional[Iterable[str]]) -> Set[str]:
+    return {token for token in record.text(list(fields) if fields else None).split() if token}
+
+
+def block_by_tokens(
+    dataset: Dataset,
+    *,
+    fields: Optional[Iterable[str]] = None,
+    min_token_length: int = 3,
+    max_block_size: int = 500,
+) -> Dict[str, List[int]]:
+    """Group record ids by shared tokens.
+
+    Each token of at least ``min_token_length`` characters becomes a block
+    key; blocks that grow beyond ``max_block_size`` are discarded because
+    ubiquitous tokens ("the", "inc") produce quadratic blow-up without
+    adding discriminative power.
+
+    Returns
+    -------
+    dict
+        Mapping from token to the list of record ids containing it.
+    """
+    blocks: Dict[str, List[int]] = defaultdict(list)
+    for record in dataset:
+        for token in _record_tokens(record, fields):
+            if len(token) >= min_token_length:
+                blocks[token].append(record.record_id)
+    return {
+        token: ids
+        for token, ids in blocks.items()
+        if 2 <= len(ids) <= max_block_size
+    }
+
+
+def block_by_prefix(
+    dataset: Dataset,
+    *,
+    field: str = "name",
+    prefix_length: int = 4,
+) -> Dict[str, List[int]]:
+    """Group record ids by the prefix of one field (e.g. the name's first 4 chars)."""
+    blocks: Dict[str, List[int]] = defaultdict(list)
+    for record in dataset:
+        value = str(record.get(field, "") or "").strip().lower()
+        if not value:
+            continue
+        blocks[value[:prefix_length]].append(record.record_id)
+    return {key: ids for key, ids in blocks.items() if len(ids) >= 2}
+
+
+def candidate_keys_from_blocks(
+    blocks: Dict[str, List[int]],
+    *,
+    cross_source_only: Optional[Tuple[Dataset, str, str]] = None,
+) -> Set[Tuple[int, int]]:
+    """Expand blocks into a set of canonical candidate pair keys.
+
+    Parameters
+    ----------
+    blocks:
+        Output of :func:`block_by_tokens` or :func:`block_by_prefix`.
+    cross_source_only:
+        Optional ``(dataset, left_source, right_source)`` restriction: only
+        pairs joining a record of ``left_source`` with a record of
+        ``right_source`` are kept (used by the product dataset, which only
+        matches Amazon records against Google records).
+
+    Returns
+    -------
+    set of (int, int)
+        Canonical pair keys with commutative duplicates removed.
+    """
+    source_of = None
+    left_source = right_source = None
+    if cross_source_only is not None:
+        dataset, left_source, right_source = cross_source_only
+        source_of = {record.record_id: record.source for record in dataset}
+
+    keys: Set[Tuple[int, int]] = set()
+    for ids in blocks.values():
+        ids = sorted(set(ids))
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                if source_of is not None:
+                    sources = {source_of.get(a), source_of.get(b)}
+                    if sources != {left_source, right_source}:
+                        continue
+                keys.add(canonical_pair_key(a, b))
+    return keys

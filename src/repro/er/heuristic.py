@@ -1,0 +1,190 @@
+"""The prioritisation heuristic ``H(r)`` and its ambiguity band.
+
+Section 5 of the paper formalises prioritisation through a confidence
+function ``H : R -> R+`` and a band ``[alpha, beta]``:
+
+* records with ``H(r) > beta`` are *obvious errors* (likely matches) that
+  the algorithm resolves automatically,
+* records with ``H(r) < alpha`` are *obvious non-errors* (likely
+  non-matches),
+* the ambiguous middle band ``R_H = {r : alpha <= H(r) <= beta}`` is what
+  the crowd reviews.
+
+For entity resolution ``H`` is the pair similarity; the paper uses
+``(0.5, 0.9)`` for the restaurant dataset and ``(0.4, 0.7)`` for the
+product dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.validation import check_probability
+from repro.data.pairs import PairDataset
+from repro.data.record import Dataset
+
+
+@dataclass(frozen=True)
+class HeuristicBand:
+    """The ``[alpha, beta]`` ambiguity band of a prioritisation heuristic.
+
+    Parameters
+    ----------
+    alpha:
+        Lower threshold: items scoring below are treated as obvious
+        non-errors.
+    beta:
+        Upper threshold: items scoring above are treated as obvious errors.
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.alpha, "alpha")
+        check_probability(self.beta, "beta")
+        if self.alpha > self.beta:
+            raise ConfigurationError(
+                f"heuristic band requires alpha <= beta, got alpha={self.alpha}, beta={self.beta}"
+            )
+
+    def classify(self, score: float) -> str:
+        """Classify a confidence score as ``"ambiguous"``, ``"obvious_error"`` or ``"obvious_clean"``."""
+        if score > self.beta:
+            return "obvious_error"
+        if score < self.alpha:
+            return "obvious_clean"
+        return "ambiguous"
+
+    def contains(self, score: float) -> bool:
+        """Return ``True`` when ``score`` falls inside the ambiguity band."""
+        return self.alpha <= score <= self.beta
+
+
+#: Bands used by the paper's real-world experiments.
+RESTAURANT_BAND = HeuristicBand(alpha=0.5, beta=0.9)
+PRODUCT_BAND = HeuristicBand(alpha=0.4, beta=0.7)
+
+
+@dataclass
+class HeuristicPartition:
+    """The three-way partition produced by applying a heuristic band.
+
+    Attributes
+    ----------
+    ambiguous_ids:
+        Item ids in ``R_H`` (sent to the crowd).
+    obvious_error_ids:
+        Item ids the heuristic labels as errors without crowd review.
+    obvious_clean_ids:
+        Item ids the heuristic labels as clean without crowd review.
+    scores:
+        The raw ``H(r)`` score of every item.
+    """
+
+    ambiguous_ids: List[int]
+    obvious_error_ids: List[int]
+    obvious_clean_ids: List[int]
+    scores: Dict[int, float]
+
+    @property
+    def num_ambiguous(self) -> int:
+        """Size of ``R_H``."""
+        return len(self.ambiguous_ids)
+
+    def summary(self) -> Dict[str, int]:
+        """Return the partition sizes."""
+        return {
+            "ambiguous": len(self.ambiguous_ids),
+            "obvious_error": len(self.obvious_error_ids),
+            "obvious_clean": len(self.obvious_clean_ids),
+        }
+
+
+class SimilarityHeuristic:
+    """Confidence heuristic backed by a per-item score function.
+
+    Parameters
+    ----------
+    band:
+        The ``[alpha, beta]`` ambiguity band.
+    score_fn:
+        Function mapping an item id to its confidence score.  For pair
+        datasets the default reads the similarity stored on each pair.
+    """
+
+    def __init__(self, band: HeuristicBand, score_fn: Callable[[int], float]):
+        self.band = band
+        self._score_fn = score_fn
+
+    @classmethod
+    def from_pair_dataset(cls, pairs: PairDataset, band: HeuristicBand) -> "SimilarityHeuristic":
+        """Build a heuristic whose scores are the pairs' stored similarities."""
+
+        def score(pair_id: int) -> float:
+            similarity = pairs[pair_id].similarity
+            return float(similarity) if similarity is not None else 0.0
+
+        return cls(band, score)
+
+    def score(self, item_id: int) -> float:
+        """Return ``H(item_id)``."""
+        return float(self._score_fn(item_id))
+
+    def partition(self, item_ids) -> HeuristicPartition:
+        """Partition ``item_ids`` into ambiguous / obvious-error / obvious-clean."""
+        ambiguous: List[int] = []
+        errors: List[int] = []
+        clean: List[int] = []
+        scores: Dict[int, float] = {}
+        for item_id in item_ids:
+            score = self.score(item_id)
+            scores[item_id] = score
+            kind = self.band.classify(score)
+            if kind == "ambiguous":
+                ambiguous.append(item_id)
+            elif kind == "obvious_error":
+                errors.append(item_id)
+            else:
+                clean.append(item_id)
+        return HeuristicPartition(
+            ambiguous_ids=ambiguous,
+            obvious_error_ids=errors,
+            obvious_clean_ids=clean,
+            scores=scores,
+        )
+
+
+def partition_by_heuristic(
+    pairs: PairDataset,
+    band: HeuristicBand,
+) -> Tuple[PairDataset, HeuristicPartition]:
+    """Apply a similarity band to a pair dataset.
+
+    Returns
+    -------
+    (PairDataset, HeuristicPartition)
+        The candidate subset ``R_H`` as a new pair dataset (preserving gold
+        labels), together with the full partition so callers can inspect the
+        obvious-match side (needed by Equation 9 of the paper).
+    """
+    heuristic = SimilarityHeuristic.from_pair_dataset(pairs, band)
+    partition = heuristic.partition(pairs.pair_ids)
+    candidates = pairs.subset(partition.ambiguous_ids, name=f"{pairs.name}-candidates")
+    return candidates, partition
+
+
+def partition_dataset_by_scores(
+    dataset: Dataset,
+    scores: Dict[int, float],
+    band: HeuristicBand,
+) -> HeuristicPartition:
+    """Partition a record-level dataset given externally computed scores.
+
+    Convenience for non-pairwise error types (e.g. the address dataset) if a
+    caller wants to prioritise records by some malformedness score.
+    """
+    heuristic = SimilarityHeuristic(band, lambda item_id: scores.get(item_id, 0.0))
+    return heuristic.partition(dataset.record_ids)

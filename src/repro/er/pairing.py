@@ -1,0 +1,124 @@
+"""Build scored candidate-pair datasets with gold duplicate labels.
+
+This module ties the data substrate and the similarity functions together:
+given a base :class:`~repro.data.record.Dataset` whose records carry
+``entity_id`` values, it enumerates (or receives) candidate pair keys,
+scores them with a similarity measure, and packages the result as a
+:class:`~repro.data.pairs.PairDataset` whose gold standard is derived from
+the shared entity ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.pairs import (
+    CandidatePair,
+    PairDataset,
+    canonical_pair_key,
+    duplicate_keys_from_entities,
+    enumerate_all_pairs,
+)
+from repro.data.record import Dataset
+from repro.er.similarity import record_similarity
+
+
+def score_pairs(
+    dataset: Dataset,
+    keys: Iterable[Tuple[int, int]],
+    *,
+    fields: Optional[Sequence[str]] = None,
+    measure: str = "edit",
+) -> Dict[Tuple[int, int], float]:
+    """Score each candidate pair key with a record similarity.
+
+    Parameters
+    ----------
+    dataset:
+        Base record dataset.
+    keys:
+        Candidate pair keys (canonical orientation is enforced).
+    fields:
+        Record fields to include when rendering text for similarity.
+    measure:
+        Similarity measure name (see :func:`repro.er.similarity.record_similarity`).
+
+    Returns
+    -------
+    dict
+        Mapping from canonical pair key to similarity in ``[0, 1]``.
+    """
+    scores: Dict[Tuple[int, int], float] = {}
+    for a, b in keys:
+        key = canonical_pair_key(a, b)
+        if key in scores:
+            continue
+        scores[key] = record_similarity(dataset[key[0]], dataset[key[1]], fields=fields, measure=measure)
+    return scores
+
+
+def build_pair_dataset(
+    dataset: Dataset,
+    *,
+    keys: Optional[Iterable[Tuple[int, int]]] = None,
+    cross_source: Optional[Tuple[str, str]] = None,
+    fields: Optional[Sequence[str]] = None,
+    measure: str = "edit",
+    name: Optional[str] = None,
+) -> PairDataset:
+    """Build a scored :class:`~repro.data.pairs.PairDataset` from a base dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Base record dataset with ``entity_id`` values identifying duplicates.
+    keys:
+        Candidate pair keys to include.  When ``None`` the full cross
+        product (optionally restricted to ``cross_source``) is enumerated —
+        fine for the restaurant-sized datasets, prohibitive for the product
+        catalogues where a blocking pass should supply ``keys``.
+    cross_source:
+        Optional ``(left_source, right_source)`` restriction for the
+        full-enumeration path.
+    fields / measure:
+        Passed to :func:`score_pairs`.
+    name:
+        Name of the resulting pair dataset.
+
+    Returns
+    -------
+    repro.data.pairs.PairDataset
+        Pairs carry their similarity scores; ``duplicate_keys`` holds the
+        keys of pairs whose records share an entity id; ``total_duplicates``
+        records the number of duplicate pairs in the full cross product so
+        heuristic false negatives can be accounted for.
+    """
+    if keys is None:
+        keys = enumerate_all_pairs(dataset, cross_source=cross_source)
+    keys = [canonical_pair_key(a, b) for a, b in keys]
+    scores = score_pairs(dataset, keys, fields=fields, measure=measure)
+
+    all_duplicate_keys = duplicate_keys_from_entities(dataset)
+    pairs: List[CandidatePair] = []
+    seen = set()
+    for key in keys:
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append(
+            CandidatePair(
+                pair_id=len(pairs),
+                left_id=key[0],
+                right_id=key[1],
+                similarity=scores[key],
+            )
+        )
+    candidate_duplicates = {p.key for p in pairs} & all_duplicate_keys
+    return PairDataset(
+        base=dataset,
+        pairs=pairs,
+        duplicate_keys=candidate_duplicates,
+        name=name or f"{dataset.name}-pairs",
+        total_duplicates=len(all_duplicate_keys),
+        metadata={"measure": measure},
+    )

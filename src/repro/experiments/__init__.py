@@ -1,0 +1,33 @@
+"""Experiment harness: everything needed to regenerate the paper's figures.
+
+The harness separates three concerns:
+
+* :mod:`~repro.experiments.runner` — feed a vote matrix to a set of
+  estimators prefix-by-prefix (the paper's "# tasks" x-axis) and average
+  over random worker permutations,
+* per-figure experiment modules
+  (:mod:`~repro.experiments.real_world`,
+  :mod:`~repro.experiments.sensitivity`,
+  :mod:`~repro.experiments.robustness`,
+  :mod:`~repro.experiments.prioritization_study`,
+  :mod:`~repro.experiments.extrapolation_study`) — set up the workloads of
+  Figures 2–8 and the two worked examples,
+* :mod:`~repro.experiments.reporting` — render result series as plain-text
+  tables/CSV so the benchmarks can print the same rows the paper plots.
+"""
+
+from repro.experiments.results import EstimateSeries, ExperimentResult, TracePoint
+from repro.experiments.runner import EstimationRunner, RunnerConfig
+from repro.experiments.scm import sample_clean_minimum
+from repro.experiments.reporting import render_series_table, series_to_csv
+
+__all__ = [
+    "EstimationRunner",
+    "RunnerConfig",
+    "EstimateSeries",
+    "ExperimentResult",
+    "TracePoint",
+    "sample_clean_minimum",
+    "render_series_table",
+    "series_to_csv",
+]

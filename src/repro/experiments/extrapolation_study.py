@@ -1,0 +1,157 @@
+"""Extrapolation-baseline study (Figure 2 of the paper).
+
+Panel (a): the paper randomly samples 2 % of the restaurant dataset's
+367,653 entity pairs four times, cleans each sample with an oracle, and
+extrapolates — showing that with rare errors the estimate swings wildly
+with the particular sample.
+
+Panel (b): the more realistic variant uses the CrowdER candidate pairs and
+actual (fallible) crowd labels over samples of 100 pairs, showing that the
+average estimate can drift away from the truth as more workers correct the
+early false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.core.extrapolation import extrapolate_from_sample, oracle_sample_extrapolations
+from repro.crowd.consensus import majority_labels
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.pairs import duplicate_keys_from_entities
+from repro.experiments.workloads import RESTAURANT_CROWD, Workload, restaurant_workload
+
+
+@dataclass
+class ExtrapolationStudyConfig:
+    """Parameters of the Figure 2 study.
+
+    Parameters
+    ----------
+    scale:
+        Restaurant dataset scale (1.0 = the paper's 858 records).
+    sample_fraction:
+        Oracle-sample fraction for panel (a) (2 % in the paper).
+    num_samples:
+        Number of independent samples in both panels (4 in the paper).
+    crowd_sample_size:
+        Size of each crowd-cleaned sample in panel (b) (100 pairs).
+    task_grid:
+        Numbers of tasks at which panel (b) re-evaluates the extrapolation.
+    items_per_task:
+        Items per task in panel (b).
+    seed:
+        Root seed.
+    """
+
+    scale: float = 0.35
+    sample_fraction: float = 0.02
+    num_samples: int = 4
+    crowd_sample_size: int = 100
+    task_grid: tuple = (10, 20, 40, 80, 120)
+    items_per_task: int = 10
+    seed: int = 0
+
+
+@dataclass
+class ExtrapolationStudyResult:
+    """Output of the Figure 2 study.
+
+    Attributes
+    ----------
+    oracle_estimates:
+        Panel (a): one total-error extrapolation per oracle-cleaned sample
+        of the full pair population.
+    oracle_truth:
+        The true number of duplicate pairs in the full pair population.
+    crowd_estimates:
+        Panel (b): ``crowd_estimates[sample_index][i]`` is the extrapolated
+        total at ``task_grid[i]`` tasks for that sample.
+    crowd_truth:
+        The true number of duplicates among the candidate pairs.
+    task_grid:
+        The panel (b) x-axis.
+    """
+
+    oracle_estimates: List[float]
+    oracle_truth: float
+    crowd_estimates: List[List[float]]
+    crowd_truth: float
+    task_grid: List[int]
+
+
+def run_extrapolation_study(
+    config: Optional[ExtrapolationStudyConfig] = None,
+    workload: Optional[Workload] = None,
+) -> ExtrapolationStudyResult:
+    """Run both panels of the Figure 2 extrapolation study."""
+    config = config or ExtrapolationStudyConfig()
+    workload = workload or restaurant_workload(scale=config.scale, seed=7)
+
+    # ------------------------------------------------------------------ #
+    # Panel (a): oracle-cleaned samples of the *full* pair population.
+    # The full population has N*(N-1)/2 pairs of which only the duplicated
+    # entities form errors, so we extrapolate analytically from the gold
+    # labels without materialising every pair.
+    # ------------------------------------------------------------------ #
+    base = workload.pipeline_result.scored_pairs.base if workload.pipeline_result else None
+    if base is None:
+        raise ValueError("the extrapolation study needs a pair workload")
+    num_records = len(base)
+    total_pairs = num_records * (num_records - 1) // 2
+    total_duplicates = len(duplicate_keys_from_entities(base))
+    sample_size = max(1, int(round(config.sample_fraction * total_pairs)))
+
+    rng = derive_rng(config.seed, 21)
+    oracle_estimates: List[float] = []
+    for _ in range(config.num_samples):
+        # Hypergeometric draw: how many of the rare duplicate pairs land in
+        # a random sample of `sample_size` of the `total_pairs` pairs.
+        found = int(rng.hypergeometric(total_duplicates, total_pairs - total_duplicates, sample_size))
+        oracle_estimates.append(
+            extrapolate_from_sample(sample_size, found, total_pairs)["total"]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Panel (b): crowd-cleaned samples of the candidate pairs.
+    # ------------------------------------------------------------------ #
+    items = workload.items
+    crowd_estimates: List[List[float]] = []
+    task_grid = [int(t) for t in config.task_grid]
+    for sample_index in range(config.num_samples):
+        sample_rng = derive_rng(config.seed, 100 + sample_index)
+        sample_size_b = min(config.crowd_sample_size, len(items))
+        chosen = sample_rng.choice(len(items), size=sample_size_b, replace=False)
+        sample_ids = [items.record_ids[int(i)] for i in chosen]
+        sample_dataset = items.subset(sample_ids, name=f"sample-{sample_index}")
+        simulator = CrowdSimulator(
+            sample_dataset,
+            SimulationConfig(
+                num_tasks=max(task_grid),
+                items_per_task=min(config.items_per_task, sample_size_b),
+                worker_profile=RESTAURANT_CROWD,
+                seed=config.seed + 7 * sample_index,
+            ),
+        )
+        simulation = simulator.run()
+        trace: List[float] = []
+        for num_tasks in task_grid:
+            labels = majority_labels(simulation.matrix, num_tasks)
+            sample_errors = sum(labels.values())
+            trace.append(
+                extrapolate_from_sample(sample_size_b, sample_errors, len(items))["total"]
+            )
+        crowd_estimates.append(trace)
+
+    return ExtrapolationStudyResult(
+        oracle_estimates=oracle_estimates,
+        oracle_truth=float(total_duplicates),
+        crowd_estimates=crowd_estimates,
+        crowd_truth=float(workload.true_errors),
+        task_grid=task_grid,
+    )

@@ -1,0 +1,160 @@
+"""Prioritisation study (Figure 8 of the paper).
+
+For a fixed error rate and task budget (50 tasks), the study measures the
+accuracy of the SWITCH estimate as a function of the sampling parameter
+``ε`` for heuristics of different quality (the paper uses heuristics with
+10 % and 50 % error rates).  A heuristic with error rate ``h`` misplaces a
+fraction ``h`` of the items: true errors that should be in the ambiguous
+band fall outside it, and clean items take their place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.rng import derive_rng, ensure_rng
+from repro.common.validation import check_probability
+from repro.core.metrics import scaled_rmse
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.crowd.simulator import SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.record import Dataset
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+from repro.prioritization.imperfect import EpsilonGreedyPrioritizer
+
+
+@dataclass
+class PrioritizationConfig:
+    """Parameters of the Figure 8 sweep.
+
+    Parameters
+    ----------
+    num_items / num_errors:
+        Simulated population.
+    ambiguous_fraction:
+        Fraction of the population a (perfect) heuristic would place in the
+        ambiguous band.
+    heuristic_error_rates:
+        The heuristic qualities to compare (0.1 and 0.5 in the paper).
+    epsilons:
+        The ε grid.
+    num_tasks / items_per_task:
+        Task budget (50 tasks in the paper).
+    worker_profile:
+        Crowd error rates.
+    num_trials:
+        Repetitions behind each SRMSE value.
+    seed:
+        Root seed.
+    """
+
+    num_items: int = 1000
+    num_errors: int = 100
+    ambiguous_fraction: float = 0.3
+    heuristic_error_rates: Sequence[float] = (0.1, 0.5)
+    epsilons: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4, 0.6)
+    num_tasks: int = 50
+    items_per_task: int = 15
+    worker_profile: WorkerProfile = field(
+        default_factory=lambda: WorkerProfile(false_negative_rate=0.1, false_positive_rate=0.01)
+    )
+    num_trials: int = 5
+    seed: int = 0
+
+
+@dataclass
+class PrioritizationSweepResult:
+    """SRMSE of the SWITCH estimate per (heuristic error rate, ε).
+
+    Attributes
+    ----------
+    epsilons:
+        The ε grid.
+    srmse:
+        ``srmse[heuristic_error_rate][i]`` — scaled RMSE at ``epsilons[i]``.
+    ground_truth:
+        The true error count.
+    """
+
+    epsilons: List[float]
+    srmse: Dict[float, List[float]] = field(default_factory=dict)
+    ground_truth: float = 0.0
+
+
+def imperfect_heuristic_partition(
+    dataset: Dataset,
+    *,
+    ambiguous_fraction: float,
+    heuristic_error_rate: float,
+    seed=None,
+) -> List[int]:
+    """Build the ambiguous set ``R_H`` of a heuristic with a given error rate.
+
+    A perfect heuristic (error rate 0) places every true error plus enough
+    random clean items in the band to reach ``ambiguous_fraction`` of the
+    population.  A heuristic with error rate ``h`` swaps a fraction ``h`` of
+    the true errors out of the band for additional clean items, modelling
+    both heuristic false negatives (missed errors) and false positives
+    (clean items soaking up review capacity).
+    """
+    check_probability(ambiguous_fraction, "ambiguous_fraction")
+    check_probability(heuristic_error_rate, "heuristic_error_rate")
+    rng = ensure_rng(seed)
+    dirty = [rid for rid in dataset.record_ids if dataset.is_dirty(rid)]
+    clean = [rid for rid in dataset.record_ids if not dataset.is_dirty(rid)]
+    rng.shuffle(dirty)
+    rng.shuffle(clean)
+
+    band_size = max(1, int(round(ambiguous_fraction * len(dataset))))
+    num_dirty_missed = int(round(heuristic_error_rate * len(dirty)))
+    dirty_in_band = dirty[: len(dirty) - num_dirty_missed]
+    num_clean_needed = max(0, band_size - len(dirty_in_band))
+    clean_in_band = clean[:num_clean_needed]
+    return sorted(dirty_in_band + clean_in_band)
+
+
+def epsilon_sweep(config: Optional[PrioritizationConfig] = None) -> PrioritizationSweepResult:
+    """Run the Figure 8 sweep: SWITCH accuracy vs ε for each heuristic quality."""
+    config = config or PrioritizationConfig()
+    result = PrioritizationSweepResult(
+        epsilons=[float(e) for e in config.epsilons],
+        ground_truth=float(config.num_errors),
+    )
+    estimator = SwitchTotalErrorEstimator()
+    for rate in config.heuristic_error_rates:
+        rate = float(rate)
+        srmse_per_epsilon: List[float] = []
+        for eps_index, epsilon in enumerate(config.epsilons):
+            estimates: List[float] = []
+            for trial in range(config.num_trials):
+                trial_seed = config.seed + 997 * trial + 13 * eps_index + int(rate * 10_000)
+                dataset = generate_synthetic_pairs(
+                    SyntheticPairConfig(
+                        num_items=config.num_items, num_errors=config.num_errors
+                    ),
+                    seed=trial_seed,
+                )
+                ambiguous_ids = imperfect_heuristic_partition(
+                    dataset,
+                    ambiguous_fraction=config.ambiguous_fraction,
+                    heuristic_error_rate=rate,
+                    seed=derive_rng(trial_seed, 5),
+                )
+                prioritizer = EpsilonGreedyPrioritizer(
+                    dataset,
+                    ambiguous_ids,
+                    epsilon=float(epsilon),
+                    config=SimulationConfig(
+                        num_tasks=config.num_tasks,
+                        items_per_task=config.items_per_task,
+                        worker_profile=config.worker_profile,
+                        seed=trial_seed,
+                    ),
+                )
+                estimates.append(prioritizer.estimate(estimator).result.estimate)
+            srmse_per_epsilon.append(scaled_rmse(estimates, config.num_errors))
+        result.srmse[rate] = srmse_per_epsilon
+    return result

@@ -1,0 +1,179 @@
+"""Real-world dataset experiments (Figures 3, 4 and 5 of the paper).
+
+Each figure has three panels: (a) the total-error estimates of SWITCH,
+V-CHAO, VOTING (plus the EXTRAPOL band and the SCM cost marker) against the
+ground truth, and (b)/(c) the remaining positive and negative switch
+estimates.  :func:`run_real_world_experiment` produces all three panels for
+one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.core.extrapolation import extrapolation_band, oracle_sample_extrapolations
+from repro.core.switch import (
+    NEGATIVE,
+    POSITIVE,
+    SwitchStatistics,
+    estimate_remaining_switches,
+    switch_statistics,
+)
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.core.vchao92 import VChao92Estimator
+from repro.core.descriptive import VotingEstimator
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.experiments.results import ExperimentResult, build_series
+from repro.experiments.runner import EstimationRunner, RunnerConfig
+from repro.experiments.scm import sample_clean_minimum
+from repro.experiments.workloads import Workload
+
+
+@dataclass
+class RealWorldExperimentConfig:
+    """Parameters for a Figure 3/4/5-style experiment.
+
+    Parameters
+    ----------
+    num_tasks:
+        Total number of crowd tasks to simulate.
+    items_per_task:
+        Items per task (10 in the paper's AMT deployment).
+    num_permutations:
+        Worker permutations to average over (10 in the paper).
+    num_checkpoints:
+        Number of x-axis points.
+    extrapolation_sample_fraction:
+        Size of the oracle-cleaned sample backing the EXTRAPOL band (5% in
+        the paper).
+    extrapolation_samples:
+        Number of oracle samples in the band.
+    seed:
+        Root seed.
+    """
+
+    num_tasks: int = 300
+    items_per_task: int = 10
+    num_permutations: int = 5
+    num_checkpoints: int = 15
+    extrapolation_sample_fraction: float = 0.05
+    extrapolation_samples: int = 4
+    seed: int = 0
+
+
+def ground_truth_switches(
+    stats: SwitchStatistics,
+    ground_truth: Dict[int, int],
+    direction: str,
+) -> int:
+    """Number of switches (of one direction) the current consensus still needs.
+
+    The paper defines the switch ground truth as the number of consensus
+    flips needed for the current majority vector to reach the true labels,
+    split by direction: positive = items currently clean-by-consensus that
+    are truly dirty, negative = items currently dirty-by-consensus that are
+    truly clean.
+    """
+    needed = 0
+    for item, truth in ground_truth.items():
+        consensus = stats.final_consensus.get(item, 0)
+        if direction == POSITIVE and consensus == 0 and truth == 1:
+            needed += 1
+        elif direction == NEGATIVE and consensus == 1 and truth == 0:
+            needed += 1
+    return needed
+
+
+def run_real_world_experiment(
+    workload: Workload,
+    config: Optional[RealWorldExperimentConfig] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run the three panels of a real-world figure for ``workload``.
+
+    Returns
+    -------
+    dict
+        ``{"total_error": ..., "positive_switches": ..., "negative_switches": ...}``
+        — each an :class:`~repro.experiments.results.ExperimentResult`.
+    """
+    config = config or RealWorldExperimentConfig()
+    items = workload.items
+    num_tasks = config.num_tasks
+    items_per_task = min(config.items_per_task, len(items))
+
+    simulation = CrowdSimulator(
+        items,
+        SimulationConfig(
+            num_tasks=num_tasks,
+            items_per_task=items_per_task,
+            worker_profile=workload.worker_profile,
+            seed=config.seed,
+        ),
+    ).run()
+
+    # ------------------------------------------------------------------ #
+    # Panel (a): total error estimates.
+    # ------------------------------------------------------------------ #
+    runner = EstimationRunner(
+        [SwitchTotalErrorEstimator(), VChao92Estimator(), VotingEstimator()],
+        RunnerConfig(
+            num_permutations=config.num_permutations,
+            num_checkpoints=config.num_checkpoints,
+            seed=config.seed,
+        ),
+    )
+    total_error = runner.run(
+        simulation.matrix,
+        ground_truth=float(workload.true_errors),
+        name=f"{workload.name}-total-error",
+        metadata=dict(workload.metadata),
+    )
+
+    # EXTRAPOL band from oracle-cleaned samples.
+    extrapolations = oracle_sample_extrapolations(
+        items,
+        sample_fraction=config.extrapolation_sample_fraction,
+        num_samples=config.extrapolation_samples,
+        seed=derive_rng(config.seed, 77),
+    )
+    total_error.metadata["extrapolation_band"] = extrapolation_band(
+        [e["total"] for e in extrapolations]
+    )
+
+    # SCM cost marker.
+    sample_size = max(1, int(round(config.extrapolation_sample_fraction * len(items))))
+    total_error.metadata["scm_tasks"] = sample_clean_minimum(
+        sample_size, workers_per_record=3, records_per_task=items_per_task
+    )
+    total_error.metadata["num_tasks"] = num_tasks
+
+    # ------------------------------------------------------------------ #
+    # Panels (b) and (c): remaining positive / negative switch estimates
+    # against the switch ground truth at each checkpoint.
+    # ------------------------------------------------------------------ #
+    checkpoints = runner.config.resolve_checkpoints(simulation.matrix.num_columns)
+    panels: Dict[str, ExperimentResult] = {"total_error": total_error}
+    for direction, key in ((POSITIVE, "positive_switches"), (NEGATIVE, "negative_switches")):
+        estimated_trace: List[float] = []
+        needed_trace: List[float] = []
+        for checkpoint in checkpoints:
+            stats = switch_statistics(simulation.matrix, checkpoint)
+            estimated_trace.append(
+                estimate_remaining_switches(stats, direction=direction)
+            )
+            needed_trace.append(
+                float(ground_truth_switches(stats, simulation.ground_truth, direction))
+            )
+        result = ExperimentResult(
+            name=f"{workload.name}-{key}",
+            ground_truth=needed_trace[-1] if needed_trace else 0.0,
+            metadata={"direction": direction},
+        )
+        result.add_series(build_series("switch_remaining", checkpoints, [estimated_trace]))
+        result.add_series(build_series("switches_needed", checkpoints, [needed_trace]))
+        panels[key] = result
+    return panels

@@ -1,0 +1,98 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers turn :class:`~repro.experiments.results.ExperimentResult` objects
+into aligned text tables and CSV strings without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.results import EstimateSeries, ExperimentResult
+
+
+def render_series_table(
+    result: ExperimentResult,
+    *,
+    max_rows: Optional[int] = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render an experiment result as an aligned plain-text table.
+
+    One row per checkpoint, one column per estimator, plus the ground truth
+    when known.
+
+    Parameters
+    ----------
+    result:
+        The experiment result to render.
+    max_rows:
+        Limit the number of checkpoint rows (evenly subsampled) so large
+        traces stay readable in benchmark output.
+    float_format:
+        Format applied to estimate values.
+    """
+    names = result.estimator_names()
+    if not names:
+        return f"{result.name}: (no series)"
+    checkpoints = result.series[names[0]].x
+    rows = list(range(len(checkpoints)))
+    if max_rows is not None and len(rows) > max_rows:
+        step = len(rows) / max_rows
+        rows = sorted({int(round(step * i)) for i in range(max_rows)} | {len(checkpoints) - 1})
+        rows = [r for r in rows if r < len(checkpoints)]
+
+    header = ["tasks"] + names
+    if result.ground_truth is not None:
+        header.append("truth")
+    table: List[List[str]] = [header]
+    for row in rows:
+        cells = [str(checkpoints[row])]
+        for name in names:
+            series = result.series[name]
+            cells.append(float_format.format(series.points[row].mean))
+        if result.ground_truth is not None:
+            cells.append(float_format.format(result.ground_truth))
+        table.append(cells)
+
+    widths = [max(len(line[col]) for line in table) for col in range(len(header))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(widths[col]) for col, cell in enumerate(line)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(header))))
+    return f"{result.name}\n" + "\n".join(lines)
+
+
+def series_to_csv(result: ExperimentResult) -> str:
+    """Render an experiment result as CSV (tasks, one column per estimator, truth)."""
+    names = result.estimator_names()
+    buffer = io.StringIO()
+    header = ["tasks"] + names + (["truth"] if result.ground_truth is not None else [])
+    buffer.write(",".join(header) + "\n")
+    if not names:
+        return buffer.getvalue()
+    checkpoints = result.series[names[0]].x
+    for row, tasks in enumerate(checkpoints):
+        cells = [str(tasks)]
+        for name in names:
+            cells.append(f"{result.series[name].points[row].mean:.4f}")
+        if result.ground_truth is not None:
+            cells.append(f"{result.ground_truth:.4f}")
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def render_summary(result: ExperimentResult, *, float_format: str = "{:.1f}") -> str:
+    """One-line-per-estimator summary: final estimate and SRMSE when available."""
+    lines = [f"{result.name} (truth={result.ground_truth})"]
+    finals = result.final_estimates()
+    srmse = result.srmse_table()
+    for name in result.estimator_names():
+        parts = [f"  {name}: final=" + float_format.format(finals.get(name, float('nan')))]
+        if name in srmse:
+            parts.append(f"srmse={srmse[name]:.3f}")
+        lines.append(" ".join(parts))
+    return "\n".join(lines)

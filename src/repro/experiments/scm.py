@@ -1,0 +1,49 @@
+"""Sample-Clean-Minimum (SCM): the task-cost reference line.
+
+The paper compares the number of tasks its estimators need against the
+minimum number of tasks required to clean a sample with a fixed quorum of
+workers per record:
+
+.. math::
+
+    SCM = \\frac{q \\cdot S}{p}
+
+with ``q`` workers per record (3 in the paper), ``S`` records in the
+sample, and ``p`` records per task.  The point is that the proposed
+estimators reach reliable estimates at a comparable task budget, even
+though their random assignment adds redundancy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.validation import check_int
+
+
+def sample_clean_minimum(
+    sample_size: int,
+    *,
+    workers_per_record: int = 3,
+    records_per_task: int = 10,
+) -> int:
+    """The minimum number of tasks needed to quorum-clean a sample.
+
+    Parameters
+    ----------
+    sample_size:
+        ``S`` — the number of records in the sample to clean.
+    workers_per_record:
+        ``q`` — the fixed quorum (3 in the paper's SCM definition).
+    records_per_task:
+        ``p`` — records per task, each task handled by a single worker.
+
+    Returns
+    -------
+    int
+        ``ceil(q * S / p)``.
+    """
+    check_int(sample_size, "sample_size", minimum=0)
+    check_int(workers_per_record, "workers_per_record", minimum=1)
+    check_int(records_per_task, "records_per_task", minimum=1)
+    return int(math.ceil(workers_per_record * sample_size / records_per_task))

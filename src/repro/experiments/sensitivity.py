@@ -1,0 +1,157 @@
+"""Sensitivity study (Figure 6 of the paper).
+
+Figure 6(a) fixes the task budget (50 tasks of 15 items) and sweeps the
+worker precision, reporting the scaled RMSE of Chao92, SWITCH and VOTING.
+Figure 6(b) keeps workers free of false positives and sweeps the number of
+items per task (the coverage), again reporting scaled errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.chao92 import Chao92Estimator
+from repro.core.descriptive import VotingEstimator
+from repro.core.metrics import scaled_rmse
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+@dataclass
+class SensitivityConfig:
+    """Parameters of the Figure 6 sweeps.
+
+    Parameters
+    ----------
+    num_items / num_errors:
+        Simulation population (1000 candidate pairs with 100 duplicates in
+        the paper).
+    num_tasks:
+        Fixed task budget (50).
+    items_per_task:
+        Items per task for the precision sweep (15).
+    precisions:
+        Worker precision grid for panel (a).
+    items_per_task_grid:
+        Items-per-task grid for panel (b).
+    false_negative_rate_for_coverage:
+        FN rate used in panel (b), where workers make no false positives.
+    num_trials:
+        Repetitions (``r``) behind each SRMSE value.
+    seed:
+        Root seed.
+    """
+
+    num_items: int = 1000
+    num_errors: int = 100
+    num_tasks: int = 50
+    items_per_task: int = 15
+    precisions: Sequence[float] = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)
+    items_per_task_grid: Sequence[int] = (5, 10, 25, 50, 75, 100)
+    false_negative_rate_for_coverage: float = 0.1
+    num_trials: int = 5
+    seed: int = 0
+
+
+@dataclass
+class SweepResult:
+    """SRMSE of every estimator at every sweep point.
+
+    Attributes
+    ----------
+    parameter_name:
+        Name of the swept parameter (``"precision"`` or
+        ``"items_per_task"``).
+    values:
+        The sweep grid.
+    srmse:
+        ``srmse[estimator_name][i]`` is the scaled RMSE at ``values[i]``.
+    ground_truth:
+        The true error count of the simulated population.
+    """
+
+    parameter_name: str
+    values: List[float]
+    srmse: Dict[str, List[float]] = field(default_factory=dict)
+    ground_truth: float = 0.0
+
+
+def _estimators():
+    return [Chao92Estimator(), SwitchTotalErrorEstimator(), VotingEstimator()]
+
+
+def _run_trials(
+    config: SensitivityConfig,
+    worker_profile: WorkerProfile,
+    items_per_task: int,
+    *,
+    seed_offset: int,
+) -> Dict[str, List[float]]:
+    """Run ``num_trials`` independent simulations and collect final estimates."""
+    estimates: Dict[str, List[float]] = {est.name: [] for est in _estimators()}
+    for trial in range(config.num_trials):
+        dataset = generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=config.num_items, num_errors=config.num_errors),
+            seed=config.seed + 1000 * trial + seed_offset,
+        )
+        simulation = CrowdSimulator(
+            dataset,
+            SimulationConfig(
+                num_tasks=config.num_tasks,
+                items_per_task=min(items_per_task, config.num_items),
+                worker_profile=worker_profile,
+                seed=config.seed + 31 * trial + seed_offset,
+            ),
+        ).run()
+        for estimator in _estimators():
+            estimates[estimator.name].append(
+                estimator.estimate(simulation.matrix).estimate
+            )
+    return estimates
+
+
+def precision_sweep(config: Optional[SensitivityConfig] = None) -> SweepResult:
+    """Figure 6(a): scaled error as a function of worker precision."""
+    config = config or SensitivityConfig()
+    result = SweepResult(
+        parameter_name="precision",
+        values=[float(p) for p in config.precisions],
+        ground_truth=float(config.num_errors),
+    )
+    for estimator in _estimators():
+        result.srmse[estimator.name] = []
+    for index, precision in enumerate(config.precisions):
+        profile = WorkerProfile.from_precision(precision)
+        estimates = _run_trials(
+            config, profile, config.items_per_task, seed_offset=index * 17
+        )
+        for name, values in estimates.items():
+            result.srmse[name].append(scaled_rmse(values, config.num_errors))
+    return result
+
+
+def coverage_sweep(config: Optional[SensitivityConfig] = None) -> SweepResult:
+    """Figure 6(b): scaled error as a function of items per task (coverage).
+
+    Workers make no false positives here, which is the regime where the
+    paper reports Chao92 doing very well.
+    """
+    config = config or SensitivityConfig()
+    result = SweepResult(
+        parameter_name="items_per_task",
+        values=[float(v) for v in config.items_per_task_grid],
+        ground_truth=float(config.num_errors),
+    )
+    for estimator in _estimators():
+        result.srmse[estimator.name] = []
+    profile = WorkerProfile.false_negative_only(config.false_negative_rate_for_coverage)
+    for index, items_per_task in enumerate(config.items_per_task_grid):
+        estimates = _run_trials(
+            config, profile, int(items_per_task), seed_offset=500 + index * 17
+        )
+        for name, values in estimates.items():
+            result.srmse[name].append(scaled_rmse(values, config.num_errors))
+    return result

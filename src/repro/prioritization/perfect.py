@@ -1,0 +1,63 @@
+"""Estimation with a *perfect* heuristic (Section 5.2, Equation 9).
+
+A perfect heuristic never auto-labels a clean item as an error and never
+lets a true error fall below the band, so the total error count decomposes
+exactly into
+
+.. math::
+
+    |R_{dirty}| = \\hat{D}(R_H) + |\\{r : H(r) > \\beta\\}|
+
+— the crowd-based estimate over the ambiguous band plus the count of
+obvious matches.  The crowd estimate over ``R_H`` may use any of the
+estimators in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.validation import check_non_negative
+from repro.core.base import EstimateResult, EstimatorProtocol
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+def total_errors_with_perfect_heuristic(
+    estimator: EstimatorProtocol,
+    candidate_matrix: ResponseMatrix,
+    num_obvious_errors: int,
+    upto: Optional[int] = None,
+) -> EstimateResult:
+    """Combine a crowd estimate over ``R_H`` with the heuristic's obvious errors.
+
+    Parameters
+    ----------
+    estimator:
+        Any estimator from :mod:`repro.core` (the paper suggests vChao92 or
+        the plain coverage estimator for this composition; SWITCH works
+        too).
+    candidate_matrix:
+        The worker-response matrix over the ambiguous candidate set
+        ``R_H``.
+    num_obvious_errors:
+        ``|{r : H(r) > beta}|`` — items the heuristic auto-labelled as
+        errors.  Under the perfect-heuristic assumption every one of them is
+        a true error.
+    upto:
+        Column prefix of the matrix to use.
+
+    Returns
+    -------
+    repro.core.base.EstimateResult
+        ``estimate`` is the composed total over the whole dataset;
+        ``observed`` is the estimator's own observed count plus the obvious
+        errors; the candidate-set estimate is recorded in ``details``.
+    """
+    check_non_negative(num_obvious_errors, "num_obvious_errors")
+    candidate_result = estimator.estimate(candidate_matrix, upto)
+    total = candidate_result.estimate + float(num_obvious_errors)
+    observed = candidate_result.observed + float(num_obvious_errors)
+    details = dict(candidate_result.details)
+    details["candidate_estimate"] = candidate_result.estimate
+    details["num_obvious_errors"] = float(num_obvious_errors)
+    return EstimateResult(estimate=total, observed=observed, details=details)

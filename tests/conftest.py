@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small, fully deterministic artefacts (datasets, vote
+matrices, simulations) so individual test modules stay focused on the
+behaviour they verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.address import AddressDatasetConfig, generate_address_dataset
+from repro.data.record import Dataset, Record
+from repro.data.restaurant import RestaurantDatasetConfig, generate_restaurant_dataset
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    """Five records, two of which are dirty (ids 1 and 3)."""
+    records = [Record(record_id=i, fields={"value": f"row-{i}"}) for i in range(5)]
+    return Dataset(records=records, dirty_ids={1, 3}, name="tiny")
+
+
+@pytest.fixture
+def small_matrix() -> ResponseMatrix:
+    """A hand-built 4-item x 5-column vote matrix with known counts.
+
+    Layout (rows = items 0..3, columns = workers 0..4)::
+
+        item 0: DIRTY  DIRTY  UNSEEN CLEAN  DIRTY    -> 3 dirty, 1 clean
+        item 1: CLEAN  UNSEEN CLEAN  UNSEEN UNSEEN   -> 0 dirty, 2 clean
+        item 2: DIRTY  UNSEEN UNSEEN UNSEEN UNSEEN   -> 1 dirty (singleton)
+        item 3: UNSEEN CLEAN  DIRTY  DIRTY  UNSEEN   -> 2 dirty, 1 clean
+    """
+    votes = np.array(
+        [
+            [DIRTY, DIRTY, UNSEEN, CLEAN, DIRTY],
+            [CLEAN, UNSEEN, CLEAN, UNSEEN, UNSEEN],
+            [DIRTY, UNSEEN, UNSEEN, UNSEEN, UNSEEN],
+            [UNSEEN, CLEAN, DIRTY, DIRTY, UNSEEN],
+        ],
+        dtype=np.int8,
+    )
+    return ResponseMatrix.from_array(votes)
+
+
+@pytest.fixture
+def synthetic_population() -> Dataset:
+    """The simulation-study population at reduced size: 200 items, 20 errors."""
+    return generate_synthetic_pairs(
+        SyntheticPairConfig(num_items=200, num_errors=20), seed=123
+    )
+
+
+@pytest.fixture
+def clean_crowd_simulation(synthetic_population) -> "CrowdSimulation":
+    """A simulation with false-negative-only workers (no false positives)."""
+    config = SimulationConfig(
+        num_tasks=80,
+        items_per_task=15,
+        worker_profile=WorkerProfile.false_negative_only(0.1),
+        seed=11,
+    )
+    return CrowdSimulator(synthetic_population, config).run()
+
+
+@pytest.fixture
+def noisy_crowd_simulation(synthetic_population) -> "CrowdSimulation":
+    """A simulation whose workers make both false negatives and false positives."""
+    config = SimulationConfig(
+        num_tasks=80,
+        items_per_task=15,
+        worker_profile=WorkerProfile(false_negative_rate=0.1, false_positive_rate=0.02),
+        seed=13,
+    )
+    return CrowdSimulator(synthetic_population, config).run()
+
+
+@pytest.fixture(scope="session")
+def restaurant_dataset() -> Dataset:
+    """A small restaurant dataset reused across entity-resolution tests."""
+    return generate_restaurant_dataset(
+        RestaurantDatasetConfig(num_records=80, num_duplicated_entities=10), seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def address_dataset() -> Dataset:
+    """A small address dataset reused across tests."""
+    return generate_address_dataset(
+        AddressDatasetConfig(num_records=200, num_errors=18), seed=13
+    )

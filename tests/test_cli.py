@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCliList:
+    def test_list_command_prints_experiments_and_estimators(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+        assert "switch_total" in output
+
+
+class TestCliExamples:
+    def test_example1_runs(self, capsys):
+        assert main(["example1", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "chao92_total" in output
+        assert "true_errors" in output
+
+    def test_example2_runs(self, capsys):
+        assert main(["example2", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "false positive rate = 0.01" in output
+
+
+class TestCliQuality:
+    def test_quality_report(self, capsys):
+        code = main(
+            [
+                "quality",
+                "--items", "200",
+                "--errors", "20",
+                "--tasks", "40",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "estimated total" in output
+        assert "quality score" in output
+
+
+class TestCliFigures:
+    def test_figure7_small_run(self, capsys):
+        assert main(["figure7", "--scenario", "both", "--tasks", "30", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "chao92" in output
+        assert "switch_total" in output
+
+    def test_figure5_small_run(self, capsys):
+        assert (
+            main(["figure5", "--tasks", "40", "--scale", "0.05", "--permutations", "2"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "voting" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,83 @@
+"""Tests for the vote-label constants and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.common.labels import (
+    CLEAN,
+    DIRTY,
+    UNSEEN,
+    Label,
+    is_clean_vote,
+    is_dirty_vote,
+    is_vote,
+    validate_labels,
+)
+
+
+class TestConstants:
+    def test_constants_are_distinct(self):
+        assert len({DIRTY, CLEAN, UNSEEN}) == 3
+
+    def test_dirty_is_one_and_clean_is_zero(self):
+        # The paper encodes dirty=1, clean=0; the estimators rely on it.
+        assert DIRTY == 1
+        assert CLEAN == 0
+
+    def test_unseen_is_negative(self):
+        # UNSEEN must not collide with a valid 0/1 label.
+        assert UNSEEN < 0
+
+
+class TestLabelEnum:
+    def test_enum_members_equal_constants(self):
+        assert Label.DIRTY == DIRTY
+        assert Label.CLEAN == CLEAN
+        assert Label.UNSEEN == UNSEEN
+
+    def test_from_bool_true(self):
+        assert Label.from_bool(True) is Label.DIRTY
+
+    def test_from_bool_false(self):
+        assert Label.from_bool(False) is Label.CLEAN
+
+    def test_enum_usable_in_numpy_array(self):
+        arr = np.array([Label.DIRTY, Label.CLEAN, Label.UNSEEN])
+        assert arr.tolist() == [DIRTY, CLEAN, UNSEEN]
+
+
+class TestPredicates:
+    def test_is_vote_masks_unseen(self):
+        values = np.array([DIRTY, CLEAN, UNSEEN, DIRTY])
+        assert is_vote(values).tolist() == [True, True, False, True]
+
+    def test_is_dirty_vote(self):
+        values = np.array([DIRTY, CLEAN, UNSEEN])
+        assert is_dirty_vote(values).tolist() == [True, False, False]
+
+    def test_is_clean_vote(self):
+        values = np.array([DIRTY, CLEAN, UNSEEN])
+        assert is_clean_vote(values).tolist() == [False, True, False]
+
+    def test_predicates_accept_scalars(self):
+        assert bool(is_dirty_vote(DIRTY)) is True
+        assert bool(is_clean_vote(DIRTY)) is False
+
+
+class TestValidateLabels:
+    def test_accepts_valid_matrix(self):
+        votes = np.array([[DIRTY, CLEAN], [UNSEEN, DIRTY]])
+        out = validate_labels(votes)
+        assert out.dtype == np.int8
+        assert out.tolist() == votes.tolist()
+
+    def test_rejects_unknown_values(self):
+        with pytest.raises(ValidationError, match="labels must be"):
+            validate_labels(np.array([DIRTY, 7]))
+
+    def test_accepts_empty(self):
+        out = validate_labels(np.array([], dtype=int))
+        assert out.size == 0

@@ -1,0 +1,87 @@
+"""Tests for the deterministic random-number plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.common.rng import derive_rng, ensure_rng, permutation_seed, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=5)
+        b = ensure_rng(42).integers(0, 1_000_000, size=5)
+        assert a.tolist() == b.tolist()
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert a.tolist() != b.tolist()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        gen = ensure_rng(ss)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_seed_and_key_reproduce(self):
+        a = derive_rng(5, 1).integers(0, 1_000_000, size=5)
+        b = derive_rng(5, 1).integers(0, 1_000_000, size=5)
+        assert a.tolist() == b.tolist()
+
+    def test_different_keys_give_different_streams(self):
+        a = derive_rng(5, 1).integers(0, 1_000_000, size=10)
+        b = derive_rng(5, 2).integers(0, 1_000_000, size=10)
+        assert a.tolist() != b.tolist()
+
+    def test_derive_from_generator_spawns_child(self):
+        parent = np.random.default_rng(0)
+        child = derive_rng(parent, 1)
+        assert isinstance(child, np.random.Generator)
+        assert child is not parent
+
+    def test_none_seed_gives_generator(self):
+        assert isinstance(derive_rng(None, 3), np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_count_respected(self):
+        assert len(spawn_seeds(0, 7)) == 7
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_seeds(0, -1)
+
+    def test_children_are_independent_and_reproducible(self):
+        first = [np.random.default_rng(s).integers(0, 1000) for s in spawn_seeds(9, 3)]
+        second = [np.random.default_rng(s).integers(0, 1000) for s in spawn_seeds(9, 3)]
+        assert first == second
+        assert len(set(first)) > 1 or len(first) == 1
+
+    def test_spawn_from_generator(self):
+        seeds = spawn_seeds(np.random.default_rng(3), 2)
+        assert len(seeds) == 2
+
+
+class TestPermutationSeed:
+    def test_deterministic(self):
+        assert permutation_seed(10, 3) == permutation_seed(10, 3)
+
+    def test_varies_with_trial(self):
+        assert permutation_seed(10, 1) != permutation_seed(10, 2)
+
+    def test_none_base_seed_supported(self):
+        assert isinstance(permutation_seed(None, 0), int)

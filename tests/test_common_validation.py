@@ -1,0 +1,95 @@
+"""Tests for the argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.common.validation import (
+    check_fraction,
+    check_in,
+    check_int,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == pytest.approx(float(value))
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError, match="p must be in"):
+            check_probability(value, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_probability("0.5", "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_probability(True, "p")
+
+
+class TestCheckFraction:
+    def test_zero_allowed_by_default(self):
+        assert check_fraction(0.0, "f") == 0.0
+
+    def test_zero_rejected_when_disallowed(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "f", allow_zero=False)
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValidationError):
+            check_fraction(1.5, "f")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.5, "x")
+
+
+class TestCheckInt:
+    def test_accepts_integral_float(self):
+        assert check_int(4.0, "n") == 4
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValidationError):
+            check_int(4.5, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_int(True, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValidationError, match="must be >= 2"):
+            check_int(1, "n", minimum=2)
+
+    def test_minimum_satisfied(self):
+        assert check_int(2, "n", minimum=2) == 2
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("a", "choice", {"a", "b"}) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError, match="choice must be one of"):
+            check_in("c", "choice", {"a", "b"})

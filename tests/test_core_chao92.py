@@ -1,0 +1,135 @@
+"""Tests for the Chao92 estimator and its building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chao92 import (
+    Chao92Estimator,
+    chao92_estimate,
+    good_turing_coverage,
+    skew_coefficient,
+)
+from repro.core.fstatistics import Fingerprint, fingerprint_from_counts
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+class TestGoodTuringCoverage:
+    def test_no_observations_gives_zero(self):
+        assert good_turing_coverage(fingerprint_from_counts([])) == 0.0
+
+    def test_no_singletons_gives_full_coverage(self):
+        assert good_turing_coverage(fingerprint_from_counts([2, 3, 4])) == 1.0
+
+    def test_all_singletons_gives_zero_coverage(self):
+        assert good_turing_coverage(fingerprint_from_counts([1, 1, 1])) == 0.0
+
+    def test_paper_example_one_coverage(self):
+        # Example 1: c=83, f1=30, n+=180 -> C = 1 - 30/180.
+        fp = Fingerprint(frequencies={1: 30, 2: 20}, num_observations=180)
+        assert good_turing_coverage(fp) == pytest.approx(1 - 30 / 180)
+
+
+class TestSkewCoefficient:
+    def test_uniform_counts_give_zero_skew(self):
+        # All items observed equally often: no excess variance.
+        fp = fingerprint_from_counts([3, 3, 3, 3])
+        assert skew_coefficient(fp) == pytest.approx(0.0, abs=1e-9)
+
+    def test_skew_is_non_negative(self):
+        fp = fingerprint_from_counts([1, 1, 1, 10, 10])
+        assert skew_coefficient(fp) >= 0.0
+
+    def test_tiny_sample_returns_zero(self):
+        assert skew_coefficient(fingerprint_from_counts([1])) == 0.0
+
+
+class TestChao92Formula:
+    def test_paper_example_one_value(self):
+        # Example 1 of the paper: c=83, f1=30, n+=180 and no skew correction
+        # give an estimate of ~99.6 (remaining ~16.6 errors).
+        fp = Fingerprint(frequencies={1: 30, 2: 53}, num_observations=180)
+        estimate = chao92_estimate(fp, distinct=83, use_skew_correction=False)
+        assert estimate == pytest.approx(83 / (1 - 30 / 180), rel=1e-9)
+        assert estimate - 83 == pytest.approx(16.6, abs=0.1)
+
+    def test_paper_example_two_value(self):
+        # Example 2: false positives raise c to 102, f1 to 46 and n+ to 208;
+        # the estimate jumps to ~131.
+        fp = Fingerprint(frequencies={1: 46, 2: 56}, num_observations=208)
+        estimate = chao92_estimate(fp, distinct=102, use_skew_correction=False)
+        assert estimate == pytest.approx(102 / (1 - 46 / 208), rel=1e-9)
+        assert estimate == pytest.approx(131, abs=1.0)
+
+    def test_zero_coverage_falls_back_to_observed(self):
+        fp = fingerprint_from_counts([1, 1])
+        assert chao92_estimate(fp) == 2.0
+
+    def test_skew_correction_never_decreases_estimate(self):
+        fp = fingerprint_from_counts([1, 1, 1, 2, 2, 7, 9])
+        plain = chao92_estimate(fp, use_skew_correction=False)
+        corrected = chao92_estimate(fp, use_skew_correction=True)
+        assert corrected >= plain
+
+    def test_estimate_at_least_observed(self):
+        fp = fingerprint_from_counts([1, 2, 3, 4])
+        assert chao92_estimate(fp) >= fp.distinct
+
+    def test_distinct_override(self):
+        fp = fingerprint_from_counts([1, 1, 2])
+        assert chao92_estimate(fp, distinct=10, use_skew_correction=False) == pytest.approx(
+            10 / (1 - 2 / 4)
+        )
+
+
+class TestChao92Estimator:
+    def test_estimator_close_to_truth_without_false_positives(self):
+        dataset = generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=1000, num_errors=100), seed=5
+        )
+        config = SimulationConfig(
+            num_tasks=120,
+            items_per_task=20,
+            worker_profile=WorkerProfile.false_negative_only(0.1),
+            seed=5,
+        )
+        simulation = CrowdSimulator(dataset, config).run()
+        result = Chao92Estimator().estimate(simulation.matrix)
+        assert result.estimate == pytest.approx(100, rel=0.2)
+
+    def test_estimator_overestimates_with_false_positives(self):
+        dataset = generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=1000, num_errors=100), seed=6
+        )
+        config = SimulationConfig(
+            num_tasks=120,
+            items_per_task=20,
+            worker_profile=WorkerProfile(false_negative_rate=0.1, false_positive_rate=0.01),
+            seed=6,
+        )
+        simulation = CrowdSimulator(dataset, config).run()
+        result = Chao92Estimator().estimate(simulation.matrix)
+        # The singleton-error entanglement: the estimate blows past the truth.
+        assert result.estimate > 120
+
+    def test_result_fields(self, noisy_crowd_simulation):
+        result = Chao92Estimator().estimate(noisy_crowd_simulation.matrix)
+        assert result.estimate >= result.observed
+        assert result.remaining == pytest.approx(result.estimate - result.observed)
+        assert {"coverage", "singletons", "positive_votes"} <= set(result.details)
+
+    def test_empty_matrix_prefix(self, noisy_crowd_simulation):
+        result = Chao92Estimator().estimate(noisy_crowd_simulation.matrix, upto=0)
+        assert result.estimate == 0.0
+        assert result.observed == 0.0
+
+    def test_skew_correction_flag(self, noisy_crowd_simulation):
+        with_skew = Chao92Estimator(use_skew_correction=True).estimate(
+            noisy_crowd_simulation.matrix
+        )
+        without_skew = Chao92Estimator(use_skew_correction=False).estimate(
+            noisy_crowd_simulation.matrix
+        )
+        assert with_skew.estimate >= without_skew.estimate

@@ -1,0 +1,112 @@
+"""Tests for the extrapolation baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.core.extrapolation import (
+    ExtrapolationEstimator,
+    extrapolate_from_sample,
+    extrapolation_band,
+    oracle_sample_extrapolations,
+)
+
+
+class TestExtrapolateFromSample:
+    def test_paper_worked_example(self):
+        # "if a sample of s = 1% would contain 4 errors, the whole data set
+        # has 400 errors, i.e. 396 remaining".
+        result = extrapolate_from_sample(sample_size=100, sample_errors=4, population_size=10_000)
+        assert result["total"] == pytest.approx(400.0)
+        assert result["remaining"] == pytest.approx(396.0)
+        assert result["rate"] == pytest.approx(0.04)
+
+    def test_zero_errors(self):
+        result = extrapolate_from_sample(50, 0, 1000)
+        assert result["total"] == 0.0
+        assert result["remaining"] == 0.0
+
+    def test_full_population_sample_is_identity(self):
+        result = extrapolate_from_sample(100, 7, 100)
+        assert result["total"] == pytest.approx(7.0)
+        assert result["remaining"] == pytest.approx(0.0)
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ValidationError):
+            extrapolate_from_sample(0, 0, 100)
+
+
+class TestOracleSampleExtrapolations:
+    def test_number_of_samples(self, synthetic_population):
+        results = oracle_sample_extrapolations(
+            synthetic_population, sample_fraction=0.1, num_samples=4, seed=0
+        )
+        assert len(results) == 4
+
+    def test_sample_errors_bounded_by_sample_size(self, synthetic_population):
+        for result in oracle_sample_extrapolations(
+            synthetic_population, sample_fraction=0.05, num_samples=5, seed=1
+        ):
+            assert 0 <= result["sample_errors"] <= result["sample_size"]
+
+    def test_large_samples_approach_truth(self, synthetic_population):
+        results = oracle_sample_extrapolations(
+            synthetic_population, sample_fraction=0.9, num_samples=3, seed=2
+        )
+        for result in results:
+            assert result["total"] == pytest.approx(synthetic_population.num_dirty, rel=0.2)
+
+    def test_small_samples_have_high_variance(self, synthetic_population):
+        # The Figure 2(a) message: tiny samples of rare errors swing wildly.
+        results = oracle_sample_extrapolations(
+            synthetic_population, sample_fraction=0.02, num_samples=10, seed=3
+        )
+        estimates = [r["total"] for r in results]
+        assert max(estimates) - min(estimates) > 0.3 * synthetic_population.num_dirty
+
+    def test_invalid_fraction_rejected(self, synthetic_population):
+        with pytest.raises(ValidationError):
+            oracle_sample_extrapolations(synthetic_population, sample_fraction=0.0)
+
+
+class TestExtrapolationEstimator:
+    def test_no_votes_gives_zero(self, small_matrix):
+        result = ExtrapolationEstimator().estimate(small_matrix, upto=0)
+        assert result.estimate == 0.0
+
+    def test_scales_sample_rate_to_population(self, small_matrix):
+        # All 4 items covered, 3 labelled dirty by majority -> estimate 3.
+        result = ExtrapolationEstimator().estimate(small_matrix)
+        assert result.estimate == pytest.approx(3.0)
+        assert result.details["covered_items"] == 4.0
+
+    def test_partial_coverage_extrapolates(self, small_matrix):
+        # After one column only items 0, 1, 2 are covered; 2 are dirty.
+        result = ExtrapolationEstimator().estimate(small_matrix, upto=1)
+        assert result.details["covered_items"] == 3.0
+        assert result.estimate == pytest.approx(4 * 2 / 3)
+
+    def test_min_votes_threshold(self, small_matrix):
+        result = ExtrapolationEstimator(min_votes=3).estimate(small_matrix)
+        assert result.details["covered_items"] == 2.0  # items 0 and 3 have >= 3 votes
+
+    def test_invalid_min_votes(self):
+        with pytest.raises(Exception):
+            ExtrapolationEstimator(min_votes=0)
+
+
+class TestExtrapolationBand:
+    def test_band_centres_on_mean(self):
+        band = extrapolation_band([10.0, 20.0, 30.0])
+        assert band["mean"] == pytest.approx(20.0)
+        assert band["low"] == pytest.approx(20.0 - band["std"])
+        assert band["high"] == pytest.approx(20.0 + band["std"])
+
+    def test_single_value_has_zero_std(self):
+        band = extrapolation_band([5.0])
+        assert band["std"] == 0.0
+
+    def test_empty_band(self):
+        band = extrapolation_band([])
+        assert band == {"mean": 0.0, "std": 0.0, "low": 0.0, "high": 0.0}

@@ -1,0 +1,138 @@
+"""Tests for the f-statistics / fingerprint machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.core.fstatistics import (
+    Fingerprint,
+    fingerprint_entropy,
+    fingerprint_from_counts,
+    positive_vote_fingerprint,
+)
+
+
+class TestFingerprintConstruction:
+    def test_from_counts_basic(self):
+        # counts: three singletons, one doubleton, one item seen 4 times
+        fp = fingerprint_from_counts([1, 1, 1, 2, 4, 0, 0])
+        assert fp.f(1) == 3
+        assert fp.f(2) == 1
+        assert fp.f(4) == 1
+        assert fp.f(3) == 0
+
+    def test_zero_counts_ignored(self):
+        fp = fingerprint_from_counts([0, 0, 0])
+        assert fp.distinct == 0
+        assert fp.num_observations == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            fingerprint_from_counts([1, -2])
+
+    def test_num_observations_defaults_to_sum(self):
+        fp = fingerprint_from_counts([1, 2, 3])
+        assert fp.num_observations == 6
+
+    def test_num_observations_override(self):
+        fp = fingerprint_from_counts([1, 2], num_observations=10)
+        assert fp.num_observations == 10
+
+    def test_invalid_frequency_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            Fingerprint(frequencies={0: 3})
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValidationError):
+            Fingerprint(frequencies={1: -1})
+
+
+class TestFingerprintProperties:
+    def test_distinct_is_sum_of_frequencies(self):
+        fp = fingerprint_from_counts([1, 1, 2, 3])
+        assert fp.distinct == 4
+
+    def test_singletons_and_doubletons(self):
+        fp = fingerprint_from_counts([1, 1, 2])
+        assert fp.singletons == 2
+        assert fp.doubletons == 1
+
+    def test_total_occurrences_matches_counts(self):
+        counts = [1, 1, 2, 5]
+        fp = fingerprint_from_counts(counts)
+        assert fp.total_occurrences == sum(counts)
+
+    def test_max_frequency(self):
+        fp = fingerprint_from_counts([1, 7, 2])
+        assert fp.max_frequency == 7
+
+    def test_max_frequency_empty(self):
+        assert fingerprint_from_counts([]).max_frequency == 0
+
+    def test_as_dict_is_copy(self):
+        fp = fingerprint_from_counts([1, 2])
+        d = fp.as_dict()
+        d[1] = 99
+        assert fp.f(1) == 1
+
+
+class TestShifting:
+    def test_shift_zero_is_identity(self):
+        fp = fingerprint_from_counts([1, 1, 2, 3])
+        assert fp.shifted(0) is fp
+
+    def test_shift_one_promotes_doubletons(self):
+        # The vChao92 idea: f_{1+s} plays the role of f_1.
+        fp = fingerprint_from_counts([1, 1, 1, 2, 2, 3])
+        shifted = fp.shifted(1)
+        assert shifted.f(1) == 2  # old doubletons
+        assert shifted.f(2) == 1  # old tripleton
+        assert shifted.f(3) == 0
+
+    def test_shift_adjusts_observation_count(self):
+        fp = fingerprint_from_counts([1, 1, 1, 2, 2, 3])  # n = 10
+        shifted = fp.shifted(1)
+        # n^{+,s} = n^+ - f_1 = 10 - 3
+        assert shifted.num_observations == 7
+
+    def test_shift_beyond_max_frequency_empties_fingerprint(self):
+        fp = fingerprint_from_counts([1, 2])
+        shifted = fp.shifted(5)
+        assert shifted.distinct == 0
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValidationError):
+            fingerprint_from_counts([1]).shifted(-1)
+
+
+class TestPositiveVoteFingerprint:
+    def test_fingerprint_from_matrix(self, small_matrix):
+        # positive counts per item are [3, 0, 1, 2]
+        fp = positive_vote_fingerprint(small_matrix)
+        assert fp.f(1) == 1
+        assert fp.f(2) == 1
+        assert fp.f(3) == 1
+        assert fp.distinct == 3
+        assert fp.num_observations == 6  # n^+ = total dirty votes
+
+    def test_fingerprint_respects_prefix(self, small_matrix):
+        fp = positive_vote_fingerprint(small_matrix, upto=1)
+        assert fp.distinct == 2
+        assert fp.num_observations == 2
+
+    def test_empty_prefix(self, small_matrix):
+        fp = positive_vote_fingerprint(small_matrix, upto=0)
+        assert fp.distinct == 0
+        assert fp.num_observations == 0
+
+
+class TestEntropy:
+    def test_entropy_of_empty_fingerprint_is_zero(self):
+        assert fingerprint_entropy(fingerprint_from_counts([])) == 0.0
+
+    def test_entropy_of_single_class_is_zero(self):
+        assert fingerprint_entropy(fingerprint_from_counts([1, 1, 1])) == 0.0
+
+    def test_entropy_positive_for_mixed_classes(self):
+        assert fingerprint_entropy(fingerprint_from_counts([1, 1, 2, 3])) > 0.0

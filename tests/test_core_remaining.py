@@ -1,0 +1,48 @@
+"""Tests for the user-facing remaining-error helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.descriptive import VotingEstimator, majority_estimate
+from repro.core.remaining import DataQualityReport, data_quality_report, remaining_errors
+
+
+class TestRemainingErrors:
+    def test_default_estimator_is_switch_total(self, noisy_crowd_simulation):
+        value = remaining_errors(noisy_crowd_simulation.matrix)
+        assert value >= 0.0
+
+    def test_descriptive_estimator_gives_zero_remaining(self, noisy_crowd_simulation):
+        value = remaining_errors(noisy_crowd_simulation.matrix, estimator=VotingEstimator())
+        assert value == 0.0
+
+    def test_prefix_argument(self, noisy_crowd_simulation):
+        early = remaining_errors(noisy_crowd_simulation.matrix, upto=10)
+        assert early >= 0.0
+
+
+class TestDataQualityReport:
+    def test_report_fields_consistent(self, noisy_crowd_simulation):
+        report = data_quality_report(noisy_crowd_simulation.matrix)
+        assert isinstance(report, DataQualityReport)
+        assert report.detected_errors == float(majority_estimate(noisy_crowd_simulation.matrix))
+        assert report.estimated_remaining_errors == pytest.approx(
+            max(0.0, report.estimated_total_errors - report.detected_errors)
+        )
+        assert 0.0 <= report.quality_score <= 1.0
+        assert report.num_tasks == noisy_crowd_simulation.matrix.num_columns
+
+    def test_quality_score_is_one_when_nothing_estimated(self, small_matrix):
+        report = data_quality_report(small_matrix, upto=0)
+        assert report.quality_score == 1.0
+        assert report.estimated_total_errors == 0.0
+
+    def test_estimator_name_recorded(self, noisy_crowd_simulation):
+        report = data_quality_report(noisy_crowd_simulation.matrix, estimator=VotingEstimator())
+        assert report.estimator_name == "voting"
+
+    def test_quality_improves_with_more_tasks(self, noisy_crowd_simulation):
+        early = data_quality_report(noisy_crowd_simulation.matrix, upto=10)
+        late = data_quality_report(noisy_crowd_simulation.matrix)
+        assert late.quality_score >= early.quality_score - 0.2

@@ -1,0 +1,140 @@
+"""Tests for the extra species estimators, the metrics and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.core.base import EstimatorProtocol
+from repro.core.fstatistics import fingerprint_from_counts
+from repro.core.metrics import (
+    absolute_error,
+    mean_and_std,
+    relative_error,
+    scaled_rmse,
+    signed_error,
+)
+from repro.core.registry import available_estimators, get_estimator, register_estimator
+from repro.core.species import (
+    Chao84Estimator,
+    GoodTuringEstimator,
+    JackknifeEstimator,
+    chao84_estimate,
+    good_turing_estimate,
+    jackknife_estimate,
+)
+
+
+class TestExtraSpeciesEstimators:
+    def test_good_turing_matches_coverage_scaling(self):
+        fp = fingerprint_from_counts([1, 1, 2, 4])  # n=8, f1=2, c=4
+        assert good_turing_estimate(fp) == pytest.approx(4 / (1 - 2 / 8))
+
+    def test_good_turing_zero_coverage_fallback(self):
+        fp = fingerprint_from_counts([1, 1])
+        assert good_turing_estimate(fp) == 2.0
+
+    def test_chao84_with_doubletons(self):
+        fp = fingerprint_from_counts([1, 1, 1, 2, 2])  # f1=3, f2=2, c=5
+        assert chao84_estimate(fp) == pytest.approx(5 + 9 / 4)
+
+    def test_chao84_bias_corrected_without_doubletons(self):
+        fp = fingerprint_from_counts([1, 1, 3])  # f1=2, f2=0, c=3
+        assert chao84_estimate(fp) == pytest.approx(3 + 2 * 1 / 2)
+
+    def test_jackknife_first_order(self):
+        fp = fingerprint_from_counts([1, 1, 2])  # n=4, f1=2, c=3
+        assert jackknife_estimate(fp, order=1) == pytest.approx(3 + 2 * 3 / 4)
+
+    def test_jackknife_second_order(self):
+        fp = fingerprint_from_counts([1, 1, 2])  # f1=2, f2=1, c=3
+        assert jackknife_estimate(fp, order=2) == pytest.approx(3 + 4 - 1)
+
+    def test_jackknife_invalid_order(self):
+        with pytest.raises(ValueError):
+            jackknife_estimate(fingerprint_from_counts([1]), order=3)
+
+    def test_matrix_level_wrappers_return_results(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        for estimator in (GoodTuringEstimator(), Chao84Estimator(), JackknifeEstimator()):
+            result = estimator.estimate(matrix)
+            assert result.estimate >= result.observed >= 0
+
+    def test_all_species_estimators_at_least_observed(self, clean_crowd_simulation):
+        matrix = clean_crowd_simulation.matrix
+        for estimator in (GoodTuringEstimator(), Chao84Estimator(), JackknifeEstimator(order=2)):
+            result = estimator.estimate(matrix)
+            assert result.estimate >= result.observed
+
+
+class TestMetrics:
+    def test_absolute_and_signed_error(self):
+        assert absolute_error(12, 10) == 2
+        assert signed_error(8, 10) == -2
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_relative_error_zero_truth_rejected(self):
+        with pytest.raises(ValidationError):
+            relative_error(5, 0)
+
+    def test_scaled_rmse_exact_estimates(self):
+        assert scaled_rmse([100, 100, 100], 100) == 0.0
+
+    def test_scaled_rmse_known_value(self):
+        # estimates 90 and 110 around truth 100: RMSE = 10, scaled = 0.1.
+        assert scaled_rmse([90, 110], 100) == pytest.approx(0.1)
+
+    def test_scaled_rmse_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            scaled_rmse([], 100)
+
+    def test_scaled_rmse_zero_truth_rejected(self):
+        with pytest.raises(ValidationError):
+            scaled_rmse([1.0], 0)
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(1.4142, abs=1e-3)
+
+    def test_mean_and_std_single_value(self):
+        assert mean_and_std([4.0]) == (4.0, 0.0)
+
+    def test_mean_and_std_empty(self):
+        assert mean_and_std([]) == (0.0, 0.0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_estimators()
+        for expected in ("chao92", "vchao92", "switch", "switch_total", "voting", "nominal"):
+            assert expected in names
+
+    def test_get_estimator_returns_fresh_instances(self):
+        a = get_estimator("chao92")
+        b = get_estimator("chao92")
+        assert a is not b
+        assert isinstance(a, EstimatorProtocol)
+
+    def test_get_estimator_case_insensitive(self):
+        assert get_estimator("CHAO92").name == "chao92"
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown estimator"):
+            get_estimator("does-not-exist")
+
+    def test_register_and_retrieve_custom_estimator(self):
+        from repro.core.descriptive import NominalEstimator
+
+        register_estimator("custom_nominal_test", NominalEstimator, overwrite=True)
+        assert "custom_nominal_test" in available_estimators()
+        assert get_estimator("custom_nominal_test").name == "nominal"
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        from repro.core.descriptive import NominalEstimator
+
+        register_estimator("dup_test_estimator", NominalEstimator, overwrite=True)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_estimator("dup_test_estimator", NominalEstimator)

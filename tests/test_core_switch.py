@@ -1,0 +1,190 @@
+"""Tests for switch counting and the SWITCH estimator (Section 4 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.switch import (
+    NEGATIVE,
+    POSITIVE,
+    SwitchEstimator,
+    count_switches,
+    estimate_remaining_switches,
+    estimate_total_switches,
+    switch_statistics,
+)
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+def _matrix(rows):
+    return ResponseMatrix.from_array(np.array(rows, dtype=np.int8))
+
+
+class TestSwitchCounting:
+    def test_no_votes_no_switches(self):
+        stats = switch_statistics(_matrix([[UNSEEN, UNSEEN]]))
+        assert stats.num_switches == 0
+        assert stats.n_switch == 0
+
+    def test_first_positive_vote_is_a_switch(self):
+        # Equation 7, part ii.
+        stats = switch_statistics(_matrix([[DIRTY, UNSEEN]]))
+        assert stats.num_switches == 1
+        assert stats.events[0].direction == POSITIVE
+
+    def test_first_clean_vote_is_not_a_switch(self):
+        stats = switch_statistics(_matrix([[CLEAN, UNSEEN]]))
+        assert stats.num_switches == 0
+
+    def test_clean_votes_before_first_switch_are_noops(self):
+        # Two clean votes then a tie-making dirty vote... a single dirty vote
+        # after cleans cannot tie, so no switch; all votes are no-ops.
+        stats = switch_statistics(_matrix([[CLEAN, CLEAN, DIRTY]]))
+        assert stats.num_switches == 0
+        assert stats.n_switch == 0
+
+    def test_tie_after_clean_start_is_a_switch(self):
+        # clean, dirty -> tie at the second vote -> switch to dirty.
+        stats = switch_statistics(_matrix([[CLEAN, DIRTY, UNSEEN]]))
+        assert stats.num_switches == 1
+        assert stats.events[0].direction == POSITIVE
+        assert stats.final_consensus[0] == 1
+
+    def test_dirty_then_tie_is_negative_switch(self):
+        # dirty (switch to dirty), clean (tie -> switch back to clean).
+        stats = switch_statistics(_matrix([[DIRTY, CLEAN, UNSEEN]]))
+        assert stats.num_switches == 2
+        assert [e.direction for e in stats.events] == [POSITIVE, NEGATIVE]
+        assert stats.final_consensus[0] == 0
+
+    def test_rediscoveries_increment_switch_count(self):
+        # dirty, dirty, dirty: one switch rediscovered twice (a tripleton).
+        stats = switch_statistics(_matrix([[DIRTY, DIRTY, DIRTY]]))
+        assert stats.num_switches == 1
+        assert stats.events[0].rediscoveries == 3
+        fp = stats.fingerprint()
+        assert fp.f(3) == 1
+        assert fp.f(1) == 0
+
+    def test_alternating_votes_create_multiple_switches(self):
+        # dirty, clean, dirty, clean -> switches at votes 1, 2, 3(tie at 2-1?)...
+        stats = switch_statistics(_matrix([[DIRTY, CLEAN, DIRTY, CLEAN]]))
+        # vote1: switch(+); vote2: tie -> switch(-); vote3: 2-1 no tie -> rediscover;
+        # vote4: 2-2 tie -> switch(+)... wait direction alternates from current state.
+        assert stats.num_switches >= 3
+        directions = [e.direction for e in stats.events]
+        assert directions[0] == POSITIVE
+        assert directions[1] == NEGATIVE
+
+    def test_n_switch_excludes_pre_switch_noops(self):
+        # clean, clean, dirty, dirty: positives reach a tie at vote 4.
+        stats = switch_statistics(_matrix([[CLEAN, CLEAN, DIRTY, DIRTY]]))
+        assert stats.num_switches == 1
+        # Only the switch-causing vote counts toward n_switch; the three
+        # preceding votes are no-ops.
+        assert stats.n_switch == 1
+        assert stats.total_votes == 4
+
+    def test_count_switches_matches_statistics(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        assert count_switches(matrix) == switch_statistics(matrix).num_switches
+
+    def test_items_with_switches_counts_items_not_events(self):
+        stats = switch_statistics(
+            _matrix(
+                [
+                    [DIRTY, CLEAN, DIRTY],  # multiple switches on one item
+                    [CLEAN, UNSEEN, UNSEEN],
+                    [DIRTY, UNSEEN, UNSEEN],
+                ]
+            )
+        )
+        assert stats.items_with_switches == 2
+
+    def test_statistics_respect_prefix(self):
+        matrix = _matrix([[DIRTY, CLEAN, DIRTY]])
+        assert switch_statistics(matrix, upto=1).num_switches == 1
+        assert switch_statistics(matrix, upto=2).num_switches == 2
+
+    def test_directional_filters(self):
+        stats = switch_statistics(_matrix([[DIRTY, CLEAN, UNSEEN], [DIRTY, UNSEEN, UNSEEN]]))
+        assert stats.num_switches_by_direction(POSITIVE) == 2
+        assert stats.num_switches_by_direction(NEGATIVE) == 1
+        assert stats.items_with_direction(POSITIVE) == 2
+        assert stats.items_with_direction(NEGATIVE) == 1
+
+
+class TestSwitchFingerprint:
+    def test_fingerprint_uses_n_switch_as_observations(self):
+        stats = switch_statistics(_matrix([[DIRTY, DIRTY, UNSEEN], [CLEAN, DIRTY, UNSEEN]]))
+        fp = stats.fingerprint()
+        assert fp.num_observations == stats.n_switch
+
+    def test_directional_fingerprint_subsets_events(self):
+        stats = switch_statistics(_matrix([[DIRTY, CLEAN, UNSEEN]]))
+        positive_fp = stats.fingerprint(POSITIVE)
+        negative_fp = stats.fingerprint(NEGATIVE)
+        assert positive_fp.distinct == 1
+        assert negative_fp.distinct == 1
+
+
+class TestSwitchEstimation:
+    def test_zero_observed_switches_give_zero_estimate(self):
+        stats = switch_statistics(_matrix([[CLEAN, CLEAN], [CLEAN, UNSEEN]]))
+        assert estimate_total_switches(stats) == 0.0
+        assert estimate_remaining_switches(stats) == 0.0
+
+    def test_remaining_is_total_minus_observed(self, noisy_crowd_simulation):
+        stats = switch_statistics(noisy_crowd_simulation.matrix, upto=40)
+        total = estimate_total_switches(stats)
+        remaining = estimate_remaining_switches(stats)
+        assert remaining == pytest.approx(max(0.0, total - stats.num_switches))
+
+    def test_estimator_converges_toward_observed_with_confirmation(self):
+        # Many confirming votes turn every switch into a high-frequency
+        # rediscovery, so few remaining switches should be predicted.
+        rows = [[DIRTY] * 12 for _ in range(5)]
+        matrix = _matrix(rows)
+        result = SwitchEstimator().estimate(matrix)
+        assert result.remaining == pytest.approx(0.0, abs=1.0)
+
+    def test_estimator_result_details(self, noisy_crowd_simulation):
+        result = SwitchEstimator().estimate(noisy_crowd_simulation.matrix)
+        assert {"n_switch", "coverage", "items_with_switches"} <= set(result.details)
+        assert result.estimate >= 0.0
+
+    def test_directional_estimator(self, noisy_crowd_simulation):
+        positive = SwitchEstimator(direction=POSITIVE).estimate(noisy_crowd_simulation.matrix)
+        negative = SwitchEstimator(direction=NEGATIVE).estimate(noisy_crowd_simulation.matrix)
+        combined = SwitchEstimator().estimate(noisy_crowd_simulation.matrix)
+        assert positive.observed + negative.observed == pytest.approx(combined.observed)
+
+    def test_switch_estimate_tracks_true_remaining_errors(self):
+        # With false-negative-only workers and a modest number of tasks the
+        # number of remaining positive switches should approximate the number
+        # of errors the consensus has not yet flagged.
+        dataset = generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=500, num_errors=50), seed=21
+        )
+        config = SimulationConfig(
+            num_tasks=100,
+            items_per_task=15,
+            worker_profile=WorkerProfile.false_negative_only(0.1),
+            seed=21,
+        )
+        simulation = CrowdSimulator(dataset, config).run()
+        stats = switch_statistics(simulation.matrix)
+        consensus_errors = sum(stats.final_consensus.values())
+        remaining_estimate = estimate_remaining_switches(stats, direction=POSITIVE)
+        true_remaining = 50 - sum(
+            1
+            for item, label in stats.final_consensus.items()
+            if label == 1 and simulation.ground_truth[item] == 1
+        )
+        assert consensus_errors <= 50
+        assert remaining_estimate == pytest.approx(true_remaining, abs=12)

@@ -1,0 +1,123 @@
+"""Tests for the switch-based total-error estimator (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.core.descriptive import majority_estimate
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+def _simulate(false_negative_rate, false_positive_rate, *, num_tasks=150, seed=0):
+    dataset = generate_synthetic_pairs(
+        SyntheticPairConfig(num_items=1000, num_errors=100), seed=seed
+    )
+    config = SimulationConfig(
+        num_tasks=num_tasks,
+        items_per_task=15,
+        worker_profile=WorkerProfile(
+            false_negative_rate=false_negative_rate,
+            false_positive_rate=false_positive_rate,
+        ),
+        seed=seed,
+    )
+    return CrowdSimulator(dataset, config).run()
+
+
+class TestConfiguration:
+    def test_invalid_trend_mode_rejected(self):
+        with pytest.raises(ValidationError, match="trend_mode"):
+            SwitchTotalErrorEstimator(trend_mode="sideways")
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(Exception):
+            SwitchTotalErrorEstimator(trend_window=0)
+
+    @pytest.mark.parametrize("mode", ["auto", "positive", "negative", "both"])
+    def test_all_modes_accepted(self, mode):
+        assert SwitchTotalErrorEstimator(trend_mode=mode).trend_mode == mode
+
+
+class TestCorrections:
+    def test_forced_positive_adds_positive_switches(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        majority = majority_estimate(matrix)
+        result = SwitchTotalErrorEstimator(trend_mode="positive").estimate(matrix)
+        assert result.estimate >= majority
+        assert result.details["correction"] == 1.0
+
+    def test_forced_negative_subtracts_negative_switches(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        majority = majority_estimate(matrix)
+        result = SwitchTotalErrorEstimator(trend_mode="negative").estimate(matrix)
+        assert result.estimate <= majority
+        assert result.details["correction"] == -1.0
+
+    def test_both_mode_combines_corrections(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        majority = majority_estimate(matrix)
+        result = SwitchTotalErrorEstimator(trend_mode="both").estimate(matrix)
+        expected = majority + result.details["xi_positive"] - result.details["xi_negative"]
+        assert result.estimate == pytest.approx(max(0.0, expected))
+
+    def test_estimate_never_negative(self, small_matrix):
+        result = SwitchTotalErrorEstimator(trend_mode="negative").estimate(small_matrix)
+        assert result.estimate >= 0.0
+
+    def test_observed_is_majority(self, noisy_crowd_simulation):
+        result = SwitchTotalErrorEstimator().estimate(noisy_crowd_simulation.matrix)
+        assert result.observed == float(majority_estimate(noisy_crowd_simulation.matrix))
+
+    def test_details_expose_switch_counts(self, noisy_crowd_simulation):
+        result = SwitchTotalErrorEstimator().estimate(noisy_crowd_simulation.matrix)
+        assert result.details["observed_switches"] == (
+            result.details["observed_positive_switches"]
+            + result.details["observed_negative_switches"]
+        )
+
+
+class TestTrendDetection:
+    def test_auto_uses_positive_correction_in_fn_regime(self):
+        # False negatives dominate: the majority count increases over time,
+        # so SWITCH should add the remaining positive switches (Figure 4).
+        simulation = _simulate(false_negative_rate=0.35, false_positive_rate=0.0, seed=2)
+        result = SwitchTotalErrorEstimator(trend_mode="auto").estimate(simulation.matrix)
+        assert result.details["correction"] >= 0.0
+        assert result.estimate >= result.observed
+
+    def test_zero_columns_uses_symmetric_fallback(self, small_matrix):
+        result = SwitchTotalErrorEstimator().estimate(small_matrix, upto=0)
+        assert result.estimate == 0.0
+
+
+class TestAccuracy:
+    def test_accurate_in_fn_only_regime(self):
+        simulation = _simulate(false_negative_rate=0.10, false_positive_rate=0.0, seed=3)
+        result = SwitchTotalErrorEstimator().estimate(simulation.matrix)
+        assert result.estimate == pytest.approx(100, rel=0.25)
+
+    def test_accurate_in_mixed_regime(self):
+        simulation = _simulate(false_negative_rate=0.10, false_positive_rate=0.01, seed=4)
+        result = SwitchTotalErrorEstimator().estimate(simulation.matrix)
+        assert result.estimate == pytest.approx(100, rel=0.25)
+
+    def test_closer_to_truth_than_chao92_with_false_positives(self):
+        from repro.core.chao92 import Chao92Estimator
+
+        simulation = _simulate(false_negative_rate=0.10, false_positive_rate=0.01, seed=5)
+        switch = SwitchTotalErrorEstimator().estimate(simulation.matrix).estimate
+        chao = Chao92Estimator().estimate(simulation.matrix).estimate
+        truth = simulation.true_error_count
+        assert abs(switch - truth) < abs(chao - truth)
+
+    def test_at_least_as_good_as_voting_given_enough_tasks(self):
+        simulation = _simulate(false_negative_rate=0.2, false_positive_rate=0.01, seed=6, num_tasks=250)
+        matrix = simulation.matrix
+        truth = simulation.true_error_count
+        switch = SwitchTotalErrorEstimator().estimate(matrix).estimate
+        voting = float(majority_estimate(matrix))
+        assert abs(switch - truth) <= abs(voting - truth) + 5

@@ -1,0 +1,111 @@
+"""Tests for the vChao92 estimator and the descriptive baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.descriptive import (
+    NominalEstimator,
+    VotingEstimator,
+    majority_estimate,
+    nominal_estimate,
+)
+from repro.core.fstatistics import fingerprint_from_counts
+from repro.core.vchao92 import VChao92Estimator, vchao92_estimate
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+class TestDescriptiveBaselines:
+    def test_nominal_estimate_matches_consensus(self, small_matrix):
+        assert nominal_estimate(small_matrix) == 3
+
+    def test_majority_estimate_matches_consensus(self, small_matrix):
+        assert majority_estimate(small_matrix) == 3
+
+    def test_nominal_estimator_result_is_descriptive(self, small_matrix):
+        result = NominalEstimator().estimate(small_matrix)
+        assert result.estimate == result.observed == 3.0
+        assert result.remaining == 0.0
+
+    def test_voting_estimator_result_is_descriptive(self, small_matrix):
+        result = VotingEstimator().estimate(small_matrix)
+        assert result.estimate == result.observed == 3.0
+
+    def test_voting_estimator_prefix(self, small_matrix):
+        result = VotingEstimator().estimate(small_matrix, upto=1)
+        assert result.estimate == 2.0
+
+    def test_nominal_upper_bounds_majority_on_noisy_data(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        nominal = NominalEstimator().estimate(matrix)
+        voting = VotingEstimator().estimate(matrix)
+        assert nominal.estimate >= voting.estimate
+
+
+class TestVChao92Formula:
+    def test_shift_zero_reduces_to_chao_on_majority(self):
+        fp = fingerprint_from_counts([1, 1, 2, 3])
+        estimate = vchao92_estimate(fp, majority_count=3, shift=0, use_skew_correction=False)
+        assert estimate == pytest.approx(3 / (1 - 2 / 7))
+
+    def test_shift_one_uses_doubletons_as_singletons(self):
+        fp = fingerprint_from_counts([1, 1, 1, 2, 2, 3])  # n=10, f1=3, f2=2, f3=1
+        estimate = vchao92_estimate(fp, majority_count=4, shift=1, use_skew_correction=False)
+        # shifted: f1=2 (old f2), n = 10 - 3 = 7
+        assert estimate == pytest.approx(4 / (1 - 2 / 7))
+
+    def test_zero_coverage_falls_back_to_majority(self):
+        fp = fingerprint_from_counts([1, 1])
+        assert vchao92_estimate(fp, majority_count=5, shift=0) == 5.0
+
+    def test_shift_fully_exhausting_statistics_falls_back(self):
+        fp = fingerprint_from_counts([1, 1, 2])
+        assert vchao92_estimate(fp, majority_count=2, shift=10) == 2.0
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(Exception):
+            vchao92_estimate(fingerprint_from_counts([1]), majority_count=1, shift=-1)
+
+
+class TestVChao92Estimator:
+    def _simulate(self, false_positive_rate: float, seed: int = 8):
+        dataset = generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=1000, num_errors=100), seed=seed
+        )
+        config = SimulationConfig(
+            num_tasks=120,
+            items_per_task=20,
+            worker_profile=WorkerProfile(
+                false_negative_rate=0.1, false_positive_rate=false_positive_rate
+            ),
+            seed=seed,
+        )
+        return CrowdSimulator(dataset, config).run()
+
+    def test_more_robust_to_false_positives_than_chao92(self):
+        from repro.core.chao92 import Chao92Estimator
+
+        simulation = self._simulate(false_positive_rate=0.01)
+        chao = Chao92Estimator().estimate(simulation.matrix).estimate
+        vchao = VChao92Estimator().estimate(simulation.matrix).estimate
+        truth = simulation.true_error_count
+        assert abs(vchao - truth) < abs(chao - truth)
+
+    def test_reasonable_without_false_positives(self):
+        simulation = self._simulate(false_positive_rate=0.0)
+        result = VChao92Estimator().estimate(simulation.matrix)
+        assert result.estimate == pytest.approx(100, rel=0.25)
+
+    def test_details_report_shift(self, noisy_crowd_simulation):
+        result = VChao92Estimator(shift=2).estimate(noisy_crowd_simulation.matrix)
+        assert result.details["shift"] == 2.0
+
+    def test_observed_is_majority_count(self, noisy_crowd_simulation):
+        result = VChao92Estimator().estimate(noisy_crowd_simulation.matrix)
+        assert result.observed == float(majority_estimate(noisy_crowd_simulation.matrix))
+
+    def test_invalid_shift_rejected(self):
+        with pytest.raises(Exception):
+            VChao92Estimator(shift=-1)

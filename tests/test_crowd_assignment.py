@@ -1,0 +1,138 @@
+"""Tests for the task-assignment strategies."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.crowd.assignment import (
+    FixedQuorumAssigner,
+    PrioritizedAssigner,
+    Task,
+    UniformRandomAssigner,
+)
+
+
+class TestUniformRandomAssigner:
+    def test_task_size_respected(self):
+        assigner = UniformRandomAssigner(list(range(50)), items_per_task=10, seed=0)
+        task = assigner.next_task()
+        assert len(task) == 10
+
+    def test_no_repeats_within_a_task(self):
+        assigner = UniformRandomAssigner(list(range(30)), items_per_task=15, seed=1)
+        for task in assigner.tasks(20):
+            assert len(set(task.item_ids)) == len(task.item_ids)
+
+    def test_task_ids_sequential(self):
+        assigner = UniformRandomAssigner(list(range(20)), items_per_task=5, seed=2)
+        tasks = assigner.tasks(4)
+        assert [t.task_id for t in tasks] == [0, 1, 2, 3]
+
+    def test_items_come_from_candidate_set(self):
+        candidate_ids = [100, 200, 300, 400, 500]
+        assigner = UniformRandomAssigner(candidate_ids, items_per_task=3, seed=3)
+        for task in assigner.tasks(10):
+            assert set(task.item_ids) <= set(candidate_ids)
+
+    def test_coverage_grows_with_tasks(self):
+        assigner = UniformRandomAssigner(list(range(100)), items_per_task=10, seed=4)
+        seen = set()
+        for task in assigner.tasks(50):
+            seen.update(task.item_ids)
+        # 500 draws over 100 items should touch almost everything.
+        assert len(seen) > 90
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty candidate set"):
+            UniformRandomAssigner([], items_per_task=1)
+
+    def test_oversized_task_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            UniformRandomAssigner([1, 2, 3], items_per_task=10)
+
+    def test_deterministic_for_seed(self):
+        a = UniformRandomAssigner(list(range(40)), items_per_task=5, seed=7).tasks(5)
+        b = UniformRandomAssigner(list(range(40)), items_per_task=5, seed=7).tasks(5)
+        assert [t.item_ids for t in a] == [t.item_ids for t in b]
+
+
+class TestPrioritizedAssigner:
+    def test_epsilon_zero_draws_only_ambiguous(self):
+        assigner = PrioritizedAssigner(
+            list(range(50)), list(range(50, 100)), items_per_task=10, epsilon=0.0, seed=0
+        )
+        for task in assigner.tasks(20):
+            assert all(item < 50 for item in task.item_ids)
+
+    def test_epsilon_one_draws_only_complement(self):
+        assigner = PrioritizedAssigner(
+            list(range(50)), list(range(50, 100)), items_per_task=10, epsilon=1.0, seed=0
+        )
+        for task in assigner.tasks(20):
+            assert all(item >= 50 for item in task.item_ids)
+
+    def test_intermediate_epsilon_mixes_roughly_proportionally(self):
+        assigner = PrioritizedAssigner(
+            list(range(200)), list(range(200, 400)), items_per_task=10, epsilon=0.2, seed=1
+        )
+        counts = Counter()
+        for task in assigner.tasks(200):
+            for item in task.item_ids:
+                counts["complement" if item >= 200 else "ambiguous"] += 1
+        complement_fraction = counts["complement"] / sum(counts.values())
+        assert complement_fraction == pytest.approx(0.2, abs=0.05)
+
+    def test_falls_back_when_one_side_empty(self):
+        assigner = PrioritizedAssigner(
+            list(range(20)), [], items_per_task=5, epsilon=0.5, seed=2
+        )
+        task = assigner.next_task()
+        assert len(task) == 5
+        assert all(item < 20 for item in task.item_ids)
+
+    def test_no_repeats_within_task(self):
+        assigner = PrioritizedAssigner(
+            list(range(10)), list(range(10, 20)), items_per_task=8, epsilon=0.3, seed=3
+        )
+        for task in assigner.tasks(10):
+            assert len(set(task.item_ids)) == len(task.item_ids)
+
+    def test_both_sides_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            PrioritizedAssigner([], [], items_per_task=5)
+
+
+class TestFixedQuorumAssigner:
+    def test_every_item_reviewed_quorum_times(self):
+        assigner = FixedQuorumAssigner(list(range(30)), quorum=3, items_per_task=10, seed=0)
+        counts = Counter()
+        for task in assigner.tasks():
+            counts.update(task.item_ids)
+        # Greedy de-duplication may drop the odd slot, but coverage must be
+        # at least quorum-1 everywhere and exactly quorum for most items.
+        assert all(count >= 2 for count in counts.values())
+        assert sum(1 for c in counts.values() if c == 3) >= 25
+
+    def test_num_tasks_formula(self):
+        assigner = FixedQuorumAssigner(list(range(100)), quorum=3, items_per_task=10, seed=0)
+        assert assigner.num_tasks() == 30
+
+    def test_num_tasks_rounds_up(self):
+        assigner = FixedQuorumAssigner(list(range(7)), quorum=3, items_per_task=10, seed=0)
+        assert assigner.num_tasks() == 3
+
+    def test_task_size_bounded(self):
+        assigner = FixedQuorumAssigner(list(range(25)), quorum=2, items_per_task=10, seed=1)
+        assert all(len(task) <= 10 for task in assigner.tasks())
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedQuorumAssigner([], quorum=3)
+
+
+class TestTask:
+    def test_len(self):
+        assert len(Task(task_id=0, item_ids=(1, 2, 3))) == 3

@@ -1,0 +1,81 @@
+"""Tests for the descriptive consensus functions (nominal / majority)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.consensus import (
+    consensus_accuracy,
+    majority_count,
+    majority_labels,
+    majority_vote_counts,
+    nominal_count,
+    nominal_labels,
+)
+
+
+class TestNominal:
+    def test_nominal_labels(self, small_matrix):
+        labels = nominal_labels(small_matrix)
+        assert labels == {0: 1, 1: 0, 2: 1, 3: 1}
+
+    def test_nominal_count(self, small_matrix):
+        assert nominal_count(small_matrix) == 3
+
+    def test_nominal_count_respects_prefix(self, small_matrix):
+        assert nominal_count(small_matrix, upto=1) == 2
+
+    def test_nominal_count_zero_columns(self, small_matrix):
+        assert nominal_count(small_matrix, upto=0) == 0
+
+
+class TestMajority:
+    def test_majority_vote_margins(self, small_matrix):
+        assert majority_vote_counts(small_matrix).tolist() == [2, -2, 1, 1]
+
+    def test_majority_labels(self, small_matrix):
+        labels = majority_labels(small_matrix)
+        assert labels == {0: 1, 1: 0, 2: 1, 3: 1}
+
+    def test_majority_count(self, small_matrix):
+        assert majority_count(small_matrix) == 3
+
+    def test_tie_defaults_to_clean(self, small_matrix):
+        # After 4 columns item 3 has 2 dirty votes and 1 clean vote; after 3
+        # columns it has 1 dirty and 1 clean -> tie -> clean by default.
+        labels = majority_labels(small_matrix, upto=3)
+        assert labels[3] == 0
+
+    def test_tie_value_override(self, small_matrix):
+        labels = majority_labels(small_matrix, upto=3, tie_value=1)
+        assert labels[3] == 1
+
+    def test_unseen_items_default_clean(self, small_matrix):
+        labels = majority_labels(small_matrix, upto=0)
+        assert set(labels.values()) == {0}
+
+    def test_majority_never_exceeds_nominal(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        for upto in (10, 20, 40, 80):
+            assert majority_count(matrix, upto) <= nominal_count(matrix, upto)
+
+
+class TestConsensusAccuracy:
+    def test_perfect_consensus(self, small_matrix):
+        truth = {0: 1, 1: 0, 2: 1, 3: 1}
+        scores = consensus_accuracy(small_matrix, truth)
+        assert scores["precision"] == 1.0
+        assert scores["recall"] == 1.0
+        assert scores["f1"] == 1.0
+
+    def test_counts_false_positives_and_negatives(self, small_matrix):
+        truth = {0: 1, 1: 1, 2: 0, 3: 1}  # item 1 missed, item 2 wrongly flagged
+        scores = consensus_accuracy(small_matrix, truth)
+        assert scores["false_negatives"] == 1
+        assert scores["false_positives"] == 1
+
+    def test_zero_predictions_give_zero_precision_without_error(self, small_matrix):
+        truth = {0: 1, 1: 1, 2: 1, 3: 1}
+        scores = consensus_accuracy(small_matrix, truth, upto=0)
+        assert scores["precision"] == 0.0
+        assert scores["recall"] == 0.0

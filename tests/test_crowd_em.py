@@ -1,0 +1,102 @@
+"""Tests for the Dawid–Skene EM aggregation extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.crowd.em import dawid_skene, em_error_count
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+
+
+class TestDawidSkeneBasics:
+    def test_empty_matrix_returns_prior(self):
+        matrix = ResponseMatrix([0, 1, 2])
+        result = dawid_skene(matrix, prior_dirty=0.3)
+        assert result.iterations == 0
+        assert all(p == pytest.approx(0.3) for p in result.posterior_dirty.values())
+
+    def test_unanimous_votes_give_confident_posteriors(self):
+        votes = np.array(
+            [
+                [DIRTY, DIRTY, DIRTY, DIRTY],
+                [DIRTY, DIRTY, DIRTY, DIRTY],
+                [CLEAN, CLEAN, CLEAN, CLEAN],
+                [CLEAN, CLEAN, CLEAN, CLEAN],
+                [CLEAN, CLEAN, CLEAN, CLEAN],
+                [CLEAN, CLEAN, CLEAN, CLEAN],
+            ],
+            dtype=np.int8,
+        )
+        result = dawid_skene(ResponseMatrix.from_array(votes))
+        assert result.posterior_dirty[0] > 0.8
+        assert result.posterior_dirty[2] < 0.2
+        assert result.labels[0] == 1
+        assert result.labels[2] == 0
+
+    def test_unvoted_item_keeps_prevalence(self):
+        votes = np.array(
+            [
+                [DIRTY, DIRTY],
+                [UNSEEN, UNSEEN],
+            ],
+            dtype=np.int8,
+        )
+        result = dawid_skene(ResponseMatrix.from_array(votes))
+        assert result.posterior_dirty[1] == pytest.approx(result.prevalence, abs=1e-6)
+
+    def test_converges_flag(self):
+        votes = np.array([[DIRTY, DIRTY, CLEAN]], dtype=np.int8)
+        result = dawid_skene(ResponseMatrix.from_array(votes), max_iterations=200)
+        assert result.converged
+
+    def test_worker_accuracy_estimates_in_unit_interval(self):
+        votes = np.array(
+            [
+                [DIRTY, CLEAN, DIRTY],
+                [CLEAN, CLEAN, DIRTY],
+                [DIRTY, DIRTY, DIRTY],
+            ],
+            dtype=np.int8,
+        )
+        result = dawid_skene(ResponseMatrix.from_array(votes))
+        assert all(0.0 <= s <= 1.0 for s in result.worker_sensitivity)
+        assert all(0.0 <= s <= 1.0 for s in result.worker_specificity)
+
+
+class TestDawidSkeneOnSimulations:
+    def test_em_recovers_most_labels(self, synthetic_population):
+        config = SimulationConfig(
+            num_tasks=200,
+            items_per_task=20,
+            worker_profile=WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05),
+            seed=3,
+        )
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        result = dawid_skene(simulation.matrix)
+        wrong = sum(
+            1
+            for item, label in result.labels.items()
+            if label != simulation.ground_truth[item]
+        )
+        assert wrong <= 10  # out of 200 items
+
+    def test_em_error_count_close_to_truth(self, synthetic_population):
+        config = SimulationConfig(
+            num_tasks=200,
+            items_per_task=20,
+            worker_profile=WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05),
+            seed=3,
+        )
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        count = em_error_count(simulation.matrix)
+        assert abs(count - simulation.true_error_count) <= 8
+
+    def test_prefix_argument(self, noisy_crowd_simulation):
+        full = dawid_skene(noisy_crowd_simulation.matrix)
+        partial = dawid_skene(noisy_crowd_simulation.matrix, upto=10)
+        assert len(full.worker_sensitivity) == noisy_crowd_simulation.matrix.num_columns
+        assert len(partial.worker_sensitivity) == 10

@@ -1,0 +1,157 @@
+"""Tests for the crowd simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.labels import CLEAN, DIRTY
+from repro.crowd.consensus import majority_labels
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig, simulate_fixed_quorum
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+class TestSimulationConfig:
+    def test_defaults_are_valid(self):
+        config = SimulationConfig()
+        assert config.num_tasks == 100
+        assert config.items_per_task == 10
+
+    def test_invalid_task_count_rejected(self):
+        with pytest.raises(Exception):
+            SimulationConfig(num_tasks=-1)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(Exception):
+            SimulationConfig(epsilon=1.5)
+
+
+class TestCrowdSimulator:
+    def test_column_per_task(self, synthetic_population):
+        config = SimulationConfig(num_tasks=25, items_per_task=10, seed=0)
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        assert simulation.matrix.num_columns == 25
+        assert simulation.num_tasks == 25
+
+    def test_votes_per_task_match_items_per_task(self, synthetic_population):
+        config = SimulationConfig(num_tasks=10, items_per_task=12, seed=0)
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        assert simulation.matrix.total_votes() == 10 * 12
+
+    def test_perfect_workers_vote_gold_labels(self, synthetic_population):
+        config = SimulationConfig(
+            num_tasks=30,
+            items_per_task=20,
+            worker_profile=WorkerProfile.perfect(),
+            seed=1,
+        )
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        matrix = simulation.matrix
+        for item in matrix.item_ids:
+            votes = [v for v in matrix.votes_for(item) if v in (DIRTY, CLEAN)]
+            expected = DIRTY if synthetic_population.is_dirty(item) else CLEAN
+            assert all(v == expected for v in votes)
+
+    def test_ground_truth_matches_dataset(self, synthetic_population):
+        config = SimulationConfig(num_tasks=5, seed=2)
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        assert simulation.true_error_count == synthetic_population.num_dirty
+
+    def test_deterministic_for_seed(self, synthetic_population):
+        config = SimulationConfig(num_tasks=15, items_per_task=10, seed=3)
+        a = CrowdSimulator(synthetic_population, config).run()
+        b = CrowdSimulator(synthetic_population, config).run()
+        assert a.matrix.values.tolist() == b.matrix.values.tolist()
+
+    def test_different_seeds_differ(self, synthetic_population):
+        a = CrowdSimulator(synthetic_population, SimulationConfig(num_tasks=15, seed=1)).run()
+        b = CrowdSimulator(synthetic_population, SimulationConfig(num_tasks=15, seed=2)).run()
+        assert a.matrix.values.tolist() != b.matrix.values.tolist()
+
+    def test_candidate_restriction(self, synthetic_population):
+        candidate_ids = synthetic_population.record_ids[:50]
+        config = SimulationConfig(num_tasks=10, items_per_task=10, seed=4)
+        simulation = CrowdSimulator(
+            synthetic_population, config, candidate_ids=candidate_ids
+        ).run()
+        assert set(simulation.matrix.item_ids) == set(candidate_ids)
+
+    def test_unknown_candidate_rejected(self, synthetic_population):
+        with pytest.raises(ConfigurationError, match="unknown records"):
+            CrowdSimulator(
+                synthetic_population,
+                SimulationConfig(num_tasks=5),
+                candidate_ids=[999_999],
+            )
+
+    def test_tasks_per_worker_reuses_workers(self, synthetic_population):
+        config = SimulationConfig(num_tasks=10, items_per_task=5, tasks_per_worker=5, seed=5)
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        assert len(set(simulation.matrix.column_workers)) == 2
+
+    def test_stream_yields_growing_matrix(self, synthetic_population):
+        config = SimulationConfig(num_tasks=5, items_per_task=5, seed=6)
+        snapshots = list(CrowdSimulator(synthetic_population, config).stream())
+        assert [s.num_tasks for s in snapshots] == [1, 2, 3, 4, 5]
+        assert snapshots[-1].matrix.num_columns == 5
+
+    def test_run_zero_tasks(self, synthetic_population):
+        config = SimulationConfig(num_tasks=0, seed=7)
+        simulation = CrowdSimulator(synthetic_population, config).run()
+        assert simulation.matrix.num_columns == 0
+
+    def test_prioritized_partition_respected(self, synthetic_population):
+        ambiguous = synthetic_population.record_ids[:40]
+        complement = synthetic_population.record_ids[40:]
+        config = SimulationConfig(num_tasks=20, items_per_task=10, epsilon=0.0, seed=8)
+        simulation = CrowdSimulator(
+            synthetic_population,
+            config,
+            prioritized_partition=(ambiguous, complement),
+        ).run()
+        voted_items = {
+            item
+            for task in simulation.tasks
+            for item in task.item_ids
+        }
+        assert voted_items <= set(ambiguous)
+
+
+class TestMajorityConvergence:
+    def test_majority_converges_with_better_than_random_workers(self):
+        dataset = generate_synthetic_pairs(SyntheticPairConfig(num_items=100, num_errors=10), seed=0)
+        config = SimulationConfig(
+            num_tasks=400,
+            items_per_task=20,
+            worker_profile=WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05),
+            seed=0,
+        )
+        simulation = CrowdSimulator(dataset, config).run()
+        labels = majority_labels(simulation.matrix)
+        errors = sum(
+            1 for item, label in labels.items() if label != simulation.ground_truth[item]
+        )
+        # The paper's core assumption: the majority consensus approaches the
+        # ground truth as votes accumulate.
+        assert errors <= 3
+
+
+class TestFixedQuorumSimulation:
+    def test_each_sample_item_gets_quorum_votes(self, synthetic_population):
+        sample_ids = synthetic_population.record_ids[:30]
+        simulation = simulate_fixed_quorum(
+            synthetic_population, sample_ids=sample_ids, quorum=3, items_per_task=10, seed=0
+        )
+        counts = simulation.matrix.vote_counts()
+        assert counts.min() >= 2
+        assert counts.max() <= 3
+
+    def test_perfect_oracle_labels_match_gold(self, synthetic_population):
+        sample_ids = synthetic_population.record_ids[:30]
+        simulation = simulate_fixed_quorum(
+            synthetic_population, sample_ids=sample_ids, quorum=3, seed=1
+        )
+        labels = majority_labels(simulation.matrix)
+        for item in sample_ids:
+            assert labels[item] == simulation.ground_truth[item]

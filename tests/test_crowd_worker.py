@@ -1,0 +1,133 @@
+"""Tests for the worker models and worker pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.common.labels import CLEAN, DIRTY
+from repro.crowd.worker import Worker, WorkerPool, WorkerProfile
+
+
+class TestWorkerProfile:
+    def test_detection_rate_and_specificity(self):
+        profile = WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05)
+        assert profile.detection_rate == pytest.approx(0.8)
+        assert profile.specificity == pytest.approx(0.95)
+
+    def test_false_negative_only_constructor(self):
+        profile = WorkerProfile.false_negative_only(0.3)
+        assert profile.false_negative_rate == 0.3
+        assert profile.false_positive_rate == 0.0
+
+    def test_false_positive_only_constructor(self):
+        profile = WorkerProfile.false_positive_only(0.02)
+        assert profile.false_positive_rate == 0.02
+        assert profile.false_negative_rate == 0.0
+
+    def test_from_precision_is_symmetric(self):
+        profile = WorkerProfile.from_precision(0.9)
+        assert profile.false_negative_rate == pytest.approx(0.1)
+        assert profile.false_positive_rate == pytest.approx(0.1)
+
+    def test_perfect_profile(self):
+        profile = WorkerProfile.perfect()
+        assert profile.false_negative_rate == 0.0
+        assert profile.false_positive_rate == 0.0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerProfile(false_negative_rate=1.2)
+        with pytest.raises(ValidationError):
+            WorkerProfile(false_positive_rate=-0.1)
+
+
+class TestWorkerVotes:
+    def test_perfect_worker_always_correct(self):
+        worker = Worker(worker_id=0, profile=WorkerProfile.perfect())
+        rng = np.random.default_rng(0)
+        assert all(worker.vote(True, rng) == DIRTY for _ in range(50))
+        assert all(worker.vote(False, rng) == CLEAN for _ in range(50))
+
+    def test_always_wrong_worker(self):
+        worker = Worker(
+            worker_id=0,
+            profile=WorkerProfile(false_negative_rate=1.0, false_positive_rate=1.0),
+        )
+        rng = np.random.default_rng(0)
+        assert worker.vote(True, rng) == CLEAN
+        assert worker.vote(False, rng) == DIRTY
+
+    def test_false_negative_rate_statistics(self):
+        worker = Worker(worker_id=0, profile=WorkerProfile.false_negative_only(0.3))
+        rng = np.random.default_rng(1)
+        votes = [worker.vote(True, rng) for _ in range(3000)]
+        miss_rate = votes.count(CLEAN) / len(votes)
+        assert miss_rate == pytest.approx(0.3, abs=0.04)
+
+    def test_false_positive_rate_statistics(self):
+        worker = Worker(worker_id=0, profile=WorkerProfile.false_positive_only(0.1))
+        rng = np.random.default_rng(2)
+        votes = [worker.vote(False, rng) for _ in range(3000)]
+        alarm_rate = votes.count(DIRTY) / len(votes)
+        assert alarm_rate == pytest.approx(0.1, abs=0.03)
+
+    def test_vote_batch_matches_expected_rates(self):
+        worker = Worker(
+            worker_id=0, profile=WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05)
+        )
+        rng = np.random.default_rng(3)
+        truths = [True] * 2000 + [False] * 2000
+        votes = worker.vote_batch(truths, rng)
+        dirty_hits = sum(1 for t, v in zip(truths, votes) if t and v == DIRTY)
+        false_alarms = sum(1 for t, v in zip(truths, votes) if not t and v == DIRTY)
+        assert dirty_hits / 2000 == pytest.approx(0.8, abs=0.05)
+        assert false_alarms / 2000 == pytest.approx(0.05, abs=0.03)
+
+    def test_vote_batch_length(self):
+        worker = Worker(worker_id=0, profile=WorkerProfile())
+        assert len(worker.vote_batch([True, False, True], rng=0)) == 3
+
+
+class TestWorkerPool:
+    def test_new_workers_get_sequential_ids(self):
+        pool = WorkerPool(WorkerProfile(), seed=0)
+        workers = [pool.new_worker() for _ in range(3)]
+        assert [w.worker_id for w in workers] == [0, 1, 2]
+        assert len(pool) == 3
+
+    def test_zero_jitter_gives_identical_profiles(self):
+        pool = WorkerPool(WorkerProfile(false_negative_rate=0.2), rate_jitter=0.0, seed=0)
+        rates = {pool.new_worker().profile.false_negative_rate for _ in range(5)}
+        assert rates == {0.2}
+
+    def test_jitter_varies_rates_within_bounds(self):
+        pool = WorkerPool(
+            WorkerProfile(false_negative_rate=0.5, false_positive_rate=0.5),
+            rate_jitter=0.2,
+            seed=1,
+        )
+        workers = [pool.new_worker() for _ in range(50)]
+        rates = [w.profile.false_negative_rate for w in workers]
+        assert len(set(rates)) > 1
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_get_returns_existing_worker(self):
+        pool = WorkerPool(WorkerProfile(), seed=0)
+        worker = pool.new_worker()
+        assert pool.get(0) is worker
+
+    def test_observed_rates_reporting(self):
+        pool = WorkerPool(WorkerProfile(false_negative_rate=0.25), seed=0)
+        for _ in range(4):
+            pool.new_worker()
+        assert pool.observed_rates()["false_negative_rate"] == pytest.approx(0.25)
+
+    def test_observed_rates_before_any_worker(self):
+        pool = WorkerPool(WorkerProfile(false_negative_rate=0.25), seed=0)
+        assert pool.observed_rates()["false_negative_rate"] == 0.25
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(WorkerProfile(), rate_jitter=-0.1)

@@ -1,0 +1,118 @@
+"""Tests for the string/record perturbation primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.data.corruption import (
+    abbreviate_tokens,
+    corrupt_zip,
+    drop_field,
+    introduce_typos,
+    misspell_city,
+    perturb_numeric,
+    shuffle_tokens,
+    swap_fields,
+)
+
+
+class TestIntroduceTypos:
+    def test_zero_rate_is_identity(self):
+        assert introduce_typos("portland oregon", rng=0, rate=0.0) == "portland oregon"
+
+    def test_empty_string_unchanged(self):
+        assert introduce_typos("", rng=0, rate=0.5) == ""
+
+    def test_deterministic_for_seed(self):
+        a = introduce_typos("golden dragon cafe", rng=3, rate=0.3)
+        b = introduce_typos("golden dragon cafe", rng=3, rate=0.3)
+        assert a == b
+
+    def test_high_rate_changes_string(self):
+        original = "a reasonably long restaurant name to corrupt"
+        assert introduce_typos(original, rng=1, rate=0.9) != original
+
+    def test_max_typos_bounds_damage(self):
+        original = "abcdefghijklmnopqrstuvwxyz"
+        corrupted = introduce_typos(original, rng=1, rate=1.0, max_typos=1)
+        # One typo changes the length by at most 1 character.
+        assert abs(len(corrupted) - len(original)) <= 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            introduce_typos("x", rng=0, rate=1.5)
+
+
+class TestAbbreviateTokens:
+    def test_known_token_abbreviated_when_probability_one(self):
+        assert abbreviate_tokens("oak street", rng=0, probability=1.0) == "oak st"
+
+    def test_zero_probability_is_identity(self):
+        assert abbreviate_tokens("oak street", rng=0, probability=0.0) == "oak street"
+
+    def test_unknown_tokens_untouched(self):
+        assert abbreviate_tokens("zyx qwv", rng=0, probability=1.0) == "zyx qwv"
+
+    def test_custom_table(self):
+        out = abbreviate_tokens("foo bar", rng=0, probability=1.0, abbreviations={"foo": "f"})
+        assert out == "f bar"
+
+
+class TestShuffleTokens:
+    def test_single_token_unchanged(self):
+        assert shuffle_tokens("cafe", rng=0) == "cafe"
+
+    def test_preserves_token_multiset(self):
+        original = "ritz carlton cafe buckhead"
+        shuffled = shuffle_tokens(original, rng=5)
+        assert sorted(shuffled.split()) == sorted(original.split())
+
+    def test_deterministic_for_seed(self):
+        assert shuffle_tokens("a b c d", rng=2) == shuffle_tokens("a b c d", rng=2)
+
+
+class TestFieldPerturbations:
+    def test_drop_field_blanks_exactly_one(self):
+        fields = {"a": "1", "b": "2", "c": "3"}
+        out = drop_field(fields, rng=0)
+        blanked = [k for k, v in out.items() if v == ""]
+        assert len(blanked) == 1
+        assert fields["a"] == "1"  # original untouched
+
+    def test_drop_field_respects_candidates(self):
+        fields = {"a": "1", "b": "2"}
+        out = drop_field(fields, rng=0, candidates=["b"])
+        assert out["b"] == ""
+        assert out["a"] == "1"
+
+    def test_drop_field_with_no_candidates_is_identity(self):
+        assert drop_field({}, rng=0) == {}
+
+    def test_swap_fields(self):
+        out = swap_fields({"city": "portland", "state": "or"}, "city", "state")
+        assert out["city"] == "or"
+        assert out["state"] == "portland"
+
+    def test_perturb_numeric_stays_within_relative_bound(self):
+        value = perturb_numeric(100.0, rng=1, relative=0.1)
+        assert 90.0 <= value <= 110.0
+
+    def test_perturb_numeric_respects_minimum(self):
+        assert perturb_numeric(0.5, rng=1, relative=1.0, minimum=0.4) >= 0.4
+
+
+class TestAddressCorruptions:
+    def test_corrupt_zip_changes_value(self):
+        rng = np.random.default_rng(0)
+        corrupted = {corrupt_zip("97201", rng) for _ in range(20)}
+        assert any(z != "97201" for z in corrupted)
+
+    def test_corrupt_zip_never_empty(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            assert corrupt_zip("97201", rng)
+
+    def test_misspell_city_returns_nonempty(self):
+        assert misspell_city("portland", rng=0)

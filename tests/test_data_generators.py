@@ -1,0 +1,162 @@
+"""Tests for the synthetic dataset generators (restaurant, product, address, abstract)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.address import ADDRESS_ERROR_KINDS, AddressDatasetConfig, generate_address_dataset
+from repro.data.pairs import duplicate_keys_from_entities
+from repro.data.product import ProductDatasetConfig, generate_product_dataset
+from repro.data.restaurant import RestaurantDatasetConfig, generate_restaurant_dataset
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+class TestRestaurantGenerator:
+    def test_cardinalities_match_config(self):
+        config = RestaurantDatasetConfig(num_records=120, num_duplicated_entities=15)
+        dataset = generate_restaurant_dataset(config, seed=1)
+        assert len(dataset) == 120
+        assert len(duplicate_keys_from_entities(dataset)) == 15
+
+    def test_default_config_matches_paper_cardinalities(self):
+        config = RestaurantDatasetConfig()
+        assert config.num_records == 858
+        assert config.num_duplicated_entities == 106
+
+    def test_each_entity_duplicated_at_most_once(self):
+        dataset = generate_restaurant_dataset(
+            RestaurantDatasetConfig(num_records=100, num_duplicated_entities=20), seed=2
+        )
+        entity_counts = {}
+        for record in dataset:
+            entity_counts[record.entity_id] = entity_counts.get(record.entity_id, 0) + 1
+        assert max(entity_counts.values()) == 2
+
+    def test_duplicates_share_city_and_category(self):
+        dataset = generate_restaurant_dataset(
+            RestaurantDatasetConfig(num_records=60, num_duplicated_entities=10), seed=3
+        )
+        by_entity = {}
+        for record in dataset:
+            by_entity.setdefault(record.entity_id, []).append(record)
+        for records in by_entity.values():
+            if len(records) == 2:
+                assert records[0]["city"] == records[1]["city"]
+                assert records[0]["category"] == records[1]["category"]
+
+    def test_deterministic_for_seed(self):
+        a = generate_restaurant_dataset(RestaurantDatasetConfig(num_records=50, num_duplicated_entities=5), seed=9)
+        b = generate_restaurant_dataset(RestaurantDatasetConfig(num_records=50, num_duplicated_entities=5), seed=9)
+        assert [r.fields for r in a] == [r.fields for r in b]
+
+    def test_too_many_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="cannot exceed half"):
+            RestaurantDatasetConfig(num_records=10, num_duplicated_entities=6)
+
+    def test_records_have_expected_schema(self):
+        dataset = generate_restaurant_dataset(
+            RestaurantDatasetConfig(num_records=30, num_duplicated_entities=3), seed=4
+        )
+        for record in dataset:
+            assert set(record.fields) == {"name", "address", "city", "category"}
+
+
+class TestProductGenerator:
+    def test_cardinalities_match_config(self):
+        config = ProductDatasetConfig(num_amazon=60, num_google=40, num_matches=15)
+        dataset = generate_product_dataset(config, seed=1)
+        assert sum(1 for r in dataset if r.source == "amazon") == 60
+        assert sum(1 for r in dataset if r.source == "google") == 40
+        assert len(duplicate_keys_from_entities(dataset)) == 15
+
+    def test_default_config_matches_paper_cardinalities(self):
+        config = ProductDatasetConfig()
+        assert (config.num_amazon, config.num_google, config.num_matches) == (2336, 1363, 607)
+
+    def test_matches_are_cross_retailer(self):
+        dataset = generate_product_dataset(
+            ProductDatasetConfig(num_amazon=40, num_google=30, num_matches=10), seed=2
+        )
+        for a, b in duplicate_keys_from_entities(dataset):
+            assert {dataset[a].source, dataset[b].source} == {"amazon", "google"}
+
+    def test_too_many_matches_rejected(self):
+        with pytest.raises(ValueError, match="cannot exceed the smaller catalogue"):
+            ProductDatasetConfig(num_amazon=20, num_google=10, num_matches=15)
+
+    def test_records_have_expected_schema(self):
+        dataset = generate_product_dataset(
+            ProductDatasetConfig(num_amazon=20, num_google=15, num_matches=5), seed=3
+        )
+        for record in dataset:
+            assert set(record.fields) == {"retailer", "name1", "name2", "vendor", "price"}
+            assert record.fields["retailer"] in ("amazon", "google")
+
+    def test_prices_are_positive(self):
+        dataset = generate_product_dataset(
+            ProductDatasetConfig(num_amazon=20, num_google=15, num_matches=5), seed=4
+        )
+        assert all(float(r["price"]) > 0 for r in dataset)
+
+
+class TestAddressGenerator:
+    def test_cardinalities_match_config(self):
+        dataset = generate_address_dataset(AddressDatasetConfig(num_records=150, num_errors=12), seed=1)
+        assert len(dataset) == 150
+        assert dataset.num_dirty == 12
+
+    def test_default_config_matches_paper_cardinalities(self):
+        config = AddressDatasetConfig()
+        assert (config.num_records, config.num_errors) == (1000, 90)
+
+    def test_error_kinds_only_on_dirty_records(self):
+        dataset = generate_address_dataset(AddressDatasetConfig(num_records=120, num_errors=30), seed=2)
+        for record in dataset:
+            if dataset.is_dirty(record.record_id):
+                assert record["error_kind"] in ADDRESS_ERROR_KINDS
+            else:
+                assert record["error_kind"] == ""
+
+    def test_clean_records_well_formed(self):
+        dataset = generate_address_dataset(AddressDatasetConfig(num_records=80, num_errors=10), seed=3)
+        for record in dataset:
+            if not dataset.is_dirty(record.record_id):
+                assert record["city"] == "portland"
+                assert record["state"] == "or"
+                assert str(record["zip"]).startswith("972")
+                assert len(str(record["zip"])) == 5
+
+    def test_rendered_text_contains_city(self):
+        dataset = generate_address_dataset(AddressDatasetConfig(num_records=30, num_errors=3), seed=4)
+        clean = [r for r in dataset if not dataset.is_dirty(r.record_id)]
+        assert all("portland" in str(r["text"]) for r in clean)
+
+    def test_too_many_errors_rejected(self):
+        with pytest.raises(ValueError, match="cannot exceed num_records"):
+            AddressDatasetConfig(num_records=10, num_errors=11)
+
+
+class TestSyntheticPairs:
+    def test_cardinalities(self):
+        dataset = generate_synthetic_pairs(SyntheticPairConfig(num_items=500, num_errors=50), seed=1)
+        assert len(dataset) == 500
+        assert dataset.num_dirty == 50
+
+    def test_default_matches_paper_simulation(self):
+        config = SyntheticPairConfig()
+        assert (config.num_items, config.num_errors) == (1000, 100)
+
+    def test_unshuffled_places_errors_first(self):
+        dataset = generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=20, num_errors=5, shuffle=False), seed=1
+        )
+        assert dataset.dirty_ids == frozenset(range(5))
+
+    def test_shuffled_is_deterministic_per_seed(self):
+        a = generate_synthetic_pairs(SyntheticPairConfig(num_items=50, num_errors=10), seed=2)
+        b = generate_synthetic_pairs(SyntheticPairConfig(num_items=50, num_errors=10), seed=2)
+        assert a.dirty_ids == b.dirty_ids
+
+    def test_errors_cannot_exceed_items(self):
+        with pytest.raises(ValueError):
+            SyntheticPairConfig(num_items=10, num_errors=11)

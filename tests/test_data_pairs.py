@@ -1,0 +1,155 @@
+"""Tests for candidate pairs and pair datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.data.pairs import (
+    CandidatePair,
+    PairDataset,
+    canonical_pair_key,
+    duplicate_keys_from_entities,
+    enumerate_all_pairs,
+)
+from repro.data.record import Dataset, Record
+
+
+def _base_dataset() -> Dataset:
+    records = [
+        Record(record_id=0, fields={"name": "alpha"}, entity_id=100),
+        Record(record_id=1, fields={"name": "alpha!"}, entity_id=100),
+        Record(record_id=2, fields={"name": "beta"}, entity_id=200),
+        Record(record_id=3, fields={"name": "gamma"}, entity_id=300),
+    ]
+    return Dataset(records=records, name="base")
+
+
+class TestCandidatePair:
+    def test_orientation_is_canonical(self):
+        pair = CandidatePair(pair_id=0, left_id=7, right_id=2)
+        assert (pair.left_id, pair.right_id) == (2, 7)
+        assert pair.key == (2, 7)
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValidationError, match="distinct records"):
+            CandidatePair(pair_id=0, left_id=3, right_id=3)
+
+    def test_with_similarity(self):
+        pair = CandidatePair(pair_id=0, left_id=0, right_id=1)
+        scored = pair.with_similarity(0.8)
+        assert scored.similarity == pytest.approx(0.8)
+        assert pair.similarity is None
+
+    def test_canonical_pair_key_helper(self):
+        assert canonical_pair_key(5, 2) == (2, 5)
+        assert canonical_pair_key(2, 5) == (2, 5)
+
+
+class TestPairDataset:
+    def _pairs(self, base):
+        return [
+            CandidatePair(pair_id=0, left_id=0, right_id=1, similarity=0.9),
+            CandidatePair(pair_id=1, left_id=0, right_id=2, similarity=0.3),
+            CandidatePair(pair_id=2, left_id=2, right_id=3, similarity=0.4),
+        ]
+
+    def test_duplicate_counts(self):
+        base = _base_dataset()
+        dataset = PairDataset(
+            base=base, pairs=self._pairs(base), duplicate_keys={(0, 1)}, name="p"
+        )
+        assert len(dataset) == 3
+        assert dataset.num_duplicates == 1
+        assert dataset.error_rate == pytest.approx(1 / 3)
+
+    def test_is_duplicate_by_pair_id(self):
+        base = _base_dataset()
+        dataset = PairDataset(base=base, pairs=self._pairs(base), duplicate_keys={(0, 1)})
+        assert dataset.is_duplicate(0)
+        assert not dataset.is_duplicate(1)
+
+    def test_repeated_pairs_rejected(self):
+        base = _base_dataset()
+        pairs = [
+            CandidatePair(pair_id=0, left_id=0, right_id=1),
+            CandidatePair(pair_id=1, left_id=1, right_id=0),
+        ]
+        with pytest.raises(ValidationError, match="repeated record pairs"):
+            PairDataset(base=base, pairs=pairs)
+
+    def test_records_for_returns_base_records(self):
+        base = _base_dataset()
+        dataset = PairDataset(base=base, pairs=self._pairs(base))
+        left, right = dataset.records_for(1)
+        assert left.record_id == 0
+        assert right.record_id == 2
+
+    def test_ground_truth_vector(self):
+        base = _base_dataset()
+        dataset = PairDataset(base=base, pairs=self._pairs(base), duplicate_keys={(0, 1)})
+        assert dataset.ground_truth_vector() == [1, 0, 0]
+
+    def test_as_item_dataset_marks_duplicates_dirty(self):
+        base = _base_dataset()
+        dataset = PairDataset(base=base, pairs=self._pairs(base), duplicate_keys={(0, 1)})
+        items = dataset.as_item_dataset()
+        assert len(items) == 3
+        assert items.dirty_ids == frozenset({0})
+        assert items.is_dirty(0)
+
+    def test_subset_restricts_gold(self):
+        base = _base_dataset()
+        dataset = PairDataset(base=base, pairs=self._pairs(base), duplicate_keys={(0, 1)})
+        subset = dataset.subset([1, 2])
+        assert len(subset) == 2
+        assert subset.num_duplicates == 0
+
+    def test_total_duplicates_defaults_to_candidate_count(self):
+        base = _base_dataset()
+        dataset = PairDataset(base=base, pairs=self._pairs(base), duplicate_keys={(0, 1)})
+        assert dataset.total_duplicates == 1
+
+    def test_contains_key_is_orientation_free(self):
+        base = _base_dataset()
+        dataset = PairDataset(base=base, pairs=self._pairs(base))
+        assert dataset.contains_key(1, 0)
+        assert not dataset.contains_key(1, 3)
+
+
+class TestEnumerationHelpers:
+    def test_enumerate_all_pairs_count(self):
+        base = _base_dataset()
+        keys = list(enumerate_all_pairs(base))
+        assert len(keys) == 4 * 3 // 2
+        assert len(set(keys)) == len(keys)
+
+    def test_enumerate_cross_source_only(self):
+        records = [
+            Record(record_id=0, fields={}, source="amazon"),
+            Record(record_id=1, fields={}, source="amazon"),
+            Record(record_id=2, fields={}, source="google"),
+        ]
+        dataset = Dataset(records=records, name="cross")
+        keys = list(enumerate_all_pairs(dataset, cross_source=("amazon", "google")))
+        assert set(keys) == {(0, 2), (1, 2)}
+
+    def test_duplicate_keys_from_entities_expands_clusters(self):
+        records = [
+            Record(record_id=0, fields={}, entity_id=1),
+            Record(record_id=1, fields={}, entity_id=1),
+            Record(record_id=2, fields={}, entity_id=1),
+            Record(record_id=3, fields={}, entity_id=2),
+        ]
+        dataset = Dataset(records=records, name="clusters")
+        keys = duplicate_keys_from_entities(dataset)
+        # A cluster of three records yields all three pairwise keys.
+        assert keys == frozenset({(0, 1), (0, 2), (1, 2)})
+
+    def test_duplicate_keys_ignore_none_entities(self):
+        records = [
+            Record(record_id=0, fields={}, entity_id=None),
+            Record(record_id=1, fields={}, entity_id=None),
+        ]
+        dataset = Dataset(records=records, name="none")
+        assert duplicate_keys_from_entities(dataset) == frozenset()

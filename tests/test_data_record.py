@@ -1,0 +1,112 @@
+"""Tests for the Record / Dataset abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.data.record import Dataset, Record
+
+
+class TestRecord:
+    def test_fields_are_copied(self):
+        fields = {"name": "cafe"}
+        record = Record(record_id=0, fields=fields)
+        fields["name"] = "changed"
+        assert record["name"] == "cafe"
+
+    def test_get_with_default(self):
+        record = Record(record_id=0, fields={"a": 1})
+        assert record.get("a") == 1
+        assert record.get("missing", "x") == "x"
+
+    def test_contains(self):
+        record = Record(record_id=0, fields={"a": 1})
+        assert "a" in record
+        assert "b" not in record
+
+    def test_text_renders_lowercased_fields_in_order(self):
+        record = Record(record_id=0, fields={"name": "Blue Lotus", "city": "Portland"})
+        assert record.text() == "blue lotus portland"
+
+    def test_text_respects_field_selection(self):
+        record = Record(record_id=0, fields={"name": "Blue", "city": "Portland"})
+        assert record.text(["city"]) == "portland"
+
+    def test_text_skips_none_values(self):
+        record = Record(record_id=0, fields={"name": "Blue", "unit": None})
+        assert record.text() == "blue"
+
+    def test_replace_creates_new_record(self):
+        record = Record(record_id=3, fields={"name": "a"}, source="s", entity_id=9)
+        updated = record.replace(name="b")
+        assert updated["name"] == "b"
+        assert record["name"] == "a"
+        assert updated.record_id == 3
+        assert updated.source == "s"
+        assert updated.entity_id == 9
+
+
+class TestDataset:
+    def test_len_and_iteration(self, tiny_dataset):
+        assert len(tiny_dataset) == 5
+        assert [r.record_id for r in tiny_dataset] == [0, 1, 2, 3, 4]
+
+    def test_lookup_by_id(self, tiny_dataset):
+        assert tiny_dataset[3].record_id == 3
+
+    def test_lookup_missing_id_raises_keyerror(self, tiny_dataset):
+        with pytest.raises(KeyError, match="no record with id 99"):
+            tiny_dataset[99]
+
+    def test_num_dirty_and_error_rate(self, tiny_dataset):
+        assert tiny_dataset.num_dirty == 2
+        assert tiny_dataset.error_rate == pytest.approx(0.4)
+
+    def test_is_dirty(self, tiny_dataset):
+        assert tiny_dataset.is_dirty(1)
+        assert not tiny_dataset.is_dirty(0)
+
+    def test_ground_truth_vector_alignment(self, tiny_dataset):
+        assert tiny_dataset.ground_truth_vector() == [0, 1, 0, 1, 0]
+
+    def test_duplicate_record_ids_rejected(self):
+        records = [Record(record_id=0, fields={}), Record(record_id=0, fields={})]
+        with pytest.raises(ValidationError, match="duplicate record ids"):
+            Dataset(records=records)
+
+    def test_dirty_ids_must_reference_known_records(self):
+        records = [Record(record_id=0, fields={})]
+        with pytest.raises(ValidationError, match="unknown record ids"):
+            Dataset(records=records, dirty_ids={5})
+
+    def test_subset_preserves_order_and_gold(self, tiny_dataset):
+        subset = tiny_dataset.subset([3, 1, 4])
+        assert [r.record_id for r in subset] == [1, 3, 4]
+        assert subset.dirty_ids == frozenset({1, 3})
+
+    def test_subset_of_empty_selection(self, tiny_dataset):
+        subset = tiny_dataset.subset([])
+        assert len(subset) == 0
+        assert subset.num_dirty == 0
+
+    def test_by_source_filters(self):
+        records = [
+            Record(record_id=0, fields={}, source="a"),
+            Record(record_id=1, fields={}, source="b"),
+            Record(record_id=2, fields={}, source="a"),
+        ]
+        dataset = Dataset(records=records, dirty_ids={1, 2}, name="multi")
+        filtered = dataset.by_source("a")
+        assert [r.record_id for r in filtered] == [0, 2]
+        assert filtered.dirty_ids == frozenset({2})
+
+    def test_error_rate_of_empty_dataset_is_zero(self):
+        # Degenerate but should not divide by zero.
+        dataset = Dataset(records=[], dirty_ids=set(), name="empty")
+        assert dataset.error_rate == 0.0
+
+    def test_summary_contains_key_counts(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        assert summary["num_records"] == 5
+        assert summary["num_dirty"] == 2

@@ -1,0 +1,106 @@
+"""Tests for blocking and pair-dataset construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.pairs import duplicate_keys_from_entities
+from repro.data.record import Dataset, Record
+from repro.er.blocking import block_by_prefix, block_by_tokens, candidate_keys_from_blocks
+from repro.er.pairing import build_pair_dataset, score_pairs
+
+
+def _toy_catalog() -> Dataset:
+    records = [
+        Record(record_id=0, fields={"name": "acme photo editor pro"}, source="amazon", entity_id=1),
+        Record(record_id=1, fields={"name": "acme photo editor professional"}, source="google", entity_id=1),
+        Record(record_id=2, fields={"name": "globex antivirus home"}, source="amazon", entity_id=2),
+        Record(record_id=3, fields={"name": "globex antivirus home edition"}, source="google", entity_id=2),
+        Record(record_id=4, fields={"name": "initech spreadsheet"}, source="amazon", entity_id=3),
+    ]
+    return Dataset(records=records, name="toy")
+
+
+class TestBlocking:
+    def test_block_by_tokens_groups_shared_tokens(self):
+        blocks = block_by_tokens(_toy_catalog())
+        assert 0 in blocks["acme"] and 1 in blocks["acme"]
+        assert 2 in blocks["globex"] and 3 in blocks["globex"]
+
+    def test_short_tokens_excluded(self):
+        records = [
+            Record(record_id=0, fields={"name": "ab cd big"}),
+            Record(record_id=1, fields={"name": "ab cd big"}),
+        ]
+        blocks = block_by_tokens(Dataset(records=records, name="short"), min_token_length=3)
+        assert "ab" not in blocks and "cd" not in blocks
+        assert "big" in blocks
+
+    def test_oversized_blocks_dropped(self):
+        records = [Record(record_id=i, fields={"name": "common token"}) for i in range(10)]
+        blocks = block_by_tokens(Dataset(records=records, name="big"), max_block_size=5)
+        assert blocks == {}
+
+    def test_block_by_prefix(self):
+        blocks = block_by_prefix(_toy_catalog(), field="name", prefix_length=4)
+        assert sorted(blocks["acme"]) == [0, 1]
+
+    def test_candidate_keys_from_blocks_dedupes(self):
+        blocks = {"a": [0, 1, 2], "b": [1, 2]}
+        keys = candidate_keys_from_blocks(blocks)
+        assert keys == {(0, 1), (0, 2), (1, 2)}
+
+    def test_candidate_keys_cross_source_restriction(self):
+        catalog = _toy_catalog()
+        blocks = block_by_tokens(catalog)
+        keys = candidate_keys_from_blocks(blocks, cross_source_only=(catalog, "amazon", "google"))
+        for a, b in keys:
+            assert {catalog[a].source, catalog[b].source} == {"amazon", "google"}
+
+
+class TestScorePairs:
+    def test_scores_in_unit_interval(self):
+        catalog = _toy_catalog()
+        scores = score_pairs(catalog, [(0, 1), (0, 4)], fields=["name"])
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+    def test_duplicate_pair_scores_higher_than_unrelated(self):
+        catalog = _toy_catalog()
+        scores = score_pairs(catalog, [(0, 1), (0, 4)], fields=["name"])
+        assert scores[(0, 1)] > scores[(0, 4)]
+
+    def test_orientation_free_keys(self):
+        catalog = _toy_catalog()
+        scores = score_pairs(catalog, [(1, 0)], fields=["name"])
+        assert (0, 1) in scores
+
+
+class TestBuildPairDataset:
+    def test_full_enumeration_counts(self):
+        catalog = _toy_catalog()
+        pairs = build_pair_dataset(catalog, fields=["name"])
+        assert len(pairs) == 5 * 4 // 2
+        assert pairs.num_duplicates == 2  # entities 1 and 2 each contribute one pair
+
+    def test_total_duplicates_recorded(self):
+        catalog = _toy_catalog()
+        pairs = build_pair_dataset(catalog, fields=["name"])
+        assert pairs.total_duplicates == len(duplicate_keys_from_entities(catalog))
+
+    def test_explicit_keys_subset(self):
+        catalog = _toy_catalog()
+        pairs = build_pair_dataset(catalog, keys=[(0, 1), (2, 4)], fields=["name"])
+        assert len(pairs) == 2
+        assert pairs.num_duplicates == 1
+
+    def test_cross_source_enumeration(self):
+        catalog = _toy_catalog()
+        pairs = build_pair_dataset(catalog, cross_source=("amazon", "google"), fields=["name"])
+        for pair in pairs:
+            left, right = pairs.records_for(pair.pair_id)
+            assert {left.source, right.source} == {"amazon", "google"}
+
+    def test_similarity_attached_to_every_pair(self):
+        catalog = _toy_catalog()
+        pairs = build_pair_dataset(catalog, keys=[(0, 1), (0, 2)], fields=["name"])
+        assert all(p.similarity is not None for p in pairs)

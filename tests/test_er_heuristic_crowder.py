@@ -1,0 +1,127 @@
+"""Tests for the prioritisation heuristic band and the CrowdER pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data.pairs import CandidatePair, PairDataset
+from repro.data.record import Dataset, Record
+from repro.er.crowder import CrowdERPipeline
+from repro.er.heuristic import (
+    PRODUCT_BAND,
+    RESTAURANT_BAND,
+    HeuristicBand,
+    SimilarityHeuristic,
+    partition_by_heuristic,
+    partition_dataset_by_scores,
+)
+
+
+class TestHeuristicBand:
+    def test_paper_bands(self):
+        assert (RESTAURANT_BAND.alpha, RESTAURANT_BAND.beta) == (0.5, 0.9)
+        assert (PRODUCT_BAND.alpha, PRODUCT_BAND.beta) == (0.4, 0.7)
+
+    def test_classify_regions(self):
+        band = HeuristicBand(alpha=0.4, beta=0.8)
+        assert band.classify(0.95) == "obvious_error"
+        assert band.classify(0.1) == "obvious_clean"
+        assert band.classify(0.6) == "ambiguous"
+
+    def test_band_boundaries_are_ambiguous(self):
+        band = HeuristicBand(alpha=0.4, beta=0.8)
+        assert band.classify(0.4) == "ambiguous"
+        assert band.classify(0.8) == "ambiguous"
+        assert band.contains(0.4) and band.contains(0.8)
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ConfigurationError, match="alpha <= beta"):
+            HeuristicBand(alpha=0.9, beta=0.5)
+
+
+def _scored_pairs() -> PairDataset:
+    base = Dataset(
+        records=[Record(record_id=i, fields={"name": f"r{i}"}) for i in range(6)],
+        name="base",
+    )
+    pairs = [
+        CandidatePair(pair_id=0, left_id=0, right_id=1, similarity=0.95),  # obvious match
+        CandidatePair(pair_id=1, left_id=0, right_id=2, similarity=0.7),   # ambiguous
+        CandidatePair(pair_id=2, left_id=1, right_id=2, similarity=0.55),  # ambiguous
+        CandidatePair(pair_id=3, left_id=3, right_id=4, similarity=0.2),   # obvious clean
+        CandidatePair(pair_id=4, left_id=4, right_id=5, similarity=0.05),  # obvious clean
+    ]
+    return PairDataset(base=base, pairs=pairs, duplicate_keys={(0, 1), (0, 2)}, name="scored")
+
+
+class TestPartitioning:
+    def test_partition_sizes(self):
+        candidates, partition = partition_by_heuristic(_scored_pairs(), HeuristicBand(0.5, 0.9))
+        assert partition.summary() == {"ambiguous": 2, "obvious_error": 1, "obvious_clean": 2}
+        assert len(candidates) == 2
+
+    def test_candidate_gold_labels_preserved(self):
+        candidates, _ = partition_by_heuristic(_scored_pairs(), HeuristicBand(0.5, 0.9))
+        # The (0, 2) duplicate sits in the ambiguous band and must stay dirty.
+        assert candidates.num_duplicates == 1
+
+    def test_similarity_heuristic_scores(self):
+        pairs = _scored_pairs()
+        heuristic = SimilarityHeuristic.from_pair_dataset(pairs, HeuristicBand(0.5, 0.9))
+        assert heuristic.score(0) == pytest.approx(0.95)
+
+    def test_partition_dataset_by_scores(self):
+        dataset = Dataset(
+            records=[Record(record_id=i, fields={}) for i in range(4)], name="flat"
+        )
+        scores = {0: 0.95, 1: 0.6, 2: 0.1, 3: 0.7}
+        partition = partition_dataset_by_scores(dataset, scores, HeuristicBand(0.5, 0.9))
+        assert set(partition.ambiguous_ids) == {1, 3}
+        assert partition.obvious_error_ids == [0]
+
+
+class TestCrowdERPipeline:
+    def test_stage_one_on_restaurant_data(self, restaurant_dataset):
+        pipeline = CrowdERPipeline(RESTAURANT_BAND, fields=("name", "address", "city"))
+        result = pipeline.run(restaurant_dataset)
+        # Candidates plus obvious classes account for every scored pair.
+        total = (
+            len(result.candidates)
+            + result.num_obvious_matches
+            + result.num_obvious_non_matches
+        )
+        assert total == len(result.scored_pairs)
+
+    def test_duplicate_accounting_is_consistent(self, restaurant_dataset):
+        pipeline = CrowdERPipeline(RESTAURANT_BAND, fields=("name", "address", "city"))
+        result = pipeline.run(restaurant_dataset)
+        total_duplicates = result.stats["total_duplicate_pairs"]
+        obvious_match_duplicates = result.num_obvious_matches - result.heuristic_false_positives
+        accounted = (
+            result.candidates.num_duplicates
+            + obvious_match_duplicates
+            + result.heuristic_false_negatives
+        )
+        assert accounted == total_duplicates
+
+    def test_candidates_fall_inside_band(self, restaurant_dataset):
+        pipeline = CrowdERPipeline(RESTAURANT_BAND, fields=("name", "address", "city"))
+        result = pipeline.run(restaurant_dataset)
+        for pair in result.candidates:
+            assert RESTAURANT_BAND.contains(pair.similarity)
+
+    def test_blocking_reduces_scored_pairs(self, restaurant_dataset):
+        full = CrowdERPipeline(RESTAURANT_BAND, fields=("name", "address", "city"))
+        blocked = CrowdERPipeline(
+            RESTAURANT_BAND, fields=("name", "address", "city"), use_blocking=True
+        )
+        full_result = full.run(restaurant_dataset)
+        blocked_result = blocked.run(restaurant_dataset)
+        assert len(blocked_result.scored_pairs) < len(full_result.scored_pairs)
+        assert blocked_result.stats["num_blocks"] > 0
+
+    def test_summary_keys(self, restaurant_dataset):
+        pipeline = CrowdERPipeline(RESTAURANT_BAND, fields=("name", "address", "city"))
+        summary = pipeline.run(restaurant_dataset).summary()
+        assert {"num_candidates", "candidate_duplicates", "heuristic_false_negatives"} <= set(summary)

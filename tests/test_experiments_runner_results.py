@@ -1,0 +1,167 @@
+"""Tests for the experiment runner, result containers and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.descriptive import VotingEstimator
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.experiments.reporting import render_series_table, render_summary, series_to_csv
+from repro.experiments.results import EstimateSeries, ExperimentResult, TracePoint, build_series
+from repro.experiments.runner import EstimationRunner, RunnerConfig
+from repro.experiments.scm import sample_clean_minimum
+
+
+class TestRunnerConfig:
+    def test_checkpoints_default_spacing(self):
+        config = RunnerConfig(num_checkpoints=5)
+        assert config.resolve_checkpoints(100) == [20, 40, 60, 80, 100]
+
+    def test_checkpoints_when_columns_fewer_than_requested(self):
+        config = RunnerConfig(num_checkpoints=20)
+        assert config.resolve_checkpoints(4) == [1, 2, 3, 4]
+
+    def test_explicit_checkpoints_filtered_to_range(self):
+        config = RunnerConfig(checkpoints=[5, 10, 500])
+        assert config.resolve_checkpoints(50) == [5, 10]
+
+    def test_explicit_checkpoints_never_empty(self):
+        config = RunnerConfig(checkpoints=[500])
+        assert config.resolve_checkpoints(50) == [50]
+
+    def test_invalid_permutations_rejected(self):
+        with pytest.raises(Exception):
+            RunnerConfig(num_permutations=0)
+
+
+class TestEstimationRunner:
+    def test_accepts_registry_names_and_instances(self, noisy_crowd_simulation):
+        runner = EstimationRunner(["voting", SwitchTotalErrorEstimator()], RunnerConfig(num_permutations=2, num_checkpoints=4))
+        result = runner.run(noisy_crowd_simulation.matrix, ground_truth=20.0)
+        assert set(result.series) == {"voting", "switch_total"}
+
+    def test_duplicate_estimator_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            EstimationRunner([VotingEstimator(), VotingEstimator()])
+
+    def test_empty_estimator_list_rejected(self):
+        with pytest.raises(ValueError):
+            EstimationRunner([])
+
+    def test_series_lengths_match_checkpoints(self, noisy_crowd_simulation):
+        runner = EstimationRunner(["voting"], RunnerConfig(num_permutations=3, num_checkpoints=6))
+        result = runner.run(noisy_crowd_simulation.matrix)
+        series = result.series["voting"]
+        assert len(series.points) == len(result.metadata["checkpoints"])
+        assert all(len(p.values) == 3 for p in series.points)
+
+    def test_voting_series_is_permutation_invariant_at_full_prefix(self, noisy_crowd_simulation):
+        runner = EstimationRunner(["voting"], RunnerConfig(num_permutations=4, num_checkpoints=3))
+        result = runner.run(noisy_crowd_simulation.matrix)
+        final = result.series["voting"].final()
+        # At the full prefix every permutation sees the same votes.
+        assert final.std == 0.0
+
+    def test_ground_truth_and_metadata_recorded(self, noisy_crowd_simulation):
+        runner = EstimationRunner(["voting"], RunnerConfig(num_permutations=2, num_checkpoints=3))
+        result = runner.run(noisy_crowd_simulation.matrix, ground_truth=20.0, metadata={"tag": "x"})
+        assert result.ground_truth == 20.0
+        assert result.metadata["tag"] == "x"
+        assert result.metadata["num_permutations"] == 2
+
+    def test_runner_deterministic_for_seed(self, noisy_crowd_simulation):
+        config = RunnerConfig(num_permutations=3, num_checkpoints=4, seed=5)
+        a = EstimationRunner(["switch_total"], config).run(noisy_crowd_simulation.matrix)
+        b = EstimationRunner(["switch_total"], config).run(noisy_crowd_simulation.matrix)
+        assert a.series["switch_total"].means == b.series["switch_total"].means
+
+
+class TestResultContainers:
+    def _series(self):
+        return build_series("demo", [10, 20], [[5.0, 8.0], [7.0, 10.0]])
+
+    def test_build_series_aggregates_trials(self):
+        series = self._series()
+        assert series.x == [10, 20]
+        assert series.means == [6.0, 9.0]
+        assert series.points[0].values == (5.0, 7.0)
+
+    def test_value_at_picks_closest_checkpoint(self):
+        series = self._series()
+        assert series.value_at(12) == 6.0
+        assert series.value_at(100) == 9.0
+
+    def test_final_and_srmse(self):
+        series = self._series()
+        assert series.final().num_tasks == 20
+        # final values are (8, 10) against truth 10: RMSE = sqrt((4 + 0) / 2).
+        assert series.srmse(10.0) == pytest.approx(((4 + 0) / 2) ** 0.5 / 10)
+
+    def test_mean_absolute_error(self):
+        series = self._series()
+        assert series.mean_absolute_error(10.0) == pytest.approx((4.0 + 1.0) / 2)
+
+    def test_empty_series_raises(self):
+        series = EstimateSeries(estimator_name="empty")
+        with pytest.raises(ValueError):
+            series.value_at(1)
+        assert series.final() is None
+
+    def test_experiment_result_tables(self):
+        result = ExperimentResult(name="exp", ground_truth=10.0)
+        result.add_series(self._series())
+        assert result.final_estimates() == {"demo": 9.0}
+        assert "demo" in result.srmse_table()
+
+    def test_srmse_table_empty_without_truth(self):
+        result = ExperimentResult(name="exp")
+        result.add_series(self._series())
+        assert result.srmse_table() == {}
+
+
+class TestReporting:
+    def _result(self):
+        result = ExperimentResult(name="report-demo", ground_truth=10.0)
+        result.add_series(build_series("a", [1, 2, 3], [[1.0, 2.0, 3.0]]))
+        result.add_series(build_series("b", [1, 2, 3], [[2.0, 4.0, 6.0]]))
+        return result
+
+    def test_table_contains_headers_and_truth(self):
+        table = render_series_table(self._result())
+        assert "tasks" in table and "a" in table and "b" in table and "truth" in table
+
+    def test_table_row_limit(self):
+        table = render_series_table(self._result(), max_rows=2)
+        data_lines = [line for line in table.splitlines()[3:] if line.strip()]
+        assert len(data_lines) <= 3
+
+    def test_table_for_empty_result(self):
+        assert "(no series)" in render_series_table(ExperimentResult(name="empty"))
+
+    def test_csv_round_trip_shape(self):
+        csv = series_to_csv(self._result())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "tasks,a,b,truth"
+        assert len(lines) == 4
+
+    def test_summary_mentions_every_estimator(self):
+        summary = render_summary(self._result())
+        assert "a:" in summary and "b:" in summary
+
+
+class TestSampleCleanMinimum:
+    def test_paper_formula(self):
+        # 3 workers x S records / p records-per-task.
+        assert sample_clean_minimum(100, workers_per_record=3, records_per_task=10) == 30
+
+    def test_rounds_up(self):
+        assert sample_clean_minimum(101, workers_per_record=3, records_per_task=10) == 31
+
+    def test_zero_sample(self):
+        assert sample_clean_minimum(0) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(Exception):
+            sample_clean_minimum(-1)
+        with pytest.raises(Exception):
+            sample_clean_minimum(10, workers_per_record=0)

@@ -1,0 +1,265 @@
+"""Tests for the per-figure experiment modules (small configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.worker import WorkerProfile
+from repro.experiments.examples_numeric import (
+    NumericExampleConfig,
+    run_example_1,
+    run_example_2,
+    run_numeric_example,
+)
+from repro.experiments.extrapolation_study import (
+    ExtrapolationStudyConfig,
+    run_extrapolation_study,
+)
+from repro.experiments.prioritization_study import (
+    PrioritizationConfig,
+    epsilon_sweep,
+    imperfect_heuristic_partition,
+)
+from repro.experiments.real_world import (
+    RealWorldExperimentConfig,
+    ground_truth_switches,
+    run_real_world_experiment,
+)
+from repro.experiments.robustness import (
+    SCENARIOS,
+    RobustnessConfig,
+    run_robustness_scenario,
+    scenario_profile,
+)
+from repro.experiments.sensitivity import SensitivityConfig, coverage_sweep, precision_sweep
+from repro.experiments.workloads import (
+    Workload,
+    address_workload,
+    product_workload,
+    restaurant_workload,
+)
+from repro.core.switch import POSITIVE, switch_statistics
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+
+@pytest.fixture(scope="module")
+def small_restaurant_workload() -> Workload:
+    return restaurant_workload(scale=0.08, seed=7)
+
+
+@pytest.fixture(scope="module")
+def small_address_workload() -> Workload:
+    return address_workload(scale=0.2, seed=13)
+
+
+class TestWorkloads:
+    def test_restaurant_workload_structure(self, small_restaurant_workload):
+        workload = small_restaurant_workload
+        assert workload.name == "restaurant"
+        assert len(workload.items) == workload.metadata["num_candidate_pairs"]
+        assert workload.true_errors == workload.items.num_dirty
+        assert workload.pipeline_result is not None
+
+    def test_restaurant_crowd_is_fp_prone(self, small_restaurant_workload):
+        profile = small_restaurant_workload.worker_profile
+        assert profile.false_positive_rate > 0.0
+
+    def test_address_workload_structure(self, small_address_workload):
+        workload = small_address_workload
+        assert workload.name == "address"
+        assert workload.pipeline_result is None
+        assert workload.true_errors == workload.items.num_dirty > 0
+
+    def test_product_workload_is_fn_heavy(self):
+        workload = product_workload(scale=0.05, seed=11)
+        assert workload.worker_profile.false_negative_rate > workload.worker_profile.false_positive_rate
+        assert workload.metadata["num_candidate_pairs"] == len(workload.items)
+
+
+class TestRealWorldExperiment:
+    def test_panels_present_and_consistent(self, small_address_workload):
+        config = RealWorldExperimentConfig(
+            num_tasks=60, num_permutations=2, num_checkpoints=5, seed=1
+        )
+        panels = run_real_world_experiment(small_address_workload, config)
+        assert set(panels) == {"total_error", "positive_switches", "negative_switches"}
+        total = panels["total_error"]
+        assert set(total.series) == {"switch_total", "vchao92", "voting"}
+        assert total.ground_truth == float(small_address_workload.true_errors)
+        assert "extrapolation_band" in total.metadata
+        assert total.metadata["scm_tasks"] > 0
+
+    def test_switch_estimate_tracks_truth_reasonably(self, small_address_workload):
+        config = RealWorldExperimentConfig(
+            num_tasks=250, num_permutations=2, num_checkpoints=6, seed=2
+        )
+        panels = run_real_world_experiment(small_address_workload, config)
+        final = panels["total_error"].series["switch_total"].final().mean
+        truth = panels["total_error"].ground_truth
+        assert final == pytest.approx(truth, rel=0.4)
+
+    def test_ground_truth_switches_direction_counting(self):
+        dataset = generate_synthetic_pairs(SyntheticPairConfig(num_items=50, num_errors=10, shuffle=False), seed=0)
+        from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+
+        simulation = CrowdSimulator(
+            dataset, SimulationConfig(num_tasks=0, items_per_task=5, seed=0)
+        ).run()
+        stats = switch_statistics(simulation.matrix)
+        # With no votes, every true error still needs a positive switch.
+        assert ground_truth_switches(stats, simulation.ground_truth, POSITIVE) == 10
+
+
+class TestSensitivitySweeps:
+    _config = SensitivityConfig(
+        num_items=200,
+        num_errors=20,
+        num_tasks=25,
+        items_per_task=10,
+        precisions=(0.6, 0.9),
+        items_per_task_grid=(5, 20),
+        num_trials=2,
+        seed=1,
+    )
+
+    def test_precision_sweep_shape(self):
+        result = precision_sweep(self._config)
+        assert result.parameter_name == "precision"
+        assert result.values == [0.6, 0.9]
+        assert set(result.srmse) == {"chao92", "switch_total", "voting"}
+        assert all(len(v) == 2 for v in result.srmse.values())
+
+    def test_precision_sweep_errors_non_negative(self):
+        result = precision_sweep(self._config)
+        assert all(value >= 0 for values in result.srmse.values() for value in values)
+
+    def test_coverage_sweep_shape(self):
+        result = coverage_sweep(self._config)
+        assert result.parameter_name == "items_per_task"
+        assert result.values == [5.0, 20.0]
+
+    def test_chao92_is_accurate_without_false_positives(self):
+        result = coverage_sweep(self._config)
+        # In the no-false-positive regime Chao92's scaled error stays modest
+        # at the larger coverage point (the Figure 6(b) message).
+        assert result.srmse["chao92"][-1] < 0.6
+
+
+class TestRobustness:
+    _config = RobustnessConfig(
+        num_items=300,
+        num_errors=30,
+        num_tasks=60,
+        items_per_task=15,
+        num_permutations=2,
+        num_checkpoints=5,
+        seed=3,
+    )
+
+    def test_scenario_profiles(self):
+        config = RobustnessConfig()
+        assert scenario_profile("false_negatives_only", config).false_positive_rate == 0.0
+        assert scenario_profile("false_positives_only", config).false_negative_rate == 0.0
+        both = scenario_profile("both", config)
+        assert both.false_negative_rate > 0 and both.false_positive_rate > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_profile("nonsense", RobustnessConfig())
+
+    def test_all_scenarios_defined(self):
+        assert set(SCENARIOS) == {"false_negatives_only", "false_positives_only", "both"}
+
+    def test_fp_scenario_chao92_overestimates_switch_does_not(self):
+        result = run_robustness_scenario("false_positives_only", self._config)
+        truth = result.ground_truth
+        chao_final = result.series["chao92"].final().mean
+        switch_final = result.series["switch_total"].final().mean
+        assert chao_final > truth
+        assert abs(switch_final - truth) < abs(chao_final - truth)
+
+    def test_fn_scenario_all_estimators_in_reasonable_range(self):
+        result = run_robustness_scenario("false_negatives_only", self._config)
+        truth = result.ground_truth
+        for name, series in result.series.items():
+            assert series.final().mean == pytest.approx(truth, rel=0.6), name
+
+
+class TestPrioritizationStudy:
+    def test_partition_respects_heuristic_error_rate(self):
+        dataset = generate_synthetic_pairs(SyntheticPairConfig(num_items=200, num_errors=40), seed=5)
+        perfect = imperfect_heuristic_partition(
+            dataset, ambiguous_fraction=0.4, heuristic_error_rate=0.0, seed=1
+        )
+        lossy = imperfect_heuristic_partition(
+            dataset, ambiguous_fraction=0.4, heuristic_error_rate=0.5, seed=1
+        )
+        dirty_in_perfect = sum(1 for i in perfect if dataset.is_dirty(i))
+        dirty_in_lossy = sum(1 for i in lossy if dataset.is_dirty(i))
+        assert dirty_in_perfect == 40
+        assert dirty_in_lossy == 20
+
+    def test_epsilon_sweep_shape(self):
+        config = PrioritizationConfig(
+            num_items=200,
+            num_errors=20,
+            heuristic_error_rates=(0.1, 0.5),
+            epsilons=(0.0, 0.2),
+            num_tasks=25,
+            items_per_task=10,
+            num_trials=2,
+            seed=2,
+        )
+        result = epsilon_sweep(config)
+        assert set(result.srmse) == {0.1, 0.5}
+        assert all(len(v) == 2 for v in result.srmse.values())
+
+    def test_bad_heuristic_benefits_from_randomization(self):
+        config = PrioritizationConfig(
+            num_items=300,
+            num_errors=30,
+            heuristic_error_rates=(0.5,),
+            epsilons=(0.0, 0.4),
+            num_tasks=60,
+            items_per_task=15,
+            num_trials=3,
+            seed=3,
+        )
+        result = epsilon_sweep(config)
+        errors = result.srmse[0.5]
+        # More randomisation should not hurt badly when the heuristic is bad;
+        # typically it helps (Figure 8).
+        assert errors[-1] <= errors[0] + 0.1
+
+
+class TestExtrapolationStudy:
+    def test_study_structure(self, small_restaurant_workload):
+        config = ExtrapolationStudyConfig(num_samples=3, crowd_sample_size=30, task_grid=(5, 10), seed=1)
+        result = run_extrapolation_study(config, workload=small_restaurant_workload)
+        assert len(result.oracle_estimates) == 3
+        assert len(result.crowd_estimates) == 3
+        assert all(len(trace) == 2 for trace in result.crowd_estimates)
+        assert result.oracle_truth > 0
+
+    def test_oracle_estimates_are_non_negative(self, small_restaurant_workload):
+        config = ExtrapolationStudyConfig(num_samples=4, crowd_sample_size=20, task_grid=(5,), seed=2)
+        result = run_extrapolation_study(config, workload=small_restaurant_workload)
+        assert all(value >= 0 for value in result.oracle_estimates)
+
+
+class TestNumericExamples:
+    def test_example_1_shape(self):
+        config = NumericExampleConfig(seed=1)
+        result = run_numeric_example(config)
+        # No false positives: the Chao92 estimate should land near the truth.
+        assert result["chao92_total"] == pytest.approx(result["true_errors"], rel=0.15)
+
+    def test_example_2_overestimates(self):
+        clean = run_example_1(seed=2)
+        noisy = run_example_2(seed=2)
+        assert noisy["chao92_total"] > clean["chao92_total"]
+        assert noisy["nominal"] >= clean["nominal"]
+
+    def test_examples_report_expected_keys(self):
+        result = run_example_1(seed=3)
+        assert {"nominal", "chao92_total", "chao92_remaining", "switch_total", "true_errors"} == set(result)

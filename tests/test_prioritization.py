@@ -1,0 +1,140 @@
+"""Tests for the prioritised-estimation layer (Section 5 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.core.chao92 import Chao92Estimator
+from repro.core.descriptive import VotingEstimator
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.crowd.simulator import CrowdSimulator, SimulationConfig
+from repro.crowd.worker import WorkerProfile
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+from repro.prioritization.imperfect import (
+    EpsilonGreedyPrioritizer,
+    estimate_with_imperfect_heuristic,
+)
+from repro.prioritization.perfect import total_errors_with_perfect_heuristic
+
+
+class TestPerfectHeuristicComposition:
+    def test_obvious_errors_added_to_candidate_estimate(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        base = SwitchTotalErrorEstimator().estimate(matrix)
+        composed = total_errors_with_perfect_heuristic(
+            SwitchTotalErrorEstimator(), matrix, num_obvious_errors=25
+        )
+        assert composed.estimate == pytest.approx(base.estimate + 25)
+        assert composed.observed == pytest.approx(base.observed + 25)
+        assert composed.details["num_obvious_errors"] == 25.0
+
+    def test_zero_obvious_errors_is_identity(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        base = Chao92Estimator().estimate(matrix)
+        composed = total_errors_with_perfect_heuristic(Chao92Estimator(), matrix, 0)
+        assert composed.estimate == pytest.approx(base.estimate)
+
+    def test_negative_obvious_errors_rejected(self, noisy_crowd_simulation):
+        with pytest.raises(ValidationError):
+            total_errors_with_perfect_heuristic(
+                VotingEstimator(), noisy_crowd_simulation.matrix, -1
+            )
+
+    def test_prefix_is_forwarded(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        early = total_errors_with_perfect_heuristic(VotingEstimator(), matrix, 5, upto=5)
+        late = total_errors_with_perfect_heuristic(VotingEstimator(), matrix, 5)
+        assert early.observed <= late.observed
+
+
+class TestEpsilonGreedyPrioritizer:
+    def _dataset(self, seed=31):
+        return generate_synthetic_pairs(
+            SyntheticPairConfig(num_items=400, num_errors=40), seed=seed
+        )
+
+    def test_candidate_fraction_tracks_epsilon(self):
+        dataset = self._dataset()
+        ambiguous = dataset.record_ids[:120]
+        prioritizer = EpsilonGreedyPrioritizer(
+            dataset,
+            ambiguous,
+            epsilon=0.2,
+            config=SimulationConfig(num_tasks=100, items_per_task=10, seed=1),
+        )
+        estimate = prioritizer.estimate(SwitchTotalErrorEstimator())
+        assert estimate.candidate_fraction == pytest.approx(0.8, abs=0.08)
+        assert estimate.epsilon == 0.2
+        assert estimate.num_tasks == 100
+
+    def test_epsilon_zero_never_leaves_the_band(self):
+        dataset = self._dataset()
+        ambiguous = dataset.record_ids[:100]
+        prioritizer = EpsilonGreedyPrioritizer(
+            dataset,
+            ambiguous,
+            epsilon=0.0,
+            config=SimulationConfig(num_tasks=40, items_per_task=10, seed=2),
+        )
+        simulation = prioritizer.collect()
+        voted = {item for task in simulation.tasks for item in task.item_ids}
+        assert voted <= set(ambiguous)
+
+    def test_complement_is_everything_outside_the_band(self):
+        dataset = self._dataset()
+        ambiguous = dataset.record_ids[:50]
+        prioritizer = EpsilonGreedyPrioritizer(dataset, ambiguous, epsilon=0.1)
+        assert set(prioritizer.complement_ids) == set(dataset.record_ids) - set(ambiguous)
+
+    def test_invalid_epsilon_rejected(self):
+        dataset = self._dataset()
+        with pytest.raises(ValidationError):
+            EpsilonGreedyPrioritizer(dataset, dataset.record_ids[:10], epsilon=1.5)
+
+    def test_good_heuristic_with_small_epsilon_estimates_accurately(self):
+        dataset = self._dataset(seed=33)
+        # A perfect band: every error plus some clean filler.
+        dirty = [rid for rid in dataset.record_ids if dataset.is_dirty(rid)]
+        clean_filler = [rid for rid in dataset.record_ids if not dataset.is_dirty(rid)][:80]
+        prioritizer = EpsilonGreedyPrioritizer(
+            dataset,
+            dirty + clean_filler,
+            epsilon=0.1,
+            config=SimulationConfig(
+                num_tasks=120,
+                items_per_task=12,
+                worker_profile=WorkerProfile(false_negative_rate=0.1, false_positive_rate=0.01),
+                seed=3,
+            ),
+        )
+        estimate = prioritizer.estimate(SwitchTotalErrorEstimator())
+        assert estimate.result.estimate == pytest.approx(dataset.num_dirty, rel=0.3)
+
+    def test_bad_heuristic_with_zero_epsilon_underestimates(self):
+        dataset = self._dataset(seed=34)
+        dirty = [rid for rid in dataset.record_ids if dataset.is_dirty(rid)]
+        clean = [rid for rid in dataset.record_ids if not dataset.is_dirty(rid)]
+        # The band misses half of the errors entirely.
+        bad_band = dirty[: len(dirty) // 2] + clean[:100]
+        prioritizer = EpsilonGreedyPrioritizer(
+            dataset,
+            bad_band,
+            epsilon=0.0,
+            config=SimulationConfig(
+                num_tasks=120,
+                items_per_task=12,
+                worker_profile=WorkerProfile(false_negative_rate=0.1, false_positive_rate=0.01),
+                seed=4,
+            ),
+        )
+        estimate = prioritizer.estimate(SwitchTotalErrorEstimator())
+        assert estimate.result.estimate < 0.8 * dataset.num_dirty
+
+
+class TestImperfectHeuristicHelper:
+    def test_helper_is_plain_estimation_over_the_matrix(self, noisy_crowd_simulation):
+        matrix = noisy_crowd_simulation.matrix
+        direct = SwitchTotalErrorEstimator().estimate(matrix)
+        via_helper = estimate_with_imperfect_heuristic(SwitchTotalErrorEstimator(), matrix)
+        assert via_helper.estimate == pytest.approx(direct.estimate)

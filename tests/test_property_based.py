@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on the core data structures and estimators.
+
+These check invariants the paper's machinery relies on regardless of the
+particular vote pattern: fingerprint bookkeeping identities, estimator
+lower bounds, switch-count consistency, and majority/nominal ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.chao92 import chao92_estimate, good_turing_coverage
+from repro.core.descriptive import majority_estimate, nominal_estimate
+from repro.core.fstatistics import fingerprint_from_counts
+from repro.core.metrics import scaled_rmse
+from repro.core.switch import switch_statistics
+from repro.core.total_error import SwitchTotalErrorEstimator
+from repro.core.vchao92 import vchao92_estimate
+from repro.crowd.consensus import majority_labels
+from repro.crowd.response_matrix import ResponseMatrix
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+occurrence_counts = st.lists(st.integers(min_value=0, max_value=12), min_size=0, max_size=60)
+
+vote_matrices = st.integers(min_value=1, max_value=12).flatmap(
+    lambda n_items: st.integers(min_value=0, max_value=10).flatmap(
+        lambda n_cols: st.lists(
+            st.lists(st.sampled_from([DIRTY, CLEAN, UNSEEN]), min_size=n_cols, max_size=n_cols),
+            min_size=n_items,
+            max_size=n_items,
+        )
+    )
+)
+
+
+def _matrix(rows) -> ResponseMatrix:
+    n_cols = len(rows[0]) if rows and rows[0] else 0
+    array = np.array(rows, dtype=np.int8).reshape(len(rows), n_cols)
+    return ResponseMatrix.from_array(array)
+
+
+# ---------------------------------------------------------------------- #
+# fingerprint invariants
+# ---------------------------------------------------------------------- #
+
+
+class TestFingerprintProperties:
+    @given(occurrence_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_counts_nonzero_items(self, counts):
+        fp = fingerprint_from_counts(counts)
+        assert fp.distinct == sum(1 for c in counts if c > 0)
+
+    @given(occurrence_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_total_occurrences_matches_sum(self, counts):
+        fp = fingerprint_from_counts(counts)
+        assert fp.total_occurrences == sum(counts)
+        assert fp.num_observations == sum(counts)
+
+    @given(occurrence_counts, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_reduces_distinct_and_observations(self, counts, shift):
+        fp = fingerprint_from_counts(counts)
+        shifted = fp.shifted(shift)
+        assert shifted.distinct <= fp.distinct
+        assert shifted.num_observations <= fp.num_observations
+        assert shifted.num_observations >= 0
+
+    @given(occurrence_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_in_unit_interval(self, counts):
+        assert 0.0 <= good_turing_coverage(fingerprint_from_counts(counts)) <= 1.0
+
+
+class TestEstimatorProperties:
+    @given(occurrence_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_chao92_at_least_observed_distinct(self, counts):
+        fp = fingerprint_from_counts(counts)
+        assert chao92_estimate(fp) >= fp.distinct
+
+    @given(occurrence_counts, st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_vchao92_at_least_majority(self, counts, majority, shift):
+        fp = fingerprint_from_counts(counts)
+        assert vchao92_estimate(fp, majority, shift=shift) >= majority
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=10), st.floats(min_value=1, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_rmse_non_negative(self, estimates, truth):
+        assert scaled_rmse(estimates, truth) >= 0.0
+
+
+class TestMatrixProperties:
+    @given(vote_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_majority_never_exceeds_nominal(self, rows):
+        matrix = _matrix(rows)
+        assert majority_estimate(matrix) <= nominal_estimate(matrix)
+
+    @given(vote_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_vote_count_decomposition(self, rows):
+        matrix = _matrix(rows)
+        assert matrix.total_votes() == int(
+            matrix.positive_counts().sum() + matrix.negative_counts().sum()
+        )
+
+    @given(vote_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_column_permutation_preserves_descriptive_counts(self, rows):
+        matrix = _matrix(rows)
+        if matrix.num_columns < 2:
+            return
+        order = list(reversed(range(matrix.num_columns)))
+        permuted = matrix.permute_columns(order)
+        assert nominal_estimate(permuted) == nominal_estimate(matrix)
+        assert majority_estimate(permuted) == majority_estimate(matrix)
+
+
+class TestSwitchProperties:
+    @given(vote_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_switch_bookkeeping_identities(self, rows):
+        matrix = _matrix(rows)
+        stats = switch_statistics(matrix)
+        # Every switch event belongs to an item, and the per-item flag count
+        # can never exceed the number of events.
+        assert stats.items_with_switches <= stats.num_switches or stats.num_switches == 0
+        # n_switch counts votes from the first switch onward, so it is
+        # bounded by the total number of votes and by the rediscovery sum.
+        assert 0 <= stats.n_switch <= stats.total_votes
+        assert stats.n_switch == sum(e.rediscoveries for e in stats.events)
+        assert stats.total_votes == matrix.total_votes()
+
+    @given(vote_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_final_consensus_matches_majority_semantics(self, rows):
+        matrix = _matrix(rows)
+        stats = switch_statistics(matrix)
+        majority = majority_labels(matrix)
+        for item, consensus in stats.final_consensus.items():
+            margin = matrix.positive_counts()[matrix.row_index(item)] - matrix.negative_counts()[
+                matrix.row_index(item)
+            ]
+            if margin > 0:
+                assert consensus == 1
+            elif margin < 0:
+                assert consensus == 0
+            # On an exact tie the switch scan keeps the side reached by the
+            # most recent switch, which may differ from the default-clean
+            # majority label; both are valid tie-breaking policies.
+            else:
+                assert consensus in (0, 1)
+            assert majority[item] in (0, 1)
+
+    @given(vote_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_total_error_estimate_is_non_negative(self, rows):
+        matrix = _matrix(rows)
+        result = SwitchTotalErrorEstimator(trend_mode="both").estimate(matrix)
+        assert result.estimate >= 0.0
+        assert result.observed >= 0.0
+
+    @given(vote_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_directional_switch_counts_partition_total(self, rows):
+        matrix = _matrix(rows)
+        stats = switch_statistics(matrix)
+        assert (
+            stats.num_switches_by_direction("positive")
+            + stats.num_switches_by_direction("negative")
+            == stats.num_switches
+        )
