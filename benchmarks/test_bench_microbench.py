@@ -11,13 +11,14 @@ from __future__ import annotations
 import pytest
 
 from repro.core.chao92 import Chao92Estimator
-from repro.core.switch import switch_statistics
+from repro.core.switch import SwitchEstimator, switch_statistics
 from repro.core.total_error import SwitchTotalErrorEstimator
 from repro.core.vchao92 import VChao92Estimator
 from repro.crowd.consensus import majority_count
 from repro.crowd.simulator import CrowdSimulator, SimulationConfig
 from repro.crowd.worker import WorkerProfile
 from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+from repro.experiments.runner import EstimationRunner, RunnerConfig
 
 
 @pytest.fixture(scope="module")
@@ -57,3 +58,25 @@ def test_micro_switch_statistics(benchmark, bench_matrix):
 def test_micro_switch_total_error(benchmark, bench_matrix):
     result = benchmark(lambda: SwitchTotalErrorEstimator().estimate(bench_matrix))
     assert result.estimate >= 0
+
+
+def test_micro_estimate_sweep_switch(benchmark, bench_matrix):
+    """One incremental sweep over 20 checkpoints (vs 20 full recomputations)."""
+    checkpoints = RunnerConfig(num_checkpoints=20).resolve_checkpoints(
+        bench_matrix.num_columns
+    )
+    results = benchmark(lambda: SwitchEstimator().estimate_sweep(bench_matrix, checkpoints))
+    assert len(results) == len(checkpoints)
+
+
+def test_micro_runner_sweep_2000x100(benchmark, bench_matrix):
+    """The ISSUE-1 sweep scenario: 2000x100, 3 permutations, 20 checkpoints,
+    3 estimators — the seed took ~3.4s here; the incremental engine targets
+    >= 5x less."""
+    matrix = bench_matrix.prefix(100)
+    runner = EstimationRunner(
+        ["chao92", "switch", "switch_total"],
+        RunnerConfig(num_permutations=3, num_checkpoints=20, seed=1),
+    )
+    result = benchmark.pedantic(lambda: runner.run(matrix), rounds=3, iterations=1)
+    assert set(result.series) == {"chao92", "switch", "switch_total"}

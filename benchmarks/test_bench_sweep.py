@@ -1,0 +1,66 @@
+"""Benchmarks of the incremental prefix-sweep estimation engine at scale.
+
+A 5000-item x 200-column vote matrix swept over 20 checkpoints is the
+heavy interactive workload the ROADMAP targets: a quality dashboard
+re-estimating after every batch of tasks.  The seed evaluated every
+estimator from scratch at every checkpoint (a per-item Python scan per
+evaluation); the sweep engine scans the matrix once per estimator and
+re-slices precomputed cumulative counts per checkpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.registry import get_estimator
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.experiments.runner import EstimationRunner, RunnerConfig
+
+#: The sweep workload: 5000 items x 200 worker-task columns.
+NUM_ITEMS = 5000
+NUM_COLUMNS = 200
+NUM_CHECKPOINTS = 20
+
+
+@pytest.fixture(scope="module")
+def sweep_matrix() -> ResponseMatrix:
+    rng = np.random.default_rng(17)
+    votes = rng.choice(
+        [UNSEEN, CLEAN, DIRTY],
+        size=(NUM_ITEMS, NUM_COLUMNS),
+        p=[0.85, 0.05, 0.10],
+    ).astype(np.int8)
+    return ResponseMatrix.from_array(votes)
+
+
+@pytest.fixture(scope="module")
+def sweep_checkpoints(sweep_matrix) -> list:
+    return RunnerConfig(num_checkpoints=NUM_CHECKPOINTS).resolve_checkpoints(
+        sweep_matrix.num_columns
+    )
+
+
+@pytest.mark.parametrize(
+    "estimator_name", ["chao92", "vchao92", "switch", "switch_total", "extrapolation"]
+)
+def test_sweep_5000x200_single_estimator(
+    benchmark, sweep_matrix, sweep_checkpoints, estimator_name
+):
+    estimator = get_estimator(estimator_name)
+    results = benchmark(
+        lambda: estimator.estimate_sweep(sweep_matrix, sweep_checkpoints)
+    )
+    assert len(results) == NUM_CHECKPOINTS
+    assert all(result.estimate >= 0.0 for result in results)
+
+
+def test_sweep_5000x200_runner(benchmark, sweep_matrix):
+    """Full permutation-averaged run on the 5000x200 workload."""
+    runner = EstimationRunner(
+        ["chao92", "switch", "switch_total"],
+        RunnerConfig(num_permutations=3, num_checkpoints=NUM_CHECKPOINTS, seed=3),
+    )
+    result = benchmark.pedantic(lambda: runner.run(sweep_matrix), rounds=1, iterations=1)
+    assert set(result.series) == {"chao92", "switch", "switch_total"}

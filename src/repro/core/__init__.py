@@ -26,8 +26,18 @@ scaled-error metric (SRMSE), and an estimator registry so experiment
 configurations can refer to estimators by name.
 """
 
-from repro.core.base import EstimatorProtocol, EstimateResult
-from repro.core.chao92 import Chao92Estimator, chao92_estimate, good_turing_coverage
+from repro.core.base import (
+    EstimatorProtocol,
+    EstimateResult,
+    SweepEstimatorMixin,
+    sweep_estimates,
+)
+from repro.core.chao92 import (
+    Chao92Estimator,
+    chao92_components,
+    chao92_estimate,
+    good_turing_coverage,
+)
 from repro.core.descriptive import (
     NominalEstimator,
     VotingEstimator,
@@ -35,7 +45,13 @@ from repro.core.descriptive import (
     nominal_estimate,
 )
 from repro.core.extrapolation import ExtrapolationEstimator, extrapolate_from_sample
-from repro.core.fstatistics import Fingerprint, fingerprint_from_counts, positive_vote_fingerprint
+from repro.core.fstatistics import (
+    Fingerprint,
+    fingerprint_from_counts,
+    fingerprints_from_count_table,
+    positive_vote_fingerprint,
+    positive_vote_fingerprints,
+)
 from repro.core.metrics import (
     absolute_error,
     relative_error,
@@ -53,6 +69,7 @@ from repro.core.switch import (
     SwitchStatistics,
     count_switches,
     switch_statistics,
+    switch_statistics_sweep,
 )
 from repro.core.total_error import SwitchTotalErrorEstimator
 from repro.core.vchao92 import VChao92Estimator, vchao92_estimate
@@ -60,10 +77,15 @@ from repro.core.vchao92 import VChao92Estimator, vchao92_estimate
 __all__ = [
     "EstimatorProtocol",
     "EstimateResult",
+    "SweepEstimatorMixin",
+    "sweep_estimates",
     "Fingerprint",
     "fingerprint_from_counts",
+    "fingerprints_from_count_table",
     "positive_vote_fingerprint",
+    "positive_vote_fingerprints",
     "Chao92Estimator",
+    "chao92_components",
     "chao92_estimate",
     "good_turing_coverage",
     "VChao92Estimator",
@@ -78,6 +100,7 @@ __all__ = [
     "SwitchStatistics",
     "count_switches",
     "switch_statistics",
+    "switch_statistics_sweep",
     "SwitchTotalErrorEstimator",
     "chao84_estimate",
     "good_turing_estimate",

@@ -9,7 +9,7 @@ without special cases.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.crowd.response_matrix import ResponseMatrix
 
@@ -62,3 +62,50 @@ class EstimatorProtocol(Protocol):
     ) -> EstimateResult:
         """Estimate the total error count from the first ``upto`` columns."""
         ...
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Evaluate the estimator at every checkpoint prefix in one sweep.
+
+        Must be equivalent (bit-identical results) to calling
+        :meth:`estimate` once per checkpoint; implementations are free to
+        share work across checkpoints.  Inherit :class:`SweepEstimatorMixin`
+        to get the fallback loop for free.  Note that ``isinstance`` checks
+        against this protocol require both methods; the harness itself is
+        more lenient — :func:`sweep_estimates` accepts estimate-only
+        objects and falls back to the per-checkpoint loop for them.
+        """
+        ...
+
+
+class SweepEstimatorMixin:
+    """Default ``estimate_sweep`` falling back to the per-checkpoint loop.
+
+    Estimators inherit this to satisfy the sweep half of
+    :class:`EstimatorProtocol` and override :meth:`estimate_sweep` when a
+    single-pass incremental implementation exists.  The contract either way:
+    ``estimate_sweep(m, cps)[j]`` equals ``estimate(m, cps[j])`` exactly.
+    """
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Evaluate :meth:`estimate` at every checkpoint prefix."""
+        return [self.estimate(matrix, checkpoint) for checkpoint in checkpoints]
+
+
+def sweep_estimates(
+    estimator: EstimatorProtocol,
+    matrix: ResponseMatrix,
+    checkpoints: Sequence[int],
+) -> List[EstimateResult]:
+    """Evaluate ``estimator`` at every checkpoint, using its fast sweep if any.
+
+    Third-party estimators that only implement ``estimate`` are supported
+    through the per-checkpoint fallback loop.
+    """
+    sweep = getattr(estimator, "estimate_sweep", None)
+    if sweep is not None:
+        return sweep(matrix, checkpoints)
+    return [estimator.estimate(matrix, checkpoint) for checkpoint in checkpoints]

@@ -22,11 +22,15 @@ matrix-level :class:`Chao92Estimator` used by the experiment harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.base import EstimateResult
+from repro.core.base import EstimateResult, SweepEstimatorMixin
 from repro.core.descriptive import nominal_estimate
-from repro.core.fstatistics import Fingerprint, positive_vote_fingerprint
+from repro.core.fstatistics import (
+    Fingerprint,
+    fingerprints_from_count_table,
+    positive_vote_fingerprint,
+)
 from repro.crowd.response_matrix import ResponseMatrix
 
 
@@ -77,6 +81,34 @@ def skew_coefficient(
     return max(gamma_squared, 0.0)
 
 
+def chao92_components(
+    fingerprint: Fingerprint,
+    *,
+    distinct: Optional[int] = None,
+    use_skew_correction: bool = True,
+) -> Tuple[float, float, float]:
+    """Chao92 estimate plus the intermediates it is built from.
+
+    Returns ``(estimate, coverage, gamma_squared)`` so callers that also
+    report the sample coverage and skew coefficient (every estimator's
+    ``details`` dict) compute them exactly once instead of re-deriving them
+    from the fingerprint.
+    """
+    c = fingerprint.distinct if distinct is None else int(distinct)
+    coverage = good_turing_coverage(fingerprint)
+    gamma_squared = (
+        skew_coefficient(fingerprint, distinct=c, coverage=coverage)
+        if use_skew_correction
+        else 0.0
+    )
+    if coverage <= 0.0:
+        return float(c), coverage, gamma_squared
+    estimate = c / coverage
+    if use_skew_correction:
+        estimate += fingerprint.singletons * gamma_squared / coverage
+    return float(estimate), coverage, gamma_squared
+
+
 def chao92_estimate(
     fingerprint: Fingerprint,
     *,
@@ -106,19 +138,14 @@ def chao92_estimate(
         singleton) the estimate falls back to the observed distinct count —
         the estimator has no basis for extrapolation yet.
     """
-    c = fingerprint.distinct if distinct is None else int(distinct)
-    coverage = good_turing_coverage(fingerprint)
-    if coverage <= 0.0:
-        return float(c)
-    estimate = c / coverage
-    if use_skew_correction:
-        gamma_squared = skew_coefficient(fingerprint, distinct=c, coverage=coverage)
-        estimate += fingerprint.singletons * gamma_squared / coverage
-    return float(estimate)
+    estimate, _, _ = chao92_components(
+        fingerprint, distinct=distinct, use_skew_correction=use_skew_correction
+    )
+    return estimate
 
 
 @dataclass
-class Chao92Estimator:
+class Chao92Estimator(SweepEstimatorMixin):
     """Matrix-level Chao92 estimator (the paper's CHAO92 baseline).
 
     Parameters
@@ -132,16 +159,12 @@ class Chao92Estimator:
     use_skew_correction: bool = True
     name: str = "chao92"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total error count from the positive-vote fingerprint."""
-        fingerprint = positive_vote_fingerprint(matrix, upto)
-        observed = nominal_estimate(matrix, upto)
-        estimate = chao92_estimate(
+    def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
+        estimate, coverage, gamma_squared = chao92_components(
             fingerprint,
             distinct=observed,
             use_skew_correction=self.use_skew_correction,
         )
-        coverage = good_turing_coverage(fingerprint)
         return EstimateResult(
             estimate=estimate,
             observed=float(observed),
@@ -150,8 +173,21 @@ class Chao92Estimator:
                 "singletons": float(fingerprint.singletons),
                 "doubletons": float(fingerprint.doubletons),
                 "positive_votes": float(fingerprint.num_observations),
-                "gamma_squared": skew_coefficient(fingerprint, distinct=observed)
-                if self.use_skew_correction
-                else 0.0,
+                "gamma_squared": gamma_squared,
             },
         )
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total error count from the positive-vote fingerprint."""
+        return self._result(
+            positive_vote_fingerprint(matrix, upto), nominal_estimate(matrix, upto)
+        )
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Single-pass sweep built on incremental positive-count fingerprints."""
+        table = matrix.positive_counts_at(checkpoints)
+        fingerprints = fingerprints_from_count_table(table)
+        observed = (table > 0).sum(axis=1)
+        return [self._result(fp, int(c)) for fp, c in zip(fingerprints, observed)]

@@ -9,10 +9,15 @@ nominal count, vChao92 and SWITCH start from the majority count).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.core.base import EstimateResult
-from repro.crowd.consensus import majority_count, nominal_count
+from repro.core.base import EstimateResult, SweepEstimatorMixin
+from repro.crowd.consensus import (
+    majority_count,
+    majority_counts_at,
+    nominal_count,
+    nominal_counts_at,
+)
 from repro.crowd.response_matrix import ResponseMatrix
 
 
@@ -27,7 +32,7 @@ def majority_estimate(matrix: ResponseMatrix, upto: Optional[int] = None) -> int
 
 
 @dataclass
-class NominalEstimator:
+class NominalEstimator(SweepEstimatorMixin):
     """Descriptive estimator returning the nominal error count."""
 
     name: str = "nominal"
@@ -37,9 +42,18 @@ class NominalEstimator:
         count = float(nominal_estimate(matrix, upto))
         return EstimateResult(estimate=count, observed=count, details={})
 
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Nominal counts at every checkpoint in one incremental pass."""
+        return [
+            EstimateResult(estimate=float(count), observed=float(count), details={})
+            for count in nominal_counts_at(matrix, checkpoints)
+        ]
+
 
 @dataclass
-class VotingEstimator:
+class VotingEstimator(SweepEstimatorMixin):
     """Descriptive estimator returning the majority-consensus error count.
 
     This is the paper's VOTING baseline: the best purely descriptive answer
@@ -53,3 +67,12 @@ class VotingEstimator:
         """Return the majority count; ``estimate == observed`` by construction."""
         count = float(majority_estimate(matrix, upto))
         return EstimateResult(estimate=count, observed=count, details={})
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Majority counts at every checkpoint in one incremental pass."""
+        return [
+            EstimateResult(estimate=float(count), observed=float(count), details={})
+            for count in majority_counts_at(matrix, checkpoints)
+        ]

@@ -27,8 +27,7 @@ import numpy as np
 
 from repro.common.rng import RandomState, ensure_rng
 from repro.common.validation import check_fraction, check_int
-from repro.core.base import EstimateResult
-from repro.crowd.consensus import majority_labels
+from repro.core.base import EstimateResult, SweepEstimatorMixin
 from repro.crowd.response_matrix import ResponseMatrix
 from repro.data.record import Dataset
 
@@ -109,7 +108,7 @@ def oracle_sample_extrapolations(
 
 
 @dataclass
-class ExtrapolationEstimator:
+class ExtrapolationEstimator(SweepEstimatorMixin):
     """Matrix-level extrapolation baseline (EXTRAPOL).
 
     Takes the items that have received at least ``min_votes`` votes as "the
@@ -134,23 +133,14 @@ class ExtrapolationEstimator:
     def __post_init__(self) -> None:
         check_int(self.min_votes, "min_votes", minimum=1)
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Extrapolate the majority error rate of covered items to all items."""
-        vote_counts = matrix.vote_counts(upto)
-        covered_mask = vote_counts >= self.min_votes
-        covered = int(covered_mask.sum())
-        labels = majority_labels(matrix, upto)
-        covered_items = [
-            item for item, is_covered in zip(matrix.item_ids, covered_mask) if is_covered
-        ]
-        sample_errors = sum(labels[item] for item in covered_items)
+    def _result(self, covered: int, sample_errors: int, num_items: int) -> EstimateResult:
         if covered == 0:
             return EstimateResult(
                 estimate=0.0,
                 observed=0.0,
                 details={"covered_items": 0.0, "sample_errors": 0.0},
             )
-        extrapolation = extrapolate_from_sample(covered, sample_errors, matrix.num_items)
+        extrapolation = extrapolate_from_sample(covered, sample_errors, num_items)
         return EstimateResult(
             estimate=extrapolation["total"],
             observed=float(sample_errors),
@@ -160,6 +150,34 @@ class ExtrapolationEstimator:
                 "sample_rate": extrapolation["rate"],
             },
         )
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Extrapolate the majority error rate of covered items to all items.
+
+        An item is in the "cleaned sample" when it has at least
+        ``min_votes`` votes; it counts as a sample error when its majority
+        consensus is dirty (ties default to clean, matching
+        :func:`~repro.crowd.consensus.majority_labels`).
+        """
+        positives = matrix.positive_counts(upto)
+        negatives = matrix.negative_counts(upto)
+        covered_mask = (positives + negatives) >= self.min_votes
+        sample_errors = int((covered_mask & (positives > negatives)).sum())
+        return self._result(int(covered_mask.sum()), sample_errors, matrix.num_items)
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Single-pass sweep over the incremental checkpoint count tables."""
+        positives = matrix.positive_counts_at(checkpoints)
+        negatives = matrix.negative_counts_at(checkpoints)
+        covered_masks = (positives + negatives) >= self.min_votes
+        covered = covered_masks.sum(axis=1)
+        sample_errors = (covered_masks & (positives > negatives)).sum(axis=1)
+        return [
+            self._result(int(c), int(e), matrix.num_items)
+            for c, e in zip(covered, sample_errors)
+        ]
 
 
 def extrapolation_band(

@@ -180,6 +180,30 @@ def positive_vote_fingerprint(
     return fingerprint_from_counts(positives.tolist())
 
 
+def fingerprints_from_count_table(counts_table: np.ndarray) -> "list[Fingerprint]":
+    """One fingerprint per row of an ``(m, N)`` per-item count table.
+
+    Sweep implementations that also need the raw counts (nominal or
+    majority tallies share the same table) use this to avoid recomputing
+    the table per consumer.
+    """
+    return [fingerprint_from_counts(row.tolist()) for row in counts_table]
+
+
+def positive_vote_fingerprints(
+    matrix: ResponseMatrix,
+    checkpoints: Iterable[int],
+) -> "list[Fingerprint]":
+    """Positive-vote fingerprints at every checkpoint prefix.
+
+    Equivalent to ``[positive_vote_fingerprint(matrix, cp) for cp in
+    checkpoints]`` but built from the matrix's incremental per-item
+    positive-count deltas, so the vote matrix is scanned once for the whole
+    sweep.
+    """
+    return fingerprints_from_count_table(matrix.positive_counts_at(list(checkpoints)))
+
+
 def fingerprint_entropy(fingerprint: Fingerprint) -> float:
     """Shannon entropy (nats) of the occurrence-count distribution.
 

@@ -85,7 +85,9 @@ def data_quality_report(
         quality = 1.0
     else:
         quality = min(1.0, max(0.0, detected / total))
-    num_tasks = matrix.num_columns if upto is None else int(upto)
+    # Report the number of tasks actually evaluated: an oversized ``upto``
+    # clamps to the columns received so far instead of echoing the argument.
+    num_tasks = matrix.resolve_upto(upto)
     return DataQualityReport(
         detected_errors=detected,
         estimated_total_errors=total,

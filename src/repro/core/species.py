@@ -11,13 +11,43 @@ sensitivity is a property of the whole family, not of Chao92 specifically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.core.base import EstimateResult
+from repro.core.base import EstimateResult, SweepEstimatorMixin
 from repro.core.chao92 import good_turing_coverage
 from repro.core.descriptive import nominal_estimate
-from repro.core.fstatistics import Fingerprint, positive_vote_fingerprint
+from repro.core.fstatistics import (
+    Fingerprint,
+    fingerprints_from_count_table,
+    positive_vote_fingerprint,
+)
 from repro.crowd.response_matrix import ResponseMatrix
+
+
+class _FingerprintSweepMixin(SweepEstimatorMixin):
+    """Shared sweep for estimators driven by ``(fingerprint, nominal count)``.
+
+    Subclasses provide ``_result(fingerprint, observed)``; both ``estimate``
+    and the incremental ``estimate_sweep`` are derived from it.
+    """
+
+    def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
+        raise NotImplementedError
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total error count from the positive-vote fingerprint."""
+        return self._result(
+            positive_vote_fingerprint(matrix, upto), nominal_estimate(matrix, upto)
+        )
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Single-pass sweep built on incremental positive-count fingerprints."""
+        table = matrix.positive_counts_at(checkpoints)
+        fingerprints = fingerprints_from_count_table(table)
+        observed = (table > 0).sum(axis=1)
+        return [self._result(fp, int(c)) for fp, c in zip(fingerprints, observed)]
 
 
 def good_turing_estimate(fingerprint: Fingerprint, *, distinct: Optional[int] = None) -> float:
@@ -73,15 +103,12 @@ def jackknife_estimate(
 
 
 @dataclass
-class GoodTuringEstimator:
+class GoodTuringEstimator(_FingerprintSweepMixin):
     """Matrix-level Good–Turing estimator (Chao92 without the skew term)."""
 
     name: str = "good_turing"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total error count with the plain coverage estimate."""
-        fingerprint = positive_vote_fingerprint(matrix, upto)
-        observed = nominal_estimate(matrix, upto)
+    def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
         estimate = good_turing_estimate(fingerprint, distinct=observed)
         return EstimateResult(
             estimate=estimate,
@@ -91,15 +118,12 @@ class GoodTuringEstimator:
 
 
 @dataclass
-class Chao84Estimator:
+class Chao84Estimator(_FingerprintSweepMixin):
     """Matrix-level Chao84 lower-bound estimator."""
 
     name: str = "chao84"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total error count with the Chao84 lower bound."""
-        fingerprint = positive_vote_fingerprint(matrix, upto)
-        observed = nominal_estimate(matrix, upto)
+    def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
         estimate = chao84_estimate(fingerprint, distinct=observed)
         return EstimateResult(
             estimate=estimate,
@@ -112,16 +136,13 @@ class Chao84Estimator:
 
 
 @dataclass
-class JackknifeEstimator:
+class JackknifeEstimator(_FingerprintSweepMixin):
     """Matrix-level jackknife estimator of configurable order."""
 
     order: int = 1
     name: str = "jackknife"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total error count with the jackknife formula."""
-        fingerprint = positive_vote_fingerprint(matrix, upto)
-        observed = nominal_estimate(matrix, upto)
+    def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
         estimate = jackknife_estimate(fingerprint, distinct=observed, order=self.order)
         return EstimateResult(
             estimate=estimate,

@@ -44,8 +44,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.labels import CLEAN, DIRTY, UNSEEN
-from repro.core.base import EstimateResult
-from repro.core.chao92 import chao92_estimate, good_turing_coverage, skew_coefficient
+from repro.core.base import EstimateResult, SweepEstimatorMixin
+from repro.core.chao92 import chao92_components, chao92_estimate, skew_coefficient
 from repro.core.fstatistics import Fingerprint, fingerprint_from_counts
 from repro.crowd.response_matrix import ResponseMatrix
 
@@ -139,70 +139,145 @@ class SwitchStatistics:
         return fingerprint
 
 
-def _scan_item_votes(item_id: int, votes: np.ndarray) -> Tuple[List[SwitchEvent], int, int, int]:
-    """Scan one item's vote sequence and return its switch bookkeeping.
+@dataclass(frozen=True)
+class _SwitchScan:
+    """Vectorised switch bookkeeping for every item and every prefix.
 
-    Returns
-    -------
-    (events, n_contribution, votes_on_item, final_state)
-        ``events`` are the item's switch events, ``n_contribution`` is the
-        number of the item's votes that count toward ``n_switch`` (votes
-        from the first switch onward), ``votes_on_item`` is the raw vote
-        count, and ``final_state`` the consensus label after the scan.
+    One NumPy pass over the cumulative vote counts yields everything the
+    per-item scan used to produce, for *all* prefixes at once: the sweep
+    engine slices it per checkpoint instead of rescanning the matrix.
+
+    All event arrays are aligned and sorted in row-major scan order (item
+    row, then column) — the same order the sequential scan emitted events.
     """
-    seen_votes = votes[votes != UNSEEN]
-    positives = 0
-    negatives = 0
-    state = 0  # default label: clean
-    events: List[SwitchEvent] = []
-    current: Optional[Dict[str, int]] = None
-    n_contribution = 0
-    for index, vote in enumerate(seen_votes, start=1):
-        if vote == DIRTY:
-            positives += 1
-        else:
-            negatives += 1
-        if positives > negatives:
-            new_state = 1
-        elif negatives > positives:
-            new_state = 0
-        else:
-            # A tie flips the consensus away from its current value.
-            new_state = 1 - state
-        is_switch = new_state != state
-        if is_switch:
-            if current is not None:
-                events.append(
-                    SwitchEvent(
-                        item_id=item_id,
-                        direction=current["direction_label"],
-                        vote_index=current["vote_index"],
-                        rediscoveries=current["rediscoveries"],
-                    )
-                )
-            direction = POSITIVE if new_state == 1 else NEGATIVE
-            state = new_state
-            current = {
-                "direction_label": direction,
-                "vote_index": index,
-                "rediscoveries": 1,
-            }
-            n_contribution += 1
-        else:
-            if current is not None:
-                current["rediscoveries"] += 1
-                n_contribution += 1
-            # Votes before the first switch are no-ops and contribute nothing.
-    if current is not None:
-        events.append(
-            SwitchEvent(
-                item_id=item_id,
-                direction=current["direction_label"],
-                vote_index=current["vote_index"],
-                rediscoveries=current["rediscoveries"],
-            )
+
+    num_columns: int
+    #: (N, K) cumulative count of seen (non-UNSEEN) votes per item.
+    seen_cum: np.ndarray
+    #: (N, K) consensus label after each column (tie-flip convention).
+    state: np.ndarray
+    #: (E,) row index of each switch event.
+    event_rows: np.ndarray
+    #: (E,) column index at which each switch occurred.
+    event_cols: np.ndarray
+    #: (E,) consensus label right after each switch (1 = dirty).
+    event_states: np.ndarray
+    #: (E,) 1-based position of the switch within its item's seen votes.
+    event_vote_index: np.ndarray
+    #: (E,) column of the same item's next switch (``num_columns`` if none).
+    event_next_col: np.ndarray
+
+    def rediscoveries(self, upto: int, active: np.ndarray) -> np.ndarray:
+        """Occurrence counts of the ``active`` events within the first ``upto`` columns.
+
+        An event is rediscovered by every seen vote from its switch vote up
+        to (excluding) the item's next switch, truncated at the prefix end.
+        """
+        rows = self.event_rows[active]
+        last_col = np.minimum(self.event_next_col[active], upto) - 1
+        return (
+            self.seen_cum[rows, last_col] - self.event_vote_index[active] + 1
         )
-    return events, n_contribution, int(seen_votes.size), state
+
+
+def _switch_scan(values: np.ndarray) -> _SwitchScan:
+    """Scan an ``N x K`` label array for consensus switches, vectorised.
+
+    The sequential recurrence of the per-item scan collapses into closed
+    form on the cumulative margins ``m_t = n_t^+ - n_t^-``: a strict
+    majority fixes the consensus to ``sign(m_t)`` regardless of history,
+    and a tie (``m_t = 0``) can only follow a seen vote with ``m = ±1``,
+    so the tie-flip target is ``1`` iff the previous column's margin was
+    negative.  Unseen columns carry the last seen state forward.
+    """
+    num_items, num_columns = values.shape
+    seen = values != UNSEEN
+    seen_cum = np.cumsum(seen, axis=1)
+    empty = np.zeros(0, dtype=np.int64)
+    if num_columns == 0:
+        return _SwitchScan(
+            num_columns=0,
+            seen_cum=seen_cum,
+            state=np.zeros((num_items, 0), dtype=np.int8),
+            event_rows=empty,
+            event_cols=empty,
+            event_states=empty,
+            event_vote_index=empty,
+            event_next_col=empty,
+        )
+    margin = np.cumsum(
+        (values == DIRTY).astype(np.int64) - (values == CLEAN), axis=1
+    )
+    prev_margin = np.concatenate(
+        [np.zeros((num_items, 1), dtype=np.int64), margin[:, :-1]], axis=1
+    )
+    state_at_vote = np.where(
+        margin > 0, 1, np.where(margin < 0, 0, (prev_margin < 0).astype(np.int8))
+    ).astype(np.int8)
+    # Forward-fill the state over unseen columns (items start clean).
+    columns = np.arange(num_columns)
+    last_seen = np.maximum.accumulate(np.where(seen, columns, -1), axis=1)
+    state = np.where(
+        last_seen >= 0,
+        np.take_along_axis(state_at_vote, np.maximum(last_seen, 0), axis=1),
+        0,
+    ).astype(np.int8)
+    prev_state = np.concatenate(
+        [np.zeros((num_items, 1), dtype=np.int8), state[:, :-1]], axis=1
+    )
+    event_rows, event_cols = np.nonzero(seen & (state != prev_state))
+    num_events = event_rows.size
+    event_next_col = np.full(num_events, num_columns, dtype=np.int64)
+    if num_events > 1:
+        same_item = event_rows[:-1] == event_rows[1:]
+        event_next_col[:-1][same_item] = event_cols[1:][same_item]
+    return _SwitchScan(
+        num_columns=num_columns,
+        seen_cum=seen_cum,
+        state=state,
+        event_rows=event_rows,
+        event_cols=event_cols.astype(np.int64),
+        event_states=state[event_rows, event_cols].astype(np.int64),
+        event_vote_index=seen_cum[event_rows, event_cols].astype(np.int64),
+        event_next_col=event_next_col,
+    )
+
+
+def _statistics_at(
+    matrix: ResponseMatrix, scan: _SwitchScan, upto: int
+) -> SwitchStatistics:
+    """Materialise the :class:`SwitchStatistics` of one prefix from a scan."""
+    stats = SwitchStatistics()
+    item_ids = matrix.item_ids
+    if upto == 0:
+        stats.final_consensus = {item: 0 for item in item_ids}
+        return stats
+    active = scan.event_cols < upto
+    rediscoveries = scan.rediscoveries(upto, active)
+    directions = np.where(scan.event_states[active] == 1, POSITIVE, NEGATIVE)
+    stats.events = [
+        SwitchEvent(
+            item_id=item_ids[row],
+            direction=direction,
+            vote_index=int(vote_index),
+            rediscoveries=int(count),
+        )
+        for row, direction, vote_index, count in zip(
+            scan.event_rows[active],
+            (str(d) for d in directions),
+            scan.event_vote_index[active],
+            rediscoveries,
+        )
+    ]
+    stats.num_switches = len(stats.events)
+    stats.items_with_switches = int(np.unique(scan.event_rows[active]).size)
+    stats.n_switch = int(rediscoveries.sum())
+    stats.total_votes = int(scan.seen_cum[:, upto - 1].sum())
+    final_states = scan.state[:, upto - 1]
+    stats.final_consensus = {
+        item: int(label) for item, label in zip(item_ids, final_states)
+    }
+    return stats
 
 
 def switch_statistics(matrix: ResponseMatrix, upto: Optional[int] = None) -> SwitchStatistics:
@@ -215,21 +290,119 @@ def switch_statistics(matrix: ResponseMatrix, upto: Optional[int] = None) -> Swi
     upto:
         Use only the first ``upto`` columns (``None`` = all).
     """
-    values = matrix.values if upto is None else matrix.values[:, :upto]
-    stats = SwitchStatistics()
-    items_with_switches = 0
-    for row, item_id in enumerate(matrix.item_ids):
-        events, n_contribution, votes_on_item, final_state = _scan_item_votes(
-            item_id, values[row, :]
+    upto = matrix.resolve_upto(upto)
+    scan = _switch_scan(matrix.values[:, :upto])
+    return _statistics_at(matrix, scan, upto)
+
+
+def switch_statistics_sweep(
+    matrix: ResponseMatrix, checkpoints: Sequence[int]
+) -> List[SwitchStatistics]:
+    """Switch statistics at every checkpoint prefix from one matrix scan.
+
+    Equivalent to ``[switch_statistics(matrix, cp) for cp in checkpoints]``
+    but the matrix is scanned once; each checkpoint then only re-slices the
+    precomputed event arrays (cost proportional to the number of switch
+    events, not to ``N x K``).
+    """
+    resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
+    scan = _switch_scan(matrix.values)
+    return [_statistics_at(matrix, scan, upto) for upto in resolved]
+
+
+def _fingerprint_from_rediscoveries(
+    rediscoveries: np.ndarray, n_switch: int
+) -> Fingerprint:
+    """Fingerprint over event occurrence counts, straight from the array.
+
+    Produces the same :class:`Fingerprint` as
+    ``fingerprint_from_counts(rediscoveries.tolist(), num_observations=n_switch)``
+    without materialising a Python list (rediscovery counts are >= 1 by
+    construction, so no zero-filtering is needed).
+    """
+    if rediscoveries.size == 0:
+        return Fingerprint(frequencies={}, num_observations=n_switch)
+    bins = np.bincount(rediscoveries)
+    frequencies = {
+        int(j): int(count) for j, count in enumerate(bins) if j >= 1 and count
+    }
+    return Fingerprint(frequencies=frequencies, num_observations=n_switch)
+
+
+class _EstimationSwitchStats:
+    """Array-backed stand-in for :class:`SwitchStatistics` in the sweep hot path.
+
+    Exposes exactly the interface the switch estimators consume
+    (``fingerprint``, the direction filters and the scalar counts) while
+    keeping events as NumPy arrays — no per-event objects, so a sweep over
+    many checkpoints stays proportional to the event count in C, not in
+    Python.  All quantities are integers identical to the materialised
+    statistics, so every downstream estimate is bit-identical.
+    """
+
+    __slots__ = (
+        "num_switches",
+        "items_with_switches",
+        "n_switch",
+        "total_votes",
+        "_rediscoveries",
+        "_states",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        rediscoveries: np.ndarray,
+        states: np.ndarray,
+        rows: np.ndarray,
+        total_votes: int,
+    ):
+        self._rediscoveries = rediscoveries
+        self._states = states
+        self._rows = rows
+        self.num_switches = int(rediscoveries.size)
+        self.items_with_switches = int(np.unique(rows).size)
+        self.n_switch = int(rediscoveries.sum())
+        self.total_votes = total_votes
+
+    def _direction_mask(self, direction: str) -> np.ndarray:
+        return self._states == (1 if direction == POSITIVE else 0)
+
+    def num_switches_by_direction(self, direction: str) -> int:
+        """Observed switch count restricted to one direction."""
+        return int(self._direction_mask(direction).sum())
+
+    def items_with_direction(self, direction: str) -> int:
+        """Number of items with at least one switch of the given direction."""
+        return int(np.unique(self._rows[self._direction_mask(direction)]).size)
+
+    def fingerprint(self, direction: Optional[str] = None) -> Fingerprint:
+        """f'-statistics over rediscovery counts (see :class:`SwitchStatistics`)."""
+        counts = (
+            self._rediscoveries
+            if direction is None
+            else self._rediscoveries[self._direction_mask(direction)]
         )
-        stats.events.extend(events)
-        stats.n_switch += n_contribution
-        stats.total_votes += votes_on_item
-        stats.final_consensus[item_id] = final_state
-        if events:
-            items_with_switches += 1
-    stats.num_switches = len(stats.events)
-    stats.items_with_switches = items_with_switches
+        return _fingerprint_from_rediscoveries(counts, self.n_switch)
+
+
+def _estimation_sweep(
+    matrix: ResponseMatrix, checkpoints: Sequence[int]
+) -> List[_EstimationSwitchStats]:
+    """Array-backed switch statistics per checkpoint, for the estimators."""
+    resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
+    scan = _switch_scan(matrix.values)
+    stats = []
+    for upto in resolved:
+        active = scan.event_cols < upto
+        stats.append(
+            _EstimationSwitchStats(
+                rediscoveries=scan.rediscoveries(upto, active),
+                states=scan.event_states[active],
+                rows=scan.event_rows[active],
+                total_votes=int(scan.seen_cum[:, upto - 1].sum()) if upto else 0,
+            )
+        )
     return stats
 
 
@@ -296,7 +469,7 @@ def estimate_remaining_switches(
 
 
 @dataclass
-class SwitchEstimator:
+class SwitchEstimator(SweepEstimatorMixin):
     """Matrix-level remaining-switch estimator (Problem 2 / Equation 8).
 
     The ``estimate`` field of the result is the estimated **total** number
@@ -318,30 +491,43 @@ class SwitchEstimator:
     use_skew_correction: bool = True
     name: str = "switch"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total number of consensus switches."""
-        stats = switch_statistics(matrix, upto)
-        total = estimate_total_switches(
-            stats, direction=self.direction, use_skew_correction=self.use_skew_correction
-        )
+    def _result(self, stats) -> EstimateResult:
+        # ``stats`` is a SwitchStatistics or its array-backed sweep stand-in.
+        fingerprint = stats.fingerprint(self.direction)
         if self.direction is None:
             observed = stats.num_switches
+            distinct = stats.items_with_switches
         else:
             observed = stats.num_switches_by_direction(self.direction)
-        fingerprint = stats.fingerprint(self.direction)
+            distinct = stats.items_with_direction(self.direction)
+        total, coverage, gamma_squared = chao92_components(
+            fingerprint, distinct=distinct, use_skew_correction=self.use_skew_correction
+        )
+        if self.direction is not None and self.use_skew_correction:
+            # The diagnostic gamma is always reported against the full
+            # items-with-switches count, even for directional estimators.
+            gamma_squared = skew_coefficient(
+                fingerprint, distinct=stats.items_with_switches, coverage=coverage
+            )
         return EstimateResult(
             estimate=float(total),
             observed=float(observed),
             details={
                 "n_switch": float(stats.n_switch),
                 "total_votes": float(stats.total_votes),
-                "coverage": good_turing_coverage(fingerprint),
+                "coverage": coverage,
                 "singletons": float(fingerprint.singletons),
                 "items_with_switches": float(stats.items_with_switches),
-                "gamma_squared": skew_coefficient(
-                    fingerprint, distinct=stats.items_with_switches
-                )
-                if self.use_skew_correction
-                else 0.0,
+                "gamma_squared": gamma_squared,
             },
         )
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total number of consensus switches."""
+        return self._result(switch_statistics(matrix, upto))
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Single-pass sweep over the vectorised switch scan."""
+        return [self._result(stats) for stats in _estimation_sweep(matrix, checkpoints)]

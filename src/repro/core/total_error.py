@@ -23,18 +23,20 @@ that decision dynamically from the recent history of the majority count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.common.exceptions import ValidationError
 from repro.common.validation import check_int
-from repro.core.base import EstimateResult
+from repro.core.base import EstimateResult, SweepEstimatorMixin
 from repro.core.descriptive import majority_estimate
 from repro.core.switch import (
     NEGATIVE,
     POSITIVE,
+    _estimation_sweep,
     estimate_remaining_switches,
     switch_statistics,
 )
+from repro.crowd.consensus import majority_counts_at
 from repro.crowd.response_matrix import ResponseMatrix
 
 #: Valid trend-selection modes.
@@ -42,7 +44,7 @@ TREND_MODES = ("auto", "positive", "negative", "both")
 
 
 @dataclass
-class SwitchTotalErrorEstimator:
+class SwitchTotalErrorEstimator(SweepEstimatorMixin):
     """The paper's SWITCH / DQM total-error estimator.
 
     Parameters
@@ -76,32 +78,37 @@ class SwitchTotalErrorEstimator:
         check_int(self.trend_window, "trend_window", minimum=1)
 
     # ------------------------------------------------------------------ #
-    def _detect_trend(self, matrix: ResponseMatrix, upto: Optional[int]) -> str:
-        """Return ``"increasing"``, ``"decreasing"`` or ``"flat"``.
-
-        Compares the current majority count against the count
-        ``trend_window`` columns earlier.
-        """
-        num_columns = matrix.num_columns if upto is None else int(upto)
+    def _trend_lookback(self, num_columns: int) -> int:
+        """Columns to look back when measuring the majority trend (0 = none)."""
         if num_columns <= 1:
-            return "flat"
-        lookback = min(self.trend_window, num_columns - 1)
-        current = majority_estimate(matrix, num_columns)
-        earlier = majority_estimate(matrix, num_columns - lookback)
+            return 0
+        return min(self.trend_window, num_columns - 1)
+
+    @staticmethod
+    def _classify_trend(current: int, earlier: int) -> str:
         if current > earlier:
             return "increasing"
         if current < earlier:
             return "decreasing"
         return "flat"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total number of errors in the dataset.
+    def _detect_trend(self, matrix: ResponseMatrix, upto: Optional[int]) -> str:
+        """Return ``"increasing"``, ``"decreasing"`` or ``"flat"``.
 
-        The result's ``observed`` field is the current majority count; the
-        ``estimate`` field is the trend-corrected total.
+        Compares the current majority count against the count
+        ``trend_window`` columns earlier.
         """
-        majority = float(majority_estimate(matrix, upto))
-        stats = switch_statistics(matrix, upto)
+        num_columns = matrix.resolve_upto(upto)
+        lookback = self._trend_lookback(num_columns)
+        if lookback == 0:
+            return "flat"
+        return self._classify_trend(
+            majority_estimate(matrix, num_columns),
+            majority_estimate(matrix, num_columns - lookback),
+        )
+
+    def _result(self, majority: float, stats, trend: str) -> EstimateResult:
+        # ``stats`` is a SwitchStatistics or its array-backed sweep stand-in.
         xi_positive = estimate_remaining_switches(
             stats, direction=POSITIVE, use_skew_correction=self.use_skew_correction
         )
@@ -109,23 +116,17 @@ class SwitchTotalErrorEstimator:
             stats, direction=NEGATIVE, use_skew_correction=self.use_skew_correction
         )
 
-        if self.trend_mode == "positive":
+        if self.trend_mode in ("positive", "negative", "both"):
+            chosen = self.trend_mode
+        elif trend == "increasing":
             chosen = "positive"
-        elif self.trend_mode == "negative":
+        elif trend == "decreasing":
             chosen = "negative"
-        elif self.trend_mode == "both":
-            chosen = "both"
         else:
-            trend = self._detect_trend(matrix, upto)
-            if trend == "increasing":
-                chosen = "positive"
-            elif trend == "decreasing":
-                chosen = "negative"
-            else:
-                # No trend information yet: fall back to the symmetric
-                # correction, which reduces to the majority count when both
-                # directions lack observed switches.
-                chosen = "both"
+            # No trend information yet: fall back to the symmetric
+            # correction, which reduces to the majority count when both
+            # directions lack observed switches.
+            chosen = "both"
 
         if chosen == "positive":
             estimate = majority + xi_positive
@@ -148,3 +149,40 @@ class SwitchTotalErrorEstimator:
                 "n_switch": float(stats.n_switch),
             },
         )
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total number of errors in the dataset.
+
+        The result's ``observed`` field is the current majority count; the
+        ``estimate`` field is the trend-corrected total.
+        """
+        majority = float(majority_estimate(matrix, upto))
+        stats = switch_statistics(matrix, upto)
+        trend = self._detect_trend(matrix, upto) if self.trend_mode == "auto" else "flat"
+        return self._result(majority, stats, trend)
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Single-pass sweep: one switch scan plus incremental majority counts."""
+        resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
+        stats_list = _estimation_sweep(matrix, resolved)
+        lookbacks = [self._trend_lookback(upto) for upto in resolved]
+        # One incremental pass covers both the checkpoint majorities and the
+        # earlier prefixes the trend detection compares against.
+        positions = resolved + [
+            upto - lookback for upto, lookback in zip(resolved, lookbacks)
+        ]
+        majorities = majority_counts_at(matrix, positions)
+        current = majorities[: len(resolved)]
+        earlier = majorities[len(resolved) :]
+        results = []
+        for upto, stats, lookback, now, before in zip(
+            resolved, stats_list, lookbacks, current, earlier
+        ):
+            if self.trend_mode == "auto" and lookback > 0:
+                trend = self._classify_trend(now, before)
+            else:
+                trend = "flat"
+            results.append(self._result(float(now), stats, trend))
+        return results

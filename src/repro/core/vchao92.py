@@ -22,14 +22,44 @@ to the ground truth (the paper's motivation for the SWITCH estimator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.validation import check_int
-from repro.core.base import EstimateResult
+from repro.core.base import EstimateResult, SweepEstimatorMixin
 from repro.core.chao92 import good_turing_coverage, skew_coefficient
 from repro.core.descriptive import majority_estimate
-from repro.core.fstatistics import Fingerprint, positive_vote_fingerprint
+from repro.core.fstatistics import (
+    Fingerprint,
+    fingerprints_from_count_table,
+    positive_vote_fingerprint,
+)
 from repro.crowd.response_matrix import ResponseMatrix
+
+
+def vchao92_components(
+    fingerprint: Fingerprint,
+    majority_count: int,
+    *,
+    shift: int = 1,
+    use_skew_correction: bool = True,
+) -> Tuple[float, Fingerprint, float]:
+    """vChao92 estimate plus the shifted fingerprint and coverage behind it.
+
+    Returns ``(estimate, shifted_fingerprint, coverage)`` so callers that
+    also report the shifted statistics (the estimator's ``details`` dict)
+    shift the fingerprint exactly once.
+    """
+    check_int(shift, "shift", minimum=0)
+    shifted = fingerprint.shifted(shift)
+    coverage = good_turing_coverage(shifted)
+    c = int(majority_count)
+    if coverage <= 0.0:
+        return float(c), shifted, coverage
+    estimate = c / coverage
+    if use_skew_correction:
+        gamma_squared = skew_coefficient(shifted, distinct=c, coverage=coverage)
+        estimate += shifted.singletons * gamma_squared / coverage
+    return float(estimate), shifted, coverage
 
 
 def vchao92_estimate(
@@ -60,21 +90,17 @@ def vchao92_estimate(
         The estimated total number of errors; falls back to
         ``majority_count`` when the shifted sample has zero coverage.
     """
-    check_int(shift, "shift", minimum=0)
-    shifted = fingerprint.shifted(shift)
-    coverage = good_turing_coverage(shifted)
-    c = int(majority_count)
-    if coverage <= 0.0:
-        return float(c)
-    estimate = c / coverage
-    if use_skew_correction:
-        gamma_squared = skew_coefficient(shifted, distinct=c, coverage=coverage)
-        estimate += shifted.singletons * gamma_squared / coverage
-    return float(estimate)
+    estimate, _, _ = vchao92_components(
+        fingerprint,
+        majority_count,
+        shift=shift,
+        use_skew_correction=use_skew_correction,
+    )
+    return estimate
 
 
 @dataclass
-class VChao92Estimator:
+class VChao92Estimator(SweepEstimatorMixin):
     """Matrix-level vChao92 estimator (the paper's V-CHAO method).
 
     Parameters
@@ -95,24 +121,35 @@ class VChao92Estimator:
     def __post_init__(self) -> None:
         check_int(self.shift, "shift", minimum=0)
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total error count from the shifted vote fingerprint."""
-        fingerprint = positive_vote_fingerprint(matrix, upto)
-        majority = majority_estimate(matrix, upto)
-        estimate = vchao92_estimate(
+    def _result(self, fingerprint: Fingerprint, majority: int) -> EstimateResult:
+        estimate, shifted, coverage = vchao92_components(
             fingerprint,
             majority,
             shift=self.shift,
             use_skew_correction=self.use_skew_correction,
         )
-        shifted = fingerprint.shifted(self.shift)
         return EstimateResult(
             estimate=estimate,
             observed=float(majority),
             details={
                 "shift": float(self.shift),
-                "coverage": good_turing_coverage(shifted),
+                "coverage": coverage,
                 "shifted_singletons": float(shifted.singletons),
                 "shifted_observations": float(shifted.num_observations),
             },
         )
+
+    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+        """Estimate the total error count from the shifted vote fingerprint."""
+        return self._result(
+            positive_vote_fingerprint(matrix, upto), majority_estimate(matrix, upto)
+        )
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Single-pass sweep built on incremental positive-count fingerprints."""
+        positives = matrix.positive_counts_at(checkpoints)
+        fingerprints = fingerprints_from_count_table(positives)
+        majorities = (positives > matrix.negative_counts_at(checkpoints)).sum(axis=1)
+        return [self._result(fp, int(c)) for fp, c in zip(fingerprints, majorities)]

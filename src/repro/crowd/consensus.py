@@ -88,6 +88,23 @@ def majority_count(matrix: ResponseMatrix, upto: Optional[int] = None) -> int:
     return int((majority_vote_counts(matrix, upto) > 0).sum())
 
 
+def nominal_counts_at(matrix: ResponseMatrix, checkpoints) -> List[int]:
+    """``c_nominal`` at every checkpoint prefix, in one incremental pass.
+
+    Equivalent to ``[nominal_count(matrix, cp) for cp in checkpoints]`` but
+    built on the matrix's incremental checkpoint tables, so the vote matrix
+    is scanned once instead of once per checkpoint.
+    """
+    positives = matrix.positive_counts_at(checkpoints)
+    return [int(count) for count in (positives > 0).sum(axis=1)]
+
+
+def majority_counts_at(matrix: ResponseMatrix, checkpoints) -> List[int]:
+    """``c_majority`` at every checkpoint prefix, in one incremental pass."""
+    margins = matrix.positive_counts_at(checkpoints) - matrix.negative_counts_at(checkpoints)
+    return [int(count) for count in (margins > 0).sum(axis=1)]
+
+
 def consensus_accuracy(
     matrix: ResponseMatrix,
     ground_truth: Dict[int, int],

@@ -89,7 +89,7 @@ def dawid_skene(
     check_int(max_iterations, "max_iterations", minimum=1)
     check_positive(tolerance, "tolerance")
 
-    votes = matrix.values if upto is None else matrix.values[:, :upto]
+    votes = matrix.values[:, : matrix.resolve_upto(upto)]
     n_items, n_cols = votes.shape
     if n_cols == 0:
         posterior = {item: float(prior_dirty) for item in matrix.item_ids}

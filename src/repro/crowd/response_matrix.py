@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.common.exceptions import ValidationError
 from repro.common.labels import CLEAN, DIRTY, UNSEEN, validate_labels
+from repro.common.validation import check_int
 
 
 class ResponseMatrix:
@@ -197,20 +198,72 @@ class ResponseMatrix:
     # ------------------------------------------------------------------ #
     # vectorised counts used by the estimators
     # ------------------------------------------------------------------ #
+    def resolve_upto(self, upto: Optional[int]) -> int:
+        """Resolve an ``upto`` prefix argument to an actual column count.
+
+        This is the single place where the ``upto`` contract is enforced:
+        ``None`` means "all columns", a negative value raises
+        :class:`~repro.common.exceptions.ValidationError` (Python slice
+        semantics would otherwise silently drop columns off the *end*),
+        and an oversized value is clamped to :attr:`num_columns` (a prefix
+        can never be longer than the stream received so far).
+        """
+        if upto is None:
+            return self.num_columns
+        return min(check_int(upto, "upto", minimum=0), self.num_columns)
+
     def positive_counts(self, upto: Optional[int] = None) -> np.ndarray:
         """``n_i^+`` — dirty votes per item, over the first ``upto`` columns."""
-        votes = self._votes if upto is None else self._votes[:, :upto]
+        votes = self._votes[:, : self.resolve_upto(upto)]
         return (votes == DIRTY).sum(axis=1)
 
     def negative_counts(self, upto: Optional[int] = None) -> np.ndarray:
         """``n_i^-`` — clean votes per item, over the first ``upto`` columns."""
-        votes = self._votes if upto is None else self._votes[:, :upto]
+        votes = self._votes[:, : self.resolve_upto(upto)]
         return (votes == CLEAN).sum(axis=1)
 
     def vote_counts(self, upto: Optional[int] = None) -> np.ndarray:
         """``n_i`` — total votes per item, over the first ``upto`` columns."""
-        votes = self._votes if upto is None else self._votes[:, :upto]
+        votes = self._votes[:, : self.resolve_upto(upto)]
         return (votes != UNSEEN).sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # incremental checkpoint tables used by the sweep engine
+    # ------------------------------------------------------------------ #
+    def _label_counts_at(self, label: int, checkpoints: Sequence[int]) -> np.ndarray:
+        """Per-item counts of ``label`` votes at each checkpoint prefix.
+
+        Computed incrementally: one delta (segment sum) per pair of
+        consecutive distinct checkpoints, accumulated into running counts,
+        so a sweep over ``m`` checkpoints costs one pass over the matrix
+        instead of ``m`` prefix recomputations.
+
+        Returns an ``(m, N)`` array aligned with ``checkpoints`` (which may
+        be unsorted and may repeat; each entry is resolved with
+        :meth:`resolve_upto`).
+        """
+        resolved = [self.resolve_upto(cp) for cp in checkpoints]
+        unique = sorted(set(resolved))
+        mask = self._votes == label
+        table: Dict[int, np.ndarray] = {}
+        running = np.zeros(self.num_items, dtype=np.int64)
+        previous = 0
+        for cp in unique:
+            if cp > previous:
+                running = running + mask[:, previous:cp].sum(axis=1)
+            table[cp] = running
+            previous = cp
+        return np.stack([table[cp] for cp in resolved]) if resolved else np.zeros(
+            (0, self.num_items), dtype=np.int64
+        )
+
+    def positive_counts_at(self, checkpoints: Sequence[int]) -> np.ndarray:
+        """``n_i^+`` at every checkpoint prefix, as an ``(m, N)`` table."""
+        return self._label_counts_at(DIRTY, checkpoints)
+
+    def negative_counts_at(self, checkpoints: Sequence[int]) -> np.ndarray:
+        """``n_i^-`` at every checkpoint prefix, as an ``(m, N)`` table."""
+        return self._label_counts_at(CLEAN, checkpoints)
 
     def total_votes(self, upto: Optional[int] = None) -> int:
         """Total number of votes (dirty + clean) in the matrix prefix."""

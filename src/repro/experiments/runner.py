@@ -6,7 +6,9 @@ runner implements exactly that loop:
 
 1. take a fully collected vote matrix,
 2. for each of ``num_permutations`` random column orders,
-3. for each checkpoint (a prefix length), evaluate every estimator,
+3. run every estimator's incremental ``estimate_sweep`` over the
+   checkpoint prefixes (one single-pass sweep per estimator instead of a
+   full recomputation per checkpoint — identical estimates),
 4. aggregate per-checkpoint means and standard deviations into
    :class:`~repro.experiments.results.EstimateSeries`.
 """
@@ -18,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.rng import RandomState, derive_rng, ensure_rng
 from repro.common.validation import check_int
-from repro.core.base import EstimatorProtocol
+from repro.core.base import EstimatorProtocol, sweep_estimates
 from repro.core.registry import get_estimator
 from repro.crowd.response_matrix import ResponseMatrix
 from repro.experiments.results import EstimateSeries, ExperimentResult, build_series
@@ -127,13 +129,13 @@ class EstimationRunner:
             else:
                 order = rng.permutation(matrix.num_columns)
                 permuted = matrix.permute_columns([int(i) for i in order])
-            trial_estimates: Dict[str, List[float]] = {est.name: [] for est in self.estimators}
-            for checkpoint in checkpoints:
-                for estimator in self.estimators:
-                    result = estimator.estimate(permuted, checkpoint)
-                    trial_estimates[estimator.name].append(result.estimate)
+            # One incremental sweep per estimator instead of a full
+            # recomputation at every checkpoint (identical estimates).
             for estimator in self.estimators:
-                per_estimator[estimator.name].append(trial_estimates[estimator.name])
+                results = sweep_estimates(estimator, permuted, checkpoints)
+                per_estimator[estimator.name].append(
+                    [result.estimate for result in results]
+                )
 
         experiment = ExperimentResult(
             name=name,

@@ -1,0 +1,228 @@
+"""Equivalence of the incremental sweep engine with the per-checkpoint path.
+
+The sweep engine (vectorised switch scan + ``estimate_sweep``) exists purely
+for speed: every number it produces must be **bit-identical** to evaluating
+the estimator from scratch on each prefix.  These tests pin that contract,
+including a sequential re-implementation of the paper's per-item switch
+scan as an independent reference for the vectorised version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.base import SweepEstimatorMixin, sweep_estimates
+from repro.core.registry import available_estimators, get_estimator
+from repro.core.switch import (
+    NEGATIVE,
+    POSITIVE,
+    switch_statistics,
+    switch_statistics_sweep,
+)
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.experiments.runner import EstimationRunner, RunnerConfig
+
+
+def _random_matrix(rng, num_items=None, num_columns=None) -> ResponseMatrix:
+    num_items = num_items or int(rng.integers(1, 30))
+    num_columns = num_columns if num_columns is not None else int(rng.integers(0, 25))
+    votes = rng.choice(
+        [UNSEEN, CLEAN, DIRTY], size=(num_items, num_columns), p=[0.45, 0.25, 0.30]
+    ).astype(np.int8)
+    return ResponseMatrix.from_array(votes)
+
+
+def _sequential_scan(votes: np.ndarray):
+    """Reference implementation: the original per-item sequential scan."""
+    seen = votes[votes != UNSEEN]
+    positives = negatives = 0
+    state = 0
+    events = []
+    current = None
+    n_contribution = 0
+    for index, vote in enumerate(seen, start=1):
+        if vote == DIRTY:
+            positives += 1
+        else:
+            negatives += 1
+        if positives > negatives:
+            new_state = 1
+        elif negatives > positives:
+            new_state = 0
+        else:
+            new_state = 1 - state
+        if new_state != state:
+            if current is not None:
+                events.append(tuple(current))
+            state = new_state
+            current = [POSITIVE if new_state == 1 else NEGATIVE, index, 1]
+            n_contribution += 1
+        elif current is not None:
+            current[2] += 1
+            n_contribution += 1
+    if current is not None:
+        events.append(tuple(current))
+    return events, n_contribution, int(seen.size), state
+
+
+class TestVectorisedSwitchScan:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_sequential_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = _random_matrix(rng)
+        votes = np.asarray(matrix.values)
+        for upto in [0, matrix.num_columns // 2, matrix.num_columns, None]:
+            stats = switch_statistics(matrix, upto)
+            prefix = matrix.num_columns if upto is None else upto
+            expected_events = []
+            expected_n = expected_votes = expected_items = 0
+            expected_consensus = {}
+            for row in range(matrix.num_items):
+                events, n_contribution, votes_on_item, state = _sequential_scan(
+                    votes[row, :prefix]
+                )
+                expected_events.extend((row, *event) for event in events)
+                expected_n += n_contribution
+                expected_votes += votes_on_item
+                expected_consensus[row] = state
+                expected_items += bool(events)
+            assert [
+                (e.item_id, e.direction, e.vote_index, e.rediscoveries)
+                for e in stats.events
+            ] == expected_events
+            assert stats.num_switches == len(expected_events)
+            assert stats.items_with_switches == expected_items
+            assert stats.n_switch == expected_n
+            assert stats.total_votes == expected_votes
+            assert stats.final_consensus == expected_consensus
+
+    def test_paper_conventions_on_handcrafted_sequences(self):
+        # first dirty vote switches; tie flips; post-tie restore switches again
+        matrix = ResponseMatrix.from_array(
+            np.array([[DIRTY, CLEAN, DIRTY, DIRTY]], dtype=np.int8)
+        )
+        stats = switch_statistics(matrix)
+        assert [e.direction for e in stats.events] == [POSITIVE, NEGATIVE, POSITIVE]
+        assert stats.final_consensus[0] == 1
+
+    def test_empty_and_all_unseen(self):
+        empty = ResponseMatrix.from_array(np.zeros((3, 0), dtype=np.int8) + UNSEEN)
+        stats = switch_statistics(empty)
+        assert stats.num_switches == 0 and stats.total_votes == 0
+        unseen = ResponseMatrix.from_array(np.full((3, 4), UNSEEN, dtype=np.int8))
+        stats = switch_statistics(unseen)
+        assert stats.num_switches == 0
+        assert stats.final_consensus == {0: 0, 1: 0, 2: 0}
+
+
+class TestSwitchStatisticsSweep:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sweep_equals_per_prefix_statistics(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        matrix = _random_matrix(rng)
+        checkpoints = sorted(
+            set(int(c) for c in rng.integers(0, matrix.num_columns + 1, size=6))
+        )
+        for checkpoint, swept in zip(
+            checkpoints, switch_statistics_sweep(matrix, checkpoints)
+        ):
+            direct = switch_statistics(matrix, checkpoint)
+            assert swept.events == direct.events
+            assert swept.num_switches == direct.num_switches
+            assert swept.items_with_switches == direct.items_with_switches
+            assert swept.n_switch == direct.n_switch
+            assert swept.total_votes == direct.total_votes
+            assert swept.final_consensus == direct.final_consensus
+
+
+class TestEstimateSweepEquivalence:
+    @pytest.mark.parametrize("name", available_estimators())
+    def test_bit_identical_to_per_checkpoint_estimates(self, name):
+        rng = np.random.default_rng(42)
+        for _ in range(5):
+            matrix = _random_matrix(rng)
+            checkpoints = sorted(
+                set(int(c) for c in rng.integers(0, matrix.num_columns + 1, size=5))
+            )
+            estimator = get_estimator(name)
+            swept = estimator.estimate_sweep(matrix, checkpoints)
+            assert len(swept) == len(checkpoints)
+            for checkpoint, result in zip(checkpoints, swept):
+                reference = get_estimator(name).estimate(matrix, checkpoint)
+                assert result.estimate == reference.estimate
+                assert result.observed == reference.observed
+                assert result.details == reference.details
+
+    def test_unsorted_checkpoints_are_respected(self):
+        rng = np.random.default_rng(5)
+        matrix = _random_matrix(rng, num_items=10, num_columns=12)
+        checkpoints = [12, 3, 7, 3, 0]
+        for name in available_estimators():
+            estimator = get_estimator(name)
+            for checkpoint, result in zip(
+                checkpoints, estimator.estimate_sweep(matrix, checkpoints)
+            ):
+                assert (
+                    result.estimate
+                    == get_estimator(name).estimate(matrix, checkpoint).estimate
+                )
+
+    def test_dispatcher_falls_back_for_plain_estimators(self):
+        class MinimalEstimator:
+            name = "minimal"
+
+            def estimate(self, matrix, upto=None):
+                return get_estimator("voting").estimate(matrix, upto)
+
+        rng = np.random.default_rng(9)
+        matrix = _random_matrix(rng, num_items=8, num_columns=10)
+        results = sweep_estimates(MinimalEstimator(), matrix, [2, 5, 10])
+        expected = [get_estimator("voting").estimate(matrix, c) for c in [2, 5, 10]]
+        assert [r.estimate for r in results] == [r.estimate for r in expected]
+
+    def test_mixin_provides_default_sweep(self):
+        class MixinEstimator(SweepEstimatorMixin):
+            name = "mixed"
+
+            def estimate(self, matrix, upto=None):
+                return get_estimator("nominal").estimate(matrix, upto)
+
+        rng = np.random.default_rng(10)
+        matrix = _random_matrix(rng, num_items=8, num_columns=10)
+        results = MixinEstimator().estimate_sweep(matrix, [1, 4])
+        assert [r.estimate for r in results] == [
+            get_estimator("nominal").estimate(matrix, c).estimate for c in [1, 4]
+        ]
+
+
+class TestRunnerUsesSweep:
+    def test_runner_series_match_per_checkpoint_loop(self):
+        rng = np.random.default_rng(77)
+        matrix = _random_matrix(rng, num_items=40, num_columns=30)
+        names = ["chao92", "vchao92", "switch", "switch_total", "voting", "extrapolation"]
+        config = RunnerConfig(num_permutations=3, num_checkpoints=8, seed=11)
+        result = EstimationRunner(names, config).run(matrix)
+        checkpoints = result.metadata["checkpoints"]
+
+        # Re-run the seed's original nested loop with the same permutations.
+        from repro.common.rng import derive_rng, ensure_rng
+
+        rng2 = ensure_rng(derive_rng(config.seed, 101))
+        expected = {name: [] for name in names}
+        for trial in range(config.num_permutations):
+            if trial == 0:
+                permuted = matrix
+            else:
+                order = rng2.permutation(matrix.num_columns)
+                permuted = matrix.permute_columns([int(i) for i in order])
+            for name in names:
+                estimator = get_estimator(name)
+                expected[name].append(
+                    [estimator.estimate(permuted, c).estimate for c in checkpoints]
+                )
+        for name in names:
+            series = result.series[name]
+            for point, per_trial in zip(series.points, zip(*expected[name])):
+                assert point.values == tuple(per_trial)

@@ -16,6 +16,7 @@ from repro.core.chao92 import chao92_estimate, good_turing_coverage
 from repro.core.descriptive import majority_estimate, nominal_estimate
 from repro.core.fstatistics import fingerprint_from_counts
 from repro.core.metrics import scaled_rmse
+from repro.core.registry import available_estimators, get_estimator
 from repro.core.switch import switch_statistics
 from repro.core.total_error import SwitchTotalErrorEstimator
 from repro.core.vchao92 import vchao92_estimate
@@ -179,3 +180,24 @@ class TestSwitchProperties:
             + stats.num_switches_by_direction("negative")
             == stats.num_switches
         )
+
+
+class TestSweepProperties:
+    @given(vote_matrices, st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_sweep_equals_per_checkpoint_estimate(self, rows, checkpoints):
+        """The incremental sweep is bit-identical to per-prefix evaluation.
+
+        This is the core guarantee of the sweep engine: for *every*
+        registered estimator and *any* checkpoint list (oversized values
+        clamp), the single-pass sweep produces exactly the numbers the
+        per-checkpoint path would.
+        """
+        matrix = _matrix(rows)
+        for name in available_estimators():
+            swept = get_estimator(name).estimate_sweep(matrix, checkpoints)
+            for checkpoint, result in zip(checkpoints, swept):
+                reference = get_estimator(name).estimate(matrix, checkpoint)
+                assert result.estimate == reference.estimate
+                assert result.observed == reference.observed
+                assert result.details == reference.details

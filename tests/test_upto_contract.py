@@ -1,0 +1,162 @@
+"""The ``upto`` prefix contract, enforced everywhere.
+
+Before this contract existed, a negative ``upto`` silently sliced columns
+off the *end* of the matrix (Python slice semantics) and an oversized
+``upto`` was silently echoed back by reports.  Now every consumer goes
+through :meth:`ResponseMatrix.resolve_upto`: ``None`` means all columns,
+negatives raise :class:`ValidationError`, and oversized values clamp to
+the number of columns actually received.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.registry import available_estimators, get_estimator
+from repro.core.remaining import data_quality_report, remaining_errors
+from repro.core.switch import switch_statistics
+from repro.crowd.consensus import majority_count, majority_labels, nominal_count
+from repro.crowd.em import dawid_skene
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+@pytest.fixture()
+def matrix() -> ResponseMatrix:
+    rng = np.random.default_rng(3)
+    votes = rng.choice(
+        [UNSEEN, CLEAN, DIRTY], size=(25, 12), p=[0.5, 0.2, 0.3]
+    ).astype(np.int8)
+    votes[0, 0] = DIRTY  # make sure at least one error is observed
+    return ResponseMatrix.from_array(votes)
+
+
+class TestResolveUpto:
+    def test_none_means_all_columns(self, matrix):
+        assert matrix.resolve_upto(None) == matrix.num_columns
+
+    def test_negative_raises(self, matrix):
+        with pytest.raises(ValidationError):
+            matrix.resolve_upto(-1)
+
+    def test_non_integer_raises(self, matrix):
+        with pytest.raises(ValidationError):
+            matrix.resolve_upto(2.5)
+        with pytest.raises(ValidationError):
+            matrix.resolve_upto("3")
+
+    def test_oversized_clamps(self, matrix):
+        assert matrix.resolve_upto(matrix.num_columns + 100) == matrix.num_columns
+
+    def test_zero_and_exact_are_identity(self, matrix):
+        assert matrix.resolve_upto(0) == 0
+        assert matrix.resolve_upto(matrix.num_columns) == matrix.num_columns
+
+
+class TestMatrixCounts:
+    @pytest.mark.parametrize(
+        "method",
+        [
+            "positive_counts",
+            "negative_counts",
+            "vote_counts",
+            "total_votes",
+            "total_positive_votes",
+            "coverage",
+            "mean_votes_per_item",
+            "items_marked_dirty",
+        ],
+    )
+    def test_negative_upto_raises(self, matrix, method):
+        with pytest.raises(ValidationError):
+            getattr(matrix, method)(-1)
+
+    def test_negative_one_is_not_all_but_last(self, matrix):
+        # The original bug: upto=-1 used to mean "all but the last column".
+        with pytest.raises(ValidationError):
+            matrix.positive_counts(-1)
+
+    def test_oversized_equals_full(self, matrix):
+        np.testing.assert_array_equal(
+            matrix.positive_counts(matrix.num_columns + 5), matrix.positive_counts()
+        )
+        np.testing.assert_array_equal(
+            matrix.vote_counts(10**6), matrix.vote_counts(None)
+        )
+
+    def test_zero_prefix_is_empty(self, matrix):
+        assert matrix.total_votes(0) == 0
+        assert matrix.positive_counts(0).sum() == 0
+
+    def test_consensus_functions_follow_contract(self, matrix):
+        with pytest.raises(ValidationError):
+            nominal_count(matrix, -2)
+        with pytest.raises(ValidationError):
+            majority_count(matrix, -2)
+        assert nominal_count(matrix, 10**6) == nominal_count(matrix)
+        assert majority_labels(matrix, matrix.num_columns + 1) == majority_labels(matrix)
+
+    def test_checkpoint_tables_follow_contract(self, matrix):
+        with pytest.raises(ValidationError):
+            matrix.positive_counts_at([3, -1])
+        table = matrix.positive_counts_at([0, 5, matrix.num_columns + 9])
+        np.testing.assert_array_equal(table[0], np.zeros(matrix.num_items, dtype=np.int64))
+        np.testing.assert_array_equal(table[1], matrix.positive_counts(5))
+        np.testing.assert_array_equal(table[2], matrix.positive_counts())
+
+
+class TestEstimatorUptoContract:
+    @pytest.mark.parametrize("name", available_estimators())
+    def test_negative_upto_raises(self, matrix, name):
+        with pytest.raises(ValidationError):
+            get_estimator(name).estimate(matrix, -5)
+
+    @pytest.mark.parametrize("name", available_estimators())
+    def test_oversized_upto_equals_full(self, matrix, name):
+        full = get_estimator(name).estimate(matrix, None)
+        clamped = get_estimator(name).estimate(matrix, matrix.num_columns + 50)
+        assert clamped.estimate == full.estimate
+        assert clamped.observed == full.observed
+        assert clamped.details == full.details
+
+    @pytest.mark.parametrize("name", available_estimators())
+    def test_zero_and_exact_prefixes_work(self, matrix, name):
+        zero = get_estimator(name).estimate(matrix, 0)
+        assert zero.estimate == 0.0
+        exact = get_estimator(name).estimate(matrix, matrix.num_columns)
+        assert exact.estimate == get_estimator(name).estimate(matrix).estimate
+
+    @pytest.mark.parametrize("name", available_estimators())
+    def test_sweep_rejects_negative_checkpoints(self, matrix, name):
+        with pytest.raises(ValidationError):
+            get_estimator(name).estimate_sweep(matrix, [2, -1, 5])
+
+
+class TestDerivedConsumers:
+    def test_switch_statistics_contract(self, matrix):
+        with pytest.raises(ValidationError):
+            switch_statistics(matrix, -3)
+        assert (
+            switch_statistics(matrix, matrix.num_columns + 7).num_switches
+            == switch_statistics(matrix).num_switches
+        )
+
+    def test_dawid_skene_contract(self, matrix):
+        with pytest.raises(ValidationError):
+            dawid_skene(matrix, -1)
+
+    def test_remaining_errors_contract(self, matrix):
+        with pytest.raises(ValidationError):
+            remaining_errors(matrix, upto=-4)
+
+    def test_report_num_tasks_is_evaluated_prefix(self, matrix):
+        # Oversized upto must report the prefix actually evaluated, not
+        # echo the raw argument.
+        report = data_quality_report(matrix, upto=matrix.num_columns + 88)
+        assert report.num_tasks == matrix.num_columns
+        report = data_quality_report(matrix, upto=4)
+        assert report.num_tasks == 4
+        with pytest.raises(ValidationError):
+            data_quality_report(matrix, upto=-1)
