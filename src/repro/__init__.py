@@ -29,6 +29,7 @@ Package layout
 * :mod:`repro.data` — synthetic datasets matching the paper's evaluation.
 * :mod:`repro.er` — entity-resolution similarity, blocking and heuristics.
 * :mod:`repro.prioritization` — heuristic-prioritised estimation.
+* :mod:`repro.streaming` — online estimation sessions over live vote streams.
 * :mod:`repro.experiments` — the harness that regenerates every figure.
 """
 
@@ -69,6 +70,7 @@ from repro.data import (
 )
 from repro.er import CrowdERPipeline, HeuristicBand
 from repro.prioritization import EpsilonGreedyPrioritizer
+from repro.streaming import StreamingSession
 
 __version__ = "1.0.0"
 
@@ -114,4 +116,6 @@ __all__ = [
     "CrowdERPipeline",
     "HeuristicBand",
     "EpsilonGreedyPrioritizer",
+    # streaming
+    "StreamingSession",
 ]

@@ -7,9 +7,13 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro figure3 --tasks 300       # restaurant dataset experiment
     python -m repro figure7 --scenario both   # robustness simulation
     python -m repro quality --items 1000 --errors 100 --tasks 150
+    python -m repro stream --items 500 --errors 50 --tasks 120
+    python -m repro sweep --tasks 150 --permutations 5 --n-jobs 4
 
 Every command prints the same text tables the benchmark harness produces,
 so the CLI is the quickest way to eyeball a figure without running pytest.
+``stream`` drives the online :class:`~repro.streaming.StreamingSession`;
+``sweep`` drives the (optionally process-parallel) permutation runner.
 """
 
 from __future__ import annotations
@@ -28,8 +32,10 @@ from repro.experiments.prioritization_study import PrioritizationConfig, epsilon
 from repro.experiments.real_world import RealWorldExperimentConfig, run_real_world_experiment
 from repro.experiments.reporting import render_series_table
 from repro.experiments.robustness import SCENARIOS, RobustnessConfig, run_robustness_scenario
+from repro.experiments.runner import EstimationRunner, RunnerConfig
 from repro.experiments.sensitivity import SensitivityConfig, coverage_sweep, precision_sweep
 from repro.experiments.workloads import address_workload, product_workload, restaurant_workload
+from repro.streaming import StreamingSession
 
 #: Experiments the CLI knows how to run.
 EXPERIMENTS = (
@@ -42,6 +48,9 @@ EXPERIMENTS = (
     "figure7",
     "figure8",
 )
+
+#: Workload-independent tool commands.
+TOOLS = ("list", "quality", "stream", "sweep")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,6 +97,44 @@ def _build_parser() -> argparse.ArgumentParser:
     quality.add_argument("--fn-rate", type=float, default=0.1)
     quality.add_argument("--fp-rate", type=float, default=0.01)
     quality.add_argument("--seed", type=int, default=0)
+
+    stream = sub.add_parser(
+        "stream",
+        help="feed a simulated crowd through a streaming session, printing live estimates",
+    )
+    stream.add_argument("--items", type=int, default=500)
+    stream.add_argument("--errors", type=int, default=50)
+    stream.add_argument("--tasks", type=int, default=120)
+    stream.add_argument("--report-every", type=int, default=20, help="tasks between printed rows")
+    stream.add_argument("--fn-rate", type=float, default=0.1)
+    stream.add_argument("--fp-rate", type=float, default=0.01)
+    stream.add_argument(
+        "--estimators",
+        nargs="+",
+        default=["voting", "chao92", "switch_total"],
+        help="registry names to track",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="permutation-averaged sweep over a simulated crowd (optionally parallel)",
+    )
+    sweep.add_argument("--items", type=int, default=1000)
+    sweep.add_argument("--errors", type=int, default=100)
+    sweep.add_argument("--tasks", type=int, default=150)
+    sweep.add_argument("--permutations", type=int, default=5)
+    sweep.add_argument("--checkpoints", type=int, default=10)
+    sweep.add_argument("--n-jobs", type=int, default=1, help="worker processes for the permutation loop")
+    sweep.add_argument("--fn-rate", type=float, default=0.1)
+    sweep.add_argument("--fp-rate", type=float, default=0.01)
+    sweep.add_argument(
+        "--estimators",
+        nargs="+",
+        default=["voting", "chao92", "vchao92", "switch_total"],
+        help="registry names to evaluate",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -116,6 +163,71 @@ def _run_real_world(name: str, args: argparse.Namespace) -> None:
     print(render_series_table(panels["negative_switches"], max_rows=6))
 
 
+def _simulate_crowd(args: argparse.Namespace):
+    """Build the synthetic crowd simulation the tool commands share."""
+    dataset = generate_synthetic_pairs(
+        SyntheticPairConfig(num_items=args.items, num_errors=args.errors), seed=args.seed
+    )
+    simulation = CrowdSimulator(
+        dataset,
+        SimulationConfig(
+            num_tasks=args.tasks,
+            items_per_task=15,
+            worker_profile=WorkerProfile(
+                false_negative_rate=args.fn_rate, false_positive_rate=args.fp_rate
+            ),
+            seed=args.seed,
+        ),
+    ).run()
+    return simulation
+
+
+def _run_stream(args: argparse.Namespace) -> None:
+    simulation = _simulate_crowd(args)
+    matrix = simulation.matrix
+    # Registry estimators all consume the live state, so the session can
+    # drop the raw columns and run in O(state) memory.
+    session = StreamingSession(matrix.item_ids, args.estimators, keep_votes=False)
+    names = [est.name for est in session.estimators]
+    print(
+        f"streaming {matrix.num_columns} tasks over {session.num_items} items "
+        f"(true errors: {simulation.true_error_count})"
+    )
+    print(f"  {'tasks':>6} {'votes':>7} " + "".join(f"{name:>14}" for name in names))
+    report_every = max(1, args.report_every)
+    workers = matrix.column_workers
+    for column in range(matrix.num_columns):
+        session.add_column(matrix.column_votes(column), workers[column])
+        if (column + 1) % report_every == 0 or column + 1 == matrix.num_columns:
+            results = session.estimate()
+            row = f"  {session.num_columns:>6} {session.total_votes:>7} "
+            row += "".join(f"{results[name].estimate:>14.1f}" for name in names)
+            print(row)
+
+
+def _run_sweep(args: argparse.Namespace) -> None:
+    simulation = _simulate_crowd(args)
+    runner = EstimationRunner(
+        args.estimators,
+        RunnerConfig(
+            num_permutations=args.permutations,
+            num_checkpoints=args.checkpoints,
+            seed=args.seed,
+            n_jobs=args.n_jobs,
+        ),
+    )
+    result = runner.run(
+        simulation.matrix,
+        ground_truth=float(simulation.true_error_count),
+        name="cli_sweep",
+    )
+    print(
+        f"sweep over {simulation.matrix.num_columns} tasks, "
+        f"{args.permutations} permutations, n_jobs={args.n_jobs}"
+    )
+    print(render_series_table(result, max_rows=args.checkpoints))
+
+
 def _print_sweep(result) -> None:
     names = sorted(result.srmse)
     print(f"  {result.parameter_name:>16} " + "".join(f"{str(n):>14}" for n in names))
@@ -134,9 +246,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
+        print("tools:")
+        for name in TOOLS:
+            print(f"  {name}")
         print("estimators:")
         for name in available_estimators():
             print(f"  {name}")
+        return 0
+
+    if args.command == "stream":
+        _run_stream(args)
+        return 0
+
+    if args.command == "sweep":
+        _run_sweep(args)
         return 0
 
     if args.command in ("example1", "example2"):
@@ -181,20 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "quality":
-        dataset = generate_synthetic_pairs(
-            SyntheticPairConfig(num_items=args.items, num_errors=args.errors), seed=args.seed
-        )
-        simulation = CrowdSimulator(
-            dataset,
-            SimulationConfig(
-                num_tasks=args.tasks,
-                items_per_task=15,
-                worker_profile=WorkerProfile(
-                    false_negative_rate=args.fn_rate, false_positive_rate=args.fp_rate
-                ),
-                seed=args.seed,
-            ),
-        ).run()
+        simulation = _simulate_crowd(args)
         report = data_quality_report(simulation.matrix)
         print(f"detected errors      : {report.detected_errors:.0f}")
         print(f"estimated total      : {report.estimated_total_errors:.1f}")

@@ -29,6 +29,7 @@ configurations can refer to estimators by name.
 from repro.core.base import (
     EstimatorProtocol,
     EstimateResult,
+    StateEstimatorMixin,
     SweepEstimatorMixin,
     sweep_estimates,
 )
@@ -47,6 +48,7 @@ from repro.core.descriptive import (
 from repro.core.extrapolation import ExtrapolationEstimator, extrapolate_from_sample
 from repro.core.fstatistics import (
     Fingerprint,
+    IncrementalFingerprint,
     fingerprint_from_counts,
     fingerprints_from_count_table,
     positive_vote_fingerprint,
@@ -59,6 +61,13 @@ from repro.core.metrics import (
     signed_error,
 )
 from repro.core.registry import available_estimators, get_estimator, register_estimator
+from repro.core.state import (
+    EstimationState,
+    MatrixPrefixState,
+    MatrixSweepState,
+    StreamingState,
+    matrix_sweep_states,
+)
 from repro.core.species import (
     chao84_estimate,
     good_turing_estimate,
@@ -77,9 +86,16 @@ from repro.core.vchao92 import VChao92Estimator, vchao92_estimate
 __all__ = [
     "EstimatorProtocol",
     "EstimateResult",
+    "StateEstimatorMixin",
     "SweepEstimatorMixin",
     "sweep_estimates",
+    "EstimationState",
+    "MatrixPrefixState",
+    "MatrixSweepState",
+    "StreamingState",
+    "matrix_sweep_states",
     "Fingerprint",
+    "IncrementalFingerprint",
     "fingerprint_from_counts",
     "fingerprints_from_count_table",
     "positive_vote_fingerprint",

@@ -3,7 +3,19 @@
 Every estimator in :mod:`repro.core` implements the same tiny protocol —
 ``estimate(matrix, upto=None) -> EstimateResult`` — so the experiment
 harness can sweep a heterogeneous set of estimators over a task stream
-without special cases.
+without special cases.  Two further methods layer on top of it:
+
+* ``estimate_sweep(matrix, checkpoints)`` evaluates many prefixes in one
+  incremental pass (PR 1's sweep engine), and
+* ``estimate_state(state)`` evaluates one
+  :class:`~repro.core.state.EstimationState` — the shared incremental
+  statistics layer that the single-prefix path, the sweep engine and the
+  streaming session all feed.
+
+Built-in estimators implement only ``estimate_state`` and inherit the
+other two from :class:`StateEstimatorMixin`; third-party estimators can
+still provide just ``estimate`` and are handled by the fallback loop in
+:func:`sweep_estimates`.
 """
 
 from __future__ import annotations
@@ -49,9 +61,11 @@ class EstimateResult:
 class EstimatorProtocol(Protocol):
     """Structural interface every estimator satisfies.
 
-    Implementations must be stateless with respect to the matrix (all state
-    is recomputed per call) so the harness can evaluate them on arbitrary
-    prefixes in any order.
+    Implementations must be stateless with respect to the matrix (all
+    evaluation inputs come from the matrix or state passed per call) so
+    the harness can evaluate them on arbitrary prefixes in any order —
+    and so one instance can be shared between the batch runner and a
+    streaming session.
     """
 
     #: Short, stable name used by the registry and in result tables.
@@ -60,7 +74,13 @@ class EstimatorProtocol(Protocol):
     def estimate(
         self, matrix: ResponseMatrix, upto: Optional[int] = None
     ) -> EstimateResult:
-        """Estimate the total error count from the first ``upto`` columns."""
+        """Estimate the total error count from the first ``upto`` columns.
+
+        ``upto`` follows the contract of
+        :meth:`~repro.crowd.response_matrix.ResponseMatrix.resolve_upto`:
+        ``None`` means all columns, negative values raise
+        ``ValidationError``, oversized values clamp.
+        """
         ...
 
     def estimate_sweep(
@@ -95,16 +115,80 @@ class SweepEstimatorMixin:
         return [self.estimate(matrix, checkpoint) for checkpoint in checkpoints]
 
 
+class StateEstimatorMixin(SweepEstimatorMixin):
+    """Derive ``estimate`` and ``estimate_sweep`` from ``estimate_state``.
+
+    Subclasses implement a single method, ``estimate_state(state)``,
+    computing the result from an
+    :class:`~repro.core.state.EstimationState`.  The two matrix-facing
+    entry points then reduce to building the right state:
+
+    * :meth:`estimate` wraps the prefix in a lazily-computed
+      :class:`~repro.core.state.MatrixPrefixState`;
+    * :meth:`estimate_sweep` evaluates over
+      :func:`~repro.core.state.matrix_sweep_states`, whose checkpoint
+      tables and switch scan are shared across the whole sweep.
+
+    Because a :class:`~repro.core.state.StreamingState` satisfies the same
+    interface, the identical ``estimate_state`` code path also serves the
+    streaming session — one implementation, three access patterns, and the
+    bit-identical guarantee between them comes for free.
+    """
+
+    def estimate_state(self, state) -> EstimateResult:
+        """Compute the estimate from an :class:`EstimationState`."""
+        raise NotImplementedError
+
+    def estimate(
+        self, matrix: ResponseMatrix, upto: Optional[int] = None
+    ) -> EstimateResult:
+        """Estimate from the first ``upto`` columns of ``matrix``."""
+        from repro.core.state import MatrixPrefixState
+
+        return self.estimate_state(MatrixPrefixState(matrix, upto))
+
+    def estimate_sweep(
+        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
+    ) -> List[EstimateResult]:
+        """Evaluate every checkpoint prefix over shared sweep tables."""
+        from repro.core.state import matrix_sweep_states
+
+        return [
+            self.estimate_state(state)
+            for state in matrix_sweep_states(matrix, checkpoints)
+        ]
+
+
 def sweep_estimates(
     estimator: EstimatorProtocol,
     matrix: ResponseMatrix,
     checkpoints: Sequence[int],
+    *,
+    states: Optional[Sequence] = None,
 ) -> List[EstimateResult]:
     """Evaluate ``estimator`` at every checkpoint, using its fast sweep if any.
+
+    Parameters
+    ----------
+    estimator:
+        The estimator to evaluate.
+    matrix:
+        The collected vote matrix.
+    checkpoints:
+        Prefix lengths to evaluate at.
+    states:
+        Pre-built estimation states for the checkpoints (from
+        :func:`~repro.core.state.matrix_sweep_states`).  Callers that
+        evaluate several estimators over the same sweep pass the same
+        list to each call so the checkpoint tables and switch scan are
+        computed once, not once per estimator.
 
     Third-party estimators that only implement ``estimate`` are supported
     through the per-checkpoint fallback loop.
     """
+    estimate_state = getattr(estimator, "estimate_state", None)
+    if states is not None and estimate_state is not None:
+        return [estimate_state(state) for state in states]
     sweep = getattr(estimator, "estimate_sweep", None)
     if sweep is not None:
         return sweep(matrix, checkpoints)

@@ -22,16 +22,10 @@ matrix-level :class:`Chao92Estimator` used by the experiment harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
-from repro.core.base import EstimateResult, SweepEstimatorMixin
-from repro.core.descriptive import nominal_estimate
-from repro.core.fstatistics import (
-    Fingerprint,
-    fingerprints_from_count_table,
-    positive_vote_fingerprint,
-)
-from repro.crowd.response_matrix import ResponseMatrix
+from repro.core.base import EstimateResult, StateEstimatorMixin
+from repro.core.fstatistics import Fingerprint
 
 
 def good_turing_coverage(fingerprint: Fingerprint) -> float:
@@ -145,7 +139,7 @@ def chao92_estimate(
 
 
 @dataclass
-class Chao92Estimator(SweepEstimatorMixin):
+class Chao92Estimator(StateEstimatorMixin):
     """Matrix-level Chao92 estimator (the paper's CHAO92 baseline).
 
     Parameters
@@ -177,17 +171,6 @@ class Chao92Estimator(SweepEstimatorMixin):
             },
         )
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total error count from the positive-vote fingerprint."""
-        return self._result(
-            positive_vote_fingerprint(matrix, upto), nominal_estimate(matrix, upto)
-        )
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Single-pass sweep built on incremental positive-count fingerprints."""
-        table = matrix.positive_counts_at(checkpoints)
-        fingerprints = fingerprints_from_count_table(table)
-        observed = (table > 0).sum(axis=1)
-        return [self._result(fp, int(c)) for fp, c in zip(fingerprints, observed)]
+    def estimate_state(self, state) -> EstimateResult:
+        """Estimate the total error count from the state's vote fingerprint."""
+        return self._result(state.positive_fingerprint(), state.nominal_count())

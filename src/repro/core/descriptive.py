@@ -9,15 +9,10 @@ nominal count, vChao92 and SWITCH start from the majority count).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
-from repro.core.base import EstimateResult, SweepEstimatorMixin
-from repro.crowd.consensus import (
-    majority_count,
-    majority_counts_at,
-    nominal_count,
-    nominal_counts_at,
-)
+from repro.core.base import EstimateResult, StateEstimatorMixin
+from repro.crowd.consensus import majority_count, nominal_count
 from repro.crowd.response_matrix import ResponseMatrix
 
 
@@ -32,28 +27,19 @@ def majority_estimate(matrix: ResponseMatrix, upto: Optional[int] = None) -> int
 
 
 @dataclass
-class NominalEstimator(SweepEstimatorMixin):
+class NominalEstimator(StateEstimatorMixin):
     """Descriptive estimator returning the nominal error count."""
 
     name: str = "nominal"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+    def estimate_state(self, state) -> EstimateResult:
         """Return the nominal count; ``estimate == observed`` by construction."""
-        count = float(nominal_estimate(matrix, upto))
+        count = float(state.nominal_count())
         return EstimateResult(estimate=count, observed=count, details={})
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Nominal counts at every checkpoint in one incremental pass."""
-        return [
-            EstimateResult(estimate=float(count), observed=float(count), details={})
-            for count in nominal_counts_at(matrix, checkpoints)
-        ]
 
 
 @dataclass
-class VotingEstimator(SweepEstimatorMixin):
+class VotingEstimator(StateEstimatorMixin):
     """Descriptive estimator returning the majority-consensus error count.
 
     This is the paper's VOTING baseline: the best purely descriptive answer
@@ -63,16 +49,7 @@ class VotingEstimator(SweepEstimatorMixin):
 
     name: str = "voting"
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+    def estimate_state(self, state) -> EstimateResult:
         """Return the majority count; ``estimate == observed`` by construction."""
-        count = float(majority_estimate(matrix, upto))
+        count = float(state.majority_count())
         return EstimateResult(estimate=count, observed=count, details={})
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Majority counts at every checkpoint in one incremental pass."""
-        return [
-            EstimateResult(estimate=float(count), observed=float(count), details={})
-            for count in majority_counts_at(matrix, checkpoints)
-        ]

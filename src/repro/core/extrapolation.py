@@ -27,8 +27,7 @@ import numpy as np
 
 from repro.common.rng import RandomState, ensure_rng
 from repro.common.validation import check_fraction, check_int
-from repro.core.base import EstimateResult, SweepEstimatorMixin
-from repro.crowd.response_matrix import ResponseMatrix
+from repro.core.base import EstimateResult, StateEstimatorMixin
 from repro.data.record import Dataset
 
 
@@ -108,7 +107,7 @@ def oracle_sample_extrapolations(
 
 
 @dataclass
-class ExtrapolationEstimator(SweepEstimatorMixin):
+class ExtrapolationEstimator(StateEstimatorMixin):
     """Matrix-level extrapolation baseline (EXTRAPOL).
 
     Takes the items that have received at least ``min_votes`` votes as "the
@@ -151,7 +150,7 @@ class ExtrapolationEstimator(SweepEstimatorMixin):
             },
         )
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+    def estimate_state(self, state) -> EstimateResult:
         """Extrapolate the majority error rate of covered items to all items.
 
         An item is in the "cleaned sample" when it has at least
@@ -159,25 +158,8 @@ class ExtrapolationEstimator(SweepEstimatorMixin):
         consensus is dirty (ties default to clean, matching
         :func:`~repro.crowd.consensus.majority_labels`).
         """
-        positives = matrix.positive_counts(upto)
-        negatives = matrix.negative_counts(upto)
-        covered_mask = (positives + negatives) >= self.min_votes
-        sample_errors = int((covered_mask & (positives > negatives)).sum())
-        return self._result(int(covered_mask.sum()), sample_errors, matrix.num_items)
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Single-pass sweep over the incremental checkpoint count tables."""
-        positives = matrix.positive_counts_at(checkpoints)
-        negatives = matrix.negative_counts_at(checkpoints)
-        covered_masks = (positives + negatives) >= self.min_votes
-        covered = covered_masks.sum(axis=1)
-        sample_errors = (covered_masks & (positives > negatives)).sum(axis=1)
-        return [
-            self._result(int(c), int(e), matrix.num_items)
-            for c, e in zip(covered, sample_errors)
-        ]
+        covered, sample_errors = state.coverage_counts(self.min_votes)
+        return self._result(covered, sample_errors, state.num_items)
 
 
 def extrapolation_band(

@@ -130,6 +130,67 @@ class Fingerprint:
         )
 
 
+class IncrementalFingerprint:
+    """Mutable frequency-of-frequencies with O(1) per-observation updates.
+
+    The streaming estimation session cannot afford to rebuild a
+    :class:`Fingerprint` from the full per-item count vector after every
+    vote.  This tracker maintains the ``j -> f_j`` table directly: when an
+    item moves from occurrence class ``old`` to class ``new`` one counter
+    is decremented and one incremented, so an update costs O(1) regardless
+    of ``N``.  :meth:`snapshot` materialises an immutable
+    :class:`Fingerprint` holding exactly the integers a batch rebuild
+    would produce.
+    """
+
+    __slots__ = ("_frequencies", "num_observations")
+
+    def __init__(self) -> None:
+        self._frequencies: Dict[int, int] = {}
+        self.num_observations = 0
+
+    def reclassify(self, old_count: int, new_count: int) -> None:
+        """Move one item from occurrence class ``old_count`` to ``new_count``.
+
+        Class 0 is "unobserved" and is not stored; moving from or to it
+        adds or removes the item from the fingerprint.
+        """
+        if old_count == new_count:
+            return
+        if old_count > 0:
+            remaining = self._frequencies[old_count] - 1
+            if remaining:
+                self._frequencies[old_count] = remaining
+            else:
+                del self._frequencies[old_count]
+        if new_count > 0:
+            self._frequencies[new_count] = self._frequencies.get(new_count, 0) + 1
+
+    def add_observations(self, count: int = 1) -> None:
+        """Grow the observation count ``n`` by ``count``."""
+        self.num_observations += int(count)
+
+    def snapshot(self, num_observations: Optional[int] = None) -> Fingerprint:
+        """An immutable :class:`Fingerprint` of the current table.
+
+        Parameters
+        ----------
+        num_observations:
+            Override for ``n``.  The switch tracker maintains three
+            fingerprints (all / positive / negative switches) that share
+            the single adjusted count ``n_switch`` and passes it here.
+        """
+        return Fingerprint(
+            frequencies=dict(self._frequencies),
+            num_observations=(
+                self.num_observations if num_observations is None else int(num_observations)
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"IncrementalFingerprint({self.snapshot()!r})"
+
+
 def fingerprint_from_counts(
     counts: Iterable[int],
     num_observations: Optional[int] = None,

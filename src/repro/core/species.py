@@ -11,43 +11,27 @@ sensitivity is a property of the whole family, not of Chao92 specifically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
-from repro.core.base import EstimateResult, SweepEstimatorMixin
+from repro.core.base import EstimateResult, StateEstimatorMixin
 from repro.core.chao92 import good_turing_coverage
-from repro.core.descriptive import nominal_estimate
-from repro.core.fstatistics import (
-    Fingerprint,
-    fingerprints_from_count_table,
-    positive_vote_fingerprint,
-)
-from repro.crowd.response_matrix import ResponseMatrix
+from repro.core.fstatistics import Fingerprint
 
 
-class _FingerprintSweepMixin(SweepEstimatorMixin):
-    """Shared sweep for estimators driven by ``(fingerprint, nominal count)``.
+class _FingerprintEstimatorMixin(StateEstimatorMixin):
+    """Shared evaluation for estimators driven by ``(fingerprint, nominal count)``.
 
-    Subclasses provide ``_result(fingerprint, observed)``; both ``estimate``
-    and the incremental ``estimate_sweep`` are derived from it.
+    Subclasses provide ``_result(fingerprint, observed)``; ``estimate``,
+    ``estimate_sweep`` and the streaming path are all derived from it via
+    the shared estimation-state layer.
     """
 
     def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
         raise NotImplementedError
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
-        """Estimate the total error count from the positive-vote fingerprint."""
-        return self._result(
-            positive_vote_fingerprint(matrix, upto), nominal_estimate(matrix, upto)
-        )
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Single-pass sweep built on incremental positive-count fingerprints."""
-        table = matrix.positive_counts_at(checkpoints)
-        fingerprints = fingerprints_from_count_table(table)
-        observed = (table > 0).sum(axis=1)
-        return [self._result(fp, int(c)) for fp, c in zip(fingerprints, observed)]
+    def estimate_state(self, state) -> EstimateResult:
+        """Estimate the total error count from the state's vote fingerprint."""
+        return self._result(state.positive_fingerprint(), state.nominal_count())
 
 
 def good_turing_estimate(fingerprint: Fingerprint, *, distinct: Optional[int] = None) -> float:
@@ -103,7 +87,7 @@ def jackknife_estimate(
 
 
 @dataclass
-class GoodTuringEstimator(_FingerprintSweepMixin):
+class GoodTuringEstimator(_FingerprintEstimatorMixin):
     """Matrix-level Good–Turing estimator (Chao92 without the skew term)."""
 
     name: str = "good_turing"
@@ -118,7 +102,7 @@ class GoodTuringEstimator(_FingerprintSweepMixin):
 
 
 @dataclass
-class Chao84Estimator(_FingerprintSweepMixin):
+class Chao84Estimator(_FingerprintEstimatorMixin):
     """Matrix-level Chao84 lower-bound estimator."""
 
     name: str = "chao84"
@@ -136,7 +120,7 @@ class Chao84Estimator(_FingerprintSweepMixin):
 
 
 @dataclass
-class JackknifeEstimator(_FingerprintSweepMixin):
+class JackknifeEstimator(_FingerprintEstimatorMixin):
     """Matrix-level jackknife estimator of configurable order."""
 
     order: int = 1

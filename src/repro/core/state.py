@@ -1,0 +1,432 @@
+"""The shared incremental-state layer behind every estimation path.
+
+Every estimator in :mod:`repro.core` is, at heart, a pure function of a
+handful of prefix statistics: the positive-vote fingerprint, the nominal
+and majority counts, the coverage tallies and the switch statistics.
+Before this module existed each evaluation path re-derived those inputs
+itself — the single-prefix ``estimate``, each estimator's
+``estimate_sweep``, and any future online consumer all walked the vote
+matrix independently.
+
+This module gives the statistics one home.  An *estimation state* is any
+object satisfying :class:`EstimationState`; estimators implement
+``estimate_state(state)`` (see
+:class:`~repro.core.base.StateEstimatorMixin`) and never touch a matrix
+directly.  Three implementations cover every access pattern:
+
+* :class:`MatrixPrefixState` — one prefix of a collected matrix (the
+  classic ``estimate(matrix, upto)`` path), computed lazily so an
+  estimator only pays for the statistics it reads;
+* :func:`matrix_sweep_states` — all checkpoint prefixes of a matrix at
+  once, backed by a single set of incremental checkpoint tables and one
+  switch scan **shared across checkpoints and across estimators**;
+* :class:`StreamingState` — a live state fed one worker response at a
+  time, maintained with O(items touched) work per update (the engine of
+  :class:`repro.streaming.StreamingSession`).
+
+All three produce bit-identical integers, which is what makes the
+streaming/batch equivalence guarantee of the estimators hold.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.common.exceptions import ValidationError
+from repro.common.labels import CLEAN, DIRTY
+from repro.common.validation import check_int
+from repro.core.fstatistics import (
+    Fingerprint,
+    IncrementalFingerprint,
+    fingerprint_from_counts,
+    fingerprints_from_count_table,
+)
+from repro.core.switch import (
+    IncrementalSwitchState,
+    _estimation_sweep,
+    switch_statistics,
+)
+from repro.crowd.consensus import majority_count_history
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+@runtime_checkable
+class EstimationState(Protocol):
+    """The statistics interface every estimator evaluation consumes.
+
+    ``num_items`` and ``num_columns`` describe the prefix; the methods
+    return the derived statistics.  Implementations may compute lazily
+    (batch states) or maintain incrementally (streaming state), but the
+    integers they return must be identical for the same vote prefix.
+    """
+
+    #: ``N`` — the number of candidate items.
+    num_items: int
+    #: Number of worker-task columns in the evaluated prefix.
+    num_columns: int
+
+    def positive_fingerprint(self) -> Fingerprint:
+        """f-statistics over per-item positive-vote counts (Section 3.2)."""
+        ...
+
+    def nominal_count(self) -> int:
+        """``c_nominal`` — items marked dirty by at least one worker."""
+        ...
+
+    def majority_count(self) -> int:
+        """``c_majority`` — items whose majority consensus is dirty."""
+        ...
+
+    def coverage_counts(self, min_votes: int) -> Tuple[int, int]:
+        """``(covered, sample_errors)`` for the extrapolation baseline.
+
+        ``covered`` counts items with at least ``min_votes`` votes;
+        ``sample_errors`` counts the covered items whose majority
+        consensus is dirty.
+        """
+        ...
+
+    def switch_stats(self):
+        """Switch statistics of the prefix (the Section 4 machinery).
+
+        Returns an object with the :class:`~repro.core.switch.SwitchStatistics`
+        interface: ``num_switches``, ``items_with_switches``, ``n_switch``,
+        ``total_votes``, ``num_switches_by_direction``,
+        ``items_with_direction`` and ``fingerprint``.
+        """
+        ...
+
+    def majority_count_back(self, lookback: int) -> int:
+        """``c_majority`` at ``num_columns - lookback`` (trend detection).
+
+        ``lookback`` must be in ``[0, num_columns]``; anything else raises
+        ``ValidationError`` in every implementation.
+        """
+        ...
+
+
+def _resolve_lookback(lookback: int, num_columns: int) -> int:
+    """Validate a trend lookback: it must stay within the prefix."""
+    lookback = check_int(lookback, "lookback", minimum=0)
+    if lookback > num_columns:
+        raise ValidationError(
+            f"lookback must be in [0, {num_columns}], got {lookback}"
+        )
+    return lookback
+
+
+class MatrixPrefixState:
+    """Estimation state of one column prefix of a collected matrix.
+
+    Everything is computed lazily and cached, so an estimator that never
+    reads the switch statistics never pays for the switch scan.
+    """
+
+    def __init__(self, matrix: ResponseMatrix, upto: Optional[int] = None):
+        self._matrix = matrix
+        self.num_items = matrix.num_items
+        self.num_columns = matrix.resolve_upto(upto)
+
+    @cached_property
+    def _positive_counts(self) -> np.ndarray:
+        return self._matrix.positive_counts(self.num_columns)
+
+    @cached_property
+    def _negative_counts(self) -> np.ndarray:
+        return self._matrix.negative_counts(self.num_columns)
+
+    def positive_fingerprint(self) -> Fingerprint:
+        """f-statistics over per-item positive-vote counts."""
+        return fingerprint_from_counts(self._positive_counts.tolist())
+
+    def nominal_count(self) -> int:
+        """``c_nominal`` of the prefix."""
+        return int((self._positive_counts > 0).sum())
+
+    def majority_count(self) -> int:
+        """``c_majority`` of the prefix."""
+        return int((self._positive_counts > self._negative_counts).sum())
+
+    def coverage_counts(self, min_votes: int) -> Tuple[int, int]:
+        """``(covered, sample_errors)`` for the extrapolation baseline."""
+        positives, negatives = self._positive_counts, self._negative_counts
+        covered_mask = (positives + negatives) >= min_votes
+        sample_errors = int((covered_mask & (positives > negatives)).sum())
+        return int(covered_mask.sum()), sample_errors
+
+    @cached_property
+    def _switch_stats(self):
+        return switch_statistics(self._matrix, self.num_columns)
+
+    def switch_stats(self):
+        """Switch statistics of the prefix (scanned on first access)."""
+        return self._switch_stats
+
+    def majority_count_back(self, lookback: int) -> int:
+        """``c_majority`` at ``num_columns - lookback`` columns."""
+        position = self.num_columns - _resolve_lookback(lookback, self.num_columns)
+        positives = self._matrix.positive_counts(position)
+        negatives = self._matrix.negative_counts(position)
+        return int((positives > negatives).sum())
+
+
+class _SweepTables:
+    """Lazily-computed checkpoint tables shared by a whole sweep.
+
+    One instance serves every checkpoint state of a sweep *and* every
+    estimator evaluated over it: the positive/negative count tables, the
+    fingerprints, the switch scan and the majority history are each
+    computed at most once per (matrix, checkpoints) pair, no matter how
+    many estimators consume them.
+    """
+
+    def __init__(self, matrix: ResponseMatrix, resolved: Sequence[int]):
+        self.matrix = matrix
+        self.resolved = list(resolved)
+
+    @cached_property
+    def positive_table(self) -> np.ndarray:
+        return self.matrix.positive_counts_at(self.resolved)
+
+    @cached_property
+    def negative_table(self) -> np.ndarray:
+        return self.matrix.negative_counts_at(self.resolved)
+
+    @cached_property
+    def positive_fingerprints(self) -> List[Fingerprint]:
+        return fingerprints_from_count_table(self.positive_table)
+
+    @cached_property
+    def nominal_counts(self) -> np.ndarray:
+        return (self.positive_table > 0).sum(axis=1)
+
+    @cached_property
+    def majority_counts(self) -> np.ndarray:
+        return (self.positive_table > self.negative_table).sum(axis=1)
+
+    @cached_property
+    def switch_stats(self) -> list:
+        return _estimation_sweep(self.matrix, self.resolved)
+
+    @cached_property
+    def majority_history(self) -> np.ndarray:
+        return majority_count_history(self.matrix)
+
+
+class MatrixSweepState:
+    """One checkpoint's estimation state, backed by shared sweep tables."""
+
+    def __init__(self, tables: _SweepTables, index: int):
+        self._tables = tables
+        self._index = index
+        self.num_items = tables.matrix.num_items
+        self.num_columns = tables.resolved[index]
+
+    def positive_fingerprint(self) -> Fingerprint:
+        """f-statistics over per-item positive-vote counts."""
+        return self._tables.positive_fingerprints[self._index]
+
+    def nominal_count(self) -> int:
+        """``c_nominal`` of the checkpoint prefix."""
+        return int(self._tables.nominal_counts[self._index])
+
+    def majority_count(self) -> int:
+        """``c_majority`` of the checkpoint prefix."""
+        return int(self._tables.majority_counts[self._index])
+
+    def coverage_counts(self, min_votes: int) -> Tuple[int, int]:
+        """``(covered, sample_errors)`` for the extrapolation baseline."""
+        positives = self._tables.positive_table[self._index]
+        negatives = self._tables.negative_table[self._index]
+        covered_mask = (positives + negatives) >= min_votes
+        sample_errors = int((covered_mask & (positives > negatives)).sum())
+        return int(covered_mask.sum()), sample_errors
+
+    def switch_stats(self):
+        """Switch statistics of the checkpoint prefix (shared scan)."""
+        return self._tables.switch_stats[self._index]
+
+    def majority_count_back(self, lookback: int) -> int:
+        """``c_majority`` at ``num_columns - lookback`` columns."""
+        position = self.num_columns - _resolve_lookback(lookback, self.num_columns)
+        return int(self._tables.majority_history[position])
+
+
+def matrix_sweep_states(
+    matrix: ResponseMatrix, checkpoints: Sequence[int]
+) -> List[MatrixSweepState]:
+    """One estimation state per checkpoint, all backed by shared tables.
+
+    Passing the returned list to several estimators (as
+    :func:`repro.core.base.sweep_estimates` and the experiment runner do)
+    shares the underlying count tables and switch scan across all of
+    them — the matrix is walked once per sweep, not once per estimator.
+    """
+    resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
+    tables = _SweepTables(matrix, resolved)
+    return [MatrixSweepState(tables, index) for index in range(len(resolved))]
+
+
+class StreamingState:
+    """Live estimation state maintained one worker response at a time.
+
+    The streaming counterpart of :class:`MatrixPrefixState`: rather than
+    deriving statistics from a stored matrix, it keeps every statistic an
+    estimator reads — per-item count deltas, consensus margins, the
+    positive-vote fingerprint, coverage histograms, the cumulative-margin
+    switch fingerprint and the majority-count history — permanently up to
+    date.  Ingesting a column that touches ``t`` items costs O(``t``),
+    independent of how many columns came before; reading an estimate is
+    then O(statistics), not O(matrix).
+
+    After ingesting the first ``j`` columns of a matrix, every accessor
+    returns integers bit-identical to ``MatrixPrefixState(matrix, j)``.
+    This class is the state engine; use
+    :class:`repro.streaming.StreamingSession` for the user-facing API
+    (vote validation, estimator dispatch, matrix materialisation).
+    """
+
+    def __init__(self, item_ids: Sequence[int]):
+        item_ids = list(item_ids)
+        if len(set(item_ids)) != len(item_ids):
+            raise ValidationError("item_ids must be unique")
+        if not item_ids:
+            raise ValidationError("a streaming state needs at least one item")
+        self._item_ids = item_ids
+        self._row_of: Dict[int, int] = {item: row for row, item in enumerate(item_ids)}
+        self.num_items = len(item_ids)
+        self.num_columns = 0
+        self._positive = np.zeros(self.num_items, dtype=np.int64)
+        self._negative = np.zeros(self.num_items, dtype=np.int64)
+        self._positive_fingerprint = IncrementalFingerprint()
+        self._nominal = 0
+        self._majority = 0
+        #: histogram of per-item total vote counts (key 0 included).
+        self._votes_histogram: Dict[int, int] = {0: self.num_items}
+        #: same histogram restricted to majority-dirty items.
+        self._dirty_votes_histogram: Dict[int, int] = {}
+        self._switch = IncrementalSwitchState(self.num_items)
+        self._majority_history: List[int] = [0]
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    @property
+    def item_ids(self) -> List[int]:
+        """Item ids in row order."""
+        return list(self._item_ids)
+
+    def row_index(self, item_id: int) -> int:
+        """Return the row index of ``item_id``."""
+        try:
+            return self._row_of[item_id]
+        except KeyError:
+            raise ValidationError(f"unknown item id {item_id}") from None
+
+    def _bump_histogram(self, histogram: Dict[int, int], key: int, delta: int) -> None:
+        updated = histogram.get(key, 0) + delta
+        if updated:
+            histogram[key] = updated
+        else:
+            histogram.pop(key, None)
+
+    def _apply_vote(self, row: int, vote: int) -> None:
+        """Fold one vote into every maintained statistic (O(1))."""
+        old_positive = int(self._positive[row])
+        old_negative = int(self._negative[row])
+        old_total = old_positive + old_negative
+        was_dirty = old_positive > old_negative
+        if vote == DIRTY:
+            self._positive[row] = old_positive + 1
+            self._positive_fingerprint.reclassify(old_positive, old_positive + 1)
+            self._positive_fingerprint.add_observations(1)
+            if old_positive == 0:
+                self._nominal += 1
+        elif vote == CLEAN:
+            self._negative[row] = old_negative + 1
+        else:
+            raise ValidationError(f"votes must be DIRTY or CLEAN, got {vote!r}")
+        is_dirty = int(self._positive[row]) > int(self._negative[row])
+        self._bump_histogram(self._votes_histogram, old_total, -1)
+        self._bump_histogram(self._votes_histogram, old_total + 1, +1)
+        if was_dirty:
+            self._bump_histogram(self._dirty_votes_histogram, old_total, -1)
+        if is_dirty:
+            self._bump_histogram(self._dirty_votes_histogram, old_total + 1, +1)
+        self._majority += int(is_dirty) - int(was_dirty)
+        self._switch.observe(row, vote)
+
+    def apply_column(self, rows: Sequence[int], votes: Sequence[int]) -> None:
+        """Ingest one worker-task column touching the given item rows.
+
+        ``rows`` and ``votes`` are aligned; items not listed are UNSEEN for
+        this column.  The column boundary is what advances
+        ``num_columns`` and extends the majority-count history.
+        """
+        for row, vote in zip(rows, votes):
+            self._apply_vote(row, vote)
+        self.num_columns += 1
+        self._majority_history.append(self._majority)
+
+    # ------------------------------------------------------------------ #
+    # the EstimationState interface
+    # ------------------------------------------------------------------ #
+    def positive_fingerprint(self) -> Fingerprint:
+        """f-statistics over per-item positive-vote counts."""
+        return self._positive_fingerprint.snapshot()
+
+    def nominal_count(self) -> int:
+        """``c_nominal`` of everything ingested so far."""
+        return self._nominal
+
+    def majority_count(self) -> int:
+        """``c_majority`` of everything ingested so far."""
+        return self._majority
+
+    def coverage_counts(self, min_votes: int) -> Tuple[int, int]:
+        """``(covered, sample_errors)`` from the maintained histograms."""
+        min_votes = int(min_votes)
+        uncovered = sum(self._votes_histogram.get(n, 0) for n in range(min_votes))
+        uncovered_dirty = sum(
+            self._dirty_votes_histogram.get(n, 0) for n in range(min_votes)
+        )
+        return self.num_items - uncovered, self._majority - uncovered_dirty
+
+    def switch_stats(self) -> IncrementalSwitchState:
+        """The live switch statistics (same interface as the batch scan)."""
+        return self._switch
+
+    def majority_count_back(self, lookback: int) -> int:
+        """``c_majority`` as it was ``lookback`` columns ago."""
+        return self._majority_history[
+            self.num_columns - _resolve_lookback(lookback, self.num_columns)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_votes(self) -> int:
+        """Total number of votes ingested."""
+        return self._switch.total_votes
+
+    def positive_counts(self) -> np.ndarray:
+        """``n_i^+`` — a copy of the per-item dirty-vote counts."""
+        return self._positive.copy()
+
+    def negative_counts(self) -> np.ndarray:
+        """``n_i^-`` — a copy of the per-item clean-vote counts."""
+        return self._negative.copy()
+
+    def consensus_labels(self) -> Dict[int, int]:
+        """Per-item consensus labels under the switch scan's convention."""
+        return self._switch.final_consensus(self._item_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"StreamingState(num_items={self.num_items}, "
+            f"num_columns={self.num_columns}, votes={self.total_votes})"
+        )

@@ -43,10 +43,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.exceptions import ValidationError
 from repro.common.labels import CLEAN, DIRTY, UNSEEN
-from repro.core.base import EstimateResult, SweepEstimatorMixin
+from repro.core.base import EstimateResult, StateEstimatorMixin
 from repro.core.chao92 import chao92_components, chao92_estimate, skew_coefficient
-from repro.core.fstatistics import Fingerprint, fingerprint_from_counts
+from repro.core.fstatistics import (
+    Fingerprint,
+    IncrementalFingerprint,
+    fingerprint_from_counts,
+)
 from repro.crowd.response_matrix import ResponseMatrix
 
 #: Direction labels for switches.
@@ -386,6 +391,112 @@ class _EstimationSwitchStats:
         return _fingerprint_from_rediscoveries(counts, self.n_switch)
 
 
+class IncrementalSwitchState:
+    """Streaming counterpart of the vectorised switch scan.
+
+    Consumes one vote at a time (:meth:`observe`) and maintains every
+    switch-derived quantity the estimators read — event counts, the
+    adjusted observation count ``n_switch`` and the f'-statistics over
+    rediscovery counts — under exactly the scan conventions documented at
+    the top of this module.  Each vote costs O(1): the open event of the
+    voted item either gains a rediscovery (one fingerprint reclassify) or
+    is frozen in place while a new class-1 event opens.
+
+    The object satisfies the same statistics interface as
+    :class:`SwitchStatistics` / :class:`_EstimationSwitchStats`, so the
+    switch estimators consume it directly; after ``j`` ingested columns
+    every exposed quantity is bit-identical to
+    ``switch_statistics(matrix, j)``.
+    """
+
+    def __init__(self, num_items: int):
+        self._margin = np.zeros(num_items, dtype=np.int64)
+        self._consensus = np.zeros(num_items, dtype=np.int8)
+        #: rediscovery count of each item's open (most recent) event; 0 = no
+        #: event yet, in which case further votes are pre-first-switch no-ops.
+        self._open_rediscoveries = np.zeros(num_items, dtype=np.int64)
+        self._open_positive = np.zeros(num_items, dtype=bool)
+        self._has_direction = {
+            POSITIVE: np.zeros(num_items, dtype=bool),
+            NEGATIVE: np.zeros(num_items, dtype=bool),
+        }
+        self.num_switches = 0
+        self.items_with_switches = 0
+        self.n_switch = 0
+        self.total_votes = 0
+        self._switches_by_direction = {POSITIVE: 0, NEGATIVE: 0}
+        self._items_by_direction = {POSITIVE: 0, NEGATIVE: 0}
+        self._fingerprints = {
+            None: IncrementalFingerprint(),
+            POSITIVE: IncrementalFingerprint(),
+            NEGATIVE: IncrementalFingerprint(),
+        }
+
+    def observe(self, row: int, vote: int) -> None:
+        """Ingest one vote (``DIRTY`` or ``CLEAN``) on item row ``row``."""
+        if vote == DIRTY:
+            delta = 1
+        elif vote == CLEAN:
+            delta = -1
+        else:
+            raise ValidationError(f"votes must be DIRTY or CLEAN, got {vote!r}")
+        self.total_votes += 1
+        previous_margin = int(self._margin[row])
+        margin = previous_margin + delta
+        self._margin[row] = margin
+        if margin > 0:
+            new_state = 1
+        elif margin < 0:
+            new_state = 0
+        else:
+            # Tie: flip away from the current label.  A tie can only follow
+            # a margin of +/-1, so the flip target is the sign opposite of
+            # the previous margin (the closed form of the vectorised scan).
+            new_state = 1 if previous_margin < 0 else 0
+        if new_state != int(self._consensus[row]):
+            self._consensus[row] = new_state
+            direction = POSITIVE if new_state == 1 else NEGATIVE
+            self.num_switches += 1
+            self._switches_by_direction[direction] += 1
+            if self._open_rediscoveries[row] == 0:
+                self.items_with_switches += 1
+            if not self._has_direction[direction][row]:
+                self._has_direction[direction][row] = True
+                self._items_by_direction[direction] += 1
+            # The previous open event (if any) freezes at its current
+            # rediscovery count; a fresh singleton event opens.
+            self._open_rediscoveries[row] = 1
+            self._open_positive[row] = new_state == 1
+            self._fingerprints[None].reclassify(0, 1)
+            self._fingerprints[direction].reclassify(0, 1)
+            self.n_switch += 1
+        elif self._open_rediscoveries[row] > 0:
+            count = int(self._open_rediscoveries[row])
+            self._open_rediscoveries[row] = count + 1
+            direction = POSITIVE if self._open_positive[row] else NEGATIVE
+            self._fingerprints[None].reclassify(count, count + 1)
+            self._fingerprints[direction].reclassify(count, count + 1)
+            self.n_switch += 1
+        # else: vote before the item's first switch — a no-op by Equation 7.
+
+    # -- the statistics interface the estimators consume ----------------- #
+    def num_switches_by_direction(self, direction: str) -> int:
+        """Observed switch count restricted to one direction."""
+        return self._switches_by_direction[direction]
+
+    def items_with_direction(self, direction: str) -> int:
+        """Number of items with at least one switch of the given direction."""
+        return self._items_by_direction[direction]
+
+    def fingerprint(self, direction: Optional[str] = None) -> Fingerprint:
+        """f'-statistics over rediscovery counts (see :class:`SwitchStatistics`)."""
+        return self._fingerprints[direction].snapshot(num_observations=self.n_switch)
+
+    def final_consensus(self, item_ids: Sequence[int]) -> Dict[int, int]:
+        """Consensus label per item id, under the scan's tie-flip convention."""
+        return {item: int(label) for item, label in zip(item_ids, self._consensus)}
+
+
 def _estimation_sweep(
     matrix: ResponseMatrix, checkpoints: Sequence[int]
 ) -> List[_EstimationSwitchStats]:
@@ -469,7 +580,7 @@ def estimate_remaining_switches(
 
 
 @dataclass
-class SwitchEstimator(SweepEstimatorMixin):
+class SwitchEstimator(StateEstimatorMixin):
     """Matrix-level remaining-switch estimator (Problem 2 / Equation 8).
 
     The ``estimate`` field of the result is the estimated **total** number
@@ -492,7 +603,8 @@ class SwitchEstimator(SweepEstimatorMixin):
     name: str = "switch"
 
     def _result(self, stats) -> EstimateResult:
-        # ``stats`` is a SwitchStatistics or its array-backed sweep stand-in.
+        # ``stats`` is a SwitchStatistics, its array-backed sweep stand-in,
+        # or the live IncrementalSwitchState of a streaming session.
         fingerprint = stats.fingerprint(self.direction)
         if self.direction is None:
             observed = stats.num_switches
@@ -522,12 +634,6 @@ class SwitchEstimator(SweepEstimatorMixin):
             },
         )
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+    def estimate_state(self, state) -> EstimateResult:
         """Estimate the total number of consensus switches."""
-        return self._result(switch_statistics(matrix, upto))
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Single-pass sweep over the vectorised switch scan."""
-        return [self._result(stats) for stats in _estimation_sweep(matrix, checkpoints)]
+        return self._result(state.switch_stats())

@@ -23,28 +23,22 @@ that decision dynamically from the recent history of the majority count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
 
 from repro.common.exceptions import ValidationError
 from repro.common.validation import check_int
-from repro.core.base import EstimateResult, SweepEstimatorMixin
-from repro.core.descriptive import majority_estimate
+from repro.core.base import EstimateResult, StateEstimatorMixin
 from repro.core.switch import (
     NEGATIVE,
     POSITIVE,
-    _estimation_sweep,
     estimate_remaining_switches,
-    switch_statistics,
 )
-from repro.crowd.consensus import majority_counts_at
-from repro.crowd.response_matrix import ResponseMatrix
 
 #: Valid trend-selection modes.
 TREND_MODES = ("auto", "positive", "negative", "both")
 
 
 @dataclass
-class SwitchTotalErrorEstimator(SweepEstimatorMixin):
+class SwitchTotalErrorEstimator(StateEstimatorMixin):
     """The paper's SWITCH / DQM total-error estimator.
 
     Parameters
@@ -92,23 +86,23 @@ class SwitchTotalErrorEstimator(SweepEstimatorMixin):
             return "decreasing"
         return "flat"
 
-    def _detect_trend(self, matrix: ResponseMatrix, upto: Optional[int]) -> str:
+    def _detect_trend(self, state) -> str:
         """Return ``"increasing"``, ``"decreasing"`` or ``"flat"``.
 
         Compares the current majority count against the count
-        ``trend_window`` columns earlier.
+        ``trend_window`` columns earlier (clipped to the columns
+        available), both read from the estimation state.
         """
-        num_columns = matrix.resolve_upto(upto)
-        lookback = self._trend_lookback(num_columns)
+        lookback = self._trend_lookback(state.num_columns)
         if lookback == 0:
             return "flat"
         return self._classify_trend(
-            majority_estimate(matrix, num_columns),
-            majority_estimate(matrix, num_columns - lookback),
+            state.majority_count(), state.majority_count_back(lookback)
         )
 
     def _result(self, majority: float, stats, trend: str) -> EstimateResult:
-        # ``stats`` is a SwitchStatistics or its array-backed sweep stand-in.
+        # ``stats`` is a SwitchStatistics, its array-backed sweep stand-in,
+        # or the live IncrementalSwitchState of a streaming session.
         xi_positive = estimate_remaining_switches(
             stats, direction=POSITIVE, use_skew_correction=self.use_skew_correction
         )
@@ -150,39 +144,13 @@ class SwitchTotalErrorEstimator(SweepEstimatorMixin):
             },
         )
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+    def estimate_state(self, state) -> EstimateResult:
         """Estimate the total number of errors in the dataset.
 
         The result's ``observed`` field is the current majority count; the
         ``estimate`` field is the trend-corrected total.
         """
-        majority = float(majority_estimate(matrix, upto))
-        stats = switch_statistics(matrix, upto)
-        trend = self._detect_trend(matrix, upto) if self.trend_mode == "auto" else "flat"
+        majority = float(state.majority_count())
+        stats = state.switch_stats()
+        trend = self._detect_trend(state) if self.trend_mode == "auto" else "flat"
         return self._result(majority, stats, trend)
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Single-pass sweep: one switch scan plus incremental majority counts."""
-        resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
-        stats_list = _estimation_sweep(matrix, resolved)
-        lookbacks = [self._trend_lookback(upto) for upto in resolved]
-        # One incremental pass covers both the checkpoint majorities and the
-        # earlier prefixes the trend detection compares against.
-        positions = resolved + [
-            upto - lookback for upto, lookback in zip(resolved, lookbacks)
-        ]
-        majorities = majority_counts_at(matrix, positions)
-        current = majorities[: len(resolved)]
-        earlier = majorities[len(resolved) :]
-        results = []
-        for upto, stats, lookback, now, before in zip(
-            resolved, stats_list, lookbacks, current, earlier
-        ):
-            if self.trend_mode == "auto" and lookback > 0:
-                trend = self._classify_trend(now, before)
-            else:
-                trend = "flat"
-            results.append(self._result(float(now), stats, trend))
-        return results

@@ -22,18 +22,12 @@ to the ground truth (the paper's motivation for the SWITCH estimator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Tuple
 
 from repro.common.validation import check_int
-from repro.core.base import EstimateResult, SweepEstimatorMixin
+from repro.core.base import EstimateResult, StateEstimatorMixin
 from repro.core.chao92 import good_turing_coverage, skew_coefficient
-from repro.core.descriptive import majority_estimate
-from repro.core.fstatistics import (
-    Fingerprint,
-    fingerprints_from_count_table,
-    positive_vote_fingerprint,
-)
-from repro.crowd.response_matrix import ResponseMatrix
+from repro.core.fstatistics import Fingerprint
 
 
 def vchao92_components(
@@ -100,7 +94,7 @@ def vchao92_estimate(
 
 
 @dataclass
-class VChao92Estimator(SweepEstimatorMixin):
+class VChao92Estimator(StateEstimatorMixin):
     """Matrix-level vChao92 estimator (the paper's V-CHAO method).
 
     Parameters
@@ -139,17 +133,6 @@ class VChao92Estimator(SweepEstimatorMixin):
             },
         )
 
-    def estimate(self, matrix: ResponseMatrix, upto: Optional[int] = None) -> EstimateResult:
+    def estimate_state(self, state) -> EstimateResult:
         """Estimate the total error count from the shifted vote fingerprint."""
-        return self._result(
-            positive_vote_fingerprint(matrix, upto), majority_estimate(matrix, upto)
-        )
-
-    def estimate_sweep(
-        self, matrix: ResponseMatrix, checkpoints: Sequence[int]
-    ) -> List[EstimateResult]:
-        """Single-pass sweep built on incremental positive-count fingerprints."""
-        positives = matrix.positive_counts_at(checkpoints)
-        fingerprints = fingerprints_from_count_table(positives)
-        majorities = (positives > matrix.negative_counts_at(checkpoints)).sum(axis=1)
-        return [self._result(fp, int(c)) for fp, c in zip(fingerprints, majorities)]
+        return self._result(state.positive_fingerprint(), state.majority_count())

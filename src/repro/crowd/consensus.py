@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.common.labels import CLEAN, DIRTY
 from repro.crowd.response_matrix import ResponseMatrix
 
 
@@ -103,6 +104,24 @@ def majority_counts_at(matrix: ResponseMatrix, checkpoints) -> List[int]:
     """``c_majority`` at every checkpoint prefix, in one incremental pass."""
     margins = matrix.positive_counts_at(checkpoints) - matrix.negative_counts_at(checkpoints)
     return [int(count) for count in (margins > 0).sum(axis=1)]
+
+
+def majority_count_history(matrix: ResponseMatrix, upto: Optional[int] = None) -> np.ndarray:
+    """``c_majority`` after *every* column prefix, as an ``(upto + 1,)`` array.
+
+    ``history[j]`` is the majority count after the first ``j`` columns
+    (``history[0] = 0``).  One cumulative pass over the vote matrix covers
+    all prefixes, which is what the trend detection of the SWITCH
+    total-error estimator needs during a sweep: lookback positions are
+    arbitrary ``upto - window`` offsets, not checkpoint positions.
+    """
+    upto = matrix.resolve_upto(upto)
+    votes = matrix.values[:, :upto]
+    margins = np.cumsum((votes == DIRTY).astype(np.int64) - (votes == CLEAN), axis=1)
+    history = np.zeros(upto + 1, dtype=np.int64)
+    if upto:
+        history[1:] = (margins > 0).sum(axis=0)
+    return history
 
 
 def consensus_accuracy(

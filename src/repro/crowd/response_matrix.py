@@ -13,8 +13,16 @@ estimators need:
 * ``n_i^+`` — positive (dirty) votes on item ``i``,
 * ``n_i^-`` — negative (clean) votes on item ``i``,
 
-and prefix variants (``n_{i,1:j}^+``) needed by the switch-counting
-definition (Equation 7).
+prefix variants (``n_{i,1:j}^+``) needed by the switch-counting
+definition (Equation 7), and incremental *checkpoint tables*
+(:meth:`ResponseMatrix.positive_counts_at`) that give the counts at many
+prefixes in one pass — the backing store of the batch estimation states
+in :mod:`repro.core.state`.
+
+Every ``upto`` argument follows one contract, enforced in
+:meth:`ResponseMatrix.resolve_upto`: ``None`` means all columns, negative
+values raise ``ValidationError``, and oversized values clamp to the
+columns received so far.
 """
 
 from __future__ import annotations
@@ -194,6 +202,26 @@ class ResponseMatrix:
     def votes_for(self, item_id: int) -> np.ndarray:
         """Return the vote sequence (length ``K``) for one item."""
         return self._votes[self.row_index(item_id), :].copy()
+
+    def column_votes(self, column: int) -> Dict[int, int]:
+        """Return column ``column`` as an ``{item_id: vote}`` mapping.
+
+        Only items the worker actually labelled appear (UNSEEN entries are
+        omitted), which makes the result directly consumable by
+        :meth:`add_column` or a streaming session — replaying a collected
+        matrix column by column is how the streaming/batch equivalence is
+        exercised.
+        """
+        column = check_int(column, "column", minimum=0)
+        if column >= self.num_columns:
+            raise ValidationError(
+                f"column must be in [0, {self.num_columns}), got {column}"
+            )
+        values = self._votes[:, column]
+        return {
+            self._item_ids[row]: int(values[row])
+            for row in np.nonzero(values != UNSEEN)[0]
+        }
 
     # ------------------------------------------------------------------ #
     # vectorised counts used by the estimators

@@ -6,22 +6,32 @@ runner implements exactly that loop:
 
 1. take a fully collected vote matrix,
 2. for each of ``num_permutations`` random column orders,
-3. run every estimator's incremental ``estimate_sweep`` over the
-   checkpoint prefixes (one single-pass sweep per estimator instead of a
-   full recomputation per checkpoint — identical estimates),
+3. evaluate every estimator over the checkpoint prefixes through one set
+   of shared sweep states per permutation (the checkpoint count tables
+   and the switch scan are computed once per permutation, not once per
+   estimator — identical estimates),
 4. aggregate per-checkpoint means and standard deviations into
    :class:`~repro.experiments.results.EstimateSeries`.
+
+Permutations are independent of each other, so the loop parallelises
+process-per-permutation: ``RunnerConfig(n_jobs=4)`` farms the trials out
+to a :mod:`multiprocessing` pool.  The permutation orders are drawn
+*before* dispatch from the same seeded generator the serial path uses,
+so results are bit-identical for any ``n_jobs`` (pinned by
+``tests/test_experiments_runner_results.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import multiprocessing
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.rng import RandomState, derive_rng, ensure_rng
 from repro.common.validation import check_int
 from repro.core.base import EstimatorProtocol, sweep_estimates
 from repro.core.registry import get_estimator
+from repro.core.state import matrix_sweep_states
 from repro.crowd.response_matrix import ResponseMatrix
 from repro.experiments.results import EstimateSeries, ExperimentResult, build_series
 
@@ -42,16 +52,23 @@ class RunnerConfig:
         Explicit prefix lengths to evaluate at.
     seed:
         Seed for the permutation randomness.
+    n_jobs:
+        Worker processes to spread the permutation trials over.  ``1``
+        (the default) runs in-process; higher values use a
+        :mod:`multiprocessing` pool with one task per permutation.
+        Results are identical for any value.
     """
 
     num_permutations: int = 10
     num_checkpoints: int = 20
     checkpoints: Optional[Sequence[int]] = None
     seed: Optional[int] = 0
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         check_int(self.num_permutations, "num_permutations", minimum=1)
         check_int(self.num_checkpoints, "num_checkpoints", minimum=1)
+        check_int(self.n_jobs, "n_jobs", minimum=1)
 
     def resolve_checkpoints(self, num_columns: int) -> List[int]:
         """The prefix lengths to evaluate for a matrix with ``num_columns`` columns."""
@@ -63,6 +80,49 @@ class RunnerConfig:
         step = num_columns / self.num_checkpoints
         points = sorted({int(round(step * (i + 1))) for i in range(self.num_checkpoints)})
         return [p for p in points if p >= 1]
+
+
+def _evaluate_permutation(
+    matrix: ResponseMatrix,
+    order: Optional[List[int]],
+    estimators: List[EstimatorProtocol],
+    checkpoints: List[int],
+) -> Dict[str, List[float]]:
+    """Evaluate every estimator's sweep for one permutation trial.
+
+    The body of both the serial loop and the pool workers, guaranteeing
+    the two run identical code.  The sweep states are built once and
+    shared by all estimators of the trial.
+    """
+    permuted = matrix if order is None else matrix.permute_columns(order)
+    states = matrix_sweep_states(permuted, checkpoints)
+    return {
+        estimator.name: [
+            result.estimate
+            for result in sweep_estimates(estimator, permuted, checkpoints, states=states)
+        ]
+        for estimator in estimators
+    }
+
+
+#: Per-process trial context installed by the pool initializer: only the
+#: permutation order travels per task, not the (identical) matrix.
+_worker_context: Dict[str, object] = {}
+
+
+def _init_worker(
+    matrix: ResponseMatrix,
+    estimators: List[EstimatorProtocol],
+    checkpoints: List[int],
+) -> None:
+    """Install the shared trial inputs in a pool worker (once per process)."""
+    _worker_context["args"] = (matrix, estimators, checkpoints)
+
+
+def _evaluate_order(order: Optional[List[int]]) -> Dict[str, List[float]]:
+    """Pool task: one permutation trial against the worker's installed context."""
+    matrix, estimators, checkpoints = _worker_context["args"]
+    return _evaluate_permutation(matrix, order, estimators, checkpoints)
 
 
 class EstimationRunner:
@@ -91,6 +151,21 @@ class EstimationRunner:
             raise ValueError(f"estimator names must be unique, got {names}")
         self.config = config or RunnerConfig()
 
+    def _permutation_orders(
+        self, matrix: ResponseMatrix, seed: RandomState
+    ) -> List[Optional[List[int]]]:
+        """Column orders per trial, drawn sequentially from the seeded rng.
+
+        Trial 0 always evaluates the original column order (``None``); the
+        sequential draw keeps the orders — and therefore every estimate —
+        independent of ``n_jobs`` and identical to earlier serial runs.
+        """
+        rng = ensure_rng(seed if seed is not None else derive_rng(self.config.seed, 101))
+        orders: List[Optional[List[int]]] = [None]
+        for _ in range(1, self.config.num_permutations):
+            orders.append([int(i) for i in rng.permutation(matrix.num_columns)])
+        return orders
+
     def run(
         self,
         matrix: ResponseMatrix,
@@ -116,26 +191,25 @@ class EstimationRunner:
         seed:
             Permutation seed; defaults to the runner config's seed.
         """
-        rng = ensure_rng(seed if seed is not None else derive_rng(self.config.seed, 101))
         checkpoints = self.config.resolve_checkpoints(matrix.num_columns)
+        orders = self._permutation_orders(matrix, seed)
 
-        # per_estimator[name][trial] -> list of estimates per checkpoint
-        per_estimator: Dict[str, List[List[float]]] = {
-            est.name: [] for est in self.estimators
-        }
-        for trial in range(self.config.num_permutations):
-            if trial == 0:
-                permuted = matrix
-            else:
-                order = rng.permutation(matrix.num_columns)
-                permuted = matrix.permute_columns([int(i) for i in order])
-            # One incremental sweep per estimator instead of a full
-            # recomputation at every checkpoint (identical estimates).
-            for estimator in self.estimators:
-                results = sweep_estimates(estimator, permuted, checkpoints)
-                per_estimator[estimator.name].append(
-                    [result.estimate for result in results]
-                )
+        n_jobs = min(self.config.n_jobs, len(orders))
+        if n_jobs > 1:
+            # The matrix and estimators are identical across trials, so they
+            # ship once per worker process (initializer) rather than once
+            # per task; only the column orders travel with the tasks.
+            with multiprocessing.get_context().Pool(
+                n_jobs,
+                initializer=_init_worker,
+                initargs=(matrix, self.estimators, checkpoints),
+            ) as pool:
+                trial_results = pool.map(_evaluate_order, orders)
+        else:
+            trial_results = [
+                _evaluate_permutation(matrix, order, self.estimators, checkpoints)
+                for order in orders
+            ]
 
         experiment = ExperimentResult(
             name=name,
@@ -143,8 +217,9 @@ class EstimationRunner:
             metadata=dict(metadata or {}),
         )
         for estimator in self.estimators:
-            series = build_series(estimator.name, checkpoints, per_estimator[estimator.name])
-            experiment.add_series(series)
+            per_trial = [trial[estimator.name] for trial in trial_results]
+            experiment.add_series(build_series(estimator.name, checkpoints, per_trial))
         experiment.metadata.setdefault("num_permutations", self.config.num_permutations)
         experiment.metadata.setdefault("checkpoints", list(checkpoints))
+        experiment.metadata.setdefault("n_jobs", n_jobs)
         return experiment

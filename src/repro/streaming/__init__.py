@@ -1,0 +1,14 @@
+"""Online estimation sessions over a live stream of worker responses.
+
+The paper's use case is inherently online: a data-cleaning session
+consumes crowd responses task by task while the analyst watches the
+quality estimate converge.  :class:`StreamingSession` is that loop as a
+first-class object — votes go in one task (or one vote) at a time, and
+``session.estimate()`` returns the current estimate of every registered
+estimator without ever rescanning the history, bit-identical to what the
+batch sweep engine would compute on the same prefix.
+"""
+
+from repro.streaming.session import StreamingSession
+
+__all__ = ["StreamingSession"]

@@ -1,0 +1,273 @@
+"""The streaming estimation session (online DQM).
+
+A :class:`StreamingSession` turns the batch pipeline inside out: instead
+of collecting a full :class:`~repro.crowd.response_matrix.ResponseMatrix`
+and estimating afterwards, the session ingests worker responses as they
+arrive — single votes or whole task columns — and keeps every registered
+estimator's inputs permanently up to date through the shared
+:class:`~repro.core.state.StreamingState`.
+
+Guarantees:
+
+* **Cost** — ingesting a column that touches ``t`` items costs O(``t``),
+  independent of the number of columns already consumed;
+  ``session.estimate()`` reads the maintained statistics without touching
+  the vote history.
+* **Equivalence** — after ingesting the first ``j`` columns of a matrix,
+  every estimate is bit-identical to ``estimator.estimate(matrix, j)``
+  and to the sweep engine's checkpoint ``j`` (pinned by
+  ``tests/test_streaming.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.base import EstimateResult, EstimatorProtocol
+from repro.core.registry import available_estimators, get_estimator
+from repro.core.state import StreamingState
+from repro.crowd.response_matrix import ResponseMatrix
+
+
+class StreamingSession:
+    """Incremental estimation over a live stream of worker responses.
+
+    Parameters
+    ----------
+    item_ids:
+        The ids of the ``N`` candidate items, fixed for the session
+        (votes are addressed by item id, as in
+        :class:`~repro.crowd.response_matrix.ResponseMatrix`).
+    estimators:
+        Estimator instances or registry names to evaluate.  Defaults to
+        every registered estimator.
+    keep_votes:
+        Retain the raw vote columns (sparsely, O(votes) memory) so
+        :meth:`matrix` can materialise the equivalent
+        :class:`ResponseMatrix` (needed for estimate-only third-party
+        estimators, and handy for auditing).  Disable to run in O(state)
+        memory; fallback estimators then raise ``ConfigurationError``.
+
+    Examples
+    --------
+    >>> session = StreamingSession([0, 1, 2], estimators=["voting", "chao92"])
+    >>> session.add_column({0: 1, 1: 0}, worker_id=7)
+    0
+    >>> sorted(session.estimate())
+    ['chao92', 'voting']
+    """
+
+    def __init__(
+        self,
+        item_ids: Sequence[int],
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+        *,
+        keep_votes: bool = True,
+    ) -> None:
+        self._state = StreamingState(item_ids)
+        instances = [
+            get_estimator(e) if isinstance(e, str) else e
+            for e in (available_estimators() if estimators is None else estimators)
+        ]
+        if estimators is None:
+            # Several registry keys may alias one estimator name (tests and
+            # user code register variants); the implicit "track everything"
+            # default keeps the first instance per name.
+            unique: Dict[str, EstimatorProtocol] = {}
+            for instance in instances:
+                unique.setdefault(instance.name, instance)
+            instances = list(unique.values())
+        self.estimators: List[EstimatorProtocol] = instances
+        if not self.estimators:
+            raise ConfigurationError("at least one estimator is required")
+        seen = [est.name for est in self.estimators]
+        if len(set(seen)) != len(seen):
+            raise ConfigurationError(f"estimator names must be unique, got {seen}")
+        self._keep_votes = bool(keep_votes)
+        self._columns: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._column_workers: List[int] = []
+        self._matrix_cache: Optional[ResponseMatrix] = None
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def replay(
+        cls,
+        matrix: ResponseMatrix,
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+        **kwargs,
+    ) -> "StreamingSession":
+        """Build a session and feed it every column of a collected matrix.
+
+        The streaming analogue of batch estimation over ``matrix`` —
+        useful for tests, demos and for resuming a session from an
+        archived matrix.
+        """
+        session = cls(matrix.item_ids, estimators, **kwargs)
+        session.extend_from(matrix)
+        return session
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    @property
+    def num_items(self) -> int:
+        """``N`` — the number of candidate items."""
+        return self._state.num_items
+
+    @property
+    def num_columns(self) -> int:
+        """Number of worker-task columns ingested so far."""
+        return self._state.num_columns
+
+    @property
+    def total_votes(self) -> int:
+        """Total number of votes ingested so far."""
+        return self._state.total_votes
+
+    @property
+    def state(self) -> StreamingState:
+        """The live estimation state (read it, don't mutate it)."""
+        return self._state
+
+    def add_column(self, votes: Mapping[int, int], worker_id: Optional[int] = None) -> int:
+        """Ingest one worker-task column.
+
+        Parameters
+        ----------
+        votes:
+            Mapping from item id to vote (``DIRTY`` or ``CLEAN``).  Items
+            not present are UNSEEN for this column.
+        worker_id:
+            Identifier of the worker; defaults to the column index.
+
+        Returns
+        -------
+        int
+            The index of the ingested column.
+        """
+        rows = []
+        values = []
+        for item_id, vote in votes.items():
+            if vote not in (DIRTY, CLEAN):
+                raise ValidationError(
+                    f"votes must be DIRTY ({DIRTY}) or CLEAN ({CLEAN}); "
+                    f"got {vote!r} for item {item_id}"
+                )
+            rows.append(self._state.row_index(item_id))
+            values.append(int(vote))
+        index = self._state.num_columns
+        if self._keep_votes:
+            self._columns.append(
+                (np.asarray(rows, dtype=np.intp), np.asarray(values, dtype=np.int8))
+            )
+            self._column_workers.append(int(worker_id) if worker_id is not None else index)
+            self._matrix_cache = None
+        self._state.apply_column(rows, values)
+        return index
+
+    def add_vote(self, item_id: int, vote: int, worker_id: Optional[int] = None) -> int:
+        """Ingest a single vote as its own one-item task column.
+
+        Returns the index of the column it created.
+        """
+        return self.add_column({item_id: vote}, worker_id)
+
+    def extend_from(self, matrix: ResponseMatrix, start: int = 0) -> int:
+        """Ingest every column of ``matrix`` from ``start`` onwards.
+
+        The matrix must be over the same item ids in the same order.
+        Returns the number of columns ingested.
+        """
+        if matrix.item_ids != self._state.item_ids:
+            raise ValidationError("matrix item ids do not match the session's items")
+        workers = matrix.column_workers
+        for column in range(start, matrix.num_columns):
+            self.add_column(matrix.column_votes(column), workers[column])
+        return matrix.num_columns - start
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self, name: Optional[str] = None
+    ) -> Union[EstimateResult, Dict[str, EstimateResult]]:
+        """Current estimates from everything ingested so far.
+
+        Parameters
+        ----------
+        name:
+            Return only the named estimator's result; ``None`` returns a
+            ``{name: EstimateResult}`` dict over every session estimator.
+
+        Estimators implementing ``estimate_state`` read the live state in
+        O(statistics); estimate-only third-party estimators fall back to
+        a batch evaluation of the materialised matrix (requires
+        ``keep_votes=True``).
+        """
+        if name is not None:
+            for estimator in self.estimators:
+                if estimator.name == name:
+                    return self._evaluate(estimator)
+            raise ConfigurationError(
+                f"unknown session estimator {name!r}; "
+                f"available: {sorted(est.name for est in self.estimators)}"
+            )
+        return {est.name: self._evaluate(est) for est in self.estimators}
+
+    def _evaluate(self, estimator: EstimatorProtocol) -> EstimateResult:
+        estimate_state = getattr(estimator, "estimate_state", None)
+        if estimate_state is not None:
+            return estimate_state(self._state)
+        if not self._keep_votes:
+            raise ConfigurationError(
+                f"estimator {estimator.name!r} has no estimate_state method and "
+                "the session was created with keep_votes=False, so the batch "
+                "fallback has no matrix to evaluate"
+            )
+        return estimator.estimate(self.matrix())
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def matrix(self) -> ResponseMatrix:
+        """Materialise the ingested stream as a :class:`ResponseMatrix`.
+
+        Requires ``keep_votes=True``.  The result is cached until the next
+        ingested column; mutating it does not affect the session.
+        """
+        if not self._keep_votes:
+            raise ConfigurationError("the session was created with keep_votes=False")
+        if self._matrix_cache is None:
+            votes = np.full((self.num_items, len(self._columns)), UNSEEN, dtype=np.int8)
+            for index, (rows, values) in enumerate(self._columns):
+                votes[rows, index] = values
+            self._matrix_cache = ResponseMatrix.from_array(
+                votes,
+                item_ids=self._state.item_ids,
+                worker_ids=self._column_workers,
+            )
+        return self._matrix_cache
+
+    def progress(self) -> Dict[str, float]:
+        """One-line summary of the stream consumed so far."""
+        state = self._state
+        return {
+            "num_columns": float(state.num_columns),
+            "total_votes": float(state.total_votes),
+            "nominal_count": float(state.nominal_count()),
+            "majority_count": float(state.majority_count()),
+            "observed_switches": float(state.switch_stats().num_switches),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"StreamingSession(num_items={self.num_items}, "
+            f"num_columns={self.num_columns}, "
+            f"estimators={[est.name for est in self.estimators]})"
+        )

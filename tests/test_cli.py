@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import EXPERIMENTS, TOOLS, main
+from repro.core.registry import available_estimators
 
 
 class TestCliList:
@@ -14,6 +15,14 @@ class TestCliList:
         for name in EXPERIMENTS:
             assert name in output
         assert "switch_total" in output
+
+    def test_list_command_covers_tools_and_all_estimators(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in TOOLS:
+            assert name in output
+        for name in available_estimators():
+            assert name in output
 
 
 class TestCliExamples:
@@ -44,6 +53,81 @@ class TestCliQuality:
         output = capsys.readouterr().out
         assert "estimated total" in output
         assert "quality score" in output
+
+
+class TestCliStream:
+    def test_stream_prints_live_estimate_rows(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--items", "150",
+                "--errors", "15",
+                "--tasks", "30",
+                "--report-every", "10",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "streaming 30 tasks" in output
+        for name in ("voting", "chao92", "switch_total"):
+            assert name in output
+        # One row per report interval: tasks 10, 20 and 30.
+        data_rows = [line for line in output.splitlines()[2:] if line.strip()]
+        assert len(data_rows) == 3
+
+    def test_stream_respects_estimator_selection(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--items", "100",
+                "--errors", "10",
+                "--tasks", "12",
+                "--estimators", "voting", "nominal",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "nominal" in output
+        assert "chao92" not in output
+
+
+class TestCliSweep:
+    def test_sweep_prints_series_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--items", "150",
+                "--errors", "15",
+                "--tasks", "30",
+                "--permutations", "2",
+                "--checkpoints", "4",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "n_jobs=1" in output
+        assert "truth" in output
+        for name in ("voting", "chao92", "vchao92", "switch_total"):
+            assert name in output
+
+    def test_sweep_parallel_output_matches_serial(self, capsys):
+        args = [
+            "sweep",
+            "--items", "120",
+            "--errors", "12",
+            "--tasks", "24",
+            "--permutations", "3",
+            "--checkpoints", "4",
+            "--seed", "9",
+        ]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--n-jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.replace("n_jobs=1", "") == parallel.replace("n_jobs=2", "")
 
 
 class TestCliFigures:

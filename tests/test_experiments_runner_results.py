@@ -76,6 +76,33 @@ class TestEstimationRunner:
         assert a.series["switch_total"].means == b.series["switch_total"].means
 
 
+class TestParallelRunner:
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(Exception):
+            RunnerConfig(n_jobs=0)
+
+    def test_parallel_results_identical_to_serial(self, noisy_crowd_simulation):
+        """n_jobs must not change a single estimate: only the scheduling moves."""
+        matrix = noisy_crowd_simulation.matrix
+        names = ["voting", "chao92", "vchao92", "switch", "switch_total"]
+        serial = EstimationRunner(
+            names, RunnerConfig(num_permutations=4, num_checkpoints=5, seed=21, n_jobs=1)
+        ).run(matrix, ground_truth=20.0)
+        parallel = EstimationRunner(
+            names, RunnerConfig(num_permutations=4, num_checkpoints=5, seed=21, n_jobs=3)
+        ).run(matrix, ground_truth=20.0)
+        assert serial.metadata["checkpoints"] == parallel.metadata["checkpoints"]
+        for name in names:
+            for a, b in zip(serial.series[name].points, parallel.series[name].points):
+                assert a.values == b.values
+                assert a.num_tasks == b.num_tasks
+
+    def test_pool_never_larger_than_trial_count(self, noisy_crowd_simulation):
+        config = RunnerConfig(num_permutations=2, num_checkpoints=3, seed=1, n_jobs=16)
+        result = EstimationRunner(["voting"], config).run(noisy_crowd_simulation.matrix)
+        assert result.metadata["n_jobs"] == 2
+
+
 class TestResultContainers:
     def _series(self):
         return build_series("demo", [10, 20], [[5.0, 8.0], [7.0, 10.0]])

@@ -1,0 +1,262 @@
+"""Streaming/batch equivalence and the StreamingSession API.
+
+The tentpole guarantee: feeding a matrix column-by-column through a
+:class:`~repro.streaming.StreamingSession` yields estimates bit-identical
+to the batch path — both ``estimate(matrix, j)`` and the sweep engine's
+checkpoint ``j`` — for every registered estimator, at every prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.registry import available_estimators, get_estimator
+from repro.core.state import MatrixPrefixState, StreamingState
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.streaming import StreamingSession
+
+
+def _random_matrix(rng, num_items=None, num_columns=None) -> ResponseMatrix:
+    num_items = num_items or int(rng.integers(1, 25))
+    num_columns = num_columns if num_columns is not None else int(rng.integers(0, 20))
+    votes = rng.choice(
+        [UNSEEN, CLEAN, DIRTY], size=(num_items, num_columns), p=[0.45, 0.25, 0.30]
+    ).astype(np.int8)
+    return ResponseMatrix.from_array(votes)
+
+
+def _feed_columns(session: StreamingSession, matrix: ResponseMatrix, upto: int) -> None:
+    workers = matrix.column_workers
+    for column in range(session.num_columns, upto):
+        session.add_column(matrix.column_votes(column), workers[column])
+
+
+def _registry_estimators():
+    """One instance per distinct estimator name in the registry.
+
+    Registry keys may alias one estimator name (other tests register
+    variants); sessions key results by the instance name, so dedupe.
+    """
+    unique = {}
+    for key in available_estimators():
+        instance = get_estimator(key)
+        unique.setdefault(instance.name, instance)
+    return list(unique.values())
+
+
+class TestStreamingBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bit_identical_to_batch_at_every_prefix(self, seed):
+        """Column-by-column streaming equals the per-prefix batch estimate."""
+        rng = np.random.default_rng(seed)
+        matrix = _random_matrix(rng)
+        estimators = _registry_estimators()
+        session = StreamingSession(matrix.item_ids, estimators)
+        for prefix in range(1, matrix.num_columns + 1):
+            _feed_columns(session, matrix, prefix)
+            streamed = session.estimate()
+            for estimator in estimators:
+                name = estimator.name
+                reference = estimator.estimate(matrix, prefix)
+                assert streamed[name].estimate == reference.estimate, (name, prefix)
+                assert streamed[name].observed == reference.observed, (name, prefix)
+                assert streamed[name].details == reference.details, (name, prefix)
+
+    def test_matches_sweep_engine_at_every_checkpoint(self):
+        """The acceptance contract: streaming == estimate_sweep per checkpoint."""
+        rng = np.random.default_rng(42)
+        matrix = _random_matrix(rng, num_items=30, num_columns=18)
+        checkpoints = [1, 4, 9, 13, 18]
+        estimators = _registry_estimators()
+        swept = {
+            est.name: est.estimate_sweep(matrix, checkpoints) for est in estimators
+        }
+        session = StreamingSession(matrix.item_ids, estimators)
+        for index, checkpoint in enumerate(checkpoints):
+            _feed_columns(session, matrix, checkpoint)
+            streamed = session.estimate()
+            for name in swept:
+                assert streamed[name].estimate == swept[name][index].estimate
+                assert streamed[name].observed == swept[name][index].observed
+                assert streamed[name].details == swept[name][index].details
+
+    def test_single_vote_ingestion_equals_one_item_columns(self):
+        """add_vote is a one-item task column, consistent with the batch path."""
+        session = StreamingSession([10, 11, 12], estimators=["voting", "chao92", "switch"])
+        session.add_vote(10, DIRTY)
+        session.add_vote(11, CLEAN, worker_id=99)
+        session.add_vote(10, DIRTY)
+        matrix = session.matrix()
+        assert matrix.num_columns == 3
+        assert matrix.column_workers == [0, 99, 2]
+        for name, result in session.estimate().items():
+            reference = get_estimator(name).estimate(matrix)
+            assert result.estimate == reference.estimate
+            assert result.details == reference.details
+
+    def test_replay_constructor_consumes_whole_matrix(self):
+        rng = np.random.default_rng(7)
+        matrix = _random_matrix(rng, num_items=12, num_columns=9)
+        session = StreamingSession.replay(matrix, ["switch_total"])
+        assert session.num_columns == matrix.num_columns
+        assert session.total_votes == matrix.total_votes()
+        result = session.estimate("switch_total")
+        reference = get_estimator("switch_total").estimate(matrix)
+        assert result.estimate == reference.estimate
+        # The materialised matrix round-trips the ingested stream exactly.
+        assert np.array_equal(session.matrix().values, matrix.values)
+
+
+@given(
+    st.integers(min_value=1, max_value=10).flatmap(
+        lambda n_items: st.integers(min_value=0, max_value=8).flatmap(
+            lambda n_cols: st.lists(
+                st.lists(
+                    st.sampled_from([DIRTY, CLEAN, UNSEEN]),
+                    min_size=n_cols,
+                    max_size=n_cols,
+                ),
+                min_size=n_items,
+                max_size=n_items,
+            )
+        )
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_streaming_state_equals_prefix_state_property(rows):
+    """Property: the incremental state equals the batch state on any matrix."""
+    n_cols = len(rows[0]) if rows and rows[0] else 0
+    votes = np.array(rows, dtype=np.int8).reshape(len(rows), n_cols)
+    matrix = ResponseMatrix.from_array(votes)
+    streaming = StreamingState(matrix.item_ids)
+    for prefix in range(1, matrix.num_columns + 1):
+        column = votes[:, prefix - 1]
+        present = np.nonzero(column != UNSEEN)[0]
+        streaming.apply_column(
+            [int(r) for r in present], [int(column[r]) for r in present]
+        )
+        batch = MatrixPrefixState(matrix, prefix)
+        assert streaming.nominal_count() == batch.nominal_count()
+        assert streaming.majority_count() == batch.majority_count()
+        assert streaming.positive_fingerprint() == batch.positive_fingerprint()
+        for min_votes in (1, 2, 3):
+            assert streaming.coverage_counts(min_votes) == batch.coverage_counts(min_votes)
+        live, reference = streaming.switch_stats(), batch.switch_stats()
+        assert live.num_switches == reference.num_switches
+        assert live.items_with_switches == reference.items_with_switches
+        assert live.n_switch == reference.n_switch
+        assert live.total_votes == reference.total_votes
+        for direction in (None, "positive", "negative"):
+            assert live.fingerprint(direction) == reference.fingerprint(direction)
+        lookback = min(3, prefix)
+        assert streaming.majority_count_back(lookback) == batch.majority_count_back(lookback)
+
+
+class TestLookbackContract:
+    def test_majority_count_back_out_of_range_raises_in_every_state(self):
+        """All three state implementations agree: lookback must stay in the prefix."""
+        from repro.core.state import matrix_sweep_states
+
+        rng = np.random.default_rng(4)
+        matrix = _random_matrix(rng, num_items=6, num_columns=3)
+        streaming = StreamingState(matrix.item_ids)
+        for column in range(matrix.num_columns):
+            values = np.asarray(matrix.values)[:, column]
+            present = np.nonzero(values != UNSEEN)[0]
+            streaming.apply_column(
+                [int(r) for r in present], [int(values[r]) for r in present]
+            )
+        states = [
+            streaming,
+            MatrixPrefixState(matrix, 3),
+            matrix_sweep_states(matrix, [3])[0],
+        ]
+        for state in states:
+            assert state.majority_count_back(0) == state.majority_count()
+            assert state.majority_count_back(3) == 0
+            with pytest.raises(ValidationError):
+                state.majority_count_back(4)
+            with pytest.raises(ValidationError):
+                state.majority_count_back(-1)
+
+
+class TestStreamingSessionApi:
+    def test_default_estimators_cover_registry(self):
+        session = StreamingSession([0, 1])
+        assert {est.name for est in session.estimators} == {
+            get_estimator(key).name for key in available_estimators()
+        }
+
+    def test_unknown_item_rejected(self):
+        session = StreamingSession([0, 1], ["voting"])
+        with pytest.raises(ValidationError, match="unknown item"):
+            session.add_column({5: DIRTY})
+
+    def test_invalid_vote_rejected(self):
+        session = StreamingSession([0, 1], ["voting"])
+        with pytest.raises(ValidationError, match="DIRTY"):
+            session.add_column({0: UNSEEN})
+
+    def test_duplicate_estimators_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            StreamingSession([0], ["voting", "voting"])
+
+    def test_unknown_estimate_name_rejected(self):
+        session = StreamingSession([0], ["voting"])
+        with pytest.raises(ConfigurationError, match="unknown session estimator"):
+            session.estimate("chao92")
+
+    def test_estimate_only_fallback_uses_materialised_matrix(self):
+        class MinimalEstimator:
+            name = "minimal"
+
+            def estimate(self, matrix, upto=None):
+                return get_estimator("voting").estimate(matrix, upto)
+
+        rng = np.random.default_rng(11)
+        matrix = _random_matrix(rng, num_items=8, num_columns=6)
+        session = StreamingSession.replay(matrix, [MinimalEstimator(), "voting"])
+        results = session.estimate()
+        assert results["minimal"].estimate == results["voting"].estimate
+
+    def test_keep_votes_false_blocks_fallback_but_not_state_path(self):
+        class MinimalEstimator:
+            name = "minimal"
+
+            def estimate(self, matrix, upto=None):  # pragma: no cover - never reached
+                raise AssertionError
+
+        session = StreamingSession([0, 1], ["voting", MinimalEstimator()], keep_votes=False)
+        session.add_column({0: DIRTY})
+        assert session.estimate("voting").estimate == 1.0
+        with pytest.raises(ConfigurationError, match="keep_votes"):
+            session.estimate("minimal")
+        with pytest.raises(ConfigurationError, match="keep_votes"):
+            session.matrix()
+
+    def test_extend_from_requires_matching_items(self):
+        rng = np.random.default_rng(2)
+        matrix = _random_matrix(rng, num_items=5, num_columns=4)
+        session = StreamingSession([100, 101], ["voting"])
+        with pytest.raises(ValidationError, match="item ids"):
+            session.extend_from(matrix)
+
+    def test_progress_summary_tracks_the_stream(self):
+        session = StreamingSession([0, 1, 2], ["voting"])
+        session.add_column({0: DIRTY, 1: CLEAN})
+        session.add_column({0: DIRTY, 2: DIRTY})
+        progress = session.progress()
+        assert progress["num_columns"] == 2.0
+        assert progress["total_votes"] == 4.0
+        assert progress["majority_count"] == 2.0
+        assert progress["nominal_count"] == 2.0
+
+    def test_empty_session_estimates_zero(self):
+        session = StreamingSession([0, 1], ["voting", "chao92", "switch_total"])
+        for result in session.estimate().values():
+            assert result.estimate == 0.0
