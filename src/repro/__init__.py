@@ -31,6 +31,8 @@ Package layout
 * :mod:`repro.prioritization` — heuristic-prioritised estimation.
 * :mod:`repro.streaming` — online estimation sessions over live vote streams.
 * :mod:`repro.experiments` — the harness that regenerates every figure.
+* :mod:`repro.scenarios` — the declarative scenario suite (adversarial
+  crowd regimes, three-mode runner, golden trajectories).
 """
 
 from repro.common import CLEAN, DIRTY, UNSEEN, Label

@@ -9,11 +9,17 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro quality --items 1000 --errors 100 --tasks 150
     python -m repro stream --items 500 --errors 50 --tasks 120
     python -m repro sweep --tasks 150 --permutations 5 --n-jobs 4
+    python -m repro scenario list                # the declarative suite
+    python -m repro scenario run spammer-infested --seed 7
+    python -m repro scenario record              # refresh golden files
 
 Every command prints the same text tables the benchmark harness produces,
 so the CLI is the quickest way to eyeball a figure without running pytest.
 ``stream`` drives the online :class:`~repro.streaming.StreamingSession`;
-``sweep`` drives the (optionally process-parallel) permutation runner.
+``sweep`` drives the (optionally process-parallel) permutation runner;
+``scenario`` drives the declarative scenario suite (``run`` prints the
+canonical trajectory JSON — byte-identical to the golden file when run at
+the scenario's default seed).
 """
 
 from __future__ import annotations
@@ -50,7 +56,7 @@ EXPERIMENTS = (
 )
 
 #: Workload-independent tool commands.
-TOOLS = ("list", "quality", "stream", "sweep")
+TOOLS = ("list", "quality", "stream", "sweep", "scenario")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -135,6 +141,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="registry names to evaluate",
     )
     sweep.add_argument("--seed", type=int, default=0)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run the declarative scenario suite (adversarial regimes + goldens)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list registered scenarios with tags")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario and print its canonical trajectory JSON"
+    )
+    scenario_run.add_argument("name", help="registered scenario name")
+    scenario_run.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's default seed"
+    )
+    scenario_record = scenario_sub.add_parser(
+        "record", help="(re)write golden trajectory files under tests/golden/"
+    )
+    scenario_record.add_argument(
+        "names", nargs="*", help="scenarios to record (default: all)"
+    )
+    scenario_check = scenario_sub.add_parser(
+        "check", help="replay scenarios against their golden files and diff"
+    )
+    scenario_check.add_argument(
+        "names", nargs="*", help="scenarios to check (default: all)"
+    )
     return parser
 
 
@@ -238,9 +270,46 @@ def _print_sweep(result) -> None:
         print(row)
 
 
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        ScenarioRunner,
+        available_scenarios,
+        check_scenarios,
+        get_scenario,
+        record_scenarios,
+    )
+    from repro.scenarios.golden import report_check_results
+
+    if args.scenario_command == "list":
+        print(f"{'scenario':<22} {'tags':<24} description")
+        for name in available_scenarios():
+            scenario = get_scenario(name)
+            print(f"{name:<22} {','.join(scenario.tags):<24} {scenario.description}")
+        return 0
+
+    if args.scenario_command == "run":
+        trajectory = ScenarioRunner().run(get_scenario(args.name), seed=args.seed)
+        print(trajectory.canonical_json())
+        return 0
+
+    if args.scenario_command == "record":
+        for path in record_scenarios(args.names or None):
+            print(f"recorded {path}")
+        return 0
+
+    if args.scenario_command == "check":
+        failures = report_check_results(check_scenarios(args.names or None))
+        return 1 if failures else 0
+
+    return 1  # pragma: no cover - argparse enforces the subcommand choices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     args = _build_parser().parse_args(argv)
+
+    if args.command == "scenario":
+        return _run_scenario_command(args)
 
     if args.command == "list":
         print("experiments:")

@@ -15,6 +15,7 @@ from repro.common.exceptions import (
     ValidationError,
 )
 from repro.common.labels import CLEAN, DIRTY, UNSEEN, Label
+from repro.common.registry import Registry
 from repro.common.rng import RandomState, derive_rng, ensure_rng, spawn_seeds
 from repro.common.validation import (
     check_fraction,
@@ -29,6 +30,7 @@ __all__ = [
     "UNSEEN",
     "Label",
     "RandomState",
+    "Registry",
     "derive_rng",
     "ensure_rng",
     "spawn_seeds",

@@ -1,0 +1,80 @@
+"""A generic name → entry registry with a consistent error contract.
+
+Both the estimator registry (:mod:`repro.core.registry`) and the scenario
+catalogue (:mod:`repro.scenarios.catalog`) need the same four operations —
+register (with an explicit ``overwrite`` escape hatch), unregister, get
+and list — and, more importantly, the same *error contract*: collisions
+name the remedy, lookups list every registered name, and keys are
+case-insensitive.  Centralising the mechanics here keeps those two error
+surfaces (and any future registry) from drifting apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, TypeVar
+
+from repro.common.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A case-insensitive mapping from stable names to entries.
+
+    Parameters
+    ----------
+    kind:
+        The noun used in error messages (``"estimator"``, ``"scenario"``).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = str(kind)
+        self._entries: Dict[str, T] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return str(name).lower() in self._entries
+
+    def register(self, name: str, entry: T, *, overwrite: bool = False) -> None:
+        """Store ``entry`` under ``name``.
+
+        Raises
+        ------
+        repro.common.exceptions.ConfigurationError
+            If the name is taken and ``overwrite`` is false.  The message
+            names the remedy and lists every registered name.
+        """
+        key = str(name).lower()
+        if key in self._entries and not overwrite:
+            raise ConfigurationError(
+                f"{self.kind} {key!r} is already registered (pass overwrite=True "
+                f"to replace it); available {self.kind}s: {sorted(self._entries)}"
+            )
+        self._entries[key] = entry
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration if present (mainly for tests and plugins)."""
+        self._entries.pop(str(name).lower(), None)
+
+    def get(self, name: str) -> T:
+        """Look up the entry registered under ``name``.
+
+        Raises
+        ------
+        repro.common.exceptions.ConfigurationError
+            If no entry is registered under that name; the message lists
+            every registered name.
+        """
+        key = str(name).lower()
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)

@@ -81,3 +81,22 @@ def check_in(value: object, name: str, allowed) -> object:
     if value not in allowed:
         raise ValidationError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
     return value
+
+
+def check_known_keys(data, what: str, allowed) -> None:
+    """Reject mapping keys outside ``allowed`` with a remediation message.
+
+    The strict-key contract of the hand-edited spec dictionaries (worker
+    profiles, scenario/regime/assignment/dataset params): a typoed key
+    must fail loudly naming the expected vocabulary, never silently take
+    a default.  Raises
+    :class:`repro.common.exceptions.ConfigurationError` so spec-layer
+    callers surface the suite's standard configuration error.
+    """
+    from repro.common.exceptions import ConfigurationError
+
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {what} {sorted(unknown)}; expected a subset of {sorted(allowed)}"
+        )

@@ -4,16 +4,19 @@ Experiment configurations refer to estimators by short string names
 (``"chao92"``, ``"switch"``, ...) so that figure definitions can be plain
 data.  The registry maps each name to a zero-argument factory producing a
 fresh estimator instance; user code can register additional estimators.
+The mechanics (case-insensitive keys, overwrite escape hatch, errors that
+list every registered name) come from
+:class:`repro.common.registry.Registry`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List
 
-from repro.common.exceptions import ConfigurationError
+from repro.common.registry import Registry
 from repro.core.base import EstimatorProtocol
 
-_FACTORIES: Dict[str, Callable[[], EstimatorProtocol]] = {}
+_FACTORIES: Registry[Callable[[], EstimatorProtocol]] = Registry("estimator")
 
 
 def register_estimator(name: str, factory: Callable[[], EstimatorProtocol], *, overwrite: bool = False) -> None:
@@ -31,12 +34,15 @@ def register_estimator(name: str, factory: Callable[[], EstimatorProtocol], *, o
     Raises
     ------
     repro.common.exceptions.ConfigurationError
-        If the name is already registered and ``overwrite`` is false.
+        If the name is already registered and ``overwrite`` is false; the
+        message names the remedy and lists the available estimators.
     """
-    key = str(name).lower()
-    if key in _FACTORIES and not overwrite:
-        raise ConfigurationError(f"estimator {key!r} is already registered")
-    _FACTORIES[key] = factory
+    _FACTORIES.register(name, factory, overwrite=overwrite)
+
+
+def unregister_estimator(name: str) -> None:
+    """Remove a registration if present (mainly for tests and plugins)."""
+    _FACTORIES.unregister(name)
 
 
 def get_estimator(name: str) -> EstimatorProtocol:
@@ -45,21 +51,15 @@ def get_estimator(name: str) -> EstimatorProtocol:
     Raises
     ------
     repro.common.exceptions.ConfigurationError
-        If no estimator is registered under that name.
+        If no estimator is registered under that name; the message lists
+        the available estimators.
     """
-    key = str(name).lower()
-    try:
-        factory = _FACTORIES[key]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown estimator {name!r}; available: {sorted(_FACTORIES)}"
-        ) from None
-    return factory()
+    return _FACTORIES.get(name)()
 
 
 def available_estimators() -> List[str]:
     """Names of all registered estimators, sorted."""
-    return sorted(_FACTORIES)
+    return _FACTORIES.names()
 
 
 def _register_builtins() -> None:
@@ -73,7 +73,7 @@ def _register_builtins() -> None:
     from repro.core.total_error import SwitchTotalErrorEstimator
     from repro.core.vchao92 import VChao92Estimator
 
-    builtins: Dict[str, Callable[[], EstimatorProtocol]] = {
+    builtins = {
         "nominal": NominalEstimator,
         "voting": VotingEstimator,
         "chao92": Chao92Estimator,

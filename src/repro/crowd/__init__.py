@@ -20,6 +20,7 @@ matrix comes to be:
 from repro.crowd.assignment import (
     FixedQuorumAssigner,
     PrioritizedAssigner,
+    SkewedAssigner,
     Task,
     UniformRandomAssigner,
 )
@@ -27,16 +28,37 @@ from repro.crowd.consensus import majority_labels, majority_vote_counts, nominal
 from repro.crowd.em import DawidSkeneResult, dawid_skene
 from repro.crowd.response_matrix import ResponseMatrix
 from repro.crowd.simulator import CrowdSimulation, CrowdSimulator, SimulationConfig
-from repro.crowd.worker import Worker, WorkerPool, WorkerProfile
+from repro.crowd.worker import (
+    CliqueRegime,
+    CliqueWorker,
+    DriftRegime,
+    HomogeneousRegime,
+    MixtureRegime,
+    StratifiedRegime,
+    StratifiedWorker,
+    Worker,
+    WorkerPool,
+    WorkerProfile,
+    WorkerRegime,
+)
 
 __all__ = [
     "ResponseMatrix",
     "Worker",
     "WorkerPool",
     "WorkerProfile",
+    "WorkerRegime",
+    "HomogeneousRegime",
+    "MixtureRegime",
+    "DriftRegime",
+    "CliqueRegime",
+    "CliqueWorker",
+    "StratifiedRegime",
+    "StratifiedWorker",
     "Task",
     "UniformRandomAssigner",
     "PrioritizedAssigner",
+    "SkewedAssigner",
     "FixedQuorumAssigner",
     "CrowdSimulator",
     "CrowdSimulation",

@@ -12,7 +12,7 @@ experiments' behaviour (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.common.exceptions import ConfigurationError
 from repro.common.rng import RandomState, derive_rng, ensure_rng
@@ -24,8 +24,12 @@ from repro.crowd.assignment import (
     UniformRandomAssigner,
 )
 from repro.crowd.response_matrix import ResponseMatrix
-from repro.crowd.worker import Worker, WorkerPool, WorkerProfile
+from repro.crowd.worker import Worker, WorkerPool, WorkerProfile, WorkerRegime
 from repro.data.record import Dataset
+
+#: Signature of the custom-assigner hook: ``(candidate_ids, items_per_task,
+#: rng) -> assigner`` where the assigner exposes ``next_task()``.
+AssignerBuilder = Callable[[Sequence[int], int, RandomState], object]
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,13 @@ class SimulationConfig:
     epsilon:
         When a prioritised partition is supplied to the simulator, the
         probability of drawing an item from the complement ``R_H^c``.
+    worker_regime:
+        Optional :class:`~repro.crowd.worker.WorkerRegime` describing an
+        adversarial population (spammers, cliques, drift, strata, sparse
+        completion).  Mutually exclusive with a non-default
+        ``worker_profile`` / ``worker_rate_jitter`` — the regime *is* the
+        population, so a conflicting knob raises instead of being
+        silently dropped.
     seed:
         Root seed for the run.
     """
@@ -60,6 +71,7 @@ class SimulationConfig:
     worker_rate_jitter: float = 0.0
     tasks_per_worker: int = 1
     epsilon: float = 0.1
+    worker_regime: Optional[WorkerRegime] = None
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:
@@ -67,6 +79,18 @@ class SimulationConfig:
         check_int(self.items_per_task, "items_per_task", minimum=1)
         check_int(self.tasks_per_worker, "tasks_per_worker", minimum=1)
         check_probability(self.epsilon, "epsilon")
+        if self.worker_regime is not None:
+            if self.worker_rate_jitter != 0.0:
+                raise ConfigurationError(
+                    "worker_rate_jitter only applies to profile crowds; set the "
+                    "jitter on a HomogeneousRegime (or drop it) when passing a "
+                    "worker_regime"
+                )
+            if self.worker_profile != WorkerProfile():
+                raise ConfigurationError(
+                    "pass either a worker_profile or a worker_regime, not both "
+                    "(the regime defines the population's profiles)"
+                )
 
 
 @dataclass
@@ -119,6 +143,11 @@ class CrowdSimulator:
         Optional ``(ambiguous_ids, complement_ids)`` partition; when given,
         tasks are drawn with the ε-prioritised assigner instead of the
         uniform one.
+    assigner_builder:
+        Optional factory for a custom assignment strategy, called as
+        ``assigner_builder(candidate_ids, items_per_task, rng)`` with the
+        simulator's seeded assignment generator.  Mutually exclusive with
+        ``prioritized_partition``.
     """
 
     def __init__(
@@ -128,6 +157,7 @@ class CrowdSimulator:
         *,
         candidate_ids: Optional[Sequence[int]] = None,
         prioritized_partition: Optional[tuple] = None,
+        assigner_builder: Optional[AssignerBuilder] = None,
     ) -> None:
         self.dataset = dataset
         self.config = config or SimulationConfig()
@@ -141,19 +171,33 @@ class CrowdSimulator:
             raise ConfigurationError(
                 f"candidate_ids reference unknown records: {sorted(unknown)[:5]}"
             )
+        if prioritized_partition is not None and assigner_builder is not None:
+            raise ConfigurationError(
+                "pass either a prioritized_partition or an assigner_builder, not both"
+            )
         self._partition = prioritized_partition
+        self._assigner_builder = assigner_builder
         root = derive_rng(self.config.seed, 0)
         self._assignment_rng = derive_rng(root, 1)
         self._vote_rng = derive_rng(root, 2)
-        self._pool = WorkerPool(
-            self.config.worker_profile,
-            rate_jitter=self.config.worker_rate_jitter,
-            seed=derive_rng(root, 3),
-        )
+        regime = self.config.worker_regime
+        if regime is None:
+            self._pool = WorkerPool(
+                self.config.worker_profile,
+                rate_jitter=self.config.worker_rate_jitter,
+                seed=derive_rng(root, 3),
+            )
+        else:
+            self._pool = WorkerPool(regime=regime, seed=derive_rng(root, 3))
+        self._completion_rate = self._pool.completion_rate
         self._assigner = self._build_assigner()
 
     def _build_assigner(self):
         items_per_task = min(self.config.items_per_task, len(self._candidate_ids))
+        if self._assigner_builder is not None:
+            return self._assigner_builder(
+                list(self._candidate_ids), items_per_task, self._assignment_rng
+            )
         if self._partition is not None:
             ambiguous_ids, complement_ids = self._partition
             return PrioritizedAssigner(
@@ -186,6 +230,26 @@ class CrowdSimulator:
             return ordered
         return list(self._candidate_ids)
 
+    def _collect_votes(self, task: Task, worker: Worker) -> Dict[int, int]:
+        """One worker's answers for one task.
+
+        When the regime's ``completion_rate`` is below 1 each assigned item
+        is skipped with the complementary probability (sparse/abandoning
+        workers); at 1.0 no completion draws are made, keeping the vote
+        stream bit-identical to pre-regime simulations.
+        """
+        votes: Dict[int, int] = {}
+        for item_id in task.item_ids:
+            if (
+                self._completion_rate < 1.0
+                and self._vote_rng.random() >= self._completion_rate
+            ):
+                continue
+            votes[item_id] = worker.vote_item(
+                item_id, self.dataset.is_dirty(item_id), self._vote_rng
+            )
+        return votes
+
     def run(self, num_tasks: Optional[int] = None) -> CrowdSimulation:
         """Run the simulation for ``num_tasks`` tasks (default: config value).
 
@@ -202,11 +266,7 @@ class CrowdSimulator:
         for task_index in range(num_tasks):
             task = self._assigner.next_task()
             worker = self._worker_for_task(task_index)
-            votes = {
-                item_id: worker.vote(self.dataset.is_dirty(item_id), self._vote_rng)
-                for item_id in task.item_ids
-            }
-            matrix.add_column(votes, worker.worker_id)
+            matrix.add_column(self._collect_votes(task, worker), worker.worker_id)
             tasks.append(task)
 
         ground_truth = {item: int(self.dataset.is_dirty(item)) for item in item_ids}
@@ -234,11 +294,7 @@ class CrowdSimulator:
         for task_index in range(num_tasks):
             task = self._assigner.next_task()
             worker = self._worker_for_task(task_index)
-            votes = {
-                item_id: worker.vote(self.dataset.is_dirty(item_id), self._vote_rng)
-                for item_id in task.item_ids
-            }
-            matrix.add_column(votes, worker.worker_id)
+            matrix.add_column(self._collect_votes(task, worker), worker.worker_id)
             tasks.append(task)
             yield CrowdSimulation(
                 matrix=matrix,

@@ -1,24 +1,47 @@
-"""Parametric worker models.
+"""Parametric worker models and crowd regimes.
 
 The paper's simulation study distinguishes three worker types: workers who
 only make false-negative errors (miss true errors), workers who only make
 false-positive errors (flag clean items), and workers who make both.  Real
-crowds mix all three.  :class:`WorkerProfile` captures the two error rates,
-:class:`Worker` applies them to gold labels, and :class:`WorkerPool` draws
-workers from a configurable population (optionally with per-worker rate
-variation, modelling the heterogeneous AMT workforce).
+crowds mix all three — and worse.  :class:`WorkerProfile` captures the two
+error rates, :class:`Worker` applies them to gold labels, and
+:class:`WorkerPool` draws workers from a configurable population.
+
+A :class:`WorkerRegime` generalises the population beyond the paper's
+single-profile crowd to the adversarial regimes real platforms exhibit:
+
+* :class:`MixtureRegime` — a population mixing honest workers with
+  spammers (:meth:`WorkerProfile.spammer`) or other profile groups;
+* :class:`CliqueRegime` — colluding cliques whose members submit
+  *identical* answers (including identical mistakes) on every item;
+* :class:`DriftRegime` — accuracy drifting over time (worker fatigue or
+  a degrading worker marketplace);
+* :class:`StratifiedRegime` — class-imbalanced error rates, where some
+  strata of items are much harder than others;
+* every regime additionally supports sparse/abandoning workers through
+  ``completion_rate`` (the probability an assigned item is answered).
+
+Regimes only *add* behaviour: a :class:`WorkerPool` built from a plain
+profile is bit-identical to the pre-regime implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.exceptions import ConfigurationError
 from repro.common.labels import CLEAN, DIRTY
-from repro.common.rng import RandomState, ensure_rng
-from repro.common.validation import check_non_negative, check_probability
+from repro.common.rng import RandomState, derive_rng, ensure_rng
+from repro.common.validation import (
+    check_int,
+    check_known_keys,
+    check_non_negative,
+    check_probability,
+)
 
 
 @dataclass(frozen=True)
@@ -79,6 +102,40 @@ class WorkerProfile:
         """An infallible worker (oracle)."""
         return cls(false_negative_rate=0.0, false_positive_rate=0.0)
 
+    @classmethod
+    def spammer(cls, dirty_bias: float = 0.5) -> "WorkerProfile":
+        """A worker whose vote ignores the true label entirely.
+
+        The vote is DIRTY with probability ``dirty_bias`` regardless of the
+        gold label: 0.5 is a coin-flip spammer, values near 1.0 model
+        ballot-stuffers who flag everything, values near 0.0 model lazy
+        workers who pass everything.
+        """
+        check_probability(dirty_bias, "dirty_bias")
+        return cls(false_negative_rate=1.0 - dirty_bias, false_positive_rate=dirty_bias)
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly representation (used by scenario specs)."""
+        return {
+            "false_negative_rate": self.false_negative_rate,
+            "false_positive_rate": self.false_positive_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "WorkerProfile":
+        """Rebuild a profile from :meth:`to_dict` output.
+
+        The dictionary is treated exactly like constructor keyword
+        arguments: omitted rates take the constructor defaults, and
+        unknown keys raise — profile dictionaries are hand-edited in
+        scenario specs, and a typoed rate silently defaulting to 0 would
+        pin an oracle crowd where an adversarial one was intended.
+        """
+        check_known_keys(
+            data, "worker-profile keys", {"false_negative_rate", "false_positive_rate"}
+        )
+        return cls(**{key: float(value) for key, value in data.items()})
+
 
 @dataclass
 class Worker:
@@ -116,6 +173,17 @@ class Worker:
             return CLEAN if rng.random() < self.profile.false_negative_rate else DIRTY
         return DIRTY if rng.random() < self.profile.false_positive_rate else CLEAN
 
+    def vote_item(self, item_id: int, truly_dirty: bool, rng: RandomState = None) -> int:
+        """Produce a vote for a specific item.
+
+        The base worker's errors are independent of the item identity, so
+        this simply delegates to :meth:`vote` (consuming exactly one draw
+        from ``rng``).  Adversarial workers override it: colluding workers
+        answer deterministically per (clique, item) and stratified workers
+        pick their error rates from the item's stratum.
+        """
+        return self.vote(truly_dirty, rng)
+
     def vote_batch(self, truly_dirty: Sequence[bool], rng: RandomState = None) -> List[int]:
         """Vectorised :meth:`vote` over a sequence of gold labels."""
         rng = ensure_rng(rng)
@@ -129,36 +197,373 @@ class Worker:
         return [int(v) for v in votes]
 
 
+#: Item-aware workers cannot answer without knowing which item is shown —
+#: falling back to the base profile here would silently drop the regime.
+_ITEM_AWARE_VOTE_ERROR = (
+    "a {kind} worker's vote depends on the item shown; call "
+    "vote_item(item_id, truly_dirty, rng) instead of the item-blind "
+    "vote/vote_batch API"
+)
+
+
+@lru_cache(maxsize=262_144)
+def _clique_draw(clique_seed: int, item_id: int) -> float:
+    """The clique's shared uniform draw for one item.
+
+    Cached because every member of a clique re-derives the same value on
+    every encounter with the item — without the cache each vote would
+    construct a fresh numpy ``Generator`` (orders of magnitude more
+    expensive than the draw itself) at benchmark-scale simulations.
+    """
+    return float(derive_rng(clique_seed, item_id).random())
+
+
+@dataclass
+class CliqueWorker(Worker):
+    """A colluding worker: answers are shared across the whole clique.
+
+    Every member of a clique derives its vote for item ``i`` from the same
+    ``(clique_seed, i)`` draw, so all members submit *identical* votes —
+    including identical mistakes — on every item they see.  This breaks the
+    independence assumption behind the species-estimation machinery: a
+    clique of size ``k`` looks like ``k`` independent confirmations but
+    carries the information of one worker.
+    """
+
+    clique_id: int = 0
+    clique_seed: int = 0
+
+    def vote_item(self, item_id: int, truly_dirty: bool, rng: RandomState = None) -> int:
+        draw = _clique_draw(int(self.clique_seed), int(item_id))
+        if truly_dirty:
+            return CLEAN if draw < self.profile.false_negative_rate else DIRTY
+        return DIRTY if draw < self.profile.false_positive_rate else CLEAN
+
+    def vote(self, truly_dirty: bool, rng: RandomState = None) -> int:
+        raise ConfigurationError(_ITEM_AWARE_VOTE_ERROR.format(kind="colluding"))
+
+    def vote_batch(self, truly_dirty: Sequence[bool], rng: RandomState = None) -> List[int]:
+        raise ConfigurationError(_ITEM_AWARE_VOTE_ERROR.format(kind="colluding"))
+
+
+@dataclass
+class StratifiedWorker(Worker):
+    """A worker whose error rates depend on the item's stratum.
+
+    Items are partitioned into ``num_strata`` classes by
+    ``item_id % num_strata``; each stratum can carry its own error profile
+    (falling back to the worker's base profile).  This models
+    class-imbalanced error distributions: e.g. a rare class of hard items
+    whose errors are missed far more often than the easy majority.
+    """
+
+    stratum_profiles: Dict[int, WorkerProfile] = field(default_factory=dict)
+    num_strata: int = 2
+
+    def profile_for(self, item_id: int) -> WorkerProfile:
+        """The error profile governing votes on ``item_id``."""
+        return self.stratum_profiles.get(int(item_id) % self.num_strata, self.profile)
+
+    def vote_item(self, item_id: int, truly_dirty: bool, rng: RandomState = None) -> int:
+        rng = ensure_rng(rng)
+        profile = self.profile_for(item_id)
+        if truly_dirty:
+            return CLEAN if rng.random() < profile.false_negative_rate else DIRTY
+        return DIRTY if rng.random() < profile.false_positive_rate else CLEAN
+
+    def vote(self, truly_dirty: bool, rng: RandomState = None) -> int:
+        raise ConfigurationError(_ITEM_AWARE_VOTE_ERROR.format(kind="stratified"))
+
+    def vote_batch(self, truly_dirty: Sequence[bool], rng: RandomState = None) -> List[int]:
+        raise ConfigurationError(_ITEM_AWARE_VOTE_ERROR.format(kind="stratified"))
+
+
+# ---------------------------------------------------------------------- #
+# worker regimes
+# ---------------------------------------------------------------------- #
+
+
+class WorkerRegime:
+    """A distribution over workers, drawn one worker at a time.
+
+    Subclasses implement :meth:`make_worker`; :meth:`setup` lets a regime
+    derive run-level shared state (e.g. clique seeds) from the pool's
+    generator before the first worker is drawn.  ``completion_rate`` is the
+    probability an assigned item is actually answered — values below 1
+    model sparse/abandoning workers who skip items or quit tasks partway.
+    """
+
+    #: Probability an assigned item is actually answered (1.0 = diligent).
+    completion_rate: float = 1.0
+
+    def setup(self, rng: np.random.Generator) -> object:
+        """Draw run-level shared state (default: none)."""
+        return None
+
+    def make_worker(
+        self, worker_id: int, rng: np.random.Generator, shared: object
+    ) -> Worker:
+        """Draw the next worker from the population."""
+        raise NotImplementedError
+
+    def population_profile(self) -> WorkerProfile:
+        """A representative profile for reporting."""
+        return getattr(self, "profile", WorkerProfile())
+
+
+def _check_completion(rate: float) -> None:
+    check_probability(rate, "completion_rate")
+    if rate == 0.0:
+        raise ConfigurationError("completion_rate must be positive (0 means no votes at all)")
+
+
+@dataclass(frozen=True)
+class HomogeneousRegime(WorkerRegime):
+    """The paper's population: one profile, optional per-worker jitter.
+
+    Reproduces the historical :class:`WorkerPool` behaviour exactly (same
+    draws in the same order), so pools built from a plain profile are
+    bit-identical to pre-regime runs.
+    """
+
+    profile: WorkerProfile = field(default_factory=WorkerProfile)
+    rate_jitter: float = 0.0
+    completion_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.rate_jitter, "rate_jitter")
+        _check_completion(self.completion_rate)
+
+    def make_worker(
+        self, worker_id: int, rng: np.random.Generator, shared: object
+    ) -> Worker:
+        def jittered(rate: float) -> float:
+            if self.rate_jitter == 0.0:
+                return rate
+            perturbed = rate + float(rng.normal(0.0, self.rate_jitter))
+            return float(min(1.0, max(0.0, perturbed)))
+
+        profile = WorkerProfile(
+            false_negative_rate=jittered(self.profile.false_negative_rate),
+            false_positive_rate=jittered(self.profile.false_positive_rate),
+        )
+        return Worker(worker_id=worker_id, profile=profile)
+
+
+@dataclass(frozen=True)
+class MixtureRegime(WorkerRegime):
+    """A population mixing several profile groups (e.g. honest + spammers).
+
+    Parameters
+    ----------
+    components:
+        ``(weight, profile)`` pairs; weights are normalised internally.
+        Each new worker's group is drawn independently.
+    completion_rate:
+        See :class:`WorkerRegime`.
+    """
+
+    components: Tuple[Tuple[float, WorkerProfile], ...] = ()
+    completion_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("a mixture regime needs at least one component")
+        for weight, _ in self.components:
+            check_non_negative(weight, "component weight")
+        if not sum(weight for weight, _ in self.components) > 0:
+            raise ConfigurationError("mixture weights must not all be zero")
+        _check_completion(self.completion_rate)
+
+    def make_worker(
+        self, worker_id: int, rng: np.random.Generator, shared: object
+    ) -> Worker:
+        total = sum(weight for weight, _ in self.components)
+        draw = float(rng.random()) * total
+        cumulative = 0.0
+        profile = self.components[-1][1]
+        for weight, candidate in self.components:
+            cumulative += weight
+            if draw < cumulative:
+                profile = candidate
+                break
+        return Worker(worker_id=worker_id, profile=profile)
+
+    def population_profile(self) -> WorkerProfile:
+        total = sum(weight for weight, _ in self.components)
+        return WorkerProfile(
+            false_negative_rate=sum(
+                w * p.false_negative_rate for w, p in self.components
+            )
+            / total,
+            false_positive_rate=sum(
+                w * p.false_positive_rate for w, p in self.components
+            )
+            / total,
+        )
+
+
+@dataclass(frozen=True)
+class DriftRegime(WorkerRegime):
+    """Accuracy drifting over time (worker fatigue / marketplace decay).
+
+    Worker ``w`` receives error rates linearly interpolated between
+    ``start`` and ``end`` at ``t = min(1, w / horizon)``.  With one task
+    per worker (the default simulation regime) this makes accuracy a
+    function of the task stream position — exactly the moving target the
+    SWITCH estimator is designed to track.
+    """
+
+    start: WorkerProfile = field(default_factory=WorkerProfile)
+    end: WorkerProfile = field(default_factory=WorkerProfile)
+    horizon: int = 50
+    completion_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_int(self.horizon, "horizon", minimum=1)
+        _check_completion(self.completion_rate)
+
+    def profile_at(self, worker_id: int) -> WorkerProfile:
+        """The interpolated profile for worker index ``worker_id``."""
+        t = min(1.0, worker_id / self.horizon)
+        return WorkerProfile(
+            false_negative_rate=self.start.false_negative_rate
+            + t * (self.end.false_negative_rate - self.start.false_negative_rate),
+            false_positive_rate=self.start.false_positive_rate
+            + t * (self.end.false_positive_rate - self.start.false_positive_rate),
+        )
+
+    def make_worker(
+        self, worker_id: int, rng: np.random.Generator, shared: object
+    ) -> Worker:
+        return Worker(worker_id=worker_id, profile=self.profile_at(worker_id))
+
+    def population_profile(self) -> WorkerProfile:
+        return self.start
+
+
+@dataclass(frozen=True)
+class CliqueRegime(WorkerRegime):
+    """Colluding cliques inside an otherwise honest crowd.
+
+    Each new worker is a colluder with probability ``colluder_fraction``;
+    colluders join one of ``num_cliques`` cliques uniformly at random and
+    thereafter share the clique's answer sheet (see :class:`CliqueWorker`).
+    """
+
+    profile: WorkerProfile = field(default_factory=WorkerProfile)
+    colluder_profile: WorkerProfile = field(default_factory=lambda: WorkerProfile(0.4, 0.1))
+    num_cliques: int = 2
+    colluder_fraction: float = 0.3
+    completion_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_int(self.num_cliques, "num_cliques", minimum=1)
+        check_probability(self.colluder_fraction, "colluder_fraction")
+        _check_completion(self.completion_rate)
+
+    def setup(self, rng: np.random.Generator) -> List[int]:
+        """Draw one answer-sheet seed per clique for this run."""
+        return [int(rng.integers(0, 2**31 - 1)) for _ in range(self.num_cliques)]
+
+    def make_worker(
+        self, worker_id: int, rng: np.random.Generator, shared: List[int]
+    ) -> Worker:
+        if float(rng.random()) < self.colluder_fraction:
+            clique = int(rng.integers(0, self.num_cliques))
+            return CliqueWorker(
+                worker_id=worker_id,
+                profile=self.colluder_profile,
+                clique_id=clique,
+                clique_seed=shared[clique],
+            )
+        return Worker(worker_id=worker_id, profile=self.profile)
+
+
+@dataclass(frozen=True)
+class StratifiedRegime(WorkerRegime):
+    """Class-imbalanced error rates: item strata with their own profiles.
+
+    Every worker is a :class:`StratifiedWorker` applying
+    ``stratum_profiles[item_id % num_strata]`` (base ``profile`` for
+    unlisted strata).
+    """
+
+    profile: WorkerProfile = field(default_factory=WorkerProfile)
+    stratum_profiles: Tuple[Tuple[int, WorkerProfile], ...] = ()
+    num_strata: int = 2
+    completion_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_int(self.num_strata, "num_strata", minimum=1)
+        for stratum, _ in self.stratum_profiles:
+            check_int(stratum, "stratum", minimum=0)
+            if stratum >= self.num_strata:
+                raise ConfigurationError(
+                    f"stratum {stratum} is unreachable: item_id % num_strata "
+                    f"({self.num_strata}) never exceeds {self.num_strata - 1}"
+                )
+        _check_completion(self.completion_rate)
+
+    def make_worker(
+        self, worker_id: int, rng: np.random.Generator, shared: object
+    ) -> Worker:
+        return StratifiedWorker(
+            worker_id=worker_id,
+            profile=self.profile,
+            stratum_profiles=dict(self.stratum_profiles),
+            num_strata=self.num_strata,
+        )
+
+
 class WorkerPool:
     """A population of workers drawn on demand.
 
     The paper models workers as draws from a single infinite population with
-    some noise around the population error rates.  ``rate_jitter`` controls
-    that per-worker variation: each new worker's rates are drawn from a
-    truncated normal centred on the pool profile.
+    some noise around the population error rates; ``profile`` +
+    ``rate_jitter`` express that directly.  Passing ``regime`` instead draws
+    workers from an arbitrary :class:`WorkerRegime` (mixtures, cliques,
+    drift, strata).
 
     Parameters
     ----------
     profile:
-        Population-level error rates.
+        Population-level error rates (mutually exclusive with ``regime``).
     rate_jitter:
         Standard deviation of the per-worker rate perturbation (0 disables
-        heterogeneity).
+        heterogeneity; only valid with ``profile``).
     seed:
         Seed or generator for worker-creation randomness.
+    regime:
+        A :class:`WorkerRegime` describing the population.
     """
 
     def __init__(
         self,
-        profile: WorkerProfile,
+        profile: Optional[WorkerProfile] = None,
         *,
         rate_jitter: float = 0.0,
         seed: RandomState = None,
+        regime: Optional[WorkerRegime] = None,
     ) -> None:
         check_non_negative(rate_jitter, "rate_jitter")
-        self.profile = profile
-        self.rate_jitter = float(rate_jitter)
+        if regime is not None and profile is not None:
+            raise ConfigurationError("pass either a profile or a regime, not both")
+        if regime is not None and rate_jitter != 0.0:
+            raise ConfigurationError(
+                "rate_jitter only applies to profile pools; set it on a "
+                "HomogeneousRegime (or drop it) when passing a regime"
+            )
+        if regime is None:
+            regime = HomogeneousRegime(
+                profile if profile is not None else WorkerProfile(),
+                rate_jitter=float(rate_jitter),
+            )
+        self.regime = regime
+        self.profile = regime.population_profile()
+        self.rate_jitter = float(getattr(regime, "rate_jitter", 0.0))
         self._rng = ensure_rng(seed)
+        self._shared = regime.setup(self._rng)
         self._workers: List[Worker] = []
 
     def __len__(self) -> int:
@@ -169,19 +574,14 @@ class WorkerPool:
         """Workers created so far."""
         return list(self._workers)
 
-    def _jittered_rate(self, rate: float) -> float:
-        if self.rate_jitter == 0.0:
-            return rate
-        perturbed = rate + float(self._rng.normal(0.0, self.rate_jitter))
-        return float(min(1.0, max(0.0, perturbed)))
+    @property
+    def completion_rate(self) -> float:
+        """The regime's per-item completion probability."""
+        return float(self.regime.completion_rate)
 
     def new_worker(self) -> Worker:
         """Create (and remember) a fresh worker from the population."""
-        profile = WorkerProfile(
-            false_negative_rate=self._jittered_rate(self.profile.false_negative_rate),
-            false_positive_rate=self._jittered_rate(self.profile.false_positive_rate),
-        )
-        worker = Worker(worker_id=len(self._workers), profile=profile)
+        worker = self.regime.make_worker(len(self._workers), self._rng, self._shared)
         self._workers.append(worker)
         return worker
 

@@ -24,6 +24,7 @@ so results are bit-identical for any ``n_jobs`` (pinned by
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -195,17 +196,34 @@ class EstimationRunner:
         orders = self._permutation_orders(matrix, seed)
 
         n_jobs = min(self.config.n_jobs, len(orders))
+        trial_results = None
         if n_jobs > 1:
             # The matrix and estimators are identical across trials, so they
             # ship once per worker process (initializer) rather than once
             # per task; only the column orders travel with the tasks.
-            with multiprocessing.get_context().Pool(
-                n_jobs,
-                initializer=_init_worker,
-                initargs=(matrix, self.estimators, checkpoints),
-            ) as pool:
-                trial_results = pool.map(_evaluate_order, orders)
-        else:
+            # Platforms without usable multiprocessing (no /dev/shm, no
+            # sem_open, sandboxed interpreters) fail at pool *construction*
+            # and degrade to the serial path — results are identical either
+            # way, only wall-clock differs.  Errors raised while evaluating
+            # (inside pool.map) are real and propagate.
+            try:
+                pool = multiprocessing.get_context().Pool(
+                    n_jobs,
+                    initializer=_init_worker,
+                    initargs=(matrix, self.estimators, checkpoints),
+                )
+            except (ImportError, NotImplementedError, OSError, PermissionError) as error:
+                warnings.warn(
+                    f"multiprocessing is unavailable on this platform ({error!r}); "
+                    f"falling back to serial execution (n_jobs=1)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                n_jobs = 1
+            else:
+                with pool:
+                    trial_results = pool.map(_evaluate_order, orders)
+        if trial_results is None:
             trial_results = [
                 _evaluate_permutation(matrix, order, self.estimators, checkpoints)
                 for order in orders

@@ -1,0 +1,66 @@
+"""Declarative scenario suite: specs, catalogue, runner and goldens.
+
+This package is the regression surface of the estimator library.  A
+:class:`Scenario` describes a complete workload (dataset x worker regime
+x assignment x estimators x checkpoints) as plain data; the catalogue
+registers ~14 named scenarios including the adversarial crowd regimes
+(spammers, colluding cliques, accuracy drift, abandoning workers,
+class-imbalanced errors, skewed attention); :class:`ScenarioRunner`
+executes any of them through the batch, sweep and streaming evaluation
+paths and emits one canonical JSON trajectory; the golden helpers pin
+those trajectories byte-for-byte under ``tests/golden/``.
+
+Quick use::
+
+    from repro.scenarios import ScenarioRunner, get_scenario
+    trajectory = ScenarioRunner().run(get_scenario("colluding-cliques"))
+    print(trajectory.estimates["chao92"])
+"""
+
+from repro.scenarios.catalog import (
+    adversarial_scenarios,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.scenarios.golden import (
+    check_scenario,
+    check_scenarios,
+    default_golden_dir,
+    golden_path,
+    read_golden,
+    record_scenarios,
+    write_golden,
+)
+from repro.scenarios.runner import MODES, ScenarioRunner, ScenarioTrajectory
+from repro.scenarios.spec import (
+    ADVERSARIAL_TAG,
+    AssignmentSpec,
+    DatasetSpec,
+    RegimeSpec,
+    Scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "DatasetSpec",
+    "RegimeSpec",
+    "AssignmentSpec",
+    "ADVERSARIAL_TAG",
+    "ScenarioRunner",
+    "ScenarioTrajectory",
+    "MODES",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "adversarial_scenarios",
+    "default_golden_dir",
+    "golden_path",
+    "read_golden",
+    "write_golden",
+    "record_scenarios",
+    "check_scenario",
+    "check_scenarios",
+]

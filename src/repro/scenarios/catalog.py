@@ -1,0 +1,259 @@
+"""The scenario registry and its built-in catalogue.
+
+Every scenario below is a complete, seeded workload; together they form
+the regression surface of the estimator suite.  The first block re-states
+the paper's calibrated crowds as declarative specs; the ``adversarial``
+block exercises regimes the paper's uniform-independent-worker model
+cannot express — spammers, ballot-stuffers, colluding cliques, accuracy
+drift, abandoning workers, class-imbalanced error rates and Zipf-skewed
+task attention.  ``tests/test_scenarios_golden.py`` replays each one
+against its golden trajectory and asserts batch == sweep == streaming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.registry import Registry
+from repro.scenarios.spec import (
+    ADVERSARIAL_TAG,
+    AssignmentSpec,
+    DatasetSpec,
+    RegimeSpec,
+    Scenario,
+)
+
+_SCENARIOS: Registry[Scenario] = Registry("scenario")
+
+
+def register_scenario(scenario: Scenario, *, overwrite: bool = False) -> None:
+    """Register ``scenario`` under its name.
+
+    Raises
+    ------
+    repro.common.exceptions.ConfigurationError
+        If the name is taken and ``overwrite`` is false; the message
+        names the remedy and lists the available scenarios.
+    """
+    _SCENARIOS.register(scenario.name, scenario, overwrite=overwrite)
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registration (mainly for tests)."""
+    _SCENARIOS.unregister(name)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name.
+
+    Raises
+    ------
+    repro.common.exceptions.ConfigurationError
+        If no scenario is registered under that name; the message lists
+        the available scenarios.
+    """
+    return _SCENARIOS.get(name)
+
+
+def available_scenarios(*, tag: Optional[str] = None) -> List[str]:
+    """Names of registered scenarios, sorted; optionally filtered by tag."""
+    names = _SCENARIOS.names()
+    if tag is None:
+        return names
+    return [name for name in names if tag in _SCENARIOS.get(name).tags]
+
+
+def adversarial_scenarios() -> List[str]:
+    """Names of the registered adversarial scenarios."""
+    return available_scenarios(tag=ADVERSARIAL_TAG)
+
+
+# ---------------------------------------------------------------------- #
+# built-in catalogue
+# ---------------------------------------------------------------------- #
+
+#: The error profiles the built-ins are composed from.
+_HONEST = {"false_negative_rate": 0.1, "false_positive_rate": 0.02}
+_FP_HEAVY = {"false_negative_rate": 0.2, "false_positive_rate": 0.05}
+_FN_HEAVY = {"false_negative_rate": 0.35, "false_positive_rate": 0.005}
+_PERFECT = {"false_negative_rate": 0.0, "false_positive_rate": 0.0}
+_SPAM_COIN = {"false_negative_rate": 0.5, "false_positive_rate": 0.5}
+_SPAM_DIRTY = {"false_negative_rate": 0.05, "false_positive_rate": 0.95}
+
+#: The default synthetic population (paper's 1000/100 at test scale).
+_SYNTH = DatasetSpec("synthetic", {"num_items": 200, "num_errors": 24})
+
+_ESTIMATORS = ("voting", "chao92", "vchao92", "switch_total")
+
+
+def _register_builtins() -> None:
+    builtins = [
+        # -- paper-style crowds ---------------------------------------- #
+        Scenario(
+            name="baseline-uniform",
+            description="FN-only crowd, uniform assignment: the paper's core simulation",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "homogeneous",
+                {"profile": {"false_negative_rate": 0.1, "false_positive_rate": 0.0}},
+            ),
+            estimators=_ESTIMATORS + ("good_turing",),
+            seed=101,
+            tags=("paper",),
+        ),
+        Scenario(
+            name="fp-heavy",
+            description="Many false positives (restaurant-style crowd): VOTING drifts down",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _FP_HEAVY}),
+            seed=102,
+            tags=("paper",),
+        ),
+        Scenario(
+            name="fn-heavy",
+            description="Many false negatives (product-style crowd): VOTING climbs slowly",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _FN_HEAVY}),
+            seed=103,
+            tags=("paper",),
+        ),
+        Scenario(
+            name="perfect-crowd",
+            description="Oracle workers: every estimator must converge to the truth",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _PERFECT}),
+            seed=104,
+            tags=("sanity",),
+        ),
+        Scenario(
+            name="heterogeneous-crowd",
+            description="Per-worker rate jitter around an honest profile (AMT-like spread)",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "homogeneous", {"profile": _HONEST, "rate_jitter": 0.05}
+            ),
+            seed=105,
+            tags=("paper",),
+        ),
+        Scenario(
+            name="address-records",
+            description="Address dataset with balanced two-sided noise (Figure 5 regime)",
+            dataset=DatasetSpec("address", {"num_records": 200, "num_errors": 20}),
+            regime=RegimeSpec(
+                "homogeneous",
+                {"profile": {"false_negative_rate": 0.2, "false_positive_rate": 0.02}},
+            ),
+            seed=106,
+            tags=("paper", "real-data"),
+        ),
+        Scenario(
+            name="prolific-workers",
+            description="Each worker completes 5 consecutive tasks before handing off",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _HONEST}),
+            tasks_per_worker=5,
+            seed=107,
+            tags=("paper",),
+        ),
+        # -- adversarial regimes --------------------------------------- #
+        Scenario(
+            name="spammer-infested",
+            description="25% coin-flip spammers diluting an otherwise honest crowd",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "mixture",
+                {"components": [[0.75, _HONEST], [0.25, _SPAM_COIN]]},
+            ),
+            seed=108,
+            tags=(ADVERSARIAL_TAG, "spammers"),
+        ),
+        Scenario(
+            name="ballot-stuffers",
+            description="20% of workers flag nearly everything dirty regardless of truth",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "mixture",
+                {"components": [[0.8, _HONEST], [0.2, _SPAM_DIRTY]]},
+            ),
+            seed=109,
+            tags=(ADVERSARIAL_TAG, "spammers"),
+        ),
+        Scenario(
+            name="colluding-cliques",
+            description="3 cliques (40% of workers) submit identical error-ridden answers",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "cliques",
+                {
+                    "profile": _HONEST,
+                    "colluder_profile": {
+                        "false_negative_rate": 0.45,
+                        "false_positive_rate": 0.15,
+                    },
+                    "num_cliques": 3,
+                    "colluder_fraction": 0.4,
+                },
+            ),
+            seed=110,
+            tags=(ADVERSARIAL_TAG, "collusion"),
+        ),
+        Scenario(
+            name="fatigue-drift",
+            description="Accuracy decays over the stream: near-perfect start, sloppy finish",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "drift",
+                {
+                    "start": {"false_negative_rate": 0.02, "false_positive_rate": 0.01},
+                    "end": {"false_negative_rate": 0.45, "false_positive_rate": 0.25},
+                    "horizon": 80,
+                },
+            ),
+            estimators=_ESTIMATORS + ("switch",),
+            seed=111,
+            tags=(ADVERSARIAL_TAG, "drift"),
+        ),
+        Scenario(
+            name="abandoning-workers",
+            description="Workers answer only ~55% of their assigned items (sparse columns)",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "homogeneous", {"profile": _HONEST}, completion_rate=0.55
+            ),
+            seed=112,
+            tags=(ADVERSARIAL_TAG, "sparse"),
+        ),
+        Scenario(
+            name="class-imbalance",
+            description="A hard stratum (every 4th item) whose errors are missed 10x more",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "stratified",
+                {
+                    "profile": {"false_negative_rate": 0.05, "false_positive_rate": 0.01},
+                    "num_strata": 4,
+                    "stratum_profiles": {
+                        "0": {"false_negative_rate": 0.5, "false_positive_rate": 0.02}
+                    },
+                },
+            ),
+            seed=113,
+            tags=(ADVERSARIAL_TAG, "imbalance"),
+        ),
+        Scenario(
+            name="skewed-attention",
+            description="Zipf task attention: heavy vote-count skew, chao92's blind spot",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _HONEST}),
+            assignment=AssignmentSpec("skewed", {"exponent": 1.2}),
+            estimators=_ESTIMATORS + ("extrapolation",),
+            seed=114,
+            tags=(ADVERSARIAL_TAG, "skew"),
+        ),
+    ]
+    for scenario in builtins:
+        if scenario.name not in _SCENARIOS:
+            register_scenario(scenario)
+
+
+_register_builtins()

@@ -1,0 +1,204 @@
+"""Scenario execution: one spec, three evaluation modes, one trajectory.
+
+:class:`ScenarioRunner` turns a declarative
+:class:`~repro.scenarios.spec.Scenario` into a
+:class:`ScenarioTrajectory`: it simulates the crowd, then evaluates every
+listed estimator at every checkpoint through all three evaluation paths —
+the batch single-prefix path (``estimate``), the incremental sweep engine
+(``estimate_sweep`` over shared tables) and the streaming session — and
+verifies the three agree *exactly*.  The trajectory serialises to a
+canonical JSON document (sorted keys, two-space indent, shortest-repr
+floats) so that a golden file diff is stable and byte-for-byte
+reproducible from ``repro scenario run <name> --seed <seed>``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.base import EstimateResult, sweep_estimates
+from repro.core.registry import get_estimator
+from repro.core.state import matrix_sweep_states
+from repro.crowd.simulator import CrowdSimulation, CrowdSimulator, SimulationConfig
+from repro.scenarios.spec import Scenario
+from repro.streaming.session import StreamingSession
+
+#: The evaluation modes every scenario is pushed through.
+MODES = ("batch", "sweep", "streaming")
+
+#: Golden-file format version (bump when the payload layout changes).
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ScenarioTrajectory:
+    """The canonical result of one scenario run.
+
+    ``estimates``/``observed`` hold the per-estimator checkpoint series
+    (the sweep engine's values — the other two modes are verified equal);
+    ``equivalence`` records the cross-mode comparison outcome.
+    """
+
+    scenario: Scenario
+    seed: int
+    checkpoints: List[int]
+    num_items: int
+    true_errors: int
+    num_columns: int
+    total_votes: int
+    estimates: Dict[str, List[float]]
+    observed: Dict[str, List[float]]
+    equivalence: Dict[str, bool] = field(default_factory=dict)
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON document recorded in golden files."""
+        return {
+            "format_version": FORMAT_VERSION,
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "dataset": {"num_items": self.num_items, "true_errors": self.true_errors},
+            "checkpoints": list(self.checkpoints),
+            "num_columns": self.num_columns,
+            "total_votes": self.total_votes,
+            "modes": list(MODES),
+            "equivalence": dict(self.equivalence),
+            "trajectories": {
+                name: {
+                    "estimate": list(self.estimates[name]),
+                    "observed": list(self.observed[name]),
+                }
+                for name in sorted(self.estimates)
+            },
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON text (no trailing newline).
+
+        ``repro scenario run`` prints exactly this string; golden files
+        store it plus one trailing newline, making CLI stdout and golden
+        content byte-identical.
+        """
+        return json.dumps(self.payload(), sort_keys=True, indent=2, ensure_ascii=True)
+
+
+def _series_equal(a: List[EstimateResult], b: List[EstimateResult]) -> bool:
+    """Exact (bitwise) equality of two checkpoint result series."""
+    return all(
+        x.estimate == y.estimate and x.observed == y.observed for x, y in zip(a, b)
+    ) and len(a) == len(b)
+
+
+class ScenarioRunner:
+    """Execute scenarios and emit canonical trajectories.
+
+    Parameters
+    ----------
+    strict:
+        Raise :class:`~repro.common.exceptions.ConfigurationError` when
+        the batch, sweep and streaming paths disagree (they never should;
+        a mismatch means an estimator broke the shared-state contract).
+        When false the disagreement is only recorded in the trajectory's
+        ``equivalence`` flags.
+    """
+
+    def __init__(self, *, strict: bool = True) -> None:
+        self.strict = bool(strict)
+
+    def simulate(self, scenario: Scenario, seed: Optional[int] = None) -> CrowdSimulation:
+        """Run just the crowd simulation of ``scenario``."""
+        seed = scenario.seed if seed is None else int(seed)
+        dataset = scenario.dataset.build(seed)
+        config = SimulationConfig(
+            num_tasks=scenario.num_tasks,
+            items_per_task=scenario.items_per_task,
+            tasks_per_worker=scenario.tasks_per_worker,
+            worker_regime=scenario.regime.build(),
+            seed=seed,
+        )
+        simulator = CrowdSimulator(
+            dataset, config, assigner_builder=scenario.assignment.builder()
+        )
+        return simulator.run()
+
+    def run(self, scenario: Scenario, seed: Optional[int] = None) -> ScenarioTrajectory:
+        """Simulate ``scenario`` and evaluate it through every mode."""
+        seed = scenario.seed if seed is None else int(seed)
+        simulation = self.simulate(scenario, seed)
+        matrix = simulation.matrix
+        # Series are keyed by the *registry* names the scenario lists (the
+        # self-describing golden contract); the instances' self-declared
+        # names are only used to address the streaming session, so aliases
+        # whose instances share a name cannot be disambiguated — reject
+        # them up front instead of collapsing two series into one.
+        estimators = [(name, get_estimator(name)) for name in scenario.estimators]
+        instance_names = [instance.name for _, instance in estimators]
+        if len(set(instance_names)) != len(instance_names):
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} estimators {list(scenario.estimators)} "
+                f"resolve to duplicate instance names {instance_names}; registry "
+                "aliases of the same estimator cannot be evaluated side by side"
+            )
+        checkpoints = scenario.checkpoints(matrix.num_columns)
+
+        # Sweep mode: shared tables across estimators — the canonical values.
+        states = matrix_sweep_states(matrix, checkpoints)
+        sweep: Dict[str, List[EstimateResult]] = {
+            name: sweep_estimates(instance, matrix, checkpoints, states=states)
+            for name, instance in estimators
+        }
+
+        # Batch mode: the classic one-prefix-at-a-time path.
+        batch: Dict[str, List[EstimateResult]] = {
+            name: [instance.estimate(matrix, checkpoint) for checkpoint in checkpoints]
+            for name, instance in estimators
+        }
+
+        # Streaming mode: feed columns one at a time, snapshot at checkpoints.
+        session = StreamingSession(
+            matrix.item_ids, [instance for _, instance in estimators], keep_votes=False
+        )
+        wanted = set(checkpoints)
+        streaming: Dict[str, List[EstimateResult]] = {name: [] for name, _ in estimators}
+        workers = matrix.column_workers
+        for column in range(matrix.num_columns):
+            session.add_column(matrix.column_votes(column), workers[column])
+            if session.num_columns in wanted:
+                for name, instance in estimators:
+                    streaming[name].append(session.estimate(instance.name))
+
+        equivalence = {
+            "batch_vs_sweep": all(
+                _series_equal(batch[name], sweep[name]) for name in sweep
+            ),
+            "streaming_vs_sweep": all(
+                _series_equal(streaming[name], sweep[name]) for name in sweep
+            ),
+        }
+        if self.strict and not all(equivalence.values()):
+            failing = sorted(key for key, ok in equivalence.items() if not ok)
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} modes disagree: {failing} — an estimator "
+                "violated the batch/sweep/streaming equivalence contract"
+            )
+
+        return ScenarioTrajectory(
+            scenario=scenario,
+            seed=seed,
+            checkpoints=checkpoints,
+            num_items=matrix.num_items,
+            true_errors=simulation.true_error_count,
+            num_columns=matrix.num_columns,
+            total_votes=matrix.total_votes(),
+            estimates={
+                name: [result.estimate for result in series]
+                for name, series in sweep.items()
+            },
+            observed={
+                name: [result.observed for result in series]
+                for name, series in sweep.items()
+            },
+            equivalence=equivalence,
+        )

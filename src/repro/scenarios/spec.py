@@ -1,0 +1,356 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` names one complete estimation workload as plain data:
+a dataset builder x a worker regime x an assignment strategy x an
+estimator set x a checkpoint schedule, all hanging off a single root
+seed.  Because every field round-trips through :meth:`Scenario.to_dict`
+/ :meth:`Scenario.from_dict`, a scenario can live in a golden file, a
+CLI invocation or a test parameter without loss — the spec *is* the
+experiment.
+
+The three component specs (:class:`DatasetSpec`, :class:`RegimeSpec`,
+:class:`AssignmentSpec`) are thin dispatchers from a ``kind`` string plus
+JSON-friendly ``params`` onto the concrete builders in
+:mod:`repro.data`, :mod:`repro.crowd.worker` and
+:mod:`repro.crowd.assignment`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RandomState, derive_rng
+from repro.common.validation import check_int, check_known_keys
+from repro.crowd.assignment import SkewedAssigner
+from repro.crowd.worker import (
+    CliqueRegime,
+    DriftRegime,
+    HomogeneousRegime,
+    MixtureRegime,
+    StratifiedRegime,
+    WorkerProfile,
+    WorkerRegime,
+)
+from repro.data.address import AddressDatasetConfig, generate_address_dataset
+from repro.data.record import Dataset
+from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
+
+#: Tag marking regimes the paper's uniform-crowd assumptions do not cover.
+ADVERSARIAL_TAG = "adversarial"
+
+
+def _profile(data: Mapping[str, float]) -> WorkerProfile:
+    return WorkerProfile.from_dict(data)
+
+
+def _check_config_params(kind: str, params: Mapping[str, object], config_cls) -> None:
+    """Reject params the dataset config dataclass does not define.
+
+    Same rationale as the regime/assignment validation: a typoed knob in a
+    hand-edited spec must fail with the suite's standard remediation
+    message, not a raw ``TypeError`` from the config constructor.  The
+    config's own ``seed`` field is excluded from the vocabulary — dataset
+    randomness always derives from the *scenario* root seed, so accepting
+    a per-dataset seed here would be a silently ignored knob.
+    """
+    allowed = {
+        config_field.name for config_field in dataclasses.fields(config_cls)
+    } - {"seed"}
+    check_known_keys(params, f"{kind!r} dataset params", allowed)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Which candidate population to build.
+
+    ``kind`` selects the generator; ``params`` are its configuration
+    fields (JSON-friendly values only).  Supported kinds:
+
+    * ``"synthetic"`` — :func:`repro.data.synthetic.generate_synthetic_pairs`
+      (params: ``num_items``, ``num_errors``, ``shuffle``);
+    * ``"address"`` — :func:`repro.data.address.generate_address_dataset`
+      (params: ``num_records``, ``num_errors``).
+    """
+
+    kind: str = "synthetic"
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, seed: RandomState) -> Dataset:
+        """Materialise the dataset (randomness derived from ``seed``)."""
+        rng = derive_rng(seed, 11)
+        if self.kind == "synthetic":
+            _check_config_params("synthetic", self.params, SyntheticPairConfig)
+            return generate_synthetic_pairs(SyntheticPairConfig(**self.params), seed=rng)
+        if self.kind == "address":
+            _check_config_params("address", self.params, AddressDatasetConfig)
+            return generate_address_dataset(AddressDatasetConfig(**self.params), seed=rng)
+        raise ConfigurationError(
+            f"unknown dataset kind {self.kind!r}; available: ['address', 'synthetic']"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DatasetSpec":
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class RegimeSpec:
+    """Which worker population answers the tasks.
+
+    ``kind`` selects a :class:`~repro.crowd.worker.WorkerRegime`; profile
+    values inside ``params`` are ``{"false_negative_rate": ..,
+    "false_positive_rate": ..}`` dictionaries.  Supported kinds and their
+    params:
+
+    * ``"homogeneous"`` — ``profile``, ``rate_jitter``;
+    * ``"mixture"`` — ``components``: list of ``[weight, profile]`` pairs;
+    * ``"drift"`` — ``start``, ``end``, ``horizon``;
+    * ``"cliques"`` — ``profile``, ``colluder_profile``, ``num_cliques``,
+      ``colluder_fraction``;
+    * ``"stratified"`` — ``profile``, ``num_strata``,
+      ``stratum_profiles``: mapping from stratum (stringified int, as in
+      JSON) to profile.
+
+    ``completion_rate`` below 1 adds sparse/abandoning behaviour to any
+    of them.
+    """
+
+    kind: str = "homogeneous"
+    params: Dict[str, object] = field(default_factory=dict)
+    completion_rate: float = 1.0
+
+    def build(self) -> WorkerRegime:
+        """Materialise the worker regime.
+
+        Only the params actually present are forwarded, so a spec that
+        omits a field gets the regime class's own default (e.g. an
+        unspecified ``colluder_profile`` stays error-ridden rather than
+        silently collapsing to a perfect worker).
+        """
+        params = self.params
+        kwargs: Dict[str, object] = {"completion_rate": float(self.completion_rate)}
+        converters = {
+            "homogeneous": {"profile": _profile, "rate_jitter": float},
+            "mixture": {
+                "components": lambda value: tuple(
+                    (float(weight), _profile(profile)) for weight, profile in value
+                ),
+            },
+            "drift": {"start": _profile, "end": _profile, "horizon": int},
+            "cliques": {
+                "profile": _profile,
+                "colluder_profile": _profile,
+                "num_cliques": int,
+                "colluder_fraction": float,
+            },
+            "stratified": {
+                "profile": _profile,
+                "num_strata": int,
+                "stratum_profiles": lambda value: tuple(
+                    (int(stratum), _profile(profile))
+                    for stratum, profile in value.items()
+                ),
+            },
+        }
+        classes = {
+            "homogeneous": HomogeneousRegime,
+            "mixture": MixtureRegime,
+            "drift": DriftRegime,
+            "cliques": CliqueRegime,
+            "stratified": StratifiedRegime,
+        }
+        if self.kind not in classes:
+            raise ConfigurationError(
+                f"unknown regime kind {self.kind!r}; available: {sorted(classes)}"
+            )
+        fields = converters[self.kind]
+        check_known_keys(params, f"{self.kind!r} regime params", fields)
+        for name, convert in fields.items():
+            if name in params:
+                kwargs[name] = convert(params[name])
+        return classes[self.kind](**kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "completion_rate": self.completion_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RegimeSpec":
+        return cls(
+            kind=str(data["kind"]),
+            params=dict(data.get("params", {})),
+            completion_rate=float(data.get("completion_rate", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class AssignmentSpec:
+    """How items reach workers.
+
+    ``"uniform"`` is the paper's uniform random assignment (the
+    simulator's default); ``"skewed"`` plugs in the Zipf-weighted
+    :class:`~repro.crowd.assignment.SkewedAssigner` (param:
+    ``exponent``).
+    """
+
+    kind: str = "uniform"
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def builder(self) -> Optional[Callable[[Sequence[int], int, RandomState], object]]:
+        """The simulator ``assigner_builder`` hook (``None`` = uniform).
+
+        Params are validated strictly (same rationale as
+        :meth:`RegimeSpec.build`): a typoed knob must fail loudly rather
+        than silently pin a golden for the default assignment.
+        """
+        allowed = {"uniform": set(), "skewed": {"exponent"}}
+        if self.kind in allowed:
+            check_known_keys(
+                self.params, f"{self.kind!r} assignment params", allowed[self.kind]
+            )
+        if self.kind == "uniform":
+            return None
+        if self.kind == "skewed":
+            exponent = float(self.params.get("exponent", 1.0))
+
+            def build(item_ids: Sequence[int], items_per_task: int, rng: RandomState):
+                return SkewedAssigner(
+                    item_ids,
+                    items_per_task=items_per_task,
+                    exponent=exponent,
+                    seed=rng,
+                )
+
+            return build
+        raise ConfigurationError(
+            f"unknown assignment kind {self.kind!r}; available: ['skewed', 'uniform']"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AssignmentSpec":
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully reproducible estimation workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (kebab-case by convention).
+    description:
+        One-line human summary shown by ``repro scenario list``.
+    dataset / regime / assignment:
+        The three component specs.
+    estimators:
+        Registry names evaluated over the run.
+    num_tasks / items_per_task / tasks_per_worker:
+        Crowd-simulation shape (see
+        :class:`~repro.crowd.simulator.SimulationConfig`).
+    num_checkpoints:
+        Number of evenly spaced prefix checkpoints in the trajectory.
+    seed:
+        Default root seed (``repro scenario run --seed`` overrides).
+    tags:
+        Free-form labels; ``"adversarial"`` marks regimes outside the
+        paper's assumptions.
+    """
+
+    name: str
+    description: str
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    regime: RegimeSpec = field(default_factory=RegimeSpec)
+    assignment: AssignmentSpec = field(default_factory=AssignmentSpec)
+    estimators: Tuple[str, ...] = ("voting", "chao92", "vchao92", "switch_total")
+    num_tasks: int = 80
+    items_per_task: int = 15
+    tasks_per_worker: int = 1
+    num_checkpoints: int = 8
+    seed: int = 0
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if not self.estimators:
+            raise ConfigurationError(f"scenario {self.name!r} lists no estimators")
+        check_int(self.num_tasks, "num_tasks", minimum=1)
+        check_int(self.items_per_task, "items_per_task", minimum=1)
+        check_int(self.tasks_per_worker, "tasks_per_worker", minimum=1)
+        check_int(self.num_checkpoints, "num_checkpoints", minimum=1)
+
+    @property
+    def is_adversarial(self) -> bool:
+        """Whether the scenario is tagged as an adversarial regime."""
+        return ADVERSARIAL_TAG in self.tags
+
+    def checkpoints(self, num_columns: int) -> List[int]:
+        """Evenly spaced prefix lengths for a run with ``num_columns`` tasks."""
+        if num_columns <= self.num_checkpoints:
+            return list(range(1, num_columns + 1))
+        step = num_columns / self.num_checkpoints
+        points = sorted({int(round(step * (i + 1))) for i in range(self.num_checkpoints)})
+        return [p for p in points if p >= 1]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (embedded in golden files)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "dataset": self.dataset.to_dict(),
+            "regime": self.regime.to_dict(),
+            "assignment": self.assignment.to_dict(),
+            "estimators": list(self.estimators),
+            "num_tasks": self.num_tasks,
+            "items_per_task": self.items_per_task,
+            "tasks_per_worker": self.tasks_per_worker,
+            "num_checkpoints": self.num_checkpoints,
+            "seed": self.seed,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output.
+
+        Omitted fields take the same dataclass defaults as direct
+        construction, so a minimal hand-written ``{"name": ..,
+        "description": ..}`` dictionary builds the same scenario as
+        ``Scenario(name=.., description=..)``.
+        """
+        converters = {
+            "dataset": DatasetSpec.from_dict,
+            "regime": RegimeSpec.from_dict,
+            "assignment": AssignmentSpec.from_dict,
+            "estimators": tuple,
+            "num_tasks": int,
+            "items_per_task": int,
+            "tasks_per_worker": int,
+            "num_checkpoints": int,
+            "seed": int,
+            "tags": tuple,
+        }
+        check_known_keys(
+            data, "scenario keys", set(converters) | {"name", "description"}
+        )
+        kwargs: Dict[str, object] = {
+            "name": str(data["name"]),
+            "description": str(data.get("description", "")),
+        }
+        for field_name, convert in converters.items():
+            if field_name in data:
+                kwargs[field_name] = convert(data[field_name])
+        return cls(**kwargs)

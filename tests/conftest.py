@@ -9,6 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Deterministic property tests: one pinned profile for every run (local and
+# CI) — fixed example sequence (derandomize), no flaky time limits
+# (deadline=None).  Individual tests may still raise max_examples.
+settings.register_profile("repro", derandomize=True, deadline=None, max_examples=60)
+settings.load_profile("repro")
 
 from repro.common.labels import CLEAN, DIRTY, UNSEEN
 from repro.crowd.response_matrix import ResponseMatrix

@@ -130,6 +130,56 @@ class TestCliSweep:
         assert serial.replace("n_jobs=1", "") == parallel.replace("n_jobs=2", "")
 
 
+class TestCliScenario:
+    def test_scenario_list_prints_catalogue_with_tags(self, capsys):
+        from repro.scenarios import available_scenarios
+
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in output
+        assert "adversarial" in output
+
+    def test_scenario_run_prints_the_golden_bytes(self, capsys):
+        """`repro scenario run <name>` stdout == the golden file, byte for byte."""
+        from repro.scenarios import read_golden
+
+        assert main(["scenario", "run", "colluding-cliques"]) == 0
+        assert capsys.readouterr().out == read_golden("colluding-cliques")
+
+    def test_scenario_run_with_seed_override(self, capsys):
+        assert main(["scenario", "run", "fp-heavy", "--seed", "999"]) == 0
+        output = capsys.readouterr().out
+        import json
+
+        payload = json.loads(output)
+        assert payload["seed"] == 999
+        assert payload["equivalence"] == {
+            "batch_vs_sweep": True,
+            "streaming_vs_sweep": True,
+        }
+
+    def test_scenario_check_passes_on_committed_goldens(self, capsys):
+        assert main(["scenario", "check", "perfect-crowd", "fn-heavy"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("ok") == 2
+        assert "DRIFT" not in output
+
+    def test_scenario_record_writes_requested_goldens(self, capsys, tmp_path, monkeypatch):
+        import repro.scenarios.golden as golden_module
+
+        monkeypatch.setattr(golden_module, "default_golden_dir", lambda: tmp_path)
+        assert main(["scenario", "record", "fp-heavy"]) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert (tmp_path / "fp-heavy.json").exists()
+
+    def test_scenario_unknown_name_raises_configuration_error(self):
+        from repro.common.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            main(["scenario", "run", "not-a-scenario"])
+
+
 class TestCliFigures:
     def test_figure7_small_run(self, capsys):
         assert main(["figure7", "--scenario", "both", "--tasks", "30", "--seed", "2"]) == 0

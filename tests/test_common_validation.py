@@ -93,3 +93,60 @@ class TestCheckIn:
     def test_rejects_non_member(self):
         with pytest.raises(ValidationError, match="choice must be one of"):
             check_in("c", "choice", {"a", "b"})
+
+
+class TestCheckKnownKeys:
+    def test_accepts_subset(self):
+        from repro.common.validation import check_known_keys
+
+        check_known_keys({"a": 1}, "demo keys", {"a", "b"})  # no error
+        check_known_keys({}, "demo keys", set())  # empty is always fine
+
+    def test_rejects_unknown_with_remediation(self):
+        from repro.common.exceptions import ConfigurationError
+        from repro.common.validation import check_known_keys
+
+        with pytest.raises(ConfigurationError, match=r"unknown demo keys.*typo"):
+            check_known_keys({"typo": 1}, "demo keys", {"a", "b"})
+
+
+class TestRegistry:
+    """The generic registry behind estimators and scenarios."""
+
+    def _registry(self):
+        from repro.common.registry import Registry
+
+        return Registry("widget")
+
+    def test_register_get_and_names(self):
+        registry = self._registry()
+        registry.register("A", 1)
+        registry.register("b", 2)
+        assert registry.get("a") == 1  # case-insensitive
+        assert registry.names() == ["a", "b"]
+        assert "A" in registry and len(registry) == 2
+
+    def test_collision_error_names_remedy_and_entries(self):
+        from repro.common.exceptions import ConfigurationError
+
+        registry = self._registry()
+        registry.register("a", 1)
+        with pytest.raises(ConfigurationError, match="overwrite=True"):
+            registry.register("a", 2)
+        registry.register("a", 2, overwrite=True)
+        assert registry.get("a") == 2
+
+    def test_unknown_lookup_lists_available(self):
+        from repro.common.exceptions import ConfigurationError
+
+        registry = self._registry()
+        registry.register("known", 1)
+        with pytest.raises(ConfigurationError, match=r"unknown widget.*known"):
+            registry.get("missing")
+
+    def test_unregister_is_idempotent(self):
+        registry = self._registry()
+        registry.register("a", 1)
+        registry.unregister("A")
+        registry.unregister("a")  # already gone: no error
+        assert "a" not in registry

@@ -14,7 +14,12 @@ from repro.core.metrics import (
     scaled_rmse,
     signed_error,
 )
-from repro.core.registry import available_estimators, get_estimator, register_estimator
+from repro.core.registry import (
+    available_estimators,
+    get_estimator,
+    register_estimator,
+    unregister_estimator,
+)
 from repro.core.species import (
     Chao84Estimator,
     GoodTuringEstimator,
@@ -138,3 +143,45 @@ class TestRegistry:
         register_estimator("dup_test_estimator", NominalEstimator, overwrite=True)
         with pytest.raises(ConfigurationError, match="already registered"):
             register_estimator("dup_test_estimator", NominalEstimator)
+
+    def test_duplicate_registration_error_lists_available_and_remedy(self):
+        from repro.core.descriptive import NominalEstimator
+
+        register_estimator("dup_listing_estimator", NominalEstimator, overwrite=True)
+        try:
+            with pytest.raises(ConfigurationError) as excinfo:
+                register_estimator("dup_listing_estimator", NominalEstimator)
+            message = str(excinfo.value)
+            assert "overwrite=True" in message
+            # Every currently registered name is listed, so the caller can
+            # see what the collision space looks like.
+            for name in available_estimators():
+                assert name in message
+        finally:
+            unregister_estimator("dup_listing_estimator")
+
+    def test_unknown_estimator_error_lists_available(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_estimator("definitely-not-an-estimator")
+        message = str(excinfo.value)
+        for name in available_estimators():
+            assert name in message
+
+    def test_registry_round_trip_with_overwrite(self):
+        """register -> get -> overwrite -> get -> unregister round-trip."""
+        from repro.core.descriptive import NominalEstimator, VotingEstimator
+
+        try:
+            register_estimator("round_trip_estimator", NominalEstimator)
+            assert "round_trip_estimator" in available_estimators()
+            assert get_estimator("round_trip_estimator").name == "nominal"
+            # overwrite=True swaps the factory in place.
+            register_estimator("round_trip_estimator", VotingEstimator, overwrite=True)
+            assert get_estimator("round_trip_estimator").name == "voting"
+            # overwrite=True is also fine when nothing is registered yet.
+            unregister_estimator("round_trip_estimator")
+            register_estimator("round_trip_estimator", NominalEstimator, overwrite=True)
+            assert get_estimator("round_trip_estimator").name == "nominal"
+        finally:
+            unregister_estimator("round_trip_estimator")
+        assert "round_trip_estimator" not in available_estimators()

@@ -10,6 +10,7 @@ from repro.common.exceptions import ConfigurationError
 from repro.crowd.assignment import (
     FixedQuorumAssigner,
     PrioritizedAssigner,
+    SkewedAssigner,
     Task,
     UniformRandomAssigner,
 )
@@ -131,6 +132,52 @@ class TestFixedQuorumAssigner:
     def test_empty_items_rejected(self):
         with pytest.raises(ConfigurationError):
             FixedQuorumAssigner([], quorum=3)
+
+
+class TestSkewedAssigner:
+    def test_tasks_sample_without_replacement_within_a_task(self):
+        assigner = SkewedAssigner(list(range(50)), items_per_task=10, seed=0)
+        for task in assigner.tasks(20):
+            assert len(task.item_ids) == 10
+            assert len(set(task.item_ids)) == 10
+
+    def test_attention_is_skewed_towards_a_head(self):
+        """With a Zipf exponent the busiest item dwarfs the quietest."""
+        assigner = SkewedAssigner(
+            list(range(100)), items_per_task=5, exponent=1.5, seed=7
+        )
+        counts = Counter()
+        for task in assigner.tasks(300):
+            counts.update(task.item_ids)
+        frequencies = sorted(counts.values(), reverse=True)
+        assert frequencies[0] >= 5 * max(1, min(counts.values(), default=1))
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        assigner = SkewedAssigner(
+            list(range(20)), items_per_task=5, exponent=0.0, seed=3
+        )
+        counts = Counter()
+        for task in assigner.tasks(400):
+            counts.update(task.item_ids)
+        assert len(counts) == 20
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+    def test_deterministic_per_seed(self):
+        a = SkewedAssigner(list(range(30)), items_per_task=4, exponent=1.0, seed=11)
+        b = SkewedAssigner(list(range(30)), items_per_task=4, exponent=1.0, seed=11)
+        assert [t.item_ids for t in a.tasks(15)] == [t.item_ids for t in b.tasks(15)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SkewedAssigner([], items_per_task=2)
+        with pytest.raises(ConfigurationError):
+            SkewedAssigner([1, 2], items_per_task=3)
+        with pytest.raises(ConfigurationError):
+            SkewedAssigner([1, 2, 3], items_per_task=2, exponent=-0.5)
+
+    def test_task_ids_are_sequential(self):
+        assigner = SkewedAssigner(list(range(10)), items_per_task=3, seed=0)
+        assert [t.task_id for t in assigner.tasks(5)] == [0, 1, 2, 3, 4]
 
 
 class TestTask:

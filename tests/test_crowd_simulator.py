@@ -7,8 +7,14 @@ import pytest
 from repro.common.exceptions import ConfigurationError
 from repro.common.labels import CLEAN, DIRTY
 from repro.crowd.consensus import majority_labels
+from repro.crowd.assignment import SkewedAssigner
 from repro.crowd.simulator import CrowdSimulator, SimulationConfig, simulate_fixed_quorum
-from repro.crowd.worker import WorkerProfile
+from repro.crowd.worker import (
+    CliqueRegime,
+    HomogeneousRegime,
+    MixtureRegime,
+    WorkerProfile,
+)
 from repro.data.synthetic import SyntheticPairConfig, generate_synthetic_pairs
 
 
@@ -155,3 +161,104 @@ class TestFixedQuorumSimulation:
         labels = majority_labels(simulation.matrix)
         for item in sample_ids:
             assert labels[item] == simulation.ground_truth[item]
+
+
+class TestRegimeSimulation:
+    def _config(self, **overrides):
+        defaults = dict(num_tasks=40, items_per_task=10, seed=5)
+        defaults.update(overrides)
+        return SimulationConfig(**defaults)
+
+    def test_regime_simulation_is_deterministic_per_seed(self, synthetic_population):
+        regime = MixtureRegime(
+            components=((0.7, WorkerProfile(0.1, 0.02)), (0.3, WorkerProfile.spammer())),
+        )
+        config = self._config(worker_regime=regime)
+        a = CrowdSimulator(synthetic_population, config).run()
+        b = CrowdSimulator(synthetic_population, config).run()
+        assert (a.matrix.values == b.matrix.values).all()
+
+    def test_equivalent_regime_reproduces_the_profile_path(self, synthetic_population):
+        """worker_regime=Homogeneous(p) gives the same votes as worker_profile=p."""
+        profile = WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05)
+        via_profile = CrowdSimulator(
+            synthetic_population, self._config(worker_profile=profile)
+        ).run()
+        via_regime = CrowdSimulator(
+            synthetic_population,
+            self._config(worker_regime=HomogeneousRegime(profile)),
+        ).run()
+        assert (via_profile.matrix.values == via_regime.matrix.values).all()
+
+    def test_sparse_completion_drops_votes(self, synthetic_population):
+        full = CrowdSimulator(
+            synthetic_population,
+            self._config(worker_regime=HomogeneousRegime(WorkerProfile(0.1, 0.02))),
+        ).run()
+        sparse = CrowdSimulator(
+            synthetic_population,
+            self._config(
+                worker_regime=HomogeneousRegime(
+                    WorkerProfile(0.1, 0.02), completion_rate=0.5
+                )
+            ),
+        ).run()
+        assert full.matrix.total_votes() == 40 * 10
+        assert sparse.matrix.total_votes() < full.matrix.total_votes()
+        assert sparse.matrix.num_columns == 40  # abandoned items, not tasks
+
+    def test_clique_regime_produces_correlated_columns(self, synthetic_population):
+        """With one all-collusion clique, any two columns agree wherever they overlap."""
+        regime = CliqueRegime(
+            profile=WorkerProfile(),
+            colluder_profile=WorkerProfile(false_negative_rate=0.4, false_positive_rate=0.2),
+            num_cliques=1,
+            colluder_fraction=1.0,
+        )
+        simulation = CrowdSimulator(
+            synthetic_population, self._config(worker_regime=regime)
+        ).run()
+        values = simulation.matrix.values
+        from repro.common.labels import UNSEEN
+
+        for row in values:
+            seen = row[row != UNSEEN]
+            assert len(set(seen.tolist())) <= 1
+
+    def test_assigner_builder_hook_drives_assignment(self, synthetic_population):
+        calls = {}
+
+        def builder(item_ids, items_per_task, rng):
+            calls["items"] = len(item_ids)
+            calls["per_task"] = items_per_task
+            return SkewedAssigner(
+                item_ids, items_per_task=items_per_task, exponent=1.5, seed=rng
+            )
+
+        simulation = CrowdSimulator(
+            synthetic_population, self._config(), assigner_builder=builder
+        ).run()
+        assert calls == {"items": 200, "per_task": 10}
+        counts = simulation.matrix.vote_counts()
+        assert counts.max() >= 4 * max(1, counts.min())  # visibly skewed
+
+    def test_regime_conflicts_with_profile_knobs(self):
+        """A regime plus profile/jitter raises instead of silently winning."""
+        regime = HomogeneousRegime(WorkerProfile(0.1, 0.02))
+        with pytest.raises(ConfigurationError, match="worker_rate_jitter"):
+            SimulationConfig(worker_regime=regime, worker_rate_jitter=0.05)
+        with pytest.raises(ConfigurationError, match="not both"):
+            SimulationConfig(
+                worker_regime=regime,
+                worker_profile=WorkerProfile(false_negative_rate=0.3),
+            )
+
+    def test_assigner_builder_conflicts_with_partition(self, synthetic_population):
+        ids = synthetic_population.record_ids
+        with pytest.raises(ConfigurationError, match="not both"):
+            CrowdSimulator(
+                synthetic_population,
+                self._config(),
+                prioritized_partition=(ids[:50], ids[50:]),
+                assigner_builder=lambda items, per_task, rng: None,
+            )

@@ -5,9 +5,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.common.exceptions import ValidationError
+from repro.common.exceptions import ConfigurationError, ValidationError
 from repro.common.labels import CLEAN, DIRTY
-from repro.crowd.worker import Worker, WorkerPool, WorkerProfile
+from repro.crowd.worker import (
+    CliqueRegime,
+    CliqueWorker,
+    DriftRegime,
+    HomogeneousRegime,
+    MixtureRegime,
+    StratifiedRegime,
+    StratifiedWorker,
+    Worker,
+    WorkerPool,
+    WorkerProfile,
+)
 
 
 class TestWorkerProfile:
@@ -131,3 +142,201 @@ class TestWorkerPool:
     def test_negative_jitter_rejected(self):
         with pytest.raises(ValidationError):
             WorkerPool(WorkerProfile(), rate_jitter=-0.1)
+
+    def test_profile_and_regime_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            WorkerPool(WorkerProfile(), regime=HomogeneousRegime(WorkerProfile()))
+
+    def test_rate_jitter_with_regime_rejected_not_ignored(self):
+        with pytest.raises(ConfigurationError, match="rate_jitter"):
+            WorkerPool(regime=HomogeneousRegime(WorkerProfile()), rate_jitter=0.3)
+
+    def test_regime_pool_matches_plain_profile_pool(self):
+        """A homogeneous regime reproduces the profile pool draw-for-draw."""
+        profile = WorkerProfile(false_negative_rate=0.3, false_positive_rate=0.1)
+        plain = WorkerPool(profile, rate_jitter=0.05, seed=42)
+        regime = WorkerPool(
+            regime=HomogeneousRegime(profile, rate_jitter=0.05), seed=42
+        )
+        for _ in range(10):
+            a, b = plain.new_worker(), regime.new_worker()
+            assert a.profile == b.profile
+            assert a.worker_id == b.worker_id
+
+
+class TestSpammerProfile:
+    def test_spammer_votes_independently_of_truth(self):
+        spammer = Worker(worker_id=0, profile=WorkerProfile.spammer(0.5))
+        rng = np.random.default_rng(0)
+        dirty_votes = [spammer.vote(True, rng) for _ in range(400)]
+        clean_votes = [spammer.vote(False, rng) for _ in range(400)]
+        for votes in (dirty_votes, clean_votes):
+            share = sum(v == DIRTY for v in votes) / len(votes)
+            assert 0.4 < share < 0.6
+
+    def test_ballot_stuffer_always_flags(self):
+        stuffer = Worker(worker_id=0, profile=WorkerProfile.spammer(1.0))
+        rng = np.random.default_rng(1)
+        assert all(stuffer.vote(truth, rng) == DIRTY for truth in (True, False))
+
+    def test_profile_dict_round_trip(self):
+        profile = WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05)
+        assert WorkerProfile.from_dict(profile.to_dict()) == profile
+
+    def test_profile_from_dict_rejects_unknown_keys(self):
+        """A typoed rate must not silently produce a perfect worker."""
+        with pytest.raises(ConfigurationError, match="fn_rate"):
+            WorkerProfile.from_dict({"fn_rate": 0.35})
+
+    def test_profile_from_dict_mirrors_constructor_defaults(self):
+        """Omitted keys behave exactly like omitted constructor kwargs."""
+        partial = {"false_positive_rate": 0.05}
+        assert WorkerProfile.from_dict(partial) == WorkerProfile(
+            false_positive_rate=0.05
+        )
+        assert WorkerProfile.from_dict({}) == WorkerProfile()
+
+
+class TestCliqueWorker:
+    def test_clique_members_vote_identically_on_every_item(self):
+        profile = WorkerProfile(false_negative_rate=0.4, false_positive_rate=0.2)
+        members = [
+            CliqueWorker(worker_id=i, profile=profile, clique_id=0, clique_seed=99)
+            for i in range(3)
+        ]
+        rng = np.random.default_rng(0)
+        for item_id in range(40):
+            votes = {m.vote_item(item_id, item_id % 3 == 0, rng) for m in members}
+            assert len(votes) == 1
+
+    def test_different_cliques_disagree_somewhere(self):
+        profile = WorkerProfile(false_negative_rate=0.4, false_positive_rate=0.2)
+        a = CliqueWorker(worker_id=0, profile=profile, clique_id=0, clique_seed=1)
+        b = CliqueWorker(worker_id=1, profile=profile, clique_id=1, clique_seed=2)
+        rng = np.random.default_rng(0)
+        votes_a = [a.vote_item(i, True, rng) for i in range(60)]
+        votes_b = [b.vote_item(i, True, rng) for i in range(60)]
+        assert votes_a != votes_b
+
+    def test_clique_errors_follow_the_colluder_profile(self):
+        """~40% of truly dirty items are missed by the whole clique."""
+        profile = WorkerProfile(false_negative_rate=0.4, false_positive_rate=0.0)
+        worker = CliqueWorker(worker_id=0, profile=profile, clique_id=0, clique_seed=7)
+        misses = sum(worker.vote_item(i, True) == CLEAN for i in range(500))
+        assert 0.3 < misses / 500 < 0.5
+
+    def test_item_blind_vote_api_rejected(self):
+        """Colluding/stratified votes depend on the item; vote() must not
+        silently fall back to the base profile."""
+        clique = CliqueWorker(worker_id=0, profile=WorkerProfile(), clique_seed=1)
+        stratified = StratifiedWorker(worker_id=0, profile=WorkerProfile())
+        for worker in (clique, stratified):
+            with pytest.raises(ConfigurationError, match="vote_item"):
+                worker.vote(True)
+            with pytest.raises(ConfigurationError, match="vote_item"):
+                worker.vote_batch([True, False])
+
+
+class TestStratifiedWorker:
+    def _worker(self) -> StratifiedWorker:
+        return StratifiedWorker(
+            worker_id=0,
+            profile=WorkerProfile.perfect(),
+            stratum_profiles={0: WorkerProfile(false_negative_rate=1.0)},
+            num_strata=2,
+        )
+
+    def test_profile_lookup_by_item_stratum(self):
+        worker = self._worker()
+        assert worker.profile_for(4).false_negative_rate == 1.0
+        assert worker.profile_for(5) == WorkerProfile.perfect()
+
+    def test_votes_differ_across_strata(self):
+        worker = self._worker()
+        rng = np.random.default_rng(0)
+        # Stratum 0 misses every dirty item; stratum 1 catches every one.
+        assert worker.vote_item(2, True, rng) == CLEAN
+        assert worker.vote_item(3, True, rng) == DIRTY
+
+
+class TestRegimes:
+    def test_mixture_draws_both_components(self):
+        regime = MixtureRegime(
+            components=(
+                (0.5, WorkerProfile(false_negative_rate=0.1)),
+                (0.5, WorkerProfile.spammer(0.5)),
+            )
+        )
+        pool = WorkerPool(regime=regime, seed=5)
+        profiles = {pool.new_worker().profile for _ in range(60)}
+        assert profiles == {
+            WorkerProfile(false_negative_rate=0.1),
+            WorkerProfile.spammer(0.5),
+        }
+
+    def test_mixture_population_profile_is_the_weighted_mean(self):
+        regime = MixtureRegime(
+            components=(
+                (3.0, WorkerProfile(false_negative_rate=0.1)),
+                (1.0, WorkerProfile(false_negative_rate=0.5)),
+            )
+        )
+        assert regime.population_profile().false_negative_rate == pytest.approx(0.2)
+
+    def test_mixture_requires_usable_components(self):
+        with pytest.raises(ConfigurationError):
+            MixtureRegime(components=())
+        with pytest.raises(ConfigurationError):
+            MixtureRegime(components=((0.0, WorkerProfile()),))
+
+    def test_drift_interpolates_and_saturates(self):
+        regime = DriftRegime(
+            start=WorkerProfile(false_negative_rate=0.0),
+            end=WorkerProfile(false_negative_rate=0.4),
+            horizon=10,
+        )
+        assert regime.profile_at(0).false_negative_rate == 0.0
+        assert regime.profile_at(5).false_negative_rate == pytest.approx(0.2)
+        assert regime.profile_at(10).false_negative_rate == pytest.approx(0.4)
+        assert regime.profile_at(100).false_negative_rate == pytest.approx(0.4)
+
+    def test_clique_regime_reuses_shared_answer_seeds(self):
+        regime = CliqueRegime(
+            profile=WorkerProfile(),
+            colluder_profile=WorkerProfile(false_negative_rate=0.4),
+            num_cliques=2,
+            colluder_fraction=1.0,
+        )
+        pool = WorkerPool(regime=regime, seed=3)
+        workers = [pool.new_worker() for _ in range(20)]
+        assert all(isinstance(w, CliqueWorker) for w in workers)
+        seeds_by_clique = {}
+        for worker in workers:
+            seeds_by_clique.setdefault(worker.clique_id, set()).add(worker.clique_seed)
+        # Every member of a clique carries the same answer-sheet seed.
+        assert all(len(seeds) == 1 for seeds in seeds_by_clique.values())
+        assert len(seeds_by_clique) == 2
+
+    def test_stratified_regime_builds_stratified_workers(self):
+        regime = StratifiedRegime(
+            profile=WorkerProfile(),
+            stratum_profiles=((1, WorkerProfile(false_negative_rate=0.9)),),
+            num_strata=3,
+        )
+        worker = WorkerPool(regime=regime, seed=0).new_worker()
+        assert isinstance(worker, StratifiedWorker)
+        assert worker.profile_for(1).false_negative_rate == 0.9
+
+    def test_zero_completion_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="completion_rate"):
+            HomogeneousRegime(WorkerProfile(), completion_rate=0.0)
+
+    def test_unreachable_stratum_rejected(self):
+        """item_id % num_strata can never reach num_strata, so a profile
+        registered there would be a silent no-op."""
+        with pytest.raises(ConfigurationError, match="unreachable"):
+            StratifiedRegime(
+                profile=WorkerProfile(),
+                stratum_profiles=((2, WorkerProfile(false_negative_rate=0.9)),),
+                num_strata=2,
+            )

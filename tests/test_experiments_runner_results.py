@@ -102,6 +102,34 @@ class TestParallelRunner:
         result = EstimationRunner(["voting"], config).run(noisy_crowd_simulation.matrix)
         assert result.metadata["n_jobs"] == 2
 
+    def test_broken_multiprocessing_falls_back_to_serial(
+        self, noisy_crowd_simulation, monkeypatch
+    ):
+        """Platforms without usable multiprocessing warn and run serially."""
+        import repro.experiments.runner as runner_module
+
+        def broken_get_context(*args, **kwargs):
+            raise OSError("sem_open is not implemented on this platform")
+
+        matrix = noisy_crowd_simulation.matrix
+        serial = EstimationRunner(
+            ["voting", "chao92"],
+            RunnerConfig(num_permutations=3, num_checkpoints=4, seed=9, n_jobs=1),
+        ).run(matrix)
+
+        monkeypatch.setattr(
+            runner_module.multiprocessing, "get_context", broken_get_context
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            fallback = EstimationRunner(
+                ["voting", "chao92"],
+                RunnerConfig(num_permutations=3, num_checkpoints=4, seed=9, n_jobs=4),
+            ).run(matrix)
+
+        assert fallback.metadata["n_jobs"] == 1
+        for name in ("voting", "chao92"):
+            assert fallback.series[name].means == serial.series[name].means
+
 
 class TestResultContainers:
     def _series(self):

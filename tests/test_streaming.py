@@ -260,3 +260,75 @@ class TestStreamingSessionApi:
         session = StreamingSession([0, 1], ["voting", "chao92", "switch_total"])
         for result in session.estimate().values():
             assert result.estimate == 0.0
+
+
+class TestStreamingSessionEdgeCases:
+    """The corners of the ingestion contract: empty streams, degenerate
+    worker populations, duplicated columns and invalid item ids."""
+
+    def test_empty_matrix_session_matches_batch_on_zero_columns(self):
+        """A session that ingested nothing equals batch estimation at upto=0."""
+        matrix = ResponseMatrix([0, 1, 2])  # zero columns
+        session = StreamingSession([0, 1, 2], _registry_estimators())
+        assert session.num_columns == 0
+        assert session.total_votes == 0
+        for name, result in session.estimate().items():
+            batch = get_estimator(name).estimate(matrix, 0)
+            assert result.estimate == batch.estimate
+            assert result.observed == batch.observed
+        # The materialised matrix is a genuine 3 x 0 ResponseMatrix.
+        assert session.matrix().num_columns == 0
+        assert session.matrix().item_ids == [0, 1, 2]
+
+    def test_single_worker_supplying_every_column(self):
+        """All columns from one worker id: valid, and equal to the batch path."""
+        session = StreamingSession([0, 1, 2, 3], _registry_estimators())
+        for _ in range(6):
+            session.add_column({0: DIRTY, 1: CLEAN, 2: DIRTY}, worker_id=7)
+        matrix = session.matrix()
+        assert matrix.column_workers == [7] * 6
+        for name, result in session.estimate().items():
+            batch = get_estimator(name).estimate(matrix)
+            assert result.estimate == batch.estimate
+
+    def test_duplicate_task_columns_accumulate_like_batch(self):
+        """Ingesting the identical column twice is two distinct tasks."""
+        votes = {0: DIRTY, 1: CLEAN, 3: DIRTY}
+        session = StreamingSession([0, 1, 2, 3], _registry_estimators())
+        first = session.add_column(votes, worker_id=1)
+        second = session.add_column(votes, worker_id=2)
+        assert (first, second) == (0, 1)
+        assert session.num_columns == 2
+        assert session.total_votes == 6
+        matrix = session.matrix()
+        for name, result in session.estimate().items():
+            batch = get_estimator(name).estimate(matrix)
+            assert result.estimate == batch.estimate
+
+    def test_empty_vote_column_advances_the_stream(self):
+        """A column touching no items still counts as a consumed task."""
+        session = StreamingSession([0, 1], ["voting", "chao92"])
+        session.add_column({0: DIRTY})
+        session.add_column({})
+        assert session.num_columns == 2
+        assert session.total_votes == 1
+        matrix = session.matrix()
+        assert matrix.num_columns == 2
+        for name, result in session.estimate().items():
+            assert result.estimate == get_estimator(name).estimate(matrix).estimate
+
+    def test_out_of_range_item_ids_rejected_without_corrupting_state(self):
+        session = StreamingSession([0, 1, 2], ["voting", "chao92"])
+        session.add_column({0: DIRTY, 1: DIRTY})
+        before = {name: r.estimate for name, r in session.estimate().items()}
+        with pytest.raises(ValidationError, match="unknown item id"):
+            session.add_vote(999, DIRTY)
+        with pytest.raises(ValidationError, match="unknown item id"):
+            session.add_column({0: DIRTY, 42: CLEAN})
+        # The failed ingestions left no partial state behind.
+        assert session.num_columns == 1
+        assert session.total_votes == 2
+        assert {name: r.estimate for name, r in session.estimate().items()} == before
+        # The session still accepts valid work afterwards.
+        session.add_column({2: DIRTY})
+        assert session.num_columns == 2

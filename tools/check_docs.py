@@ -19,7 +19,13 @@ from typing import List, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The documents whose python blocks must stay runnable.
-DOCUMENTS = ("README.md", "docs/architecture.md", "docs/paper_mapping.md", "docs/api.md")
+DOCUMENTS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/paper_mapping.md",
+    "docs/api.md",
+    "docs/scenarios.md",
+)
 
 _BLOCK_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

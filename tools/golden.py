@@ -1,0 +1,59 @@
+"""Record or check the scenario golden-trajectory files.
+
+The authoritative logic lives in :mod:`repro.scenarios.golden`; this
+script is the standalone entry point CI and developers call::
+
+    PYTHONPATH=src python tools/golden.py check            # diff all goldens
+    PYTHONPATH=src python tools/golden.py check fp-heavy   # just one
+    PYTHONPATH=src python tools/golden.py record           # refresh all
+
+``check`` exits non-zero on any drift and prints a unified diff per
+drifted scenario, so an estimator change that silently moves a
+trajectory fails the CI golden job with the exact floats that moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios.golden import (  # noqa: E402
+    check_scenarios,
+    record_scenarios,
+    report_check_results,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="golden", description="Record or check scenario golden trajectories."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    record = sub.add_parser("record", help="(re)write golden files")
+    record.add_argument("names", nargs="*", help="scenarios to record (default: all)")
+    check = sub.add_parser("check", help="replay scenarios and diff against goldens")
+    check.add_argument("names", nargs="*", help="scenarios to check (default: all)")
+    args = parser.parse_args(argv)
+
+    if args.command == "record":
+        for path in record_scenarios(args.names or None):
+            print(f"recorded {path}")
+        return 0
+
+    failures = report_check_results(check_scenarios(args.names or None))
+    if failures:
+        print(
+            f"\n{failures} golden file(s) drifted. If the change is intentional, "
+            "re-record with 'python tools/golden.py record' and commit the diff.",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
