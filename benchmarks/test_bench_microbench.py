@@ -8,8 +8,10 @@ operation an interactive quality dashboard would run after every task.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.core.registry import get_estimator
 from repro.core.chao92 import Chao92Estimator
 from repro.core.switch import SwitchEstimator, switch_statistics
 from repro.core.total_error import SwitchTotalErrorEstimator
@@ -67,6 +69,45 @@ def test_micro_estimate_sweep_switch(benchmark, bench_matrix):
     )
     results = benchmark(lambda: SwitchEstimator().estimate_sweep(bench_matrix, checkpoints))
     assert len(results) == len(checkpoints)
+
+
+def test_micro_streaming_repeated_estimates(benchmark, bench_matrix):
+    """Repeated ``estimate()`` reads between updates are O(1).
+
+    The session below has ingested 300 columns over 2000 items; the
+    fingerprint snapshots are cached until the next mutation, so a
+    dashboard polling every estimator between task arrivals pays only the
+    estimator arithmetic, never an O(N) fingerprint rebuild.
+    """
+    from repro.streaming import StreamingSession
+
+    session = StreamingSession.replay(
+        bench_matrix, ["chao92", "vchao92", "switch_total"], keep_votes=False
+    )
+    results = benchmark(session.estimate)
+    assert set(results) == {"chao92", "vchao92", "switch_total"}
+
+
+def test_micro_permutation_batch_2000x300(benchmark, bench_matrix):
+    """The cross-permutation tensor engine on a mid-size workload."""
+    from repro.core.base import batch_estimates
+    from repro.core.state import PermutationBatch
+
+    rng = np.random.default_rng(7)
+    orders = [None] + [
+        [int(i) for i in rng.permutation(bench_matrix.num_columns)] for _ in range(4)
+    ]
+    checkpoints = RunnerConfig(num_checkpoints=20).resolve_checkpoints(
+        bench_matrix.num_columns
+    )
+    estimators = [get_estimator(n) for n in ("chao92", "switch", "switch_total")]
+
+    def run():
+        batch = PermutationBatch(bench_matrix, orders, checkpoints)
+        return [batch_estimates(estimator, batch) for estimator in estimators]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == 3
 
 
 def test_micro_runner_sweep_2000x100(benchmark, bench_matrix):

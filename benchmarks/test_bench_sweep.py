@@ -6,9 +6,11 @@ re-estimating after every batch of tasks.  The seed evaluated every
 estimator from scratch at every checkpoint (a per-item Python scan per
 evaluation); the sweep engine scans the matrix once per estimator and
 re-slices precomputed cumulative counts per checkpoint.  On top of that
-this module times the two PR-2 paths: the process-parallel permutation
+this module times the PR-2 paths — the process-parallel permutation
 runner (``n_jobs``) and the streaming session ingesting the same
-workload column by column.
+workload column by column — and the PR-4 cross-permutation tensor
+engine, both single-process and under chunked ``n_jobs`` dispatch
+(recorded trajectory: ``BENCH_runner.json`` via ``repro bench``).
 """
 
 from __future__ import annotations
@@ -71,6 +73,86 @@ def test_sweep_5000x200_runner(benchmark, sweep_matrix):
     )
     result = benchmark.pedantic(lambda: runner.run(sweep_matrix), rounds=1, iterations=1)
     assert set(result.series) == {"chao92", "switch", "switch_total"}
+
+
+#: The acceptance-criterion estimator set of the tensor-engine workload.
+TENSOR_ESTIMATORS = ["voting", "chao92", "vchao92", "extrapolation", "switch", "switch_total"]
+
+
+def test_sweep_5000x200_tensor_engine_vs_serial(benchmark, sweep_matrix):
+    """The cross-permutation tensor engine against the serial sweep loop.
+
+    10 permutations x 20 checkpoints x 6 estimators — the ISSUE-4
+    workload.  Both engines are timed inline (best of 2) and must agree
+    bit-for-bit; the single-core speedup floor is deliberately below the
+    measured ~1.6x to stay robust on noisy CI boxes.  The recorded
+    trajectory (incl. the 3.5x figure against the pre-PR serial loop)
+    lives in BENCH_runner.json / docs/performance.md.
+    """
+    shared = dict(num_permutations=10, num_checkpoints=NUM_CHECKPOINTS, seed=3)
+    serial_runner = EstimationRunner(TENSOR_ESTIMATORS, RunnerConfig(engine="serial", **shared))
+    batch_runner = EstimationRunner(TENSOR_ESTIMATORS, RunnerConfig(engine="batch", **shared))
+
+    serial_seconds, batch_seconds = float("inf"), float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        serial = serial_runner.run(sweep_matrix)
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        batch = batch_runner.run(sweep_matrix)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    for name in TENSOR_ESTIMATORS:
+        assert [p.values for p in serial.series[name].points] == [
+            p.values for p in batch.series[name].points
+        ]
+    speedup = serial_seconds / batch_seconds if batch_seconds else float("inf")
+    print(
+        f"\nserial engine {serial_seconds:.3f}s, tensor engine {batch_seconds:.3f}s, "
+        f"speedup {speedup:.2f}x (single process)"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert speedup >= 1.2, f"tensor engine should beat the serial loop, got {speedup:.2f}x"
+
+
+def test_sweep_5000x200_tensor_engine_parallel_speedup(benchmark, sweep_matrix):
+    """Chunked n_jobs=4 dispatch of the tensor engine on >= 4 cores.
+
+    Combined with the >= 2.2x kernel factor over the PR-3 loop recorded in
+    BENCH_runner.json, the >= 2.3x floor asserted here implies the >= 5x
+    acceptance speedup against the pre-PR serial path.  Hosts with fewer
+    than 4 usable cores still exercise the path for correctness but skip
+    the assertion (same policy as the PR-2 parallel benchmark).
+    """
+    shared = dict(num_permutations=10, num_checkpoints=NUM_CHECKPOINTS, seed=3, engine="batch")
+    serial_runner = EstimationRunner(TENSOR_ESTIMATORS, RunnerConfig(n_jobs=1, **shared))
+    start = time.perf_counter()
+    serial = serial_runner.run(sweep_matrix)
+    serial_seconds = time.perf_counter() - start
+
+    parallel_runner = EstimationRunner(TENSOR_ESTIMATORS, RunnerConfig(n_jobs=4, **shared))
+    start = time.perf_counter()
+    parallel = parallel_runner.run(sweep_matrix)
+    parallel_seconds = time.perf_counter() - start
+
+    for name in TENSOR_ESTIMATORS:
+        assert [p.values for p in serial.series[name].points] == [
+            p.values for p in parallel.series[name].points
+        ]
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        usable_cpus = os.cpu_count() or 1
+    print(
+        f"\ntensor serial {serial_seconds:.3f}s, n_jobs=4 {parallel_seconds:.3f}s, "
+        f"speedup {speedup:.2f}x on {usable_cpus} usable cpus"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if usable_cpus >= 4:
+        assert speedup >= 2.3, f"expected >= 2.3x at n_jobs=4, measured {speedup:.2f}x"
+    else:
+        pytest.skip(f"only {usable_cpus} usable cpu(s): speedup not measurable here")
 
 
 def test_sweep_5000x200_runner_parallel_speedup(benchmark, sweep_matrix):

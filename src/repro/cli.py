@@ -12,6 +12,7 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro scenario list                # the declarative suite
     python -m repro scenario run spammer-infested --seed 7
     python -m repro scenario record              # refresh golden files
+    python -m repro bench --smoke --check        # record perf, fail on regression
 
 Every command prints the same text tables the benchmark harness produces,
 so the CLI is the quickest way to eyeball a figure without running pytest.
@@ -56,7 +57,7 @@ EXPERIMENTS = (
 )
 
 #: Workload-independent tool commands.
-TOOLS = ("list", "quality", "stream", "sweep", "scenario")
+TOOLS = ("list", "quality", "stream", "sweep", "scenario", "bench")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -141,6 +142,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="registry names to evaluate",
     )
     sweep.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the runner workloads and update BENCH_runner.json",
+    )
+    # Options are defined once in repro.experiments.bench and shared with
+    # tools/bench_record.py, so the two entry points cannot drift.
+    from repro.experiments.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
 
     scenario = sub.add_parser(
         "scenario",
@@ -310,6 +321,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "scenario":
         return _run_scenario_command(args)
+
+    if args.command == "bench":
+        from repro.experiments.bench import run_from_args
+
+        return run_from_args(args)
 
     if args.command == "list":
         print("experiments:")

@@ -31,6 +31,7 @@ from repro.core.base import (
     EstimateResult,
     StateEstimatorMixin,
     SweepEstimatorMixin,
+    batch_estimates,
     sweep_estimates,
 )
 from repro.core.chao92 import (
@@ -65,6 +66,8 @@ from repro.core.state import (
     EstimationState,
     MatrixPrefixState,
     MatrixSweepState,
+    PermutationBatch,
+    PermutationSweepState,
     StreamingState,
     matrix_sweep_states,
 )
@@ -89,11 +92,14 @@ __all__ = [
     "StateEstimatorMixin",
     "SweepEstimatorMixin",
     "sweep_estimates",
+    "batch_estimates",
     "EstimationState",
     "MatrixPrefixState",
     "MatrixSweepState",
     "StreamingState",
     "matrix_sweep_states",
+    "PermutationBatch",
+    "PermutationSweepState",
     "Fingerprint",
     "IncrementalFingerprint",
     "fingerprint_from_counts",

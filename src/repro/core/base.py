@@ -6,16 +6,20 @@ harness can sweep a heterogeneous set of estimators over a task stream
 without special cases.  Two further methods layer on top of it:
 
 * ``estimate_sweep(matrix, checkpoints)`` evaluates many prefixes in one
-  incremental pass (PR 1's sweep engine), and
+  incremental pass (PR 1's sweep engine),
 * ``estimate_state(state)`` evaluates one
   :class:`~repro.core.state.EstimationState` — the shared incremental
   statistics layer that the single-prefix path, the sweep engine and the
-  streaming session all feed.
+  streaming session all feed, and
+* ``estimate_sweep_batch(batch)`` evaluates a whole
+  :class:`~repro.core.state.PermutationBatch` — every checkpoint of every
+  column permutation in one call over stacked tables (the engine behind
+  the permutation-averaged experiment runner).
 
 Built-in estimators implement only ``estimate_state`` and inherit the
-other two from :class:`StateEstimatorMixin`; third-party estimators can
-still provide just ``estimate`` and are handled by the fallback loop in
-:func:`sweep_estimates`.
+others from :class:`StateEstimatorMixin`; third-party estimators can
+still provide just ``estimate`` and are handled by the fallback loops in
+:func:`sweep_estimates` and :func:`batch_estimates`.
 """
 
 from __future__ import annotations
@@ -114,6 +118,20 @@ class SweepEstimatorMixin:
         """Evaluate :meth:`estimate` at every checkpoint prefix."""
         return [self.estimate(matrix, checkpoint) for checkpoint in checkpoints]
 
+    def estimate_sweep_batch(self, batch) -> List[List[EstimateResult]]:
+        """Evaluate every permutation's sweep of a cross-permutation batch.
+
+        ``batch`` is a :class:`~repro.core.state.PermutationBatch`; the
+        result is indexed ``[permutation][checkpoint]`` and must be
+        bit-identical to sweeping each permuted matrix separately.  This
+        fallback does exactly that (materialising one permuted matrix at a
+        time); estimators with a batched implementation override it.
+        """
+        return [
+            self.estimate_sweep(batch.permuted_matrix(p), batch.checkpoints)
+            for p in range(batch.num_permutations)
+        ]
+
 
 class StateEstimatorMixin(SweepEstimatorMixin):
     """Derive ``estimate`` and ``estimate_sweep`` from ``estimate_state``.
@@ -158,6 +176,19 @@ class StateEstimatorMixin(SweepEstimatorMixin):
             for state in matrix_sweep_states(matrix, checkpoints)
         ]
 
+    def estimate_sweep_batch(self, batch) -> List[List[EstimateResult]]:
+        """Evaluate every (permutation, checkpoint) cell of a batch.
+
+        The default evaluates :meth:`estimate_state` over the batch's
+        shared per-cell states, so even estimators without a dedicated
+        batched implementation reuse the one stacked set of count tables
+        and the single cross-permutation switch scan.
+        """
+        return [
+            [self.estimate_state(state) for state in batch.states(p)]
+            for p in range(batch.num_permutations)
+        ]
+
 
 def sweep_estimates(
     estimator: EstimatorProtocol,
@@ -193,3 +224,22 @@ def sweep_estimates(
     if sweep is not None:
         return sweep(matrix, checkpoints)
     return [estimator.estimate(matrix, checkpoint) for checkpoint in checkpoints]
+
+
+def batch_estimates(estimator: EstimatorProtocol, batch) -> List[List[EstimateResult]]:
+    """Evaluate ``estimator`` over every cell of a cross-permutation batch.
+
+    ``batch`` is a :class:`~repro.core.state.PermutationBatch`; the result
+    is indexed ``[permutation][checkpoint]``.  Estimators exposing
+    ``estimate_sweep_batch`` (every built-in, via the mixins) evaluate over
+    the batch's shared tables; estimate-only third-party estimators fall
+    back to one serial sweep per materialised permuted matrix — identical
+    results, only the wall-clock differs.
+    """
+    fast = getattr(estimator, "estimate_sweep_batch", None)
+    if fast is not None:
+        return fast(batch)
+    return [
+        sweep_estimates(estimator, batch.permuted_matrix(p), batch.checkpoints)
+        for p in range(batch.num_permutations)
+    ]

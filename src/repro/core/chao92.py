@@ -24,8 +24,40 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.core.base import EstimateResult, StateEstimatorMixin
 from repro.core.fstatistics import Fingerprint
+
+
+def _coverage_from_stats(singletons: int, num_observations: int) -> float:
+    """Good–Turing coverage from its two sufficient statistics."""
+    if num_observations <= 0:
+        return 0.0
+    return max(0.0, 1.0 - singletons / num_observations)
+
+
+def _skew_from_stats(
+    distinct: int, num_observations: int, coverage: float, pair_sum: int
+) -> float:
+    """``gamma^2`` from scalar statistics; ``pair_sum = sum_j j(j-1) f_j``."""
+    if num_observations <= 1 or coverage <= 0.0 or distinct <= 0:
+        return 0.0
+    gamma_squared = (
+        (distinct / coverage) * pair_sum / (num_observations * (num_observations - 1))
+        - 1.0
+    )
+    return max(gamma_squared, 0.0)
+
+
+def _pair_sum(fingerprint: Fingerprint) -> int:
+    """``sum_j j(j-1) f_j`` — the skew numerator of a fingerprint.
+
+    Equals ``sum_i n_i (n_i - 1)`` over the per-item occurrence counts,
+    which is how the batched fast paths compute it straight from a count
+    table without materialising the fingerprint.
+    """
+    return sum(j * (j - 1) * fj for j, fj in fingerprint.frequencies.items())
 
 
 def good_turing_coverage(fingerprint: Fingerprint) -> float:
@@ -35,10 +67,7 @@ def good_turing_coverage(fingerprint: Fingerprint) -> float:
     clips to 0.0 when ``f_1 >= n`` (every observation is a singleton, so
     the sample says nothing about the unseen mass).
     """
-    n = fingerprint.num_observations
-    if n <= 0:
-        return 0.0
-    return max(0.0, 1.0 - fingerprint.singletons / n)
+    return _coverage_from_stats(fingerprint.singletons, fingerprint.num_observations)
 
 
 def skew_coefficient(
@@ -65,14 +94,41 @@ def skew_coefficient(
         ``max(gamma^2, 0)``; returns 0 when the sample is too small for the
         formula (fewer than two observations or zero coverage).
     """
-    n = fingerprint.num_observations
     c = fingerprint.distinct if distinct is None else int(distinct)
     cov = good_turing_coverage(fingerprint) if coverage is None else float(coverage)
-    if n <= 1 or cov <= 0.0 or c <= 0:
-        return 0.0
-    sum_term = sum(j * (j - 1) * fj for j, fj in fingerprint.frequencies.items())
-    gamma_squared = (c / cov) * sum_term / (n * (n - 1)) - 1.0
-    return max(gamma_squared, 0.0)
+    return _skew_from_stats(c, fingerprint.num_observations, cov, _pair_sum(fingerprint))
+
+
+def chao92_components_from_stats(
+    *,
+    distinct: int,
+    num_observations: int,
+    singletons: int,
+    pair_sum: int,
+    use_skew_correction: bool = True,
+) -> Tuple[float, float, float]:
+    """Chao92 components from the four sufficient statistics.
+
+    This is the single arithmetic core behind :func:`chao92_components`:
+    the fingerprint path extracts the statistics from a
+    :class:`~repro.core.fstatistics.Fingerprint`, the cross-permutation
+    batch engine reduces them from its count tables — both then run the
+    identical scalar float operations, which is what makes the batched
+    estimates bit-identical to the per-prefix ones.
+    """
+    c = int(distinct)
+    n = int(num_observations)
+    f1 = int(singletons)
+    coverage = _coverage_from_stats(f1, n)
+    gamma_squared = (
+        _skew_from_stats(c, n, coverage, int(pair_sum)) if use_skew_correction else 0.0
+    )
+    if coverage <= 0.0:
+        return float(c), coverage, gamma_squared
+    estimate = c / coverage
+    if use_skew_correction:
+        estimate += f1 * gamma_squared / coverage
+    return float(estimate), coverage, gamma_squared
 
 
 def chao92_components(
@@ -88,19 +144,13 @@ def chao92_components(
     ``details`` dict) compute them exactly once instead of re-deriving them
     from the fingerprint.
     """
-    c = fingerprint.distinct if distinct is None else int(distinct)
-    coverage = good_turing_coverage(fingerprint)
-    gamma_squared = (
-        skew_coefficient(fingerprint, distinct=c, coverage=coverage)
-        if use_skew_correction
-        else 0.0
+    return chao92_components_from_stats(
+        distinct=fingerprint.distinct if distinct is None else int(distinct),
+        num_observations=fingerprint.num_observations,
+        singletons=fingerprint.singletons,
+        pair_sum=_pair_sum(fingerprint) if use_skew_correction else 0,
+        use_skew_correction=use_skew_correction,
     )
-    if coverage <= 0.0:
-        return float(c), coverage, gamma_squared
-    estimate = c / coverage
-    if use_skew_correction:
-        estimate += fingerprint.singletons * gamma_squared / coverage
-    return float(estimate), coverage, gamma_squared
 
 
 def chao92_estimate(
@@ -153,10 +203,14 @@ class Chao92Estimator(StateEstimatorMixin):
     use_skew_correction: bool = True
     name: str = "chao92"
 
-    def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
-        estimate, coverage, gamma_squared = chao92_components(
-            fingerprint,
+    def _result_from_stats(
+        self, observed: int, n: int, f1: int, f2: int, pair_sum: int
+    ) -> EstimateResult:
+        estimate, coverage, gamma_squared = chao92_components_from_stats(
             distinct=observed,
+            num_observations=n,
+            singletons=f1,
+            pair_sum=pair_sum,
             use_skew_correction=self.use_skew_correction,
         )
         return EstimateResult(
@@ -164,13 +218,52 @@ class Chao92Estimator(StateEstimatorMixin):
             observed=float(observed),
             details={
                 "coverage": coverage,
-                "singletons": float(fingerprint.singletons),
-                "doubletons": float(fingerprint.doubletons),
-                "positive_votes": float(fingerprint.num_observations),
+                "singletons": float(f1),
+                "doubletons": float(f2),
+                "positive_votes": float(n),
                 "gamma_squared": gamma_squared,
             },
+        )
+
+    def _result(self, fingerprint: Fingerprint, observed: int) -> EstimateResult:
+        return self._result_from_stats(
+            observed,
+            fingerprint.num_observations,
+            fingerprint.singletons,
+            fingerprint.doubletons,
+            _pair_sum(fingerprint) if self.use_skew_correction else 0,
         )
 
     def estimate_state(self, state) -> EstimateResult:
         """Estimate the total error count from the state's vote fingerprint."""
         return self._result(state.positive_fingerprint(), state.nominal_count())
+
+    def estimate_sweep_batch(self, batch) -> list:
+        """Vectorised cross-permutation sweep over a :class:`PermutationBatch`.
+
+        The fingerprint sufficient statistics (``n``, ``f_1``, ``f_2`` and
+        the skew pair sum) reduce from the batched positive-count table in
+        C; the per-cell arithmetic then reuses the exact scalar code path,
+        so every estimate is bit-identical to the serial sweep.
+        """
+        positives = batch.positive_table  # (R, m, N)
+        n = positives.sum(axis=2, dtype=np.int64)
+        f1 = np.count_nonzero(positives == 1, axis=2)
+        f2 = np.count_nonzero(positives == 2, axis=2)
+        # The int64 scalar promotes the product before it can overflow the
+        # table's compact dtype.
+        pair_sum = (positives * (positives - np.int64(1))).sum(axis=2)
+        observed = batch.nominal_counts
+        return [
+            [
+                self._result_from_stats(
+                    int(observed[p, j]),
+                    int(n[p, j]),
+                    int(f1[p, j]),
+                    int(f2[p, j]),
+                    int(pair_sum[p, j]),
+                )
+                for j in range(batch.num_checkpoints)
+            ]
+            for p in range(batch.num_permutations)
+        ]

@@ -26,6 +26,17 @@ def majority_estimate(matrix: ResponseMatrix, upto: Optional[int] = None) -> int
     return majority_count(matrix, upto)
 
 
+def _descriptive_batch_results(count_table) -> list:
+    """``[permutation][checkpoint]`` results from an ``(R, m)`` count table."""
+    return [
+        [
+            EstimateResult(estimate=float(count), observed=float(count), details={})
+            for count in row
+        ]
+        for row in count_table.tolist()
+    ]
+
+
 @dataclass
 class NominalEstimator(StateEstimatorMixin):
     """Descriptive estimator returning the nominal error count."""
@@ -36,6 +47,10 @@ class NominalEstimator(StateEstimatorMixin):
         """Return the nominal count; ``estimate == observed`` by construction."""
         count = float(state.nominal_count())
         return EstimateResult(estimate=count, observed=count, details={})
+
+    def estimate_sweep_batch(self, batch) -> list:
+        """All (permutation, checkpoint) cells straight from the batch table."""
+        return _descriptive_batch_results(batch.nominal_counts)
 
 
 @dataclass
@@ -53,3 +68,7 @@ class VotingEstimator(StateEstimatorMixin):
         """Return the majority count; ``estimate == observed`` by construction."""
         count = float(state.majority_count())
         return EstimateResult(estimate=count, observed=count, details={})
+
+    def estimate_sweep_batch(self, batch) -> list:
+        """All (permutation, checkpoint) cells straight from the batch table."""
+        return _descriptive_batch_results(batch.majority_counts)

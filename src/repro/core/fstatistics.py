@@ -140,14 +140,19 @@ class IncrementalFingerprint:
     is decremented and one incremented, so an update costs O(1) regardless
     of ``N``.  :meth:`snapshot` materialises an immutable
     :class:`Fingerprint` holding exactly the integers a batch rebuild
-    would produce.
+    would produce — and caches it until the next mutation, so repeated
+    estimate reads between updates (a dashboard polling a
+    :class:`~repro.streaming.StreamingSession`) stop re-copying and
+    re-validating the frequency table: they are O(1) and return the same
+    object.
     """
 
-    __slots__ = ("_frequencies", "num_observations")
+    __slots__ = ("_frequencies", "num_observations", "_snapshot_cache")
 
     def __init__(self) -> None:
         self._frequencies: Dict[int, int] = {}
         self.num_observations = 0
+        self._snapshot_cache: Optional[Fingerprint] = None
 
     def reclassify(self, old_count: int, new_count: int) -> None:
         """Move one item from occurrence class ``old_count`` to ``new_count``.
@@ -157,6 +162,7 @@ class IncrementalFingerprint:
         """
         if old_count == new_count:
             return
+        self._snapshot_cache = None
         if old_count > 0:
             remaining = self._frequencies[old_count] - 1
             if remaining:
@@ -168,10 +174,17 @@ class IncrementalFingerprint:
 
     def add_observations(self, count: int = 1) -> None:
         """Grow the observation count ``n`` by ``count``."""
-        self.num_observations += int(count)
+        count = int(count)
+        if count:
+            self._snapshot_cache = None
+            self.num_observations += count
 
     def snapshot(self, num_observations: Optional[int] = None) -> Fingerprint:
         """An immutable :class:`Fingerprint` of the current table.
+
+        Cached until the next :meth:`reclassify` / :meth:`add_observations`
+        mutation (per requested observation count), so repeated reads
+        between updates cost O(1) and return the identical object.
 
         Parameters
         ----------
@@ -180,12 +193,18 @@ class IncrementalFingerprint:
             fingerprints (all / positive / negative switches) that share
             the single adjusted count ``n_switch`` and passes it here.
         """
-        return Fingerprint(
-            frequencies=dict(self._frequencies),
-            num_observations=(
-                self.num_observations if num_observations is None else int(num_observations)
-            ),
+        resolved = (
+            self.num_observations if num_observations is None else int(num_observations)
         )
+        cached = self._snapshot_cache
+        if cached is not None and cached.num_observations == resolved:
+            return cached
+        snapshot = Fingerprint(
+            frequencies=dict(self._frequencies),
+            num_observations=resolved,
+        )
+        self._snapshot_cache = snapshot
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"IncrementalFingerprint({self.snapshot()!r})"

@@ -20,12 +20,19 @@ directly.  Three implementations cover every access pattern:
 * :func:`matrix_sweep_states` — all checkpoint prefixes of a matrix at
   once, backed by a single set of incremental checkpoint tables and one
   switch scan **shared across checkpoints and across estimators**;
+* :class:`PermutationBatch` — all checkpoint prefixes of **all column
+  permutations** at once: the permuted matrices are stacked into one
+  ``(R, N, K)`` tensor, the count tables become one ``(R, m, N)`` pass
+  and the ``R`` switch scans collapse into a single scan of the
+  ``(R * N, K)`` reshaped stack (the engine of the permutation-averaged
+  experiment runner);
 * :class:`StreamingState` — a live state fed one worker response at a
   time, maintained with O(items touched) work per update (the engine of
   :class:`repro.streaming.StreamingSession`).
 
-All three produce bit-identical integers, which is what makes the
-streaming/batch equivalence guarantee of the estimators hold.
+All of them produce bit-identical integers, which is what makes the
+streaming/batch/sweep/cross-permutation equivalence guarantee of the
+estimators hold.
 """
 
 from __future__ import annotations
@@ -47,6 +54,9 @@ from repro.core.fstatistics import (
 from repro.core.switch import (
     IncrementalSwitchState,
     _estimation_sweep,
+    _EstimationSwitchStats,
+    _SwitchScan,
+    _SwitchSweepCells,
     switch_statistics,
 )
 from repro.crowd.consensus import majority_count_history
@@ -268,6 +278,349 @@ def matrix_sweep_states(
     resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
     tables = _SweepTables(matrix, resolved)
     return [MatrixSweepState(tables, index) for index in range(len(resolved))]
+
+
+class PermutationBatch:
+    """Batched estimation states for ``R`` column permutations of one matrix.
+
+    The experiment runner averages every trajectory over random column
+    permutations of the *same* collected matrix.  Evaluating them one at a
+    time repeats identical work ``R`` times: each permutation re-derives
+    its checkpoint count tables, re-scans the matrix for switches and
+    re-builds Python fingerprints.  This class restructures the data
+    layout instead: the permuted matrices are stacked into one
+    ``(R, N, K)`` tensor, the checkpoint count tables become one
+    ``(R, m, N)`` pass, and — because the switch scan treats rows
+    independently — all ``R`` switch scans collapse into a **single**
+    :class:`~repro.core.switch._SwitchScan` over the ``(R * N, K)``
+    reshaped stack.
+
+    Consumers come in two flavours:
+
+    * estimators with a batched fast path
+      (``estimate_sweep_batch``) reduce their sufficient statistics
+      straight from :attr:`positive_table` / :attr:`negative_table` /
+      :meth:`switch_stats`;
+    * everything else evaluates ``estimate_state`` over :meth:`states`,
+      whose per-cell states satisfy the :class:`EstimationState` protocol
+      and are backed by the same shared tables.
+
+    Every quantity either path reads is integer-exact and identical to
+    what ``matrix.permute_columns(order)`` + :func:`matrix_sweep_states`
+    would produce, which is what makes the batched estimates bit-identical
+    to the serial per-permutation sweep (pinned by the golden scenarios
+    and a hypothesis property test).
+
+    Parameters
+    ----------
+    matrix:
+        The fully collected worker-response matrix.
+    orders:
+        One column order per permutation; ``None`` entries mean the
+        original column order.  Each order must be a permutation of
+        ``range(matrix.num_columns)``.
+    checkpoints:
+        Prefix lengths to evaluate at (resolved with
+        :meth:`~repro.crowd.response_matrix.ResponseMatrix.resolve_upto`,
+        shared by every permutation).
+    """
+
+    def __init__(
+        self,
+        matrix: ResponseMatrix,
+        orders: Sequence[Optional[Sequence[int]]],
+        checkpoints: Sequence[int],
+    ):
+        self.matrix = matrix
+        self.num_items = matrix.num_items
+        num_columns = matrix.num_columns
+        identity = np.arange(num_columns, dtype=np.intp)
+        rows = []
+        self._is_identity: List[bool] = []
+        for order in orders:
+            if order is None:
+                rows.append(identity)
+                self._is_identity.append(True)
+                continue
+            candidate = np.asarray([int(i) for i in order], dtype=np.intp)
+            if candidate.shape != identity.shape or not np.array_equal(
+                np.sort(candidate), identity
+            ):
+                raise ValidationError(
+                    "every order must be a permutation of the column indices "
+                    f"0..{num_columns - 1}, got {list(order)!r}"
+                )
+            rows.append(candidate)
+            self._is_identity.append(False)
+        if not rows:
+            raise ValidationError("at least one permutation order is required")
+        self._orders = np.vstack(rows)  # (R, K)
+        self.num_permutations = len(rows)
+        self.checkpoints = list(checkpoints)
+        self.resolved = [matrix.resolve_upto(cp) for cp in self.checkpoints]
+        self.num_checkpoints = len(self.resolved)
+        self._switch_cells: Dict[Tuple[int, int], _EstimationSwitchStats] = {}
+        self._sweep_cells: Dict[int, _SwitchSweepCells] = {}
+        self._state_lists: Dict[int, List["PermutationSweepState"]] = {}
+
+    # ------------------------------------------------------------------ #
+    # shared tables (all lazy: a batch of voting-only estimators never
+    # pays for the switch scan, and vice versa)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def _stacked(self) -> np.ndarray:
+        """(R, N, K) int8 — every permuted matrix, stacked."""
+        gathered = self.matrix.values[:, self._orders]  # (N, R, K)
+        return np.ascontiguousarray(gathered.transpose(1, 0, 2))
+
+    def _label_table(self, label: int) -> np.ndarray:
+        """(R, m, N) per-item counts of ``label`` votes at each checkpoint.
+
+        The same incremental segment-sum scheme as
+        :meth:`ResponseMatrix._label_counts_at`, run once over the whole
+        stack: one pass over ``R x N x K`` covers every permutation and
+        every checkpoint.
+        """
+        resolved = self.resolved
+        if not resolved:
+            return np.zeros((self.num_permutations, 0, self.num_items), dtype=np.int32)
+        mask = self._stacked == label
+        # int32 halves the table's memory traffic; counts are bounded by
+        # the column count, far below the int32 range.
+        running = np.zeros((self.num_permutations, self.num_items), dtype=np.int32)
+        table: Dict[int, np.ndarray] = {}
+        previous = 0
+        for checkpoint in sorted(set(resolved)):
+            if checkpoint > previous:
+                running = running + mask[:, :, previous:checkpoint].sum(
+                    axis=2, dtype=np.int32
+                )
+            table[checkpoint] = running
+            previous = checkpoint
+        return np.stack([table[checkpoint] for checkpoint in resolved], axis=1)
+
+    @cached_property
+    def positive_table(self) -> np.ndarray:
+        """``n_i^+`` as an ``(R, m, N)`` table (permutation x checkpoint x item)."""
+        return self._label_table(DIRTY)
+
+    @cached_property
+    def negative_table(self) -> np.ndarray:
+        """``n_i^-`` as an ``(R, m, N)`` table."""
+        return self._label_table(CLEAN)
+
+    @cached_property
+    def nominal_counts(self) -> np.ndarray:
+        """``c_nominal`` per (permutation, checkpoint) cell, ``(R, m)``."""
+        return (self.positive_table > 0).sum(axis=2)
+
+    @cached_property
+    def majority_counts(self) -> np.ndarray:
+        """``c_majority`` per (permutation, checkpoint) cell, ``(R, m)``."""
+        return (self.positive_table > self.negative_table).sum(axis=2)
+
+    @cached_property
+    def _scan(self) -> _SwitchScan:
+        """One switch scan over all permutations (rows are independent)."""
+        flat = self._stacked.reshape(
+            self.num_permutations * self.num_items, self.matrix.num_columns
+        )
+        return _SwitchScan(flat)
+
+    @cached_property
+    def _event_offsets(self) -> np.ndarray:
+        """Event-array slice boundaries per permutation (events are row-sorted)."""
+        bounds = np.arange(self.num_permutations + 1) * self.num_items
+        return np.searchsorted(self._scan.event_rows, bounds)
+
+    @cached_property
+    def _events_by_column(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per permutation: global event indices sorted by column, plus the
+        sorted columns themselves.
+
+        Checkpoints are prefixes of the column-sorted order, so one
+        ``searchsorted`` + slice per cell replaces a full comparison scan
+        of the permutation's events.
+        """
+        scan, offsets = self._scan, self._event_offsets
+        ordered = []
+        for permutation in range(self.num_permutations):
+            low, high = offsets[permutation : permutation + 2]
+            columns = scan.event_cols[low:high]
+            order = np.argsort(columns, kind="stable")
+            ordered.append((low + order, columns[order]))
+        return ordered
+
+    @cached_property
+    def _cell_vote_totals(self) -> np.ndarray:
+        """Total votes per (permutation, checkpoint) cell, ``(R, m)``.
+
+        One gather of the scan's cumulative seen counts at the checkpoint
+        columns covers every cell at once.
+        """
+        resolved = np.asarray(self.resolved, dtype=np.int64)
+        totals = np.zeros((self.num_permutations, resolved.size), dtype=np.int64)
+        nonzero = resolved > 0
+        if nonzero.any():
+            gathered = self._scan.seen_cum[:, resolved[nonzero] - 1]
+            totals[:, nonzero] = gathered.reshape(
+                self.num_permutations, self.num_items, -1
+            ).sum(axis=1, dtype=np.int64)
+        return totals
+
+    def switch_sweep_cells(self, permutation: int) -> _SwitchSweepCells:
+        """Vectorised per-checkpoint switch statistics of one permutation.
+
+        The batched SWITCH estimators consume these; cached so the
+        remaining-switch and total-error estimators of one batch share the
+        single ``(events x checkpoints)`` pass.
+        """
+        cells = self._sweep_cells.get(permutation)
+        if cells is None:
+            low, high = self._event_offsets[permutation : permutation + 2]
+            cells = _SwitchSweepCells(
+                self._scan,
+                int(low),
+                int(high),
+                self.resolved,
+                self._cell_vote_totals[permutation],
+            )
+            self._sweep_cells[permutation] = cells
+        return cells
+
+    def switch_stats(self, permutation: int, index: int) -> _EstimationSwitchStats:
+        """Array-backed switch statistics of one (permutation, checkpoint) cell.
+
+        Cells are cached so the SWITCH and SWITCH-total estimators of one
+        batch share them; all quantities are integers identical to
+        ``switch_statistics(permuted_matrix, checkpoint)``.
+        """
+        key = (permutation, index)
+        cell = self._switch_cells.get(key)
+        if cell is None:
+            scan = self._scan
+            upto = self.resolved[index]
+            sorted_index, sorted_columns = self._events_by_column[permutation]
+            cut = int(np.searchsorted(sorted_columns, upto, side="left"))
+            # Ascending global indices restore the row-major scan order the
+            # statistics require.
+            active = np.sort(sorted_index[:cut])
+            cell = _EstimationSwitchStats(
+                rediscoveries=scan.rediscoveries(upto, active),
+                states=scan.event_states[active],
+                rows=scan.event_rows[active],
+                total_votes=int(self._cell_vote_totals[permutation, index]),
+            )
+            self._switch_cells[key] = cell
+        return cell
+
+    @cached_property
+    def majority_history(self) -> np.ndarray:
+        """``c_majority`` after every prefix of every permutation, ``(R, K+1)``.
+
+        Folded from the scan's per-vote majority deltas (one ``bincount``
+        per permutation over its seen votes), so trend lookbacks at
+        arbitrary positions — what the SWITCH total-error estimator needs —
+        cost O(votes) for the whole batch, not O(N x K) per permutation.
+        """
+        num_columns = self.matrix.num_columns
+        history = np.zeros((self.num_permutations, num_columns + 1), dtype=np.int64)
+        if num_columns:
+            scan = self._scan
+            bounds = np.searchsorted(
+                scan.vote_rows, np.arange(self.num_permutations + 1) * self.num_items
+            )
+            for permutation in range(self.num_permutations):
+                low, high = bounds[permutation : permutation + 2]
+                net_per_column = np.bincount(
+                    scan.vote_cols[low:high],
+                    weights=scan.vote_majority_delta[low:high],
+                    minlength=num_columns,
+                ).astype(np.int64)
+                np.cumsum(net_per_column, out=history[permutation, 1:])
+        return history
+
+    # ------------------------------------------------------------------ #
+    # per-permutation access
+    # ------------------------------------------------------------------ #
+    def permuted_matrix(self, permutation: int) -> ResponseMatrix:
+        """Materialise one permutation as a :class:`ResponseMatrix`.
+
+        Only the fallback path for estimate-only third-party estimators
+        needs this; the identity order returns the original matrix.
+        """
+        if self._is_identity[permutation]:
+            return self.matrix
+        return self.matrix.permute_columns(
+            [int(i) for i in self._orders[permutation]]
+        )
+
+    def states(self, permutation: int) -> List["PermutationSweepState"]:
+        """One :class:`EstimationState` per checkpoint of one permutation.
+
+        The list (and the lazy fingerprints of its states) is cached, so
+        several estimators evaluating the same batch share every derived
+        statistic — mirroring what :func:`matrix_sweep_states` does for a
+        single sweep.
+        """
+        states = self._state_lists.get(permutation)
+        if states is None:
+            states = [
+                PermutationSweepState(self, permutation, index)
+                for index in range(self.num_checkpoints)
+            ]
+            self._state_lists[permutation] = states
+        return states
+
+
+class PermutationSweepState:
+    """One (permutation, checkpoint) estimation state of a batch.
+
+    The batch analogue of :class:`MatrixSweepState`: every accessor reads
+    the shared stacked tables of its :class:`PermutationBatch`, returning
+    integers bit-identical to the state of the materialised permuted
+    matrix.
+    """
+
+    def __init__(self, batch: PermutationBatch, permutation: int, index: int):
+        self._batch = batch
+        self._permutation = permutation
+        self._index = index
+        self._fingerprint: Optional[Fingerprint] = None
+        self.num_items = batch.num_items
+        self.num_columns = batch.resolved[index]
+
+    def positive_fingerprint(self) -> Fingerprint:
+        """f-statistics over per-item positive-vote counts (lazy, cached)."""
+        if self._fingerprint is None:
+            counts = self._batch.positive_table[self._permutation, self._index]
+            self._fingerprint = fingerprint_from_counts(counts.tolist())
+        return self._fingerprint
+
+    def nominal_count(self) -> int:
+        """``c_nominal`` of the cell's prefix."""
+        return int(self._batch.nominal_counts[self._permutation, self._index])
+
+    def majority_count(self) -> int:
+        """``c_majority`` of the cell's prefix."""
+        return int(self._batch.majority_counts[self._permutation, self._index])
+
+    def coverage_counts(self, min_votes: int) -> Tuple[int, int]:
+        """``(covered, sample_errors)`` for the extrapolation baseline."""
+        positives = self._batch.positive_table[self._permutation, self._index]
+        negatives = self._batch.negative_table[self._permutation, self._index]
+        covered_mask = (positives + negatives) >= min_votes
+        sample_errors = int((covered_mask & (positives > negatives)).sum())
+        return int(covered_mask.sum()), sample_errors
+
+    def switch_stats(self) -> _EstimationSwitchStats:
+        """Switch statistics of the cell (shared cross-permutation scan)."""
+        return self._batch.switch_stats(self._permutation, self._index)
+
+    def majority_count_back(self, lookback: int) -> int:
+        """``c_majority`` at ``num_columns - lookback`` columns."""
+        position = self.num_columns - _resolve_lookback(lookback, self.num_columns)
+        return int(self._batch.majority_history[self._permutation, position])
 
 
 class StreamingState:

@@ -39,6 +39,7 @@ correction of Section 4.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,7 +47,12 @@ import numpy as np
 from repro.common.exceptions import ValidationError
 from repro.common.labels import CLEAN, DIRTY, UNSEEN
 from repro.core.base import EstimateResult, StateEstimatorMixin
-from repro.core.chao92 import chao92_components, chao92_estimate, skew_coefficient
+from repro.core.chao92 import (
+    _pair_sum,
+    _skew_from_stats,
+    chao92_components_from_stats,
+    chao92_estimate,
+)
 from repro.core.fstatistics import (
     Fingerprint,
     IncrementalFingerprint,
@@ -144,39 +150,132 @@ class SwitchStatistics:
         return fingerprint
 
 
-@dataclass(frozen=True)
 class _SwitchScan:
     """Vectorised switch bookkeeping for every item and every prefix.
 
-    One NumPy pass over the cumulative vote counts yields everything the
-    per-item scan used to produce, for *all* prefixes at once: the sweep
-    engine slices it per checkpoint instead of rescanning the matrix.
+    The sequential recurrence of the per-item scan collapses into closed
+    form on the cumulative margins ``m_t = n_t^+ - n_t^-``: a strict
+    majority fixes the consensus to ``sign(m_t)`` regardless of history,
+    and a tie (``m_t = 0``) can only follow a seen vote with ``m = ±1``,
+    so the tie-flip target is ``1`` iff the previous column's margin was
+    negative.  Events are detected on the compacted stream of *seen* votes
+    (row-major order, matching the order the sequential scan emitted
+    them), so the per-event work is O(votes); the only full ``N x K``
+    products are the two cumulative tables, kept in int32 to halve the
+    memory traffic (both are bounded by the column count).
+
+    Rows are independent, which is what lets the cross-permutation batch
+    engine scan ``R`` stacked permutations as one ``(R * N) x K`` array.
 
     All event arrays are aligned and sorted in row-major scan order (item
     row, then column) — the same order the sequential scan emitted events.
     """
 
-    num_columns: int
-    #: (N, K) cumulative count of seen (non-UNSEEN) votes per item.
-    seen_cum: np.ndarray
-    #: (N, K) consensus label after each column (tie-flip convention).
-    state: np.ndarray
-    #: (E,) row index of each switch event.
-    event_rows: np.ndarray
-    #: (E,) column index at which each switch occurred.
-    event_cols: np.ndarray
-    #: (E,) consensus label right after each switch (1 = dirty).
-    event_states: np.ndarray
-    #: (E,) 1-based position of the switch within its item's seen votes.
-    event_vote_index: np.ndarray
-    #: (E,) column of the same item's next switch (``num_columns`` if none).
-    event_next_col: np.ndarray
+    def __init__(self, values: np.ndarray):
+        num_items, num_columns = values.shape
+        self.num_columns = int(num_columns)
+        self._values = values
+        self._seen = values != UNSEEN
+        count_dtype = np.int16 if num_columns < np.iinfo(np.int16).max else np.int32
+        #: (N, K) cumulative count of seen (non-UNSEEN) votes per item.
+        self.seen_cum = np.cumsum(self._seen, axis=1, dtype=count_dtype)
+        empty = np.zeros(0, dtype=np.int64)
+        #: (V,) row / column of every seen vote, in row-major scan order.
+        self.vote_rows = empty
+        self.vote_cols = empty
+        #: (V,) per-vote change of the majority count (-1, 0 or +1); the
+        #: batch engine folds these per column into majority histories.
+        self.vote_majority_delta = np.zeros(0, dtype=np.int8)
+        self.event_rows = empty
+        self.event_cols = empty
+        self.event_states = empty
+        self.event_vote_index = empty
+        self.event_next_col = empty
+        if num_columns == 0:
+            return
+        seen_rows, seen_cols = np.nonzero(self._seen)
+        if seen_rows.size == 0:
+            return
+        # Everything below runs on the compacted stream of seen votes
+        # (O(votes), not O(N x K)).  The per-vote margin comes from a
+        # segmented cumulative sum: a global cumsum of the ±1 deltas minus
+        # each row's base offset (the cumulative value just before the
+        # row's first vote).
+        deltas = np.where(values[seen_rows, seen_cols] == DIRTY, np.int32(1), np.int32(-1))
+        cumulative = np.cumsum(deltas, dtype=np.int32)
+        positions = np.arange(deltas.size, dtype=np.int64)
+        new_row = np.empty(deltas.shape, dtype=bool)
+        new_row[0] = True
+        new_row[1:] = seen_rows[1:] != seen_rows[:-1]
+        row_base = (cumulative - deltas)[np.maximum.accumulate(np.where(new_row, positions, 0))]
+        margin_at_vote = cumulative - row_base
+        previous_margin = margin_at_vote - deltas
+        # A tie can only follow a margin of ±1, so the flip target is dirty
+        # iff the margin before this vote was negative.
+        votes_state = (margin_at_vote > 0) | (
+            (margin_at_vote == 0) & (previous_margin < 0)
+        )
+        is_dirty = margin_at_vote > 0
+        self.vote_rows = seen_rows
+        self.vote_cols = seen_cols
+        self.vote_majority_delta = is_dirty.astype(np.int8) - (previous_margin > 0)
+        previous_state = np.zeros_like(votes_state)
+        previous_state[1:] = votes_state[:-1]
+        # The first seen vote of each row compares against the default
+        # clean state, not against the previous row's last vote.
+        previous_state[new_row] = False
+        is_event = votes_state != previous_state
+        self.event_rows = seen_rows[is_event].astype(np.int64)
+        self.event_cols = seen_cols[is_event].astype(np.int64)
+        self.event_states = votes_state[is_event].astype(np.int64)
+        self.event_vote_index = self.seen_cum[
+            self.event_rows, self.event_cols
+        ].astype(np.int64)
+        num_events = self.event_rows.size
+        event_next_col = np.full(num_events, num_columns, dtype=np.int64)
+        if num_events > 1:
+            same_item = self.event_rows[:-1] == self.event_rows[1:]
+            event_next_col[:-1][same_item] = self.event_cols[1:][same_item]
+        self.event_next_col = event_next_col
+
+    @cached_property
+    def state(self) -> np.ndarray:
+        """(N, K) consensus label after each column (tie-flip convention).
+
+        Unseen columns carry the last seen state forward (items start
+        clean).  Only the materialised-statistics path reads this (for the
+        per-prefix ``final_consensus``); the estimator hot paths never
+        trigger the full-matrix reconstruction.
+        """
+        num_items = self._seen.shape[0]
+        if self.num_columns == 0:
+            return np.zeros((num_items, 0), dtype=np.int8)
+        values = self._values
+        margin = np.cumsum(
+            (values == DIRTY).astype(np.int8) - (values == CLEAN),
+            axis=1,
+            dtype=np.int32,
+        )
+        tie_to_dirty = np.zeros(margin.shape, dtype=bool)
+        tie_to_dirty[:, 1:] = margin[:, :-1] < 0
+        state_at_vote = np.where(margin > 0, True, np.where(margin < 0, False, tie_to_dirty))
+        columns = np.arange(self.num_columns, dtype=np.int32)
+        last_seen = np.maximum.accumulate(
+            np.where(self._seen, columns, np.int32(-1)), axis=1
+        )
+        return np.where(
+            last_seen >= 0,
+            np.take_along_axis(state_at_vote, np.maximum(last_seen, 0), axis=1),
+            False,
+        ).astype(np.int8)
 
     def rediscoveries(self, upto: int, active: np.ndarray) -> np.ndarray:
         """Occurrence counts of the ``active`` events within the first ``upto`` columns.
 
         An event is rediscovered by every seen vote from its switch vote up
         to (excluding) the item's next switch, truncated at the prefix end.
+        ``active`` may be a boolean mask or an integer index array over the
+        event arrays.
         """
         rows = self.event_rows[active]
         last_col = np.minimum(self.event_next_col[active], upto) - 1
@@ -185,67 +284,16 @@ class _SwitchScan:
         )
 
 
-def _switch_scan(values: np.ndarray) -> _SwitchScan:
-    """Scan an ``N x K`` label array for consensus switches, vectorised.
+def _distinct_sorted(values: np.ndarray) -> int:
+    """Distinct-value count of an ascending-sorted array (O(E), no hashing).
 
-    The sequential recurrence of the per-item scan collapses into closed
-    form on the cumulative margins ``m_t = n_t^+ - n_t^-``: a strict
-    majority fixes the consensus to ``sign(m_t)`` regardless of history,
-    and a tie (``m_t = 0``) can only follow a seen vote with ``m = ±1``,
-    so the tie-flip target is ``1`` iff the previous column's margin was
-    negative.  Unseen columns carry the last seen state forward.
+    The event-row arrays of a scan are emitted in row-major order, so the
+    runs of equal values are contiguous — counting run boundaries replaces
+    the hash-based ``np.unique`` the sweep hot path used to pay for.
     """
-    num_items, num_columns = values.shape
-    seen = values != UNSEEN
-    seen_cum = np.cumsum(seen, axis=1)
-    empty = np.zeros(0, dtype=np.int64)
-    if num_columns == 0:
-        return _SwitchScan(
-            num_columns=0,
-            seen_cum=seen_cum,
-            state=np.zeros((num_items, 0), dtype=np.int8),
-            event_rows=empty,
-            event_cols=empty,
-            event_states=empty,
-            event_vote_index=empty,
-            event_next_col=empty,
-        )
-    margin = np.cumsum(
-        (values == DIRTY).astype(np.int64) - (values == CLEAN), axis=1
-    )
-    prev_margin = np.concatenate(
-        [np.zeros((num_items, 1), dtype=np.int64), margin[:, :-1]], axis=1
-    )
-    state_at_vote = np.where(
-        margin > 0, 1, np.where(margin < 0, 0, (prev_margin < 0).astype(np.int8))
-    ).astype(np.int8)
-    # Forward-fill the state over unseen columns (items start clean).
-    columns = np.arange(num_columns)
-    last_seen = np.maximum.accumulate(np.where(seen, columns, -1), axis=1)
-    state = np.where(
-        last_seen >= 0,
-        np.take_along_axis(state_at_vote, np.maximum(last_seen, 0), axis=1),
-        0,
-    ).astype(np.int8)
-    prev_state = np.concatenate(
-        [np.zeros((num_items, 1), dtype=np.int8), state[:, :-1]], axis=1
-    )
-    event_rows, event_cols = np.nonzero(seen & (state != prev_state))
-    num_events = event_rows.size
-    event_next_col = np.full(num_events, num_columns, dtype=np.int64)
-    if num_events > 1:
-        same_item = event_rows[:-1] == event_rows[1:]
-        event_next_col[:-1][same_item] = event_cols[1:][same_item]
-    return _SwitchScan(
-        num_columns=num_columns,
-        seen_cum=seen_cum,
-        state=state,
-        event_rows=event_rows,
-        event_cols=event_cols.astype(np.int64),
-        event_states=state[event_rows, event_cols].astype(np.int64),
-        event_vote_index=seen_cum[event_rows, event_cols].astype(np.int64),
-        event_next_col=event_next_col,
-    )
+    if values.size == 0:
+        return 0
+    return int(np.count_nonzero(values[1:] != values[:-1])) + 1
 
 
 def _statistics_at(
@@ -275,9 +323,9 @@ def _statistics_at(
         )
     ]
     stats.num_switches = len(stats.events)
-    stats.items_with_switches = int(np.unique(scan.event_rows[active]).size)
+    stats.items_with_switches = _distinct_sorted(scan.event_rows[active])
     stats.n_switch = int(rediscoveries.sum())
-    stats.total_votes = int(scan.seen_cum[:, upto - 1].sum())
+    stats.total_votes = int(scan.seen_cum[:, upto - 1].sum(dtype=np.int64))
     final_states = scan.state[:, upto - 1]
     stats.final_consensus = {
         item: int(label) for item, label in zip(item_ids, final_states)
@@ -296,7 +344,7 @@ def switch_statistics(matrix: ResponseMatrix, upto: Optional[int] = None) -> Swi
         Use only the first ``upto`` columns (``None`` = all).
     """
     upto = matrix.resolve_upto(upto)
-    scan = _switch_scan(matrix.values[:, :upto])
+    scan = _SwitchScan(matrix.values[:, :upto])
     return _statistics_at(matrix, scan, upto)
 
 
@@ -311,7 +359,7 @@ def switch_statistics_sweep(
     events, not to ``N x K``).
     """
     resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
-    scan = _switch_scan(matrix.values)
+    scan = _SwitchScan(matrix.values)
     return [_statistics_at(matrix, scan, upto) for upto in resolved]
 
 
@@ -353,6 +401,8 @@ class _EstimationSwitchStats:
         "_rediscoveries",
         "_states",
         "_rows",
+        "_positive_mask",
+        "_negative_mask",
     )
 
     def __init__(
@@ -365,13 +415,23 @@ class _EstimationSwitchStats:
         self._rediscoveries = rediscoveries
         self._states = states
         self._rows = rows
+        self._positive_mask: Optional[np.ndarray] = None
+        self._negative_mask: Optional[np.ndarray] = None
         self.num_switches = int(rediscoveries.size)
-        self.items_with_switches = int(np.unique(rows).size)
+        self.items_with_switches = _distinct_sorted(rows)
         self.n_switch = int(rediscoveries.sum())
         self.total_votes = total_votes
 
     def _direction_mask(self, direction: str) -> np.ndarray:
-        return self._states == (1 if direction == POSITIVE else 0)
+        # The SWITCH total-error estimator reads both directions several
+        # times per evaluation; one cached comparison serves them all.
+        if direction == POSITIVE:
+            if self._positive_mask is None:
+                self._positive_mask = self._states == 1
+            return self._positive_mask
+        if self._negative_mask is None:
+            self._negative_mask = self._states == 0
+        return self._negative_mask
 
     def num_switches_by_direction(self, direction: str) -> int:
         """Observed switch count restricted to one direction."""
@@ -379,7 +439,7 @@ class _EstimationSwitchStats:
 
     def items_with_direction(self, direction: str) -> int:
         """Number of items with at least one switch of the given direction."""
-        return int(np.unique(self._rows[self._direction_mask(direction)]).size)
+        return _distinct_sorted(self._rows[self._direction_mask(direction)])
 
     def fingerprint(self, direction: Optional[str] = None) -> Fingerprint:
         """f'-statistics over rediscovery counts (see :class:`SwitchStatistics`)."""
@@ -389,6 +449,93 @@ class _EstimationSwitchStats:
             else self._rediscoveries[self._direction_mask(direction)]
         )
         return _fingerprint_from_rediscoveries(counts, self.n_switch)
+
+
+class _SwitchSweepCells:
+    """Switch sufficient statistics for every checkpoint of one permutation.
+
+    One vectorised ``(events x checkpoints)`` pass replaces the per-cell
+    event slicing the batched switch estimators would otherwise pay
+    ``m`` times: rediscovery counts are truncated against every checkpoint
+    at once, and the distinct-item counts become ``searchsorted`` lookups
+    over the per-item first-switch columns (an item has an active switch at
+    checkpoint ``upto`` iff its first switch of that direction happened
+    before column ``upto``).
+
+    Every exposed array is indexed by checkpoint and holds exact integers
+    identical to the per-cell :class:`_EstimationSwitchStats`; the direction
+    keys are ``None`` (all switches), :data:`POSITIVE` and :data:`NEGATIVE`.
+    """
+
+    __slots__ = ("n_switch", "total_votes", "counts", "singletons", "pair_sums", "items")
+
+    def __init__(
+        self,
+        scan: _SwitchScan,
+        low: int,
+        high: int,
+        resolved: Sequence[int],
+        total_votes: np.ndarray,
+    ):
+        checkpoints = np.asarray(resolved, dtype=np.int64)[None, :]
+        rows = scan.event_rows[low:high]
+        cols = scan.event_cols[low:high]
+        vote_index = scan.event_vote_index[low:high]
+        next_col = scan.event_next_col[low:high]
+        positive = scan.event_states[low:high] == 1
+        #: (m,) unadjusted vote totals per checkpoint.
+        self.total_votes = total_votes
+        active = cols[:, None] < checkpoints  # (E, m)
+        last_col = np.minimum(next_col[:, None], checkpoints) - 1
+        # Rediscovery counts truncated at each checkpoint; the ``upto = 0``
+        # column gathers wrap to the last column but are masked out by
+        # ``active`` (no event can precede column 0).
+        rediscoveries = np.where(
+            active,
+            scan.seen_cum[rows[:, None], last_col] - vote_index[:, None] + 1,
+            0,
+        )
+        #: (m,) adjusted observation count ``n_switch`` per checkpoint.
+        self.n_switch = rediscoveries.sum(axis=0, dtype=np.int64)
+        masks = {
+            None: active,
+            POSITIVE: active & positive[:, None],
+            NEGATIVE: active & ~positive[:, None],
+        }
+        #: direction -> (m,) observed switch counts.
+        self.counts = {}
+        #: direction -> (m,) singleton (f'_1) counts.
+        self.singletons = {}
+        #: direction -> (m,) skew pair sums ``sum_e r_e (r_e - 1)``.
+        self.pair_sums = {}
+        #: direction -> (m,) distinct items with at least one switch.
+        self.items = {}
+        for direction, mask in masks.items():
+            masked = np.where(mask, rediscoveries, 0)
+            self.counts[direction] = mask.sum(axis=0, dtype=np.int64)
+            self.singletons[direction] = (masked == 1).sum(axis=0, dtype=np.int64)
+            self.pair_sums[direction] = (masked * (masked - 1)).sum(axis=0, dtype=np.int64)
+        for direction, event_filter in (
+            (None, slice(None)),
+            (POSITIVE, positive),
+            (NEGATIVE, ~positive),
+        ):
+            first = _first_columns_per_row(rows[event_filter], cols[event_filter])
+            self.items[direction] = np.searchsorted(first, checkpoints[0], side="left")
+
+
+def _first_columns_per_row(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Sorted first-event columns per distinct row of a row-major event list.
+
+    ``rows`` is ascending and each row's events are in column order, so the
+    first event of each run is that row's earliest switch.
+    """
+    if rows.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    first = np.empty(rows.shape, dtype=bool)
+    first[0] = True
+    first[1:] = rows[1:] != rows[:-1]
+    return np.sort(cols[first])
 
 
 class IncrementalSwitchState:
@@ -502,7 +649,7 @@ def _estimation_sweep(
 ) -> List[_EstimationSwitchStats]:
     """Array-backed switch statistics per checkpoint, for the estimators."""
     resolved = [matrix.resolve_upto(checkpoint) for checkpoint in checkpoints]
-    scan = _switch_scan(matrix.values)
+    scan = _SwitchScan(matrix.values)
     stats = []
     for upto in resolved:
         active = scan.event_cols < upto
@@ -511,7 +658,7 @@ def _estimation_sweep(
                 rediscoveries=scan.rediscoveries(upto, active),
                 states=scan.event_states[active],
                 rows=scan.event_rows[active],
-                total_votes=int(scan.seen_cum[:, upto - 1].sum()) if upto else 0,
+                total_votes=int(scan.seen_cum[:, upto - 1].sum(dtype=np.int64)) if upto else 0,
             )
         )
     return stats
@@ -602,6 +749,43 @@ class SwitchEstimator(StateEstimatorMixin):
     use_skew_correction: bool = True
     name: str = "switch"
 
+    def _result_from_stats(
+        self,
+        *,
+        n_switch: int,
+        total_votes: int,
+        observed: int,
+        distinct: int,
+        singletons: int,
+        pair_sum: int,
+        items_with_switches: int,
+    ) -> EstimateResult:
+        total, coverage, gamma_squared = chao92_components_from_stats(
+            distinct=distinct,
+            num_observations=n_switch,
+            singletons=singletons,
+            pair_sum=pair_sum,
+            use_skew_correction=self.use_skew_correction,
+        )
+        if self.direction is not None and self.use_skew_correction:
+            # The diagnostic gamma is always reported against the full
+            # items-with-switches count, even for directional estimators.
+            gamma_squared = _skew_from_stats(
+                items_with_switches, n_switch, coverage, pair_sum
+            )
+        return EstimateResult(
+            estimate=float(total),
+            observed=float(observed),
+            details={
+                "n_switch": float(n_switch),
+                "total_votes": float(total_votes),
+                "coverage": coverage,
+                "singletons": float(singletons),
+                "items_with_switches": float(items_with_switches),
+                "gamma_squared": gamma_squared,
+            },
+        )
+
     def _result(self, stats) -> EstimateResult:
         # ``stats`` is a SwitchStatistics, its array-backed sweep stand-in,
         # or the live IncrementalSwitchState of a streaming session.
@@ -612,28 +796,46 @@ class SwitchEstimator(StateEstimatorMixin):
         else:
             observed = stats.num_switches_by_direction(self.direction)
             distinct = stats.items_with_direction(self.direction)
-        total, coverage, gamma_squared = chao92_components(
-            fingerprint, distinct=distinct, use_skew_correction=self.use_skew_correction
-        )
-        if self.direction is not None and self.use_skew_correction:
-            # The diagnostic gamma is always reported against the full
-            # items-with-switches count, even for directional estimators.
-            gamma_squared = skew_coefficient(
-                fingerprint, distinct=stats.items_with_switches, coverage=coverage
-            )
-        return EstimateResult(
-            estimate=float(total),
-            observed=float(observed),
-            details={
-                "n_switch": float(stats.n_switch),
-                "total_votes": float(stats.total_votes),
-                "coverage": coverage,
-                "singletons": float(fingerprint.singletons),
-                "items_with_switches": float(stats.items_with_switches),
-                "gamma_squared": gamma_squared,
-            },
+        return self._result_from_stats(
+            n_switch=stats.n_switch,
+            total_votes=stats.total_votes,
+            observed=observed,
+            distinct=distinct,
+            singletons=fingerprint.singletons,
+            pair_sum=_pair_sum(fingerprint) if self.use_skew_correction else 0,
+            items_with_switches=stats.items_with_switches,
         )
 
     def estimate_state(self, state) -> EstimateResult:
         """Estimate the total number of consensus switches."""
         return self._result(state.switch_stats())
+
+    def estimate_sweep_batch(self, batch) -> List[List[EstimateResult]]:
+        """Cross-permutation sweep over the batch's single switch scan.
+
+        All ``R`` permutations share one :class:`_SwitchScan` (rows are
+        independent, so the stacked ``(R * N, K)`` array is scanned once);
+        the per-checkpoint sufficient statistics then come from each
+        permutation's vectorised :class:`_SwitchSweepCells`, and the final
+        arithmetic reuses the exact scalar code path — every estimate is
+        bit-identical to the serial sweep.
+        """
+        direction = self.direction
+        results = []
+        for p in range(batch.num_permutations):
+            cells = batch.switch_sweep_cells(p)
+            results.append(
+                [
+                    self._result_from_stats(
+                        n_switch=int(cells.n_switch[j]),
+                        total_votes=int(cells.total_votes[j]),
+                        observed=int(cells.counts[direction][j]),
+                        distinct=int(cells.items[direction][j]),
+                        singletons=int(cells.singletons[direction][j]),
+                        pair_sum=int(cells.pair_sums[direction][j]),
+                        items_with_switches=int(cells.items[None][j]),
+                    )
+                    for j in range(batch.num_checkpoints)
+                ]
+            )
+        return results

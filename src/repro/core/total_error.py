@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.common.exceptions import ValidationError
 from repro.common.validation import check_int
 from repro.core.base import EstimateResult, StateEstimatorMixin
+from repro.core.chao92 import chao92_components_from_stats
 from repro.core.switch import (
     NEGATIVE,
     POSITIVE,
@@ -100,16 +101,18 @@ class SwitchTotalErrorEstimator(StateEstimatorMixin):
             state.majority_count(), state.majority_count_back(lookback)
         )
 
-    def _result(self, majority: float, stats, trend: str) -> EstimateResult:
-        # ``stats`` is a SwitchStatistics, its array-backed sweep stand-in,
-        # or the live IncrementalSwitchState of a streaming session.
-        xi_positive = estimate_remaining_switches(
-            stats, direction=POSITIVE, use_skew_correction=self.use_skew_correction
-        )
-        xi_negative = estimate_remaining_switches(
-            stats, direction=NEGATIVE, use_skew_correction=self.use_skew_correction
-        )
-
+    def _result_from_stats(
+        self,
+        majority: float,
+        xi_positive: float,
+        xi_negative: float,
+        trend: str,
+        *,
+        observed_switches: int,
+        observed_positive: int,
+        observed_negative: int,
+        n_switch: int,
+    ) -> EstimateResult:
         if self.trend_mode in ("positive", "negative", "both"):
             chosen = self.trend_mode
         elif trend == "increasing":
@@ -137,11 +140,31 @@ class SwitchTotalErrorEstimator(StateEstimatorMixin):
                 "xi_positive": float(xi_positive),
                 "xi_negative": float(xi_negative),
                 "correction": 1.0 if chosen == "positive" else (-1.0 if chosen == "negative" else 0.0),
-                "observed_switches": float(stats.num_switches),
-                "observed_positive_switches": float(stats.num_switches_by_direction(POSITIVE)),
-                "observed_negative_switches": float(stats.num_switches_by_direction(NEGATIVE)),
-                "n_switch": float(stats.n_switch),
+                "observed_switches": float(observed_switches),
+                "observed_positive_switches": float(observed_positive),
+                "observed_negative_switches": float(observed_negative),
+                "n_switch": float(n_switch),
             },
+        )
+
+    def _result(self, majority: float, stats, trend: str) -> EstimateResult:
+        # ``stats`` is a SwitchStatistics, its array-backed sweep stand-in,
+        # or the live IncrementalSwitchState of a streaming session.
+        xi_positive = estimate_remaining_switches(
+            stats, direction=POSITIVE, use_skew_correction=self.use_skew_correction
+        )
+        xi_negative = estimate_remaining_switches(
+            stats, direction=NEGATIVE, use_skew_correction=self.use_skew_correction
+        )
+        return self._result_from_stats(
+            majority,
+            xi_positive,
+            xi_negative,
+            trend,
+            observed_switches=stats.num_switches,
+            observed_positive=stats.num_switches_by_direction(POSITIVE),
+            observed_negative=stats.num_switches_by_direction(NEGATIVE),
+            n_switch=stats.n_switch,
         )
 
     def estimate_state(self, state) -> EstimateResult:
@@ -154,3 +177,62 @@ class SwitchTotalErrorEstimator(StateEstimatorMixin):
         stats = state.switch_stats()
         trend = self._detect_trend(state) if self.trend_mode == "auto" else "flat"
         return self._result(majority, stats, trend)
+
+    def _remaining_from_cells(self, cells, direction: str, index: int) -> float:
+        """``xi`` of one direction at one checkpoint from the batched cells.
+
+        Mirrors :func:`~repro.core.switch.estimate_remaining_switches` on
+        the vectorised sufficient statistics (identical scalar arithmetic).
+        """
+        total, _, _ = chao92_components_from_stats(
+            distinct=int(cells.items[direction][index]),
+            num_observations=int(cells.n_switch[index]),
+            singletons=int(cells.singletons[direction][index]),
+            pair_sum=int(cells.pair_sums[direction][index]),
+            use_skew_correction=self.use_skew_correction,
+        )
+        return max(0.0, float(total) - float(int(cells.counts[direction][index])))
+
+    def estimate_sweep_batch(self, batch) -> list:
+        """Cross-permutation sweep over the batch's shared statistics.
+
+        The majority counts and trend lookbacks come from the batched
+        count tables and majority history; both directional switch
+        estimates come from the vectorised per-permutation sweep cells.
+        Every cell's arithmetic reuses the exact scalar code path, so the
+        estimates are bit-identical to the serial sweep.
+        """
+        results = []
+        for p in range(batch.num_permutations):
+            cells = batch.switch_sweep_cells(p)
+            majority_row = batch.majority_counts[p]
+            history = batch.majority_history[p]
+            row = []
+            for j in range(batch.num_checkpoints):
+                upto = batch.resolved[j]
+                majority = int(majority_row[j])
+                if self.trend_mode == "auto":
+                    lookback = self._trend_lookback(upto)
+                    trend = (
+                        "flat"
+                        if lookback == 0
+                        else self._classify_trend(
+                            majority, int(history[upto - lookback])
+                        )
+                    )
+                else:
+                    trend = "flat"
+                row.append(
+                    self._result_from_stats(
+                        float(majority),
+                        self._remaining_from_cells(cells, POSITIVE, j),
+                        self._remaining_from_cells(cells, NEGATIVE, j),
+                        trend,
+                        observed_switches=int(cells.counts[None][j]),
+                        observed_positive=int(cells.counts[POSITIVE][j]),
+                        observed_negative=int(cells.counts[NEGATIVE][j]),
+                        n_switch=int(cells.n_switch[j]),
+                    )
+                )
+            results.append(row)
+        return results

@@ -24,10 +24,42 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import numpy as np
+
 from repro.common.validation import check_int
 from repro.core.base import EstimateResult, StateEstimatorMixin
-from repro.core.chao92 import good_turing_coverage, skew_coefficient
+from repro.core.chao92 import (
+    _coverage_from_stats,
+    _pair_sum,
+    _skew_from_stats,
+)
 from repro.core.fstatistics import Fingerprint
+
+
+def _vchao92_from_stats(
+    majority_count: int,
+    shifted_observations: int,
+    shifted_singletons: int,
+    shifted_pair_sum: int,
+    use_skew_correction: bool,
+) -> Tuple[float, float]:
+    """``(estimate, coverage)`` from the shifted sufficient statistics.
+
+    The single arithmetic core shared by the fingerprint path and the
+    cross-permutation batch fast path (identical scalar float operations,
+    hence bit-identical estimates).
+    """
+    c = int(majority_count)
+    coverage = _coverage_from_stats(shifted_singletons, shifted_observations)
+    if coverage <= 0.0:
+        return float(c), coverage
+    estimate = c / coverage
+    if use_skew_correction:
+        gamma_squared = _skew_from_stats(
+            c, shifted_observations, coverage, shifted_pair_sum
+        )
+        estimate += shifted_singletons * gamma_squared / coverage
+    return float(estimate), coverage
 
 
 def vchao92_components(
@@ -45,15 +77,14 @@ def vchao92_components(
     """
     check_int(shift, "shift", minimum=0)
     shifted = fingerprint.shifted(shift)
-    coverage = good_turing_coverage(shifted)
-    c = int(majority_count)
-    if coverage <= 0.0:
-        return float(c), shifted, coverage
-    estimate = c / coverage
-    if use_skew_correction:
-        gamma_squared = skew_coefficient(shifted, distinct=c, coverage=coverage)
-        estimate += shifted.singletons * gamma_squared / coverage
-    return float(estimate), shifted, coverage
+    estimate, coverage = _vchao92_from_stats(
+        majority_count,
+        shifted.num_observations,
+        shifted.singletons,
+        _pair_sum(shifted) if use_skew_correction else 0,
+        use_skew_correction,
+    )
+    return estimate, shifted, coverage
 
 
 def vchao92_estimate(
@@ -115,12 +146,15 @@ class VChao92Estimator(StateEstimatorMixin):
     def __post_init__(self) -> None:
         check_int(self.shift, "shift", minimum=0)
 
-    def _result(self, fingerprint: Fingerprint, majority: int) -> EstimateResult:
-        estimate, shifted, coverage = vchao92_components(
-            fingerprint,
+    def _result_from_stats(
+        self, majority: int, shifted_n: int, shifted_f1: int, shifted_pair_sum: int
+    ) -> EstimateResult:
+        estimate, coverage = _vchao92_from_stats(
             majority,
-            shift=self.shift,
-            use_skew_correction=self.use_skew_correction,
+            shifted_n,
+            shifted_f1,
+            shifted_pair_sum,
+            self.use_skew_correction,
         )
         return EstimateResult(
             estimate=estimate,
@@ -128,11 +162,56 @@ class VChao92Estimator(StateEstimatorMixin):
             details={
                 "shift": float(self.shift),
                 "coverage": coverage,
-                "shifted_singletons": float(shifted.singletons),
-                "shifted_observations": float(shifted.num_observations),
+                "shifted_singletons": float(shifted_f1),
+                "shifted_observations": float(shifted_n),
             },
+        )
+
+    def _result(self, fingerprint: Fingerprint, majority: int) -> EstimateResult:
+        shifted = fingerprint.shifted(self.shift)
+        return self._result_from_stats(
+            majority,
+            shifted.num_observations,
+            shifted.singletons,
+            _pair_sum(shifted) if self.use_skew_correction else 0,
         )
 
     def estimate_state(self, state) -> EstimateResult:
         """Estimate the total error count from the shifted vote fingerprint."""
         return self._result(state.positive_fingerprint(), state.majority_count())
+
+    def estimate_sweep_batch(self, batch) -> list:
+        """Vectorised cross-permutation sweep over a :class:`PermutationBatch`.
+
+        The shifted fingerprint's sufficient statistics come straight from
+        the batched positive-count table: ``f'_1`` is the number of items
+        with exactly ``1 + s`` positive votes, the shifted observation
+        count removes the first ``s`` frequency classes, and the skew pair
+        sum is ``sum_{n_i > s} (n_i - s)(n_i - s - 1)``.  The per-cell
+        arithmetic reuses the exact scalar code path (bit-identical).
+        """
+        s = self.shift
+        positives = batch.positive_table  # (R, m, N)
+        n = positives.sum(axis=2, dtype=np.int64)
+        shifted_f1 = np.count_nonzero(positives == 1 + s, axis=2)
+        removed = np.count_nonzero((positives >= 1) & (positives <= s), axis=2)
+        shifted_n = np.maximum(0, n - removed)
+        # The int64 shift promotes the products before they can overflow
+        # the table's compact dtype.
+        shifted_values = positives - np.int64(s)
+        shifted_pair_sum = (
+            shifted_values * (shifted_values - 1) * (positives > s)
+        ).sum(axis=2)
+        observed = batch.majority_counts
+        return [
+            [
+                self._result_from_stats(
+                    int(observed[p, j]),
+                    int(shifted_n[p, j]),
+                    int(shifted_f1[p, j]),
+                    int(shifted_pair_sum[p, j]),
+                )
+                for j in range(batch.num_checkpoints)
+            ]
+            for p in range(batch.num_permutations)
+        ]

@@ -52,39 +52,21 @@ class DawidSkeneResult:
     converged: bool
 
 
-def dawid_skene(
+def _dawid_skene_arrays(
     matrix: ResponseMatrix,
     upto: Optional[int] = None,
     *,
     max_iterations: int = 100,
     tolerance: float = 1e-6,
     prior_dirty: float = 0.5,
-) -> DawidSkeneResult:
-    """Run two-class Dawid–Skene EM over a response-matrix prefix.
+):
+    """The EM iteration itself, entirely on arrays.
 
-    Parameters
-    ----------
-    matrix:
-        The worker-response matrix.
-    upto:
-        Use only the first ``upto`` columns (``None`` = all).
-    max_iterations:
-        EM iteration cap.
-    tolerance:
-        Convergence threshold on the maximum posterior change.
-    prior_dirty:
-        Initial class prior used before the first maximisation step.
-
-    Returns
-    -------
-    DawidSkeneResult
-
-    Notes
-    -----
-    Columns with no votes contribute nothing; items with no votes keep the
-    prior as their posterior.  Worker accuracies are smoothed with a
-    +0.5/+1 pseudo-count so early, sparse matrices do not collapse to
-    degenerate 0/1 confusion entries.
+    Returns ``(posterior, sensitivity, specificity, prevalence,
+    iterations, converged)`` where ``posterior`` is the per-row posterior
+    array — no per-item dictionaries are built anywhere in the loop, so
+    callers that only need aggregates (:func:`em_error_count`) never pay
+    for them.
     """
     check_int(max_iterations, "max_iterations", minimum=1)
     check_positive(tolerance, "tolerance")
@@ -92,17 +74,8 @@ def dawid_skene(
     votes = matrix.values[:, : matrix.resolve_upto(upto)]
     n_items, n_cols = votes.shape
     if n_cols == 0:
-        posterior = {item: float(prior_dirty) for item in matrix.item_ids}
-        labels = {item: int(p > 0.5) for item, p in posterior.items()}
-        return DawidSkeneResult(
-            posterior_dirty=posterior,
-            labels=labels,
-            worker_sensitivity=[],
-            worker_specificity=[],
-            prevalence=float(prior_dirty),
-            iterations=0,
-            converged=True,
-        )
+        posterior = np.full(n_items, float(prior_dirty))
+        return posterior, np.zeros(0), np.zeros(0), float(prior_dirty), 0, True
 
     seen = votes != UNSEEN
     dirty_votes = votes == DIRTY
@@ -154,15 +127,63 @@ def dawid_skene(
             converged = True
             break
 
-    posterior_by_item = {
-        item: float(p) for item, p in zip(matrix.item_ids, posterior)
-    }
-    labels = {item: int(p > 0.5) for item, p in posterior_by_item.items()}
+    return posterior, sensitivity, specificity, prevalence, iterations, converged
+
+
+def dawid_skene(
+    matrix: ResponseMatrix,
+    upto: Optional[int] = None,
+    *,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    prior_dirty: float = 0.5,
+) -> DawidSkeneResult:
+    """Run two-class Dawid–Skene EM over a response-matrix prefix.
+
+    Parameters
+    ----------
+    matrix:
+        The worker-response matrix.
+    upto:
+        Use only the first ``upto`` columns (``None`` = all).
+    max_iterations:
+        EM iteration cap.
+    tolerance:
+        Convergence threshold on the maximum posterior change.
+    prior_dirty:
+        Initial class prior used before the first maximisation step.
+
+    Returns
+    -------
+    DawidSkeneResult
+
+    Notes
+    -----
+    Columns with no votes contribute nothing; items with no votes keep the
+    prior as their posterior.  Worker accuracies are smoothed with a
+    +0.5/+1 pseudo-count so early, sparse matrices do not collapse to
+    degenerate 0/1 confusion entries.
+    """
+    posterior, sensitivity, specificity, prevalence, iterations, converged = (
+        _dawid_skene_arrays(
+            matrix,
+            upto,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            prior_dirty=prior_dirty,
+        )
+    )
+    # Label extraction stays in array land; the dictionaries are built once
+    # at the end from exact Python scalars (``tolist`` preserves the float
+    # bits), never inside the iteration loop.
+    label_values = (posterior > 0.5).astype(int).tolist()
+    posterior_by_item = dict(zip(matrix.item_ids, posterior.tolist()))
+    labels = dict(zip(matrix.item_ids, label_values))
     return DawidSkeneResult(
         posterior_dirty=posterior_by_item,
         labels=labels,
-        worker_sensitivity=[float(s) for s in sensitivity],
-        worker_specificity=[float(s) for s in specificity],
+        worker_sensitivity=sensitivity.tolist(),
+        worker_specificity=specificity.tolist(),
         prevalence=prevalence,
         iterations=iterations,
         converged=converged,
@@ -174,6 +195,8 @@ def em_error_count(matrix: ResponseMatrix, upto: Optional[int] = None, **kwargs)
 
     A drop-in alternative to
     :func:`repro.crowd.consensus.majority_count` for ablation studies.
+    Counts directly on the posterior array — no per-item dictionaries are
+    materialised.
     """
-    result = dawid_skene(matrix, upto, **kwargs)
-    return int(sum(result.labels.values()))
+    posterior, *_ = _dawid_skene_arrays(matrix, upto, **kwargs)
+    return int(np.count_nonzero(posterior > 0.5))

@@ -1,0 +1,383 @@
+"""Recorded runner benchmarks: the repo's performance trajectory.
+
+``repro bench`` (or ``python tools/bench_record.py``) times the
+permutation-averaged estimation runner on a pinned workload through both
+engines — the classic one-permutation-at-a-time ``serial`` sweep loop and
+the cross-permutation ``batch`` tensor engine — verifies the two produce
+bit-identical estimates, and appends the measurement to
+``BENCH_runner.json``.  The file accumulates machine info, workload
+parameters, wall times and speedups per run, so performance drift is a
+diff instead of folklore.
+
+Regression checking is **relative**: wall times are machine-specific, but
+the batch-vs-serial speedup ratio is not, so ``--check`` fails when the
+measured speedup of a run drops below ``baseline_speedup / factor``
+(default factor 3).  The first recorded entry of a workload becomes its
+baseline; CI runs the scaled-down ``smoke`` workload on every push and
+uploads the updated record as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.common.validation import check_int, check_positive
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.experiments.runner import EstimationRunner, RunnerConfig
+
+#: Record-file format version (bump when the layout changes).
+FORMAT_VERSION = 1
+
+#: Default record location (repo root when run from there).
+DEFAULT_RECORD = "BENCH_runner.json"
+
+#: The estimator set of the recorded workloads.
+RUNNER_ESTIMATORS = (
+    "voting",
+    "chao92",
+    "vchao92",
+    "extrapolation",
+    "switch",
+    "switch_total",
+)
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One pinned runner workload (matrix shape x permutations x checkpoints)."""
+
+    name: str
+    num_items: int
+    num_columns: int
+    num_permutations: int
+    num_checkpoints: int
+    seed: int = 17
+    estimators: Tuple[str, ...] = RUNNER_ESTIMATORS
+
+    def build_matrix(self) -> ResponseMatrix:
+        """The workload's vote matrix (identical for every run of the name)."""
+        rng = np.random.default_rng(self.seed)
+        votes = rng.choice(
+            [UNSEEN, CLEAN, DIRTY],
+            size=(self.num_items, self.num_columns),
+            p=[0.85, 0.05, 0.10],
+        ).astype(np.int8)
+        return ResponseMatrix.from_array(votes)
+
+
+#: Registered workloads: the acceptance-criterion shape and a CI-size one.
+WORKLOADS: Dict[str, BenchWorkload] = {
+    "full": BenchWorkload(
+        name="runner_5000x200",
+        num_items=5000,
+        num_columns=200,
+        num_permutations=10,
+        num_checkpoints=20,
+    ),
+    "smoke": BenchWorkload(
+        name="runner_smoke_1500x120",
+        num_items=1500,
+        num_columns=120,
+        num_permutations=6,
+        num_checkpoints=12,
+    ),
+}
+
+
+def machine_info() -> Dict[str, object]:
+    """The environment fingerprint stored with every entry."""
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        usable_cpus = os.cpu_count() or 1
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "usable_cpus": usable_cpus,
+    }
+
+
+def _time_run(runner: EstimationRunner, matrix: ResponseMatrix, repeats: int):
+    """Best-of-``repeats`` wall time plus the (identical) last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        result = runner.run(matrix)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _series_values(result) -> Dict[str, List[tuple]]:
+    return {
+        name: [point.values for point in series.points]
+        for name, series in result.series.items()
+    }
+
+
+def run_workload(
+    workload: BenchWorkload, *, n_jobs: int = 1, repeats: int = 2
+) -> Dict[str, object]:
+    """Time one workload through both engines and build a record entry.
+
+    Raises ``RuntimeError`` if the engines disagree on a single estimate —
+    a benchmark that silently measures a wrong result is worse than none.
+    """
+    check_int(n_jobs, "n_jobs", minimum=1)
+    check_int(repeats, "repeats", minimum=1)
+    matrix = workload.build_matrix()
+    shared = dict(
+        num_permutations=workload.num_permutations,
+        num_checkpoints=workload.num_checkpoints,
+        seed=3,
+    )
+    estimators = list(workload.estimators)
+    # Warm-up outside the timed region (imports, registry, allocator).
+    EstimationRunner(estimators, RunnerConfig(num_permutations=1, num_checkpoints=2)).run(
+        matrix.prefix(min(10, matrix.num_columns))
+    )
+
+    serial_seconds, serial_result = _time_run(
+        EstimationRunner(estimators, RunnerConfig(engine="serial", **shared)),
+        matrix,
+        repeats,
+    )
+    batch_seconds, batch_result = _time_run(
+        EstimationRunner(estimators, RunnerConfig(engine="batch", **shared)),
+        matrix,
+        repeats,
+    )
+    if _series_values(serial_result) != _series_values(batch_result):
+        raise RuntimeError(
+            "serial and batch engines disagree — refusing to record the benchmark"
+        )
+
+    parallel_seconds = None
+    if n_jobs > 1:
+        parallel_seconds, parallel_result = _time_run(
+            EstimationRunner(
+                estimators, RunnerConfig(engine="batch", n_jobs=n_jobs, **shared)
+            ),
+            matrix,
+            repeats,
+        )
+        if _series_values(parallel_result) != _series_values(batch_result):
+            raise RuntimeError(
+                "parallel batch engine disagrees — refusing to record the benchmark"
+            )
+
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_info(),
+        "params": asdict(workload),
+        "timings_s": {
+            "serial_engine": round(serial_seconds, 4),
+            "batch_engine": round(batch_seconds, 4),
+            "batch_engine_parallel": (
+                round(parallel_seconds, 4) if parallel_seconds is not None else None
+            ),
+            "n_jobs": n_jobs,
+            "repeats": repeats,
+        },
+        "speedups": {
+            "batch_vs_serial": round(serial_seconds / batch_seconds, 3),
+            "parallel_vs_serial": (
+                round(serial_seconds / parallel_seconds, 3)
+                if parallel_seconds
+                else None
+            ),
+        },
+    }
+
+
+def load_record(path: Path) -> Dict[str, object]:
+    """Read (or initialise) the benchmark record document."""
+    if path.exists():
+        record = json.loads(path.read_text(encoding="utf-8"))
+        if record.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported benchmark record version in {path}: "
+                f"{record.get('format_version')!r}"
+            )
+        return record
+    return {
+        "format_version": FORMAT_VERSION,
+        "note": (
+            "Performance trajectory of the estimation runner; append entries "
+            "with `repro bench`. Regression checks compare batch-vs-serial "
+            "speedup ratios (machine-independent), not raw wall times."
+        ),
+        "workloads": {},
+    }
+
+
+def update_record(
+    record: Dict[str, object], entry: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """Append ``entry`` to its workload's history; returns the baseline.
+
+    The first entry recorded for a workload becomes the baseline the
+    regression check compares against (``None`` is returned for it).
+    """
+    name = entry["params"]["name"]
+    workloads = record.setdefault("workloads", {})
+    slot = workloads.setdefault(name, {"baseline": None, "history": []})
+    baseline = slot["baseline"]
+    if baseline is None:
+        slot["baseline"] = entry
+    slot["history"].append(entry)
+    return baseline
+
+
+def save_record(record: Dict[str, object], path: Path) -> None:
+    """Write the record with stable formatting (diff-friendly)."""
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def regression_failure(
+    entry: Dict[str, object],
+    baseline: Optional[Dict[str, object]],
+    *,
+    factor: float = 3.0,
+) -> Optional[str]:
+    """A message when ``entry`` regressed >``factor``x against ``baseline``.
+
+    Compares speedup *ratios*, which transfer across machines; ``None``
+    means no regression (or no baseline to compare against yet).
+    """
+    check_positive(factor, "factor")
+    if baseline is None:
+        return None
+    current = float(entry["speedups"]["batch_vs_serial"])
+    recorded = float(baseline["speedups"]["batch_vs_serial"])
+    floor = recorded / factor
+    if current < floor:
+        return (
+            f"batch-engine speedup regressed: {current:.2f}x vs the recorded "
+            f"baseline {recorded:.2f}x (floor {floor:.2f}x at factor {factor})"
+        )
+    return None
+
+
+def format_summary(entry: Dict[str, object]) -> str:
+    """The one-line speedup summary printed in CI logs."""
+    timings = entry["timings_s"]
+    speedups = entry["speedups"]
+    parallel = (
+        f", n_jobs={timings['n_jobs']} {timings['batch_engine_parallel']:.3f}s "
+        f"({speedups['parallel_vs_serial']:.2f}x)"
+        if timings["batch_engine_parallel"] is not None
+        else ""
+    )
+    return (
+        f"BENCH {entry['params']['name']}: serial {timings['serial_engine']:.3f}s, "
+        f"batch {timings['batch_engine']:.3f}s "
+        f"({speedups['batch_vs_serial']:.2f}x){parallel} "
+        f"on {entry['machine']['usable_cpus']} usable cpu(s)"
+    )
+
+
+def run_and_record(
+    *,
+    workload: str = "full",
+    n_jobs: int = 1,
+    repeats: int = 2,
+    output: Optional[str] = None,
+    check: bool = False,
+    factor: float = 3.0,
+    dry_run: bool = False,
+) -> int:
+    """The ``repro bench`` implementation.  Returns a process exit code."""
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; available: {sorted(WORKLOADS)}"
+        )
+    path = Path(output or DEFAULT_RECORD)
+    record = load_record(path)
+    entry = run_workload(WORKLOADS[workload], n_jobs=n_jobs, repeats=repeats)
+    baseline = update_record(record, entry)
+    print(format_summary(entry))
+    if not dry_run:
+        save_record(record, path)
+        print(f"recorded -> {path}")
+    failure = regression_failure(entry, baseline, factor=factor) if check else None
+    if failure:
+        print(f"REGRESSION: {failure}")
+        return 1
+    return 0
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the bench options to ``parser``.
+
+    The single definition behind both entry points — the ``repro bench``
+    subcommand and ``tools/bench_record.py`` — so workload names and the
+    default record path cannot drift between them.
+    """
+    which = parser.add_mutually_exclusive_group()
+    which.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="full",
+        help="which pinned workload to time",
+    )
+    which.add_argument(
+        "--smoke", action="store_true",
+        help="shorthand for --workload smoke (the CI-sized workload)",
+    )
+    parser.add_argument("--n-jobs", type=int, default=1, help="also time the chunked parallel dispatch")
+    parser.add_argument("--repeats", type=int, default=2, help="best-of-N timing repeats")
+    parser.add_argument("--output", default=DEFAULT_RECORD, help="record file to update")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the speedup regressed more than --factor vs the baseline",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=3.0,
+        help="allowed relative regression factor for --check",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", help="measure and print without writing"
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed bench invocation (shared by both entry points)."""
+    return run_and_record(
+        workload="smoke" if args.smoke else args.workload,
+        n_jobs=args.n_jobs,
+        repeats=args.repeats,
+        output=args.output,
+        check=args.check,
+        factor=args.factor,
+        dry_run=args.dry_run,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench_record",
+        description="Run the pinned runner workloads and update BENCH_runner.json.",
+    )
+    add_bench_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point shared by ``repro bench`` and ``tools/bench_record.py``."""
+    return run_from_args(build_parser().parse_args(argv))

@@ -5,20 +5,30 @@ tasks, averaged over ``r = 10`` random permutations of the workers.  The
 runner implements exactly that loop:
 
 1. take a fully collected vote matrix,
-2. for each of ``num_permutations`` random column orders,
-3. evaluate every estimator over the checkpoint prefixes through one set
-   of shared sweep states per permutation (the checkpoint count tables
-   and the switch scan are computed once per permutation, not once per
-   estimator — identical estimates),
+2. draw ``num_permutations`` random column orders,
+3. evaluate every estimator at every checkpoint of every permutation —
+   by default through the cross-permutation tensor engine
+   (:class:`~repro.core.state.PermutationBatch`): the permuted matrices
+   are stacked, the checkpoint count tables become one
+   ``(permutations x checkpoints x items)`` pass and all switch scans
+   collapse into a single scan, shared by every estimator,
 4. aggregate per-checkpoint means and standard deviations into
    :class:`~repro.experiments.results.EstimateSeries`.
 
+``RunnerConfig(engine="serial")`` keeps the classic one-permutation-at-a-
+time sweep loop (useful for benchmarking the batch engine against it);
+both engines produce bit-identical estimates.
+
 Permutations are independent of each other, so the loop parallelises
-process-per-permutation: ``RunnerConfig(n_jobs=4)`` farms the trials out
-to a :mod:`multiprocessing` pool.  The permutation orders are drawn
-*before* dispatch from the same seeded generator the serial path uses,
-so results are bit-identical for any ``n_jobs`` (pinned by
-``tests/test_experiments_runner_results.py``).
+across processes: ``RunnerConfig(n_jobs=4)`` farms contiguous chunks of
+permutation orders out to a :mod:`multiprocessing` pool — the matrix and
+estimators ship once per worker (pool initializer), and each task carries
+only its chunk's column-order index arrays, which every worker evaluates
+through its own :class:`PermutationBatch`.  The permutation orders are
+drawn *before* dispatch from the same seeded generator the serial path
+uses, so results are bit-identical for any ``n_jobs`` and either engine
+(pinned by ``tests/test_experiments_runner_results.py`` and the golden
+scenario suite).
 """
 
 from __future__ import annotations
@@ -28,13 +38,17 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.common.exceptions import ValidationError
 from repro.common.rng import RandomState, derive_rng, ensure_rng
 from repro.common.validation import check_int
-from repro.core.base import EstimatorProtocol, sweep_estimates
+from repro.core.base import EstimatorProtocol, batch_estimates, sweep_estimates
 from repro.core.registry import get_estimator
-from repro.core.state import matrix_sweep_states
+from repro.core.state import PermutationBatch, matrix_sweep_states
 from repro.crowd.response_matrix import ResponseMatrix
 from repro.experiments.results import EstimateSeries, ExperimentResult, build_series
+
+#: Recognised evaluation engines.
+ENGINES = ("batch", "serial")
 
 
 @dataclass(frozen=True)
@@ -56,8 +70,15 @@ class RunnerConfig:
     n_jobs:
         Worker processes to spread the permutation trials over.  ``1``
         (the default) runs in-process; higher values use a
-        :mod:`multiprocessing` pool with one task per permutation.
-        Results are identical for any value.
+        :mod:`multiprocessing` pool fed one contiguous chunk of
+        permutation orders per worker.  Results are identical for any
+        value.
+    engine:
+        ``"batch"`` (default) evaluates all permutations through the
+        cross-permutation tensor engine
+        (:class:`~repro.core.state.PermutationBatch`); ``"serial"`` keeps
+        the classic one-permutation-at-a-time sweep loop.  Results are
+        bit-identical; only the wall-clock differs.
     """
 
     num_permutations: int = 10
@@ -65,11 +86,16 @@ class RunnerConfig:
     checkpoints: Optional[Sequence[int]] = None
     seed: Optional[int] = 0
     n_jobs: int = 1
+    engine: str = "batch"
 
     def __post_init__(self) -> None:
         check_int(self.num_permutations, "num_permutations", minimum=1)
         check_int(self.num_checkpoints, "num_checkpoints", minimum=1)
         check_int(self.n_jobs, "n_jobs", minimum=1)
+        if self.engine not in ENGINES:
+            raise ValidationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
 
     def resolve_checkpoints(self, num_columns: int) -> List[int]:
         """The prefix lengths to evaluate for a matrix with ``num_columns`` columns."""
@@ -106,8 +132,49 @@ def _evaluate_permutation(
     }
 
 
+def _evaluate_permutation_batch(
+    matrix: ResponseMatrix,
+    orders: List[Optional[List[int]]],
+    estimators: List[EstimatorProtocol],
+    checkpoints: List[int],
+) -> List[Dict[str, List[float]]]:
+    """Evaluate a chunk of permutation trials through one tensor batch.
+
+    The body of both the serial batch path and the pool workers of the
+    chunked dispatch, guaranteeing the two run identical code.  Returns
+    one ``{estimator: [estimates]}`` dict per order, in order — the same
+    shape the per-permutation loop produces.
+    """
+    batch = PermutationBatch(matrix, orders, checkpoints)
+    per_estimator = {
+        estimator.name: batch_estimates(estimator, batch)
+        for estimator in estimators
+    }
+    return [
+        {
+            name: [result.estimate for result in results[p]]
+            for name, results in per_estimator.items()
+        }
+        for p in range(batch.num_permutations)
+    ]
+
+
+def _chunk_orders(
+    orders: List[Optional[List[int]]], num_chunks: int
+) -> List[List[Optional[List[int]]]]:
+    """Split the trial orders into at most ``num_chunks`` contiguous chunks."""
+    size, extra = divmod(len(orders), num_chunks)
+    chunks, start = [], 0
+    for index in range(num_chunks):
+        end = start + size + (1 if index < extra else 0)
+        if end > start:
+            chunks.append(orders[start:end])
+        start = end
+    return chunks
+
+
 #: Per-process trial context installed by the pool initializer: only the
-#: permutation order travels per task, not the (identical) matrix.
+#: permutation orders travel per task, not the (identical) matrix.
 _worker_context: Dict[str, object] = {}
 
 
@@ -124,6 +191,14 @@ def _evaluate_order(order: Optional[List[int]]) -> Dict[str, List[float]]:
     """Pool task: one permutation trial against the worker's installed context."""
     matrix, estimators, checkpoints = _worker_context["args"]
     return _evaluate_permutation(matrix, order, estimators, checkpoints)
+
+
+def _evaluate_order_chunk(
+    orders: List[Optional[List[int]]],
+) -> List[Dict[str, List[float]]]:
+    """Pool task: one chunk of batched trials against the installed context."""
+    matrix, estimators, checkpoints = _worker_context["args"]
+    return _evaluate_permutation_batch(matrix, orders, estimators, checkpoints)
 
 
 class EstimationRunner:
@@ -194,13 +269,16 @@ class EstimationRunner:
         """
         checkpoints = self.config.resolve_checkpoints(matrix.num_columns)
         orders = self._permutation_orders(matrix, seed)
+        engine = self.config.engine
 
         n_jobs = min(self.config.n_jobs, len(orders))
         trial_results = None
         if n_jobs > 1:
             # The matrix and estimators are identical across trials, so they
             # ship once per worker process (initializer) rather than once
-            # per task; only the column orders travel with the tasks.
+            # per task; only the column-order index arrays travel with the
+            # tasks (one order per task for the serial engine, one chunk of
+            # orders per task for the batch engine).
             # Platforms without usable multiprocessing (no /dev/shm, no
             # sem_open, sandboxed interpreters) fail at pool *construction*
             # and degrade to the serial path — results are identical either
@@ -222,12 +300,25 @@ class EstimationRunner:
                 n_jobs = 1
             else:
                 with pool:
-                    trial_results = pool.map(_evaluate_order, orders)
+                    if engine == "batch":
+                        chunk_results = pool.map(
+                            _evaluate_order_chunk, _chunk_orders(orders, n_jobs)
+                        )
+                        trial_results = [
+                            trial for chunk in chunk_results for trial in chunk
+                        ]
+                    else:
+                        trial_results = pool.map(_evaluate_order, orders)
         if trial_results is None:
-            trial_results = [
-                _evaluate_permutation(matrix, order, self.estimators, checkpoints)
-                for order in orders
-            ]
+            if engine == "batch":
+                trial_results = _evaluate_permutation_batch(
+                    matrix, orders, self.estimators, checkpoints
+                )
+            else:
+                trial_results = [
+                    _evaluate_permutation(matrix, order, self.estimators, checkpoints)
+                    for order in orders
+                ]
 
         experiment = ExperimentResult(
             name=name,
@@ -240,4 +331,5 @@ class EstimationRunner:
         experiment.metadata.setdefault("num_permutations", self.config.num_permutations)
         experiment.metadata.setdefault("checkpoints", list(checkpoints))
         experiment.metadata.setdefault("n_jobs", n_jobs)
+        experiment.metadata.setdefault("engine", engine)
         return experiment

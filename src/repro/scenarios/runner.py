@@ -1,15 +1,17 @@
-"""Scenario execution: one spec, three evaluation modes, one trajectory.
+"""Scenario execution: one spec, four evaluation modes, one trajectory.
 
 :class:`ScenarioRunner` turns a declarative
 :class:`~repro.scenarios.spec.Scenario` into a
 :class:`ScenarioTrajectory`: it simulates the crowd, then evaluates every
-listed estimator at every checkpoint through all three evaluation paths —
+listed estimator at every checkpoint through all four evaluation paths —
 the batch single-prefix path (``estimate``), the incremental sweep engine
-(``estimate_sweep`` over shared tables) and the streaming session — and
-verifies the three agree *exactly*.  The trajectory serialises to a
-canonical JSON document (sorted keys, two-space indent, shortest-repr
-floats) so that a golden file diff is stable and byte-for-byte
-reproducible from ``repro scenario run <name> --seed <seed>``.
+(``estimate_sweep`` over shared tables), the streaming session and the
+cross-permutation tensor engine
+(:class:`~repro.core.state.PermutationBatch`) — and verifies they agree
+*exactly*.  The trajectory serialises to a canonical JSON document
+(sorted keys, two-space indent, shortest-repr floats) so that a golden
+file diff is stable and byte-for-byte reproducible from
+``repro scenario run <name> --seed <seed>``.
 """
 
 from __future__ import annotations
@@ -19,18 +21,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.exceptions import ConfigurationError
-from repro.core.base import EstimateResult, sweep_estimates
+from repro.core.base import EstimateResult, batch_estimates, sweep_estimates
 from repro.core.registry import get_estimator
-from repro.core.state import matrix_sweep_states
+from repro.core.state import PermutationBatch, matrix_sweep_states
 from repro.crowd.simulator import CrowdSimulation, CrowdSimulator, SimulationConfig
 from repro.scenarios.spec import Scenario
 from repro.streaming.session import StreamingSession
 
 #: The evaluation modes every scenario is pushed through.
-MODES = ("batch", "sweep", "streaming")
+MODES = ("batch", "sweep", "streaming", "perm_batch")
 
 #: Golden-file format version (bump when the payload layout changes).
-FORMAT_VERSION = 1
+#: 2: added the ``perm_batch`` mode and its equivalence flag (PR 4).
+FORMAT_VERSION = 2
 
 
 @dataclass
@@ -169,6 +172,14 @@ class ScenarioRunner:
                 for name, instance in estimators:
                     streaming[name].append(session.estimate(instance.name))
 
+        # Cross-permutation tensor engine: one single-permutation batch must
+        # reproduce the sweep exactly (the runner's default path).
+        tensor_batch = PermutationBatch(matrix, [None], checkpoints)
+        perm_batch: Dict[str, List[EstimateResult]] = {
+            name: batch_estimates(instance, tensor_batch)[0]
+            for name, instance in estimators
+        }
+
         equivalence = {
             "batch_vs_sweep": all(
                 _series_equal(batch[name], sweep[name]) for name in sweep
@@ -176,12 +187,15 @@ class ScenarioRunner:
             "streaming_vs_sweep": all(
                 _series_equal(streaming[name], sweep[name]) for name in sweep
             ),
+            "perm_batch_vs_sweep": all(
+                _series_equal(perm_batch[name], sweep[name]) for name in sweep
+            ),
         }
         if self.strict and not all(equivalence.values()):
             failing = sorted(key for key, ok in equivalence.items() if not ok)
             raise ConfigurationError(
                 f"scenario {scenario.name!r} modes disagree: {failing} — an estimator "
-                "violated the batch/sweep/streaming equivalence contract"
+                "violated the batch/sweep/streaming/perm_batch equivalence contract"
             )
 
         return ScenarioTrajectory(

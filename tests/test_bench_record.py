@@ -1,0 +1,131 @@
+"""Tests of the benchmark recording tool (``repro bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+from repro.experiments.bench import (
+    BenchWorkload,
+    format_summary,
+    load_record,
+    regression_failure,
+    run_and_record,
+    run_workload,
+    save_record,
+    update_record,
+)
+
+#: A workload small enough for unit tests to time end-to-end.
+TINY = BenchWorkload(
+    name="runner_tiny_60x20",
+    num_items=60,
+    num_columns=20,
+    num_permutations=2,
+    num_checkpoints=4,
+    estimators=("voting", "chao92", "switch_total"),
+)
+
+
+def _entry(speedup: float) -> dict:
+    return {
+        "recorded_at": "2026-07-30T00:00:00+00:00",
+        "machine": {"usable_cpus": 1},
+        "params": {"name": TINY.name},
+        "timings_s": {
+            "serial_engine": speedup,
+            "batch_engine": 1.0,
+            "batch_engine_parallel": None,
+            "n_jobs": 1,
+            "repeats": 2,
+        },
+        "speedups": {"batch_vs_serial": speedup, "parallel_vs_serial": None},
+    }
+
+
+class TestRunWorkload:
+    def test_entry_shape_and_engine_agreement(self):
+        entry = run_workload(TINY, repeats=1)
+        assert entry["params"]["name"] == TINY.name
+        assert entry["timings_s"]["serial_engine"] > 0.0
+        assert entry["timings_s"]["batch_engine"] > 0.0
+        assert entry["timings_s"]["batch_engine_parallel"] is None
+        assert entry["speedups"]["batch_vs_serial"] > 0.0
+        assert entry["machine"]["usable_cpus"] >= 1
+
+    def test_deterministic_matrix(self):
+        assert (TINY.build_matrix().values == TINY.build_matrix().values).all()
+
+
+class TestRecordPersistence:
+    def test_first_entry_becomes_baseline(self, tmp_path):
+        record = load_record(tmp_path / "BENCH.json")
+        first = _entry(2.0)
+        assert update_record(record, first) is None
+        assert record["workloads"][TINY.name]["baseline"] is first
+        second = _entry(2.1)
+        assert update_record(record, second) is first
+        assert record["workloads"][TINY.name]["history"] == [first, second]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        record = load_record(path)
+        update_record(record, _entry(2.0))
+        save_record(record, path)
+        assert load_record(path) == record
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        with pytest.raises(ValueError, match="version"):
+            load_record(path)
+
+
+class TestRegressionCheck:
+    def test_no_baseline_is_not_a_regression(self):
+        assert regression_failure(_entry(0.1), None) is None
+
+    def test_within_factor_passes(self):
+        # 3x factor: 2.0 baseline allows anything >= 0.667.
+        assert regression_failure(_entry(0.7), _entry(2.0)) is None
+
+    def test_beyond_factor_fails(self):
+        message = regression_failure(_entry(0.5), _entry(2.0))
+        assert message is not None and "regressed" in message
+
+    def test_factor_is_configurable(self):
+        assert regression_failure(_entry(1.1), _entry(2.0), factor=2.0) is None
+        assert regression_failure(_entry(0.9), _entry(2.0), factor=2.0) is not None
+
+
+class TestCliFlow:
+    def test_run_and_record_writes_and_summarises(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(bench.WORKLOADS, "tiny", TINY)
+        path = tmp_path / "BENCH.json"
+        assert (
+            run_and_record(workload="tiny", repeats=1, output=str(path), check=True)
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert f"BENCH {TINY.name}:" in output
+        assert "recorded ->" in output
+        record = json.loads(path.read_text())
+        assert record["workloads"][TINY.name]["baseline"] is not None
+
+    def test_dry_run_does_not_write(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(bench.WORKLOADS, "tiny", TINY)
+        path = tmp_path / "BENCH.json"
+        assert (
+            run_and_record(workload="tiny", repeats=1, output=str(path), dry_run=True)
+            == 0
+        )
+        assert not path.exists()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_and_record(workload="nope")
+
+    def test_summary_line_mentions_speedup(self):
+        assert "1.80x" in format_summary(_entry(1.8))

@@ -157,6 +157,7 @@ class TestCliScenario:
         assert payload["equivalence"] == {
             "batch_vs_sweep": True,
             "streaming_vs_sweep": True,
+            "perm_batch_vs_sweep": True,
         }
 
     def test_scenario_check_passes_on_committed_goldens(self, capsys):

@@ -7,10 +7,66 @@ import pytest
 from repro.common.exceptions import ValidationError
 from repro.core.fstatistics import (
     Fingerprint,
+    IncrementalFingerprint,
     fingerprint_entropy,
     fingerprint_from_counts,
     positive_vote_fingerprint,
 )
+
+
+class TestIncrementalSnapshotCache:
+    """Snapshots are cached until the next mutation (O(1) repeated reads)."""
+
+    def _tracker(self):
+        tracker = IncrementalFingerprint()
+        tracker.reclassify(0, 1)
+        tracker.reclassify(0, 1)
+        tracker.reclassify(1, 2)
+        tracker.add_observations(3)
+        return tracker
+
+    def test_repeated_snapshots_return_same_object(self):
+        tracker = self._tracker()
+        first = tracker.snapshot()
+        assert tracker.snapshot() is first
+        assert tracker.snapshot() is first
+
+    def test_reclassify_invalidates_cache(self):
+        tracker = self._tracker()
+        stale = tracker.snapshot()
+        tracker.reclassify(2, 3)
+        fresh = tracker.snapshot()
+        assert fresh is not stale
+        assert fresh.frequencies == {1: 1, 3: 1}
+        # The stale snapshot is immutable and untouched.
+        assert stale.frequencies == {1: 1, 2: 1}
+
+    def test_add_observations_invalidates_cache(self):
+        tracker = self._tracker()
+        stale = tracker.snapshot()
+        tracker.add_observations(1)
+        fresh = tracker.snapshot()
+        assert fresh is not stale
+        assert fresh.num_observations == 4
+
+    def test_noop_mutations_keep_cache(self):
+        tracker = self._tracker()
+        first = tracker.snapshot()
+        tracker.reclassify(2, 2)
+        tracker.add_observations(0)
+        assert tracker.snapshot() is first
+
+    def test_observation_override_caches_per_count(self):
+        tracker = self._tracker()
+        default = tracker.snapshot()
+        overridden = tracker.snapshot(num_observations=9)
+        assert overridden.num_observations == 9
+        assert overridden is not default
+        # The most recent (count-matching) snapshot is served from cache.
+        assert tracker.snapshot(num_observations=9) is overridden
+        rebuilt = tracker.snapshot()
+        assert rebuilt.num_observations == 3
+        assert rebuilt.frequencies == default.frequencies
 
 
 class TestFingerprintConstruction:

@@ -67,6 +67,81 @@ class TestDawidSkeneBasics:
         assert all(0.0 <= s <= 1.0 for s in result.worker_specificity)
 
 
+def _reference_dawid_skene(votes, max_iterations=100, tolerance=1e-6, prior_dirty=0.5):
+    """Straightforward reference copy of the EM update formulas.
+
+    Kept verbatim (same operations in the same order) so the test below
+    can pin that refactors of :func:`dawid_skene` stay *bit-identical*:
+    any change to the arithmetic — reduction order, fusion into matmuls,
+    dtype changes — shows up as an exact-equality failure here.
+    """
+    n_items, n_cols = votes.shape
+    seen = votes != UNSEEN
+    dirty_votes = votes == DIRTY
+    clean_votes = votes == CLEAN
+    vote_totals = seen.sum(axis=1)
+    posterior = (dirty_votes.sum(axis=1) + prior_dirty) / (vote_totals + 1.0)
+    prevalence = float(prior_dirty)
+    for _ in range(1, max_iterations + 1):
+        weight_dirty = posterior[:, None] * seen
+        weight_clean = (1.0 - posterior)[:, None] * seen
+        sensitivity = ((posterior[:, None] * dirty_votes).sum(axis=0) + 0.5) / (
+            weight_dirty.sum(axis=0) + 1.0
+        )
+        specificity = (((1.0 - posterior)[:, None] * clean_votes).sum(axis=0) + 0.5) / (
+            weight_clean.sum(axis=0) + 1.0
+        )
+        prevalence = float(np.clip(posterior.mean(), 1e-6, 1.0 - 1e-6))
+        log_dirty = np.log(prevalence) + (
+            dirty_votes @ np.log(np.clip(sensitivity, 1e-9, 1.0))
+            + clean_votes @ np.log(np.clip(1.0 - sensitivity, 1e-9, 1.0))
+        )
+        log_clean = np.log(1.0 - prevalence) + (
+            clean_votes @ np.log(np.clip(specificity, 1e-9, 1.0))
+            + dirty_votes @ np.log(np.clip(1.0 - specificity, 1e-9, 1.0))
+        )
+        peak = np.maximum(log_dirty, log_clean)
+        numerator = np.exp(log_dirty - peak)
+        new_posterior = numerator / (numerator + np.exp(log_clean - peak))
+        new_posterior = np.where(vote_totals > 0, new_posterior, prevalence)
+        change = float(np.abs(new_posterior - posterior).max())
+        posterior = new_posterior
+        if change < tolerance:
+            break
+    return posterior
+
+
+class TestVectorisedExtraction:
+    """The array-based label extraction must stay bit-identical to EM."""
+
+    @pytest.fixture
+    def matrix(self, noisy_crowd_simulation):
+        return noisy_crowd_simulation.matrix
+
+    def test_posteriors_bit_identical_to_reference(self, matrix):
+        result = dawid_skene(matrix)
+        reference = _reference_dawid_skene(matrix.values)
+        got = np.array([result.posterior_dirty[item] for item in matrix.item_ids])
+        assert got.tolist() == reference.tolist()  # exact, not approx
+
+    def test_labels_are_thresholded_posteriors(self, matrix):
+        result = dawid_skene(matrix)
+        for item, posterior in result.posterior_dirty.items():
+            assert result.labels[item] == int(posterior > 0.5)
+            assert isinstance(result.labels[item], int)
+            assert isinstance(posterior, float)
+
+    def test_em_error_count_matches_label_sum_exactly(self, matrix):
+        """The dict-free count equals summing the materialised labels."""
+        result = dawid_skene(matrix)
+        assert em_error_count(matrix) == sum(result.labels.values())
+        # And with non-default EM parameters forwarded through **kwargs.
+        result_loose = dawid_skene(matrix, max_iterations=3, prior_dirty=0.2)
+        assert em_error_count(matrix, max_iterations=3, prior_dirty=0.2) == sum(
+            result_loose.labels.values()
+        )
+
+
 class TestDawidSkeneOnSimulations:
     def test_em_recovers_most_labels(self, synthetic_population):
         config = SimulationConfig(

@@ -76,6 +76,50 @@ class TestEstimationRunner:
         assert a.series["switch_total"].means == b.series["switch_total"].means
 
 
+class TestEngines:
+    NAMES = ["voting", "nominal", "chao92", "vchao92", "extrapolation", "switch", "switch_total"]
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(Exception, match="engine"):
+            RunnerConfig(engine="tensor")
+
+    def test_default_engine_is_batch(self, noisy_crowd_simulation):
+        config = RunnerConfig(num_permutations=2, num_checkpoints=3)
+        assert config.engine == "batch"
+        result = EstimationRunner(["voting"], config).run(noisy_crowd_simulation.matrix)
+        assert result.metadata["engine"] == "batch"
+
+    def test_batch_engine_identical_to_serial_engine(self, noisy_crowd_simulation):
+        """The tensor engine must not move a single float on any estimator."""
+        matrix = noisy_crowd_simulation.matrix
+        shared = dict(num_permutations=4, num_checkpoints=5, seed=21)
+        batch = EstimationRunner(
+            self.NAMES, RunnerConfig(engine="batch", **shared)
+        ).run(matrix)
+        serial = EstimationRunner(
+            self.NAMES, RunnerConfig(engine="serial", **shared)
+        ).run(matrix)
+        assert batch.metadata["checkpoints"] == serial.metadata["checkpoints"]
+        for name in self.NAMES:
+            for a, b in zip(batch.series[name].points, serial.series[name].points):
+                assert a.values == b.values
+                assert a.num_tasks == b.num_tasks
+
+    def test_batch_engine_chunked_dispatch_identical(self, noisy_crowd_simulation):
+        """Chunked n_jobs dispatch of the batch engine changes nothing."""
+        matrix = noisy_crowd_simulation.matrix
+        shared = dict(num_permutations=5, num_checkpoints=4, seed=13, engine="batch")
+        one = EstimationRunner(
+            ["chao92", "switch_total"], RunnerConfig(n_jobs=1, **shared)
+        ).run(matrix)
+        three = EstimationRunner(
+            ["chao92", "switch_total"], RunnerConfig(n_jobs=3, **shared)
+        ).run(matrix)
+        for name in ("chao92", "switch_total"):
+            for a, b in zip(one.series[name].points, three.series[name].points):
+                assert a.values == b.values
+
+
 class TestParallelRunner:
     def test_invalid_n_jobs_rejected(self):
         with pytest.raises(Exception):

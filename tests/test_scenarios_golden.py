@@ -74,13 +74,14 @@ class TestGoldenReplay:
         assert trajectory.equivalence == {
             "batch_vs_sweep": True,
             "streaming_vs_sweep": True,
+            "perm_batch_vs_sweep": True,
         }
         assert trajectory.canonical_json() + "\n" == read_golden(name)
 
     def test_golden_payload_is_self_describing(self, name):
         """The stored document embeds a spec that rebuilds the scenario."""
         payload = json.loads(read_golden(name))
-        assert payload["format_version"] == 1
+        assert payload["format_version"] == 2
         assert payload["modes"] == list(MODES)
         rebuilt = Scenario.from_dict(payload["scenario"])
         assert rebuilt == get_scenario(name)

@@ -332,3 +332,51 @@ class TestStreamingSessionEdgeCases:
         # The session still accepts valid work afterwards.
         session.add_column({2: DIRTY})
         assert session.num_columns == 2
+
+
+class TestSnapshotCaching:
+    """Repeated estimate reads between updates are O(1): the positive-vote
+    and switch fingerprints are snapshotted once per mutation, not once per
+    read."""
+
+    def test_repeated_estimates_share_fingerprint_snapshots(self):
+        session = StreamingSession([0, 1, 2, 3], ["chao92", "switch"], keep_votes=False)
+        session.add_column({0: DIRTY, 1: DIRTY, 2: CLEAN})
+        state = session.state
+        first = state.positive_fingerprint()
+        assert state.positive_fingerprint() is first
+        first_switch = state.switch_stats().fingerprint()
+        assert state.switch_stats().fingerprint() is first_switch
+        # Reads do not disturb the estimates.
+        a = session.estimate("chao92")
+        b = session.estimate("chao92")
+        assert a.estimate == b.estimate and a.details == b.details
+
+    def test_snapshots_refresh_after_updates(self):
+        session = StreamingSession([0, 1, 2, 3], ["chao92"], keep_votes=False)
+        session.add_column({0: DIRTY})
+        stale = session.state.positive_fingerprint()
+        session.add_column({1: DIRTY, 0: DIRTY})
+        fresh = session.state.positive_fingerprint()
+        assert fresh is not stale
+        reference = ResponseMatrix([0, 1, 2, 3])
+        reference.add_column({0: DIRTY}, worker_id=0)
+        reference.add_column({1: DIRTY, 0: DIRTY}, worker_id=1)
+        assert fresh.frequencies == {1: 1, 2: 1}
+
+    def test_directional_switch_snapshots_track_n_switch(self):
+        """A vote that only moves n_switch must refresh every direction."""
+        from repro.core.switch import NEGATIVE, POSITIVE
+
+        session = StreamingSession([0, 1], ["switch_total"], keep_votes=False)
+        session.add_column({0: DIRTY, 1: CLEAN})
+        session.add_column({1: DIRTY})
+        stats = session.state.switch_stats()
+        negative_before = stats.fingerprint(NEGATIVE)
+        # A positive-direction rediscovery grows n_switch but never touches
+        # the negative fingerprint's frequency table.
+        session.add_column({0: DIRTY})
+        stats = session.state.switch_stats()
+        negative_after = stats.fingerprint(NEGATIVE)
+        assert negative_after.num_observations == stats.n_switch
+        assert negative_after is not negative_before

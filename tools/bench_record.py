@@ -1,0 +1,25 @@
+"""Record runner benchmarks into ``BENCH_runner.json`` (thin CLI wrapper).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/bench_record.py                 # full workload
+    PYTHONPATH=src python tools/bench_record.py --smoke --check # CI smoke job
+
+All logic lives in :mod:`repro.experiments.bench`; this wrapper only makes
+the tool runnable without installing the package, mirroring
+``tools/check_docs.py`` and ``tools/golden.py``.  The same entry point is
+exposed as the ``repro bench`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

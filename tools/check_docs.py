@@ -25,6 +25,7 @@ DOCUMENTS = (
     "docs/paper_mapping.md",
     "docs/api.md",
     "docs/scenarios.md",
+    "docs/performance.md",
 )
 
 _BLOCK_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
