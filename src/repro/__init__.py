@@ -30,6 +30,8 @@ Package layout
 * :mod:`repro.er` — entity-resolution similarity, blocking and heuristics.
 * :mod:`repro.prioritization` — heuristic-prioritised estimation.
 * :mod:`repro.streaming` — online estimation sessions over live vote streams.
+* :mod:`repro.serving` — the multi-tenant serving layer: named durable
+  sessions, idempotent ingestion, cached estimates, snapshot/restore.
 * :mod:`repro.experiments` — the harness that regenerates every figure.
 * :mod:`repro.scenarios` — the declarative scenario suite (adversarial
   crowd regimes, three-mode runner, golden trajectories).
@@ -72,9 +74,16 @@ from repro.data import (
 )
 from repro.er import CrowdERPipeline, HeuristicBand
 from repro.prioritization import EpsilonGreedyPrioritizer
-from repro.streaming import StreamingSession
+from repro.streaming import (
+    DirectorySessionStore,
+    EstimationService,
+    MemorySessionStore,
+    SessionSnapshot,
+    SessionStore,
+    StreamingSession,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -118,6 +127,11 @@ __all__ = [
     "CrowdERPipeline",
     "HeuristicBand",
     "EpsilonGreedyPrioritizer",
-    # streaming
+    # streaming + serving
     "StreamingSession",
+    "SessionSnapshot",
+    "EstimationService",
+    "SessionStore",
+    "MemorySessionStore",
+    "DirectorySessionStore",
 ]

@@ -13,6 +13,9 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro scenario run spammer-infested --seed 7
     python -m repro scenario record              # refresh golden files
     python -m repro bench --smoke --check        # record perf, fail on regression
+    python -m repro session create mydata --items 500   # durable serving session
+    python -m repro session ingest mydata --votes batch.json --source loader --sequence 1
+    python -m repro session estimate mydata
 
 Every command prints the same text tables the benchmark harness produces,
 so the CLI is the quickest way to eyeball a figure without running pytest.
@@ -20,13 +23,17 @@ so the CLI is the quickest way to eyeball a figure without running pytest.
 ``sweep`` drives the (optionally process-parallel) permutation runner;
 ``scenario`` drives the declarative scenario suite (``run`` prints the
 canonical trajectory JSON — byte-identical to the golden file when run at
-the scenario's default seed).
+the scenario's default seed); ``session`` drives the multi-tenant serving
+layer against an on-disk session store, so successive invocations build
+one durable estimation session (idempotent when ``--source/--sequence``
+accompany each ingested batch).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.registry import available_estimators
@@ -57,7 +64,10 @@ EXPERIMENTS = (
 )
 
 #: Workload-independent tool commands.
-TOOLS = ("list", "quality", "stream", "sweep", "scenario", "bench")
+TOOLS = ("list", "quality", "stream", "sweep", "scenario", "bench", "session")
+
+#: Where ``repro session`` keeps its snapshots unless ``--store`` says else.
+DEFAULT_SESSION_STORE = ".repro-sessions"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -178,6 +188,62 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario_check.add_argument(
         "names", nargs="*", help="scenarios to check (default: all)"
     )
+
+    session = sub.add_parser(
+        "session",
+        help="durable serving sessions: create/ingest/estimate/snapshot/restore/list",
+    )
+    session_sub = session.add_subparsers(dest="session_command", required=True)
+
+    def _session_parser(command: str, helptext: str, named: bool = True):
+        sub_parser = session_sub.add_parser(command, help=helptext)
+        if named:
+            sub_parser.add_argument("name", help="session name")
+        sub_parser.add_argument(
+            "--store",
+            default=DEFAULT_SESSION_STORE,
+            help=f"session store directory (default: {DEFAULT_SESSION_STORE})",
+        )
+        return sub_parser
+
+    session_create = _session_parser("create", "create a new named session")
+    items = session_create.add_mutually_exclusive_group(required=True)
+    items.add_argument("--items", type=int, help="item ids 0..N-1")
+    items.add_argument("--item-ids", type=int, nargs="+", help="explicit item ids")
+    session_create.add_argument(
+        "--estimators", nargs="+", default=None, help="registry names to track"
+    )
+    session_create.add_argument(
+        "--no-keep-votes",
+        action="store_true",
+        help="run in O(state) memory (no matrix materialisation)",
+    )
+
+    session_ingest = _session_parser("ingest", "ingest a JSON batch of task columns")
+    session_ingest.add_argument(
+        "--votes",
+        required=True,
+        help="JSON file of columns ('-' for stdin): "
+        '[{"votes": {"0": 1, "5": 0}, "worker": 3}, ...] or plain vote maps',
+    )
+    session_ingest.add_argument("--source", default=None, help="delivery source id")
+    session_ingest.add_argument(
+        "--sequence", type=int, default=None, help="delivery sequence number"
+    )
+
+    _session_parser("estimate", "print the session's current estimates")
+    session_snapshot = _session_parser("snapshot", "persist the session snapshot")
+    session_snapshot.add_argument(
+        "--out", default=None, help="also export the snapshot to this directory"
+    )
+    session_restore = _session_parser("restore", "activate a session from a snapshot")
+    session_restore.add_argument(
+        "--from",
+        dest="source_dir",
+        default=None,
+        help="import a foreign snapshot directory under this name",
+    )
+    _session_parser("list", "list stored sessions with progress", named=False)
     return parser
 
 
@@ -315,12 +381,115 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     return 1  # pragma: no cover - argparse enforces the subcommand choices
 
 
+def _print_estimates(results) -> None:
+    print(f"  {'estimator':>16} {'estimate':>12} {'observed':>12} {'remaining':>12}")
+    for name in sorted(results):
+        result = results[name]
+        print(
+            f"  {name:>16} {result.estimate:>12.1f} "
+            f"{result.observed:>12.1f} {result.remaining:>12.1f}"
+        )
+
+
+def _run_session_command(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.streaming import (
+        DirectorySessionStore,
+        EstimationService,
+        read_snapshot,
+        write_snapshot,
+    )
+
+    service = EstimationService(DirectorySessionStore(args.store))
+
+    if args.session_command == "create":
+        item_ids = args.item_ids if args.item_ids is not None else range(args.items)
+        service.create_session(
+            args.name,
+            list(item_ids),
+            args.estimators,
+            keep_votes=not args.no_keep_votes,
+        )
+        service.snapshot(args.name)  # durable from the first moment
+        print(f"created session {args.name!r} in {args.store}")
+        return 0
+
+    if args.session_command == "ingest":
+        if args.votes == "-":
+            payload = _json.load(sys.stdin)
+        else:
+            with open(args.votes, "r", encoding="utf-8") as handle:
+                payload = _json.load(handle)
+        columns, workers = [], []
+        for entry in payload:
+            # Two accepted shapes per column: {"votes": {...}, "worker": n}
+            # or the bare {item: vote} mapping itself.
+            votes = entry["votes"] if "votes" in entry else entry
+            columns.append({int(item): int(vote) for item, vote in votes.items()})
+            workers.append(int(entry["worker"]) if "worker" in entry else None)
+        result = service.ingest(
+            args.name,
+            columns,
+            worker_ids=workers,
+            source=args.source,
+            sequence=args.sequence,
+        )
+        service.snapshot(args.name)
+        status = "duplicate batch skipped" if result.duplicate else "applied"
+        print(
+            f"{status}: {result.applied} column(s); session now at "
+            f"{result.num_columns} column(s), {result.total_votes} vote(s)"
+        )
+        return 0
+
+    if args.session_command == "estimate":
+        _print_estimates(service.estimates(args.name))
+        return 0
+
+    if args.session_command == "snapshot":
+        snapshot = service.snapshot(args.name)
+        print(f"snapshotted {args.name!r} -> {Path(args.store) / args.name}")
+        if args.out:
+            write_snapshot(snapshot, args.out)
+            print(f"exported -> {args.out}")
+        return 0
+
+    if args.session_command == "restore":
+        snapshot = read_snapshot(args.source_dir) if args.source_dir else None
+        progress = service.restore(args.name, snapshot)
+        service.snapshot(args.name)
+        print(f"restored {args.name!r}: " + ", ".join(
+            f"{key}={value:.0f}" for key, value in progress.items()
+        ))
+        return 0
+
+    if args.session_command == "list":
+        names = service.sessions()
+        if not names:
+            print(f"no sessions in {args.store}")
+            return 0
+        print(f"{'session':<24} {'columns':>8} {'votes':>8} {'majority':>9}")
+        for name in names:
+            progress = service.progress(name)
+            print(
+                f"{name:<24} {progress['num_columns']:>8.0f} "
+                f"{progress['total_votes']:>8.0f} {progress['majority_count']:>9.0f}"
+            )
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the subcommand choices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     args = _build_parser().parse_args(argv)
 
     if args.command == "scenario":
         return _run_scenario_command(args)
+
+    if args.command == "session":
+        return _run_session_command(args)
 
     if args.command == "bench":
         from repro.experiments.bench import run_from_args

@@ -147,12 +147,16 @@ class IncrementalFingerprint:
     object.
     """
 
-    __slots__ = ("_frequencies", "num_observations", "_snapshot_cache")
+    __slots__ = ("_frequencies", "num_observations", "_snapshot_cache", "version")
 
     def __init__(self) -> None:
         self._frequencies: Dict[int, int] = {}
         self.num_observations = 0
         self._snapshot_cache: Optional[Fingerprint] = None
+        #: Monotonic mutation counter.  Consumers that cache derived values
+        #: (the serving layer's estimate cache) compare versions instead of
+        #: frequency tables.
+        self.version = 0
 
     def reclassify(self, old_count: int, new_count: int) -> None:
         """Move one item from occurrence class ``old_count`` to ``new_count``.
@@ -163,6 +167,7 @@ class IncrementalFingerprint:
         if old_count == new_count:
             return
         self._snapshot_cache = None
+        self.version += 1
         if old_count > 0:
             remaining = self._frequencies[old_count] - 1
             if remaining:
@@ -177,6 +182,7 @@ class IncrementalFingerprint:
         count = int(count)
         if count:
             self._snapshot_cache = None
+            self.version += 1
             self.num_observations += count
 
     def snapshot(self, num_observations: Optional[int] = None) -> Fingerprint:
@@ -205,6 +211,38 @@ class IncrementalFingerprint:
         )
         self._snapshot_cache = snapshot
         return snapshot
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe serialisation of the tracker (snapshot codec).
+
+        Frequency-class keys become strings because JSON objects cannot
+        carry integer keys; every value is an exact Python integer, so a
+        round trip through :meth:`from_state_dict` is bit-identical.
+        """
+        return {
+            "frequencies": {str(j): int(count) for j, count in self._frequencies.items()},
+            "num_observations": int(self.num_observations),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Mapping[str, object]) -> "IncrementalFingerprint":
+        """Rebuild a tracker from :meth:`state_dict` output."""
+        tracker = cls()
+        frequencies = payload.get("frequencies", {})
+        if not isinstance(frequencies, Mapping):
+            raise ValidationError("fingerprint state 'frequencies' must be a mapping")
+        for j, count in frequencies.items():
+            j, count = int(j), int(count)
+            if j < 1 or count < 0:
+                raise ValidationError(
+                    f"invalid fingerprint state entry f_{j} = {count}"
+                )
+            if count:
+                tracker._frequencies[j] = count
+        tracker.num_observations = int(payload.get("num_observations", 0))
+        if tracker.num_observations < 0:
+            raise ValidationError("num_observations must be >= 0")
+        return tracker
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"IncrementalFingerprint({self.snapshot()!r})"

@@ -759,8 +759,100 @@ class StreamingState:
         ]
 
     # ------------------------------------------------------------------ #
+    # snapshot codec
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """Serialise the full live state into arrays plus JSON-safe metadata.
+
+        The arrays dictionary is ``np.savez``-able; the metadata dictionary
+        is ``json.dumps``-able.  Together they capture every maintained
+        statistic — counts, fingerprints, histograms, the switch tracker
+        and the majority history — so :meth:`from_arrays` rebuilds a state
+        that is bit-identical to this one *and stays bit-identical* under
+        any further ingestion (the snapshot/restore guarantee of
+        :mod:`repro.streaming`).
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "item_ids": np.asarray(self._item_ids, dtype=np.int64),
+            "positive": self._positive.copy(),
+            "negative": self._negative.copy(),
+            "majority_history": np.asarray(self._majority_history, dtype=np.int64),
+        }
+        switch_arrays, switch_meta = self._switch.to_arrays()
+        for key, value in switch_arrays.items():
+            arrays[f"switch_{key}"] = value
+        meta: Dict[str, object] = {
+            "num_columns": int(self.num_columns),
+            "nominal": int(self._nominal),
+            "majority": int(self._majority),
+            "votes_histogram": {
+                str(k): int(v) for k, v in self._votes_histogram.items()
+            },
+            "dirty_votes_histogram": {
+                str(k): int(v) for k, v in self._dirty_votes_histogram.items()
+            },
+            "positive_fingerprint": self._positive_fingerprint.state_dict(),
+            "switch": switch_meta,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+    ) -> "StreamingState":
+        """Rebuild a live state from :meth:`to_arrays` output."""
+        item_ids = [int(item) for item in np.asarray(arrays["item_ids"])]
+        state = cls(item_ids)
+        positive = np.asarray(arrays["positive"], dtype=np.int64)
+        negative = np.asarray(arrays["negative"], dtype=np.int64)
+        if positive.shape != (state.num_items,) or negative.shape != (state.num_items,):
+            raise ValidationError("count arrays must match the item dimension")
+        state._positive = positive.copy()
+        state._negative = negative.copy()
+        state.num_columns = int(meta["num_columns"])
+        state._nominal = int(meta["nominal"])
+        state._majority = int(meta["majority"])
+        state._votes_histogram = {
+            int(k): int(v) for k, v in meta["votes_histogram"].items()
+        }
+        state._dirty_votes_histogram = {
+            int(k): int(v) for k, v in meta["dirty_votes_histogram"].items()
+        }
+        state._positive_fingerprint = IncrementalFingerprint.from_state_dict(
+            meta["positive_fingerprint"]
+        )
+        switch_arrays = {
+            key[len("switch_"):]: value
+            for key, value in arrays.items()
+            if key.startswith("switch_")
+        }
+        state._switch = IncrementalSwitchState.from_arrays(switch_arrays, meta["switch"])
+        if state._switch._margin.shape != (state.num_items,):
+            raise ValidationError("switch arrays must match the item dimension")
+        history = [int(v) for v in np.asarray(arrays["majority_history"])]
+        if len(history) != state.num_columns + 1:
+            raise ValidationError(
+                "majority history must hold one entry per ingested column plus "
+                f"the origin; got {len(history)} for {state.num_columns} column(s)"
+            )
+        state._majority_history = history
+        return state
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> Tuple[int, int, int]:
+        """Monotonic mutation version of the state.
+
+        Changes whenever any maintained statistic can have changed: every
+        vote advances ``total_votes``, every column boundary advances
+        ``num_columns``, and the positive fingerprint carries its own
+        mutation counter.  The serving layer keys its estimate cache on
+        this tuple.
+        """
+        return (self.num_columns, self.total_votes, self._positive_fingerprint.version)
+
     @property
     def total_votes(self) -> int:
         """Total number of votes ingested."""

@@ -643,6 +643,88 @@ class IncrementalSwitchState:
         """Consensus label per item id, under the scan's tie-flip convention."""
         return {item: int(label) for item, label in zip(item_ids, self._consensus)}
 
+    # -- snapshot codec --------------------------------------------------- #
+    def to_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """Serialise the tracker into npz-able arrays plus JSON-safe metadata.
+
+        The frozen events behind the f'-statistics are not reconstructible
+        from the per-item arrays alone, so the three fingerprint tables are
+        carried explicitly.  :meth:`from_arrays` restores a tracker whose
+        every exposed statistic — and every *future* statistic after more
+        votes — is bit-identical to one that never stopped.
+        """
+        arrays = {
+            "margin": self._margin.copy(),
+            "consensus": self._consensus.copy(),
+            "open_rediscoveries": self._open_rediscoveries.copy(),
+            "open_positive": self._open_positive.copy(),
+            "has_positive": self._has_direction[POSITIVE].copy(),
+            "has_negative": self._has_direction[NEGATIVE].copy(),
+        }
+        meta: Dict[str, object] = {
+            "num_switches": int(self.num_switches),
+            "items_with_switches": int(self.items_with_switches),
+            "n_switch": int(self.n_switch),
+            "total_votes": int(self.total_votes),
+            "switches_by_direction": {
+                POSITIVE: int(self._switches_by_direction[POSITIVE]),
+                NEGATIVE: int(self._switches_by_direction[NEGATIVE]),
+            },
+            "items_by_direction": {
+                POSITIVE: int(self._items_by_direction[POSITIVE]),
+                NEGATIVE: int(self._items_by_direction[NEGATIVE]),
+            },
+            "fingerprints": {
+                "all": self._fingerprints[None].state_dict(),
+                POSITIVE: self._fingerprints[POSITIVE].state_dict(),
+                NEGATIVE: self._fingerprints[NEGATIVE].state_dict(),
+            },
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+    ) -> "IncrementalSwitchState":
+        """Rebuild a tracker from :meth:`to_arrays` output."""
+        margin = np.asarray(arrays["margin"], dtype=np.int64)
+        state = cls(int(margin.shape[0]))
+        state._margin = margin.copy()
+        state._consensus = np.asarray(arrays["consensus"], dtype=np.int8).copy()
+        state._open_rediscoveries = np.asarray(
+            arrays["open_rediscoveries"], dtype=np.int64
+        ).copy()
+        state._open_positive = np.asarray(arrays["open_positive"], dtype=bool).copy()
+        state._has_direction = {
+            POSITIVE: np.asarray(arrays["has_positive"], dtype=bool).copy(),
+            NEGATIVE: np.asarray(arrays["has_negative"], dtype=bool).copy(),
+        }
+        shapes = {value.shape for value in state._has_direction.values()}
+        shapes.update(
+            (state._consensus.shape, state._open_rediscoveries.shape, state._open_positive.shape)
+        )
+        if shapes != {margin.shape}:
+            raise ValidationError("switch-state arrays must share one item dimension")
+        state.num_switches = int(meta["num_switches"])
+        state.items_with_switches = int(meta["items_with_switches"])
+        state.n_switch = int(meta["n_switch"])
+        state.total_votes = int(meta["total_votes"])
+        state._switches_by_direction = {
+            POSITIVE: int(meta["switches_by_direction"][POSITIVE]),
+            NEGATIVE: int(meta["switches_by_direction"][NEGATIVE]),
+        }
+        state._items_by_direction = {
+            POSITIVE: int(meta["items_by_direction"][POSITIVE]),
+            NEGATIVE: int(meta["items_by_direction"][NEGATIVE]),
+        }
+        fingerprints = meta["fingerprints"]
+        state._fingerprints = {
+            None: IncrementalFingerprint.from_state_dict(fingerprints["all"]),
+            POSITIVE: IncrementalFingerprint.from_state_dict(fingerprints[POSITIVE]),
+            NEGATIVE: IncrementalFingerprint.from_state_dict(fingerprints[NEGATIVE]),
+        }
+        return state
+
 
 def _estimation_sweep(
     matrix: ResponseMatrix, checkpoints: Sequence[int]

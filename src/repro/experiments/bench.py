@@ -1,18 +1,26 @@
-"""Recorded runner benchmarks: the repo's performance trajectory.
+"""Recorded benchmarks: the repo's performance trajectory.
 
-``repro bench`` (or ``python tools/bench_record.py``) times the
-permutation-averaged estimation runner on a pinned workload through both
-engines — the classic one-permutation-at-a-time ``serial`` sweep loop and
-the cross-permutation ``batch`` tensor engine — verifies the two produce
-bit-identical estimates, and appends the measurement to
-``BENCH_runner.json``.  The file accumulates machine info, workload
-parameters, wall times and speedups per run, so performance drift is a
-diff instead of folklore.
+``repro bench`` (or ``python tools/bench_record.py``) times pinned
+workloads and appends the measurements to ``BENCH_runner.json``.  The
+file accumulates machine info, workload parameters, wall times and
+speedups per run, so performance drift is a diff instead of folklore.
+
+Two workload families are recorded:
+
+* **runner** workloads time the permutation-averaged estimation runner
+  through both engines — the classic one-permutation-at-a-time
+  ``serial`` sweep loop and the cross-permutation ``batch`` tensor
+  engine — and verify the two produce bit-identical estimates;
+* **serving** workloads time the multi-tenant serving layer
+  (:class:`repro.serving.EstimationService`): batched idempotent
+  ingestion across many concurrent sessions, cached estimate reads and a
+  full snapshot/restore cycle, reported as columns/s and votes/s.
 
 Regression checking is **relative**: wall times are machine-specific, but
 the batch-vs-serial speedup ratio is not, so ``--check`` fails when the
-measured speedup of a run drops below ``baseline_speedup / factor``
-(default factor 3).  The first recorded entry of a workload becomes its
+measured speedup of a runner run drops below ``baseline_speedup /
+factor`` (default factor 3; serving entries record throughput only and
+are exempt).  The first recorded entry of a workload becomes its
 baseline; CI runs the scaled-down ``smoke`` workload on every push and
 uploads the updated record as an artifact.
 """
@@ -77,7 +85,7 @@ class BenchWorkload:
         return ResponseMatrix.from_array(votes)
 
 
-#: Registered workloads: the acceptance-criterion shape and a CI-size one.
+#: Registered runner workloads: the acceptance-criterion shape and a CI-size one.
 WORKLOADS: Dict[str, BenchWorkload] = {
     "full": BenchWorkload(
         name="runner_5000x200",
@@ -92,6 +100,62 @@ WORKLOADS: Dict[str, BenchWorkload] = {
         num_columns=120,
         num_permutations=6,
         num_checkpoints=12,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ServingWorkload:
+    """One pinned multi-session serving workload.
+
+    ``num_sessions`` tenants each ingest ``num_columns`` task columns in
+    batches of ``batch_columns`` (every batch carrying a ``(source,
+    sequence)`` idempotency pair, with one duplicate delivery per batch to
+    exercise the no-op path), read estimates after every batch plus one
+    guaranteed-cached re-read, and finally round-trip through
+    snapshot/restore.
+    """
+
+    name: str
+    num_sessions: int
+    num_items: int
+    num_columns: int
+    items_per_column: int = 12
+    batch_columns: int = 10
+    seed: int = 23
+    estimators: Tuple[str, ...] = ("voting", "chao92", "switch_total")
+
+    def build_columns(self) -> List[List[Dict[int, int]]]:
+        """Per-session column batches (identical for every run of the name)."""
+        rng = np.random.default_rng(self.seed)
+        sessions = []
+        for _ in range(self.num_sessions):
+            columns = []
+            for _ in range(self.num_columns):
+                items = rng.choice(
+                    self.num_items, size=self.items_per_column, replace=False
+                )
+                votes = rng.choice([CLEAN, DIRTY], size=self.items_per_column, p=[0.6, 0.4])
+                columns.append(
+                    {int(item): int(vote) for item, vote in zip(items, votes)}
+                )
+            sessions.append(columns)
+        return sessions
+
+
+#: Registered serving workloads (ingestion-throughput family).
+SERVING_WORKLOADS: Dict[str, ServingWorkload] = {
+    "serving": ServingWorkload(
+        name="serving_16x240",
+        num_sessions=16,
+        num_items=2000,
+        num_columns=240,
+    ),
+    "serving-smoke": ServingWorkload(
+        name="serving_smoke_6x80",
+        num_sessions=6,
+        num_items=600,
+        num_columns=80,
     ),
 }
 
@@ -205,6 +269,91 @@ def run_workload(
     }
 
 
+def run_serving_workload(
+    workload: ServingWorkload, *, repeats: int = 2
+) -> Dict[str, object]:
+    """Time one multi-session serving workload and build a record entry.
+
+    The measured loop is the operational hot path: batched ingestion with
+    idempotency bookkeeping (including one duplicate delivery per batch,
+    which must be a fast no-op), an estimate read after every batch plus a
+    cached re-read, and one final snapshot/restore round trip per session.
+    Raises ``RuntimeError`` if a restored session disagrees with its live
+    original — a throughput number for a broken serving layer is worse
+    than none.
+    """
+    check_int(repeats, "repeats", minimum=1)
+    from repro.streaming import EstimationService, MemorySessionStore
+
+    per_session = workload.build_columns()
+    batches = max(1, -(-workload.num_columns // workload.batch_columns))
+    best_ingest = float("inf")
+    best_cycle = float("inf")
+    cache_hit_rate = 0.0
+    for _ in range(repeats):
+        gc.collect()
+        service = EstimationService(MemorySessionStore())
+        for session_index in range(workload.num_sessions):
+            service.create_session(
+                f"tenant-{session_index:03d}",
+                range(workload.num_items),
+                list(workload.estimators),
+                keep_votes=False,
+            )
+        start = time.perf_counter()
+        for batch_index in range(batches):
+            low = batch_index * workload.batch_columns
+            high = min(low + workload.batch_columns, workload.num_columns)
+            for session_index in range(workload.num_sessions):
+                name = f"tenant-{session_index:03d}"
+                batch = per_session[session_index][low:high]
+                service.ingest(
+                    name, batch, source="bench", sequence=batch_index + 1
+                )
+                # A retried delivery of the same batch must be a no-op.
+                duplicate = service.ingest(
+                    name, batch, source="bench", sequence=batch_index + 1
+                )
+                if not duplicate.duplicate:
+                    raise RuntimeError("duplicate delivery was not dropped")
+                service.estimates(name)
+                service.estimates(name)  # guaranteed cache hit
+        best_ingest = min(best_ingest, time.perf_counter() - start)
+        cache_hit_rate = service.estimate_cache_hits / service.estimates_served
+
+        start = time.perf_counter()
+        for session_index in range(workload.num_sessions):
+            name = f"tenant-{session_index:03d}"
+            before = service.estimates(name)
+            service.snapshot(name)
+            service.evict(name)
+            after = service.estimates(name)  # transparently restored
+            if before != after:
+                raise RuntimeError(
+                    "restored session disagrees with the live original — "
+                    "refusing to record the benchmark"
+                )
+        best_cycle = min(best_cycle, time.perf_counter() - start)
+
+    total_columns = workload.num_sessions * workload.num_columns
+    total_votes = total_columns * workload.items_per_column
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_info(),
+        "params": asdict(workload),
+        "timings_s": {
+            "ingest_and_estimate": round(best_ingest, 4),
+            "snapshot_restore_cycle": round(best_cycle, 4),
+            "repeats": repeats,
+        },
+        "throughput": {
+            "columns_per_s": round(total_columns / best_ingest, 1),
+            "votes_per_s": round(total_votes / best_ingest, 1),
+            "estimate_cache_hit_rate": round(cache_hit_rate, 3),
+        },
+    }
+
+
 def load_record(path: Path) -> Dict[str, object]:
     """Read (or initialise) the benchmark record document."""
     if path.exists():
@@ -265,6 +414,10 @@ def regression_failure(
     check_positive(factor, "factor")
     if baseline is None:
         return None
+    if "speedups" not in entry or "speedups" not in baseline:
+        # Serving entries record machine-specific throughput, not a
+        # machine-independent ratio, so they carry no regression gate.
+        return None
     current = float(entry["speedups"]["batch_vs_serial"])
     recorded = float(baseline["speedups"]["batch_vs_serial"])
     floor = recorded / factor
@@ -277,8 +430,19 @@ def regression_failure(
 
 
 def format_summary(entry: Dict[str, object]) -> str:
-    """The one-line speedup summary printed in CI logs."""
+    """The one-line summary printed in CI logs."""
     timings = entry["timings_s"]
+    if "throughput" in entry:
+        throughput = entry["throughput"]
+        return (
+            f"BENCH {entry['params']['name']}: "
+            f"ingest+estimate {timings['ingest_and_estimate']:.3f}s "
+            f"({throughput['columns_per_s']:.0f} col/s, "
+            f"{throughput['votes_per_s']:.0f} votes/s, "
+            f"cache hit {throughput['estimate_cache_hit_rate']:.0%}), "
+            f"snapshot/restore cycle {timings['snapshot_restore_cycle']:.3f}s "
+            f"on {entry['machine']['usable_cpus']} usable cpu(s)"
+        )
     speedups = entry["speedups"]
     parallel = (
         f", n_jobs={timings['n_jobs']} {timings['batch_engine_parallel']:.3f}s "
@@ -305,13 +469,17 @@ def run_and_record(
     dry_run: bool = False,
 ) -> int:
     """The ``repro bench`` implementation.  Returns a process exit code."""
-    if workload not in WORKLOADS:
+    if workload not in WORKLOADS and workload not in SERVING_WORKLOADS:
         raise ValueError(
-            f"unknown workload {workload!r}; available: {sorted(WORKLOADS)}"
+            f"unknown workload {workload!r}; available: "
+            f"{sorted(WORKLOADS) + sorted(SERVING_WORKLOADS)}"
         )
     path = Path(output or DEFAULT_RECORD)
     record = load_record(path)
-    entry = run_workload(WORKLOADS[workload], n_jobs=n_jobs, repeats=repeats)
+    if workload in SERVING_WORKLOADS:
+        entry = run_serving_workload(SERVING_WORKLOADS[workload], repeats=repeats)
+    else:
+        entry = run_workload(WORKLOADS[workload], n_jobs=n_jobs, repeats=repeats)
     baseline = update_record(record, entry)
     print(format_summary(entry))
     if not dry_run:
@@ -333,8 +501,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """
     which = parser.add_mutually_exclusive_group()
     which.add_argument(
-        "--workload", choices=sorted(WORKLOADS), default="full",
-        help="which pinned workload to time",
+        "--workload",
+        choices=sorted(WORKLOADS) + sorted(SERVING_WORKLOADS),
+        default="full",
+        help="which pinned workload to time (runner or serving family)",
     )
     which.add_argument(
         "--smoke", action="store_true",

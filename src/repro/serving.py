@@ -1,0 +1,45 @@
+"""``repro.serving`` — the multi-tenant serving layer, by its public name.
+
+This module is the stable import surface for the serving stack; the
+implementation lives next to the session machinery it builds on
+(:mod:`repro.streaming.serving` and :mod:`repro.streaming.store`).
+
+Quick use::
+
+    from repro.serving import DirectorySessionStore, EstimationService
+
+    service = EstimationService(DirectorySessionStore("sessions"), max_active=32)
+    service.create_session("tenant-a", item_ids=range(100), estimators=["chao92"])
+    service.ingest("tenant-a", [{0: 1, 3: 0}], source="loader", sequence=1)
+    print(service.estimates("tenant-a")["chao92"].remaining)
+
+See ``docs/serving.md`` for the full tour: idempotent ingestion, cached
+estimates, LRU eviction and bit-identical snapshot/restore.
+"""
+
+from repro.streaming.serving import EstimationService, IngestResult
+from repro.streaming.session import (
+    SNAPSHOT_FORMAT_VERSION,
+    SessionSnapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.streaming.store import (
+    DirectorySessionStore,
+    MemorySessionStore,
+    SessionStore,
+    check_session_name,
+)
+
+__all__ = [
+    "EstimationService",
+    "IngestResult",
+    "SessionSnapshot",
+    "SNAPSHOT_FORMAT_VERSION",
+    "read_snapshot",
+    "write_snapshot",
+    "SessionStore",
+    "MemorySessionStore",
+    "DirectorySessionStore",
+    "check_session_name",
+]

@@ -7,8 +7,40 @@ first-class object — votes go in one task (or one vote) at a time, and
 ``session.estimate()`` returns the current estimate of every registered
 estimator without ever rescanning the history, bit-identical to what the
 batch sweep engine would compute on the same prefix.
+
+On top of the single session sits the serving layer
+(:mod:`repro.streaming.serving`, aliased as :mod:`repro.serving`):
+:class:`EstimationService` hosts many named sessions with idempotent
+batched ingestion, cached estimates, LRU eviction and durable
+snapshot/restore through a :class:`SessionStore`
+(:mod:`repro.streaming.store`).
 """
 
-from repro.streaming.session import StreamingSession
+from repro.streaming.serving import EstimationService, IngestResult
+from repro.streaming.session import (
+    SNAPSHOT_FORMAT_VERSION,
+    SessionSnapshot,
+    StreamingSession,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.streaming.store import (
+    DirectorySessionStore,
+    MemorySessionStore,
+    SessionStore,
+    check_session_name,
+)
 
-__all__ = ["StreamingSession"]
+__all__ = [
+    "StreamingSession",
+    "SessionSnapshot",
+    "SNAPSHOT_FORMAT_VERSION",
+    "read_snapshot",
+    "write_snapshot",
+    "EstimationService",
+    "IngestResult",
+    "SessionStore",
+    "MemorySessionStore",
+    "DirectorySessionStore",
+    "check_session_name",
+]

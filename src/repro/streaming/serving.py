@@ -1,0 +1,519 @@
+"""Multi-tenant serving façade over streaming estimation sessions.
+
+The paper's use case is operational: a data-cleaning pipeline
+continuously asks "how many undetected errors remain?" while crowd votes
+trickle in.  :class:`~repro.streaming.StreamingSession` answers that for
+one in-process session; :class:`EstimationService` turns it into a
+serving layer that hosts **many named sessions** behind one façade, with
+the robustness features a long-running deployment needs:
+
+* **Named sessions** — ``create_session`` / ``ingest`` / ``estimates``
+  address sessions by name; unknown names fail with the available ones
+  listed.
+* **Idempotent ingestion** — each ingest batch may carry a
+  ``(source, sequence)`` pair; a batch whose sequence does not advance
+  its source's high-water mark is a **no-op**, so at-least-once delivery
+  (retrying loaders, replayed queues) cannot double-count votes.
+* **Cached estimates** — ``estimates`` recomputes only when the
+  session's :class:`~repro.core.state.StreamingState` version (which
+  folds in the :class:`~repro.core.fstatistics.IncrementalFingerprint`
+  mutation counter) has moved; a dashboard polling an idle session costs
+  O(1) per poll.
+* **Durability** — ``snapshot`` / ``restore`` round sessions through the
+  versioned npz + JSON snapshot codec and a pluggable
+  :class:`~repro.streaming.store.SessionStore`; a restored session's
+  estimates are bit-identical to one that never stopped.
+* **Bounded memory** — with ``max_active`` set, the least-recently-used
+  live sessions are transparently evicted to the store and revived on
+  next touch.
+* **Thread safety** — ingestion into one session is serialised by a
+  per-session lock; different sessions proceed concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Union
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.common.labels import CLEAN, DIRTY
+from repro.common.validation import check_int
+from repro.core.base import EstimateResult, EstimatorProtocol
+from repro.streaming.session import SessionSnapshot, StreamingSession
+from repro.streaming.store import MemorySessionStore, SessionStore, check_session_name
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one :meth:`EstimationService.ingest` call.
+
+    Attributes
+    ----------
+    session:
+        The session the batch addressed.
+    applied:
+        Number of columns actually ingested (0 for a duplicate batch).
+    duplicate:
+        True when the batch was dropped because its ``(source, sequence)``
+        did not advance the source's high-water mark.
+    num_columns / total_votes:
+        Session totals *after* the call — what a client needs to decide
+        whether to poll ``estimates``.
+    """
+
+    session: str
+    applied: int
+    duplicate: bool
+    num_columns: int
+    total_votes: int
+
+
+class _ActiveSession:
+    """A live session plus its serving bookkeeping (lock, cache, sources)."""
+
+    __slots__ = ("session", "lock", "sources", "cache_version", "cache", "evicted")
+
+    def __init__(
+        self, session: StreamingSession, sources: Optional[Dict[str, int]] = None
+    ) -> None:
+        self.session = session
+        self.lock = threading.RLock()
+        #: per-source ingestion high-water marks (idempotency state).
+        self.sources: Dict[str, int] = dict(sources or {})
+        self.cache_version: Optional[tuple] = None
+        self.cache: Optional[Dict[str, EstimateResult]] = None
+        #: set under the service lock when the handle leaves the table; any
+        #: caller that raced the eviction re-activates instead of mutating
+        #: a parked session.
+        self.evicted = False
+
+
+class EstimationService:
+    """Host many named :class:`StreamingSession`s behind one façade.
+
+    Parameters
+    ----------
+    store:
+        Snapshot store for durability and eviction
+        (:class:`~repro.streaming.store.MemorySessionStore` by default;
+        pass a :class:`~repro.streaming.store.DirectorySessionStore` to
+        survive restarts).
+    max_active:
+        Maximum number of live in-memory sessions; beyond it the
+        least-recently-used session is snapshotted to the store and
+        dropped from memory.  ``None`` (default) keeps every session live.
+
+    Examples
+    --------
+    >>> service = EstimationService()
+    >>> _ = service.create_session("tenant-a", item_ids=[0, 1, 2], estimators=["voting"])
+    >>> service.ingest("tenant-a", [{0: 1, 1: 0}], source="loader", sequence=1).applied
+    1
+    >>> service.ingest("tenant-a", [{0: 1, 1: 0}], source="loader", sequence=1).duplicate
+    True
+    >>> sorted(service.estimates("tenant-a"))
+    ['voting']
+    """
+
+    def __init__(
+        self,
+        store: Optional[SessionStore] = None,
+        *,
+        max_active: Optional[int] = None,
+    ) -> None:
+        self._store = store if store is not None else MemorySessionStore()
+        if max_active is not None:
+            max_active = check_int(max_active, "max_active", minimum=1)
+        self._max_active = max_active
+        self._active: "OrderedDict[str, _ActiveSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: tombstones of dropped names: closes the race where an accessor
+        #: that loaded a snapshot just before ``drop`` would resurrect the
+        #: session afterwards.  ``create_session`` clears the tombstone.
+        self._dropped: Set[str] = set()
+        #: serving counters (observability + the caching tests/benchmark);
+        #: guarded by their own lock so concurrent handlers don't lose
+        #: increments.
+        self._counter_lock = threading.Lock()
+        self.estimates_served = 0
+        self.estimate_cache_hits = 0
+        self.sessions_restored = 0
+        self.sessions_evicted = 0
+
+    def _count(self, counter: str, delta: int = 1) -> None:
+        with self._counter_lock:
+            setattr(self, counter, getattr(self, counter) + delta)
+
+    # ------------------------------------------------------------------ #
+    # session lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> SessionStore:
+        """The snapshot store backing eviction and durability."""
+        return self._store
+
+    def create_session(
+        self,
+        name: str,
+        item_ids: Sequence[int],
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+        *,
+        keep_votes: bool = True,
+    ) -> str:
+        """Create and activate a new named session; returns the name.
+
+        Raises ``ConfigurationError`` when the name is already in use —
+        live or stored — since silently rebinding a tenant's name would
+        orphan its history.
+        """
+        check_session_name(name)
+        session = StreamingSession(item_ids, estimators, keep_votes=keep_votes)
+        with self._lock:
+            if name in self._active or name in self._store:
+                raise ConfigurationError(
+                    f"session {name!r} already exists; drop it first or pick "
+                    "another name"
+                )
+            self._dropped.discard(name)
+            self._active[name] = _ActiveSession(session)
+        self._enforce_limit(keep=name)
+        return name
+
+    def sessions(self) -> List[str]:
+        """Every known session name — live and stored — sorted."""
+        with self._lock:
+            names = set(self._active)
+        names.update(self._store.names())
+        return sorted(names)
+
+    def active_sessions(self) -> List[str]:
+        """Names of the sessions currently live in memory (LRU order)."""
+        with self._lock:
+            return list(self._active)
+
+    def drop(self, name: str) -> None:
+        """Forget a session everywhere: live table and store.
+
+        The live removal, the store delete and the tombstone are applied
+        in one critical section, so an accessor racing the drop either
+        sees the session fully alive or fully gone — never a store copy
+        it could resurrect from.
+        """
+        check_session_name(name)
+        with self._lock:
+            handle = self._active.pop(name, None)
+            if handle is not None:
+                handle.evicted = True
+            stored = name in self._store
+            if stored:
+                self._store.delete(name)
+            if handle is not None or stored:
+                self._dropped.add(name)
+                return
+        raise ConfigurationError(
+            f"unknown session {name!r}; available: {self.sessions()}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # ingestion and estimation
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        name: str,
+        columns: Sequence[Mapping[int, int]],
+        *,
+        worker_ids: Optional[Sequence[Optional[int]]] = None,
+        source: Optional[str] = None,
+        sequence: Optional[int] = None,
+    ) -> IngestResult:
+        """Ingest a batch of task columns into the named session.
+
+        Parameters
+        ----------
+        columns:
+            One ``{item_id: vote}`` mapping per task column, applied in
+            order.
+        worker_ids:
+            Optional worker id per column (aligned with ``columns``).
+        source, sequence:
+            Idempotency pair.  When given (always together), the batch is
+            applied only if ``sequence`` is strictly greater than the last
+            sequence accepted from ``source``; otherwise the whole batch
+            is skipped and ``duplicate=True`` is reported.  Retried
+            deliveries of the same batch are therefore no-ops.
+
+        The batch is atomic with respect to validation: every column is
+        checked (known item ids, DIRTY/CLEAN votes) before any column is
+        applied, so a rejected batch leaves the session untouched and can
+        be fixed and redelivered under the same sequence number.
+        """
+        if (source is None) != (sequence is None):
+            raise ValidationError(
+                "source and sequence must be provided together (the pair is "
+                "what makes retried deliveries idempotent)"
+            )
+        if sequence is not None:
+            sequence = check_int(sequence, "sequence", minimum=0)
+        if worker_ids is not None and len(worker_ids) != len(columns):
+            raise ValidationError(
+                f"worker_ids length {len(worker_ids)} does not match "
+                f"{len(columns)} column(s)"
+            )
+        while True:
+            handle = self._activate(name)
+            with handle.lock:
+                if handle.evicted:
+                    continue  # lost a race with eviction; revive and retry
+                session = handle.session
+                if source is not None:
+                    last = handle.sources.get(source)
+                    if last is not None and sequence <= last:
+                        return IngestResult(
+                            session=name,
+                            applied=0,
+                            duplicate=True,
+                            num_columns=session.num_columns,
+                            total_votes=session.total_votes,
+                        )
+                # Validate the whole batch before applying any of it: a
+                # half-applied batch whose high-water mark never advanced
+                # would be double-counted by the (legitimate) retry.
+                state = session.state
+                for votes in columns:
+                    for item_id, vote in votes.items():
+                        state.row_index(item_id)  # raises on unknown ids
+                        if vote not in (DIRTY, CLEAN):
+                            raise ValidationError(
+                                f"votes must be DIRTY ({DIRTY}) or CLEAN "
+                                f"({CLEAN}); got {vote!r} for item {item_id}"
+                            )
+                for index, votes in enumerate(columns):
+                    worker = worker_ids[index] if worker_ids is not None else None
+                    session.add_column(votes, worker)
+                if source is not None:
+                    handle.sources[source] = sequence
+                return IngestResult(
+                    session=name,
+                    applied=len(columns),
+                    duplicate=False,
+                    num_columns=session.num_columns,
+                    total_votes=session.total_votes,
+                )
+
+    def estimates(self, name: str) -> Dict[str, EstimateResult]:
+        """Current estimates of the named session, cached between mutations.
+
+        The cache key is the session state's mutation version; polling an
+        idle session returns the previously computed ``EstimateResult``
+        objects without touching an estimator.
+        """
+        while True:
+            handle = self._activate(name)
+            with handle.lock:
+                if handle.evicted:
+                    continue
+                self._count("estimates_served")
+                version = handle.session.state.version
+                if handle.cache is not None and handle.cache_version == version:
+                    self._count("estimate_cache_hits")
+                    return dict(handle.cache)
+                results = handle.session.estimate()
+                handle.cache = results
+                handle.cache_version = version
+                return dict(results)
+
+    def progress(self, name: str) -> Dict[str, float]:
+        """The named session's stream-progress summary."""
+        while True:
+            handle = self._activate(name)
+            with handle.lock:
+                if handle.evicted:
+                    continue
+                return handle.session.progress()
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    def snapshot(self, name: str) -> SessionSnapshot:
+        """Snapshot the named session and persist it to the store.
+
+        The returned snapshot carries the serving-layer idempotency state
+        (per-source sequence high-water marks) in its manifest, so a
+        restored session keeps rejecting the duplicates its predecessor
+        already saw.  The session stays live.
+        """
+        while True:
+            handle = self._activate(name)
+            with handle.lock:
+                if handle.evicted:
+                    continue
+                snapshot = self._snapshot_locked(handle)
+                self._store.save(name, snapshot)
+                return snapshot
+
+    def restore(
+        self,
+        name: str,
+        snapshot: Optional[SessionSnapshot] = None,
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+    ) -> Dict[str, float]:
+        """Activate a session from a snapshot (explicit or from the store).
+
+        With ``snapshot=None`` the store's copy is loaded — which is also
+        what every other accessor does transparently, so an explicit
+        ``restore`` is only needed to import a foreign snapshot or to
+        override the estimator set.  Any live session under the name is
+        replaced.  Returns the restored session's progress summary.
+        """
+        check_session_name(name)
+        if snapshot is None:
+            snapshot = self._store.load(name)
+        session = StreamingSession.from_snapshot(snapshot, estimators)
+        sources = self._serving_sources(snapshot)
+        with self._lock:
+            previous = self._active.pop(name, None)
+            if previous is not None:
+                previous.evicted = True
+            self._dropped.discard(name)
+            self._active[name] = _ActiveSession(session, sources)
+        self._count("sessions_restored")
+        self._enforce_limit(keep=name)
+        return session.progress()
+
+    def evict(self, name: Optional[str] = None) -> Optional[str]:
+        """Park a live session in the store and free its memory.
+
+        ``name=None`` picks the least-recently-used live session.  Returns
+        the evicted name, or ``None`` when nothing is live.  The session
+        remains addressable: the next touch restores it from the store.
+        """
+        with self._lock:
+            if name is None:
+                name = next(
+                    (
+                        key
+                        for key, candidate in self._active.items()
+                        if not candidate.evicted
+                    ),
+                    None,
+                )
+                if name is None:
+                    return None
+            handle = self._active.get(name)
+            if handle is None or handle.evicted:
+                raise ConfigurationError(
+                    f"session {name!r} is not live; active: {list(self._active)}"
+                )
+        self._evict_handle(name, handle)
+        return name
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _snapshot_locked(self, handle: _ActiveSession) -> SessionSnapshot:
+        """Build a snapshot (caller holds the handle lock)."""
+        snapshot = handle.session.snapshot()
+        snapshot.manifest["serving"] = {
+            "sources": {key: int(value) for key, value in handle.sources.items()}
+        }
+        return snapshot
+
+    @staticmethod
+    def _serving_sources(snapshot: SessionSnapshot) -> Dict[str, int]:
+        serving = snapshot.manifest.get("serving", {})
+        sources = serving.get("sources", {}) if isinstance(serving, dict) else {}
+        return {str(key): int(value) for key, value in sources.items()}
+
+    def _activate(self, name: str) -> _ActiveSession:
+        """Return the live handle for ``name``, reviving from the store.
+
+        Every touch moves the session to the most-recently-used end of
+        the table; activation beyond ``max_active`` evicts from the LRU
+        end.
+        """
+        check_session_name(name)
+        with self._lock:
+            handle = self._active.get(name)
+            if handle is not None and not handle.evicted:
+                self._active.move_to_end(name)
+                return handle
+            if handle is not None:
+                # An evicted husk awaiting table removal; its snapshot is
+                # already durable (the evicted flag is set only after the
+                # store save completes), so reviving from the store is safe.
+                del self._active[name]
+        # Load outside the table lock: store I/O can be slow and must not
+        # serialise unrelated sessions.
+        try:
+            snapshot = self._store.load(name)
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"unknown session {name!r}; available: {self.sessions()}"
+            ) from None
+        session = StreamingSession.from_snapshot(snapshot)
+        sources = self._serving_sources(snapshot)
+        with self._lock:
+            if name in self._dropped:
+                raise ConfigurationError(
+                    f"unknown session {name!r}; available: {self.sessions()}"
+                )
+            existing = self._active.get(name)
+            if existing is not None:  # someone else revived it first
+                self._active.move_to_end(name)
+                return existing
+            handle = _ActiveSession(session, sources)
+            self._active[name] = handle
+        self._count("sessions_restored")
+        self._enforce_limit(keep=name)
+        return handle
+
+    def _enforce_limit(self, keep: str) -> None:
+        """Evict LRU sessions until at most ``max_active`` are live.
+
+        Runs *outside* the table lock: each victim is picked under the
+        lock, then snapshotted and saved while holding only its own
+        session lock, so a slow store write never stalls unrelated
+        sessions.
+        """
+        if self._max_active is None:
+            return
+        while True:
+            with self._lock:
+                live = [
+                    key
+                    for key, handle in self._active.items()
+                    if not handle.evicted
+                ]
+                if len(live) <= self._max_active:
+                    return
+                victim = next((key for key in live if key != keep), None)
+                if victim is None:
+                    return
+                handle = self._active[victim]
+            self._evict_handle(victim, handle)
+
+    def _evict_handle(self, name: str, handle: _ActiveSession) -> None:
+        """Snapshot ``handle`` into the store, then drop it from the table.
+
+        The save happens under the handle's own lock (so in-flight
+        ingestion is included and later mutation is impossible — any
+        writer acquiring the lock afterwards sees ``evicted`` and
+        re-activates); the ``evicted`` flag flips only once the snapshot
+        is durable, so a concurrent revival always loads complete state.
+        """
+        with handle.lock:
+            if not handle.evicted:
+                self._store.save(name, self._snapshot_locked(handle))
+                handle.evicted = True
+                self._count("sessions_evicted")
+        with self._lock:
+            if self._active.get(name) is handle:
+                del self._active[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"EstimationService(active={len(self._active)}, "
+            f"stored={len(self._store)}, max_active={self._max_active})"
+        )

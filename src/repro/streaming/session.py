@@ -21,6 +21,9 @@ Guarantees:
 
 from __future__ import annotations
 
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -31,6 +34,94 @@ from repro.core.base import EstimateResult, EstimatorProtocol
 from repro.core.registry import available_estimators, get_estimator
 from repro.core.state import StreamingState
 from repro.crowd.response_matrix import ResponseMatrix
+
+#: On-disk snapshot format version; bump when the layout changes.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: File names inside a snapshot directory.
+MANIFEST_FILENAME = "manifest.json"
+ARRAYS_FILENAME = "arrays.npz"
+
+
+@dataclass
+class SessionSnapshot:
+    """A self-contained, durable image of a :class:`StreamingSession`.
+
+    ``manifest`` is JSON-safe (what ``manifest.json`` holds); ``arrays``
+    maps names to numpy arrays (what ``arrays.npz`` holds).  A snapshot is
+    a *value*: restoring it any number of times yields sessions whose
+    estimates — now and after any further ingestion — are bit-identical
+    to a session that never stopped.
+
+    Snapshots are produced by :meth:`StreamingSession.snapshot` and
+    consumed by :meth:`StreamingSession.from_snapshot`;
+    :func:`write_snapshot` / :func:`read_snapshot` move them to and from
+    disk.
+    """
+
+    manifest: Dict[str, object]
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def format_version(self) -> int:
+        """The snapshot format version recorded in the manifest."""
+        return int(self.manifest.get("format_version", -1))
+
+    @property
+    def estimator_names(self) -> List[str]:
+        """Names of the estimators the snapshotted session tracked."""
+        return [str(name) for name in self.manifest.get("estimators", [])]
+
+    def copy(self) -> "SessionSnapshot":
+        """A deep-enough copy: fresh manifest tree and fresh arrays."""
+        return SessionSnapshot(
+            manifest=json.loads(json.dumps(self.manifest)),
+            arrays={key: value.copy() for key, value in self.arrays.items()},
+        )
+
+
+def write_snapshot(snapshot: SessionSnapshot, directory: Union[str, Path]) -> Path:
+    """Persist ``snapshot`` into ``directory`` (created if needed).
+
+    Layout: ``manifest.json`` (sorted keys, so snapshots of identical
+    sessions are byte-identical and diff-friendly) plus ``arrays.npz``.
+    Returns the directory path.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / MANIFEST_FILENAME).write_text(
+        json.dumps(snapshot.manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    with open(path / ARRAYS_FILENAME, "wb") as handle:
+        np.savez(handle, **snapshot.arrays)
+    return path
+
+
+def read_snapshot(directory: Union[str, Path]) -> SessionSnapshot:
+    """Load a snapshot previously written by :func:`write_snapshot`.
+
+    Raises ``ConfigurationError`` when the directory is not a snapshot or
+    carries an unsupported format version.
+    """
+    path = Path(directory)
+    manifest_path = path / MANIFEST_FILENAME
+    arrays_path = path / ARRAYS_FILENAME
+    if not manifest_path.exists() or not arrays_path.exists():
+        raise ConfigurationError(
+            f"{path} is not a session snapshot (expected {MANIFEST_FILENAME} "
+            f"and {ARRAYS_FILENAME})"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    snapshot = SessionSnapshot(manifest=manifest)
+    with np.load(arrays_path) as archive:
+        snapshot.arrays = {key: archive[key].copy() for key in archive.files}
+    if snapshot.format_version != SNAPSHOT_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot format version {snapshot.format_version!r} "
+            f"in {path} (this build reads version {SNAPSHOT_FORMAT_VERSION})"
+        )
+    return snapshot
 
 
 class StreamingSession:
@@ -110,6 +201,109 @@ class StreamingSession:
         """
         session = cls(matrix.item_ids, estimators, **kwargs)
         session.extend_from(matrix)
+        return session
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> SessionSnapshot:
+        """Capture the whole session as a durable :class:`SessionSnapshot`.
+
+        Everything needed to continue exactly where the session stopped is
+        included: the live :class:`~repro.core.state.StreamingState` with
+        its incremental trackers, the estimator names, and — when
+        ``keep_votes=True`` — the retained vote columns, so the restored
+        session can still materialise :meth:`matrix` and serve batch
+        fallbacks.  Estimators are recorded *by name* and re-resolved from
+        the registry at restore time; pass instances to
+        :meth:`from_snapshot` for estimators that are not registered.
+        """
+        arrays, state_meta = self._state.to_arrays()
+        manifest: Dict[str, object] = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "kind": "repro.streaming.StreamingSession",
+            "num_items": int(self.num_items),
+            "num_columns": int(self.num_columns),
+            "total_votes": int(self.total_votes),
+            "keep_votes": bool(self._keep_votes),
+            "estimators": [est.name for est in self.estimators],
+            "state": state_meta,
+        }
+        if self._keep_votes:
+            offsets = np.zeros(len(self._columns) + 1, dtype=np.int64)
+            for index, (rows, _) in enumerate(self._columns):
+                offsets[index + 1] = offsets[index] + rows.size
+            arrays["column_offsets"] = offsets
+            arrays["column_rows"] = (
+                np.concatenate([rows for rows, _ in self._columns])
+                if self._columns
+                else np.zeros(0, dtype=np.intp)
+            ).astype(np.int64)
+            arrays["column_values"] = (
+                np.concatenate([values for _, values in self._columns])
+                if self._columns
+                else np.zeros(0, dtype=np.int8)
+            )
+            arrays["column_workers"] = np.asarray(self._column_workers, dtype=np.int64)
+        return SessionSnapshot(manifest=manifest, arrays=arrays)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: SessionSnapshot,
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+    ) -> "StreamingSession":
+        """Rebuild a session from a :class:`SessionSnapshot`.
+
+        Parameters
+        ----------
+        snapshot:
+            A snapshot from :meth:`snapshot` (or :func:`read_snapshot`).
+        estimators:
+            Override the snapshotted estimator set.  By default the
+            recorded names are resolved through the registry; an
+            unresolvable name raises ``ConfigurationError`` telling you to
+            pass instances explicitly.
+        """
+        if snapshot.format_version != SNAPSHOT_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported snapshot format version {snapshot.format_version!r} "
+                f"(this build reads version {SNAPSHOT_FORMAT_VERSION})"
+            )
+        if estimators is None:
+            names = snapshot.estimator_names
+            try:
+                estimators = [get_estimator(name) for name in names]
+            except ConfigurationError as error:
+                raise ConfigurationError(
+                    f"cannot restore session estimators {names!r} from the "
+                    f"registry ({error}); pass estimator instances via "
+                    "from_snapshot(..., estimators=...)"
+                ) from None
+        state = StreamingState.from_arrays(snapshot.arrays, snapshot.manifest["state"])
+        keep_votes = bool(snapshot.manifest.get("keep_votes", True))
+        session = cls(state.item_ids, estimators, keep_votes=keep_votes)
+        session._state = state
+        if keep_votes:
+            arrays = snapshot.arrays
+            offsets = np.asarray(arrays["column_offsets"], dtype=np.int64)
+            rows = np.asarray(arrays["column_rows"], dtype=np.intp)
+            values = np.asarray(arrays["column_values"], dtype=np.int8)
+            if offsets.size != state.num_columns + 1:
+                raise ValidationError(
+                    "snapshot column offsets do not match the state's column count"
+                )
+            session._columns = [
+                (rows[offsets[i] : offsets[i + 1]].copy(), values[offsets[i] : offsets[i + 1]].copy())
+                for i in range(offsets.size - 1)
+            ]
+            session._column_workers = [
+                int(worker) for worker in np.asarray(arrays["column_workers"])
+            ]
+            if len(session._column_workers) != state.num_columns:
+                raise ValidationError(
+                    "snapshot column workers do not match the state's column count"
+                )
         return session
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,187 @@
+"""Durable session storage behind the serving layer.
+
+A :class:`SessionStore` keeps :class:`~repro.streaming.session.SessionSnapshot`
+values by session name.  The serving façade
+(:class:`~repro.streaming.serving.EstimationService`) uses one to park
+evicted sessions and to survive restarts; the CLI uses a
+:class:`DirectorySessionStore` so `repro session` invocations compose into
+one long-lived session across processes.
+
+Two backends cover the operational spectrum:
+
+* :class:`MemorySessionStore` — a process-local dict; zero I/O, the
+  default for tests and single-process serving.
+* :class:`DirectorySessionStore` — one snapshot directory per session
+  under a root path (``<root>/<name>/manifest.json`` + ``arrays.npz``),
+  written atomically-enough for the single-writer serving model (a fresh
+  temporary directory is renamed into place).
+
+Both backends return independent snapshot copies: mutating a loaded
+snapshot (or the session restored from it) never corrupts the stored
+bytes.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.streaming.session import (
+    SessionSnapshot,
+    read_snapshot,
+    write_snapshot,
+)
+
+#: Session names double as directory names, so keep them filesystem-safe.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def check_session_name(name: str) -> str:
+    """Validate a session name (shared by every store and the service).
+
+    Names must start with an alphanumeric and use only alphanumerics,
+    dots, underscores and dashes (max 128 chars) — safe as dictionary
+    keys, directory names and CLI arguments alike.
+    """
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        raise ValidationError(
+            f"invalid session name {name!r}: use alphanumerics, '.', '_' or "
+            "'-', starting with an alphanumeric (max 128 characters)"
+        )
+    return name
+
+
+class SessionStore:
+    """Interface of a snapshot store (see module docstring).
+
+    Subclasses implement :meth:`save`, :meth:`load`, :meth:`delete` and
+    :meth:`names`; the convenience dunders are shared.
+    """
+
+    def save(self, name: str, snapshot: SessionSnapshot) -> None:
+        """Persist ``snapshot`` under ``name`` (overwriting any previous)."""
+        raise NotImplementedError
+
+    def load(self, name: str) -> SessionSnapshot:
+        """Return an independent copy of the snapshot stored under ``name``.
+
+        Raises ``ConfigurationError`` (listing available names) when the
+        session is unknown.
+        """
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove the snapshot stored under ``name`` (missing is an error)."""
+        raise NotImplementedError
+
+    def names(self) -> List[str]:
+        """Stored session names, sorted."""
+        raise NotImplementedError
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def _unknown(self, name: str) -> ConfigurationError:
+        return ConfigurationError(
+            f"no stored session named {name!r}; available: {self.names()}"
+        )
+
+
+class MemorySessionStore(SessionStore):
+    """In-process snapshot store (the default serving backend)."""
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, SessionSnapshot] = {}
+
+    def save(self, name: str, snapshot: SessionSnapshot) -> None:
+        """Store a defensive copy of ``snapshot`` under ``name``."""
+        self._snapshots[check_session_name(name)] = snapshot.copy()
+
+    def load(self, name: str) -> SessionSnapshot:
+        """Return a fresh copy of the stored snapshot."""
+        check_session_name(name)
+        try:
+            return self._snapshots[name].copy()
+        except KeyError:
+            raise self._unknown(name) from None
+
+    def delete(self, name: str) -> None:
+        """Drop the stored snapshot."""
+        check_session_name(name)
+        if self._snapshots.pop(name, None) is None:
+            raise self._unknown(name)
+
+    def names(self) -> List[str]:
+        """Stored session names, sorted."""
+        return sorted(self._snapshots)
+
+
+class DirectorySessionStore(SessionStore):
+    """On-disk snapshot store: one snapshot directory per session name.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the per-session snapshot directories; created
+        on first save.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def _path(self, name: str) -> Path:
+        return self.root / check_session_name(name)
+
+    def save(self, name: str, snapshot: SessionSnapshot) -> None:
+        """Write the snapshot, replacing any previous one atomically-enough.
+
+        The snapshot is written to a temporary sibling directory first and
+        renamed into place, so a crash mid-write never leaves a torn
+        snapshot under the session's name.
+        """
+        target = self._path(name)
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".{name}.staging-", dir=self.root)
+        )
+        try:
+            write_snapshot(snapshot, staging)
+            if target.exists():
+                shutil.rmtree(target)
+            staging.rename(target)
+        except Exception:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+
+    def load(self, name: str) -> SessionSnapshot:
+        """Read the stored snapshot from disk."""
+        path = self._path(name)
+        if not path.is_dir():
+            raise self._unknown(name)
+        return read_snapshot(path)
+
+    def delete(self, name: str) -> None:
+        """Remove the session's snapshot directory."""
+        path = self._path(name)
+        if not path.is_dir():
+            raise self._unknown(name)
+        shutil.rmtree(path)
+
+    def names(self) -> List[str]:
+        """Stored session names, sorted (non-snapshot directories ignored)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir()
+            and _NAME_PATTERN.match(entry.name)
+            and (entry / "manifest.json").exists()
+        )

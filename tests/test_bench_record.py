@@ -9,10 +9,12 @@ import pytest
 from repro.experiments import bench
 from repro.experiments.bench import (
     BenchWorkload,
+    ServingWorkload,
     format_summary,
     load_record,
     regression_failure,
     run_and_record,
+    run_serving_workload,
     run_workload,
     save_record,
     update_record,
@@ -26,6 +28,17 @@ TINY = BenchWorkload(
     num_permutations=2,
     num_checkpoints=4,
     estimators=("voting", "chao92", "switch_total"),
+)
+
+#: A serving workload small enough for unit tests to time end-to-end.
+TINY_SERVING = ServingWorkload(
+    name="serving_tiny_3x20",
+    num_sessions=3,
+    num_items=40,
+    num_columns=20,
+    items_per_column=5,
+    batch_columns=5,
+    estimators=("voting", "chao92"),
 )
 
 
@@ -57,6 +70,45 @@ class TestRunWorkload:
 
     def test_deterministic_matrix(self):
         assert (TINY.build_matrix().values == TINY.build_matrix().values).all()
+
+
+class TestRunServingWorkload:
+    def test_entry_shape_and_throughput(self):
+        entry = run_serving_workload(TINY_SERVING, repeats=1)
+        assert entry["params"]["name"] == TINY_SERVING.name
+        assert entry["timings_s"]["ingest_and_estimate"] > 0.0
+        assert entry["timings_s"]["snapshot_restore_cycle"] > 0.0
+        assert entry["throughput"]["columns_per_s"] > 0.0
+        assert entry["throughput"]["votes_per_s"] > 0.0
+        # Every batch gets one computed read and one guaranteed cache hit.
+        assert entry["throughput"]["estimate_cache_hit_rate"] == 0.5
+        assert "speedups" not in entry
+
+    def test_deterministic_columns(self):
+        assert TINY_SERVING.build_columns() == TINY_SERVING.build_columns()
+
+    def test_serving_entries_are_exempt_from_the_speedup_gate(self):
+        entry = run_serving_workload(TINY_SERVING, repeats=1)
+        assert regression_failure(entry, entry) is None
+
+    def test_serving_summary_line_mentions_throughput(self):
+        entry = run_serving_workload(TINY_SERVING, repeats=1)
+        summary = format_summary(entry)
+        assert "col/s" in summary and "snapshot/restore" in summary
+
+    def test_run_and_record_serving_workload(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(bench.SERVING_WORKLOADS, "serving-tiny", TINY_SERVING)
+        path = tmp_path / "BENCH.json"
+        assert (
+            run_and_record(
+                workload="serving-tiny", repeats=1, output=str(path), check=True
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert f"BENCH {TINY_SERVING.name}:" in output
+        record = json.loads(path.read_text())
+        assert record["workloads"][TINY_SERVING.name]["baseline"] is not None
 
 
 class TestRecordPersistence:

@@ -181,6 +181,100 @@ class TestCliScenario:
             main(["scenario", "run", "not-a-scenario"])
 
 
+class TestCliSession:
+    """The `repro session` serving commands against a temporary store."""
+
+    @staticmethod
+    def _store_args(tmp_path):
+        return ["--store", str(tmp_path / "sessions")]
+
+    def test_create_ingest_estimate_workflow(self, capsys, tmp_path):
+        import json
+
+        store = self._store_args(tmp_path)
+        assert main(["session", "create", "demo", "--items", "6",
+                     "--estimators", "voting", "chao92", *store]) == 0
+        assert "created session 'demo'" in capsys.readouterr().out
+
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps(
+            [{"votes": {"0": 1, "1": 0}, "worker": 7}, {"2": 1}]
+        ))
+        assert main(["session", "ingest", "demo", "--votes", str(batch),
+                     "--source", "loader", "--sequence", "1", *store]) == 0
+        assert "applied: 2" in capsys.readouterr().out
+
+        # The retried delivery is a no-op.
+        assert main(["session", "ingest", "demo", "--votes", str(batch),
+                     "--source", "loader", "--sequence", "1", *store]) == 0
+        assert "duplicate batch skipped" in capsys.readouterr().out
+
+        assert main(["session", "estimate", "demo", *store]) == 0
+        output = capsys.readouterr().out
+        assert "voting" in output and "chao92" in output
+
+        assert main(["session", "list", *store]) == 0
+        listing = capsys.readouterr().out
+        assert "demo" in listing and "2" in listing
+
+    def test_snapshot_export_and_restore_under_new_name(self, capsys, tmp_path):
+        import json
+
+        store = self._store_args(tmp_path)
+        assert main(["session", "create", "origin", "--item-ids", "3", "5", "9",
+                     "--estimators", "voting", *store]) == 0
+        batch = tmp_path / "one.json"
+        batch.write_text(json.dumps([{"3": 1, "5": 0}]))
+        assert main(["session", "ingest", "origin", "--votes", str(batch), *store]) == 0
+        capsys.readouterr()
+
+        export = tmp_path / "export"
+        assert main(["session", "snapshot", "origin", "--out", str(export), *store]) == 0
+        assert "exported" in capsys.readouterr().out
+        assert (export / "manifest.json").exists()
+
+        assert main(["session", "restore", "clone", "--from", str(export), *store]) == 0
+        assert "restored 'clone'" in capsys.readouterr().out
+        assert main(["session", "estimate", "clone", *store]) == 0
+        clone_output = capsys.readouterr().out
+        assert main(["session", "estimate", "origin", *store]) == 0
+        assert clone_output == capsys.readouterr().out
+
+    def test_sessions_accumulate_across_invocations(self, capsys, tmp_path):
+        """Each CLI call is a fresh process-equivalent service over the store."""
+        import json
+
+        store = self._store_args(tmp_path)
+        assert main(["session", "create", "acc", "--items", "4",
+                     "--estimators", "voting", *store]) == 0
+        batch = tmp_path / "b.json"
+        for sequence in (1, 2):
+            batch.write_text(json.dumps([{"0": 1}]))
+            assert main(["session", "ingest", "acc", "--votes", str(batch),
+                         "--source", "s", "--sequence", str(sequence), *store]) == 0
+        capsys.readouterr()
+        assert main(["session", "list", *store]) == 0
+        assert " 2 " in capsys.readouterr().out.replace("\n", " ")
+
+    def test_unknown_session_fails_with_available_names(self, tmp_path):
+        from repro.common.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown session"):
+            main(["session", "estimate", "ghost", *self._store_args(tmp_path)])
+
+    def test_no_keep_votes_session_still_estimates(self, capsys, tmp_path):
+        import json
+
+        store = self._store_args(tmp_path)
+        assert main(["session", "create", "lean", "--items", "3",
+                     "--estimators", "voting", "--no-keep-votes", *store]) == 0
+        batch = tmp_path / "lean.json"
+        batch.write_text(json.dumps([{"0": 1}]))
+        assert main(["session", "ingest", "lean", "--votes", str(batch), *store]) == 0
+        assert main(["session", "estimate", "lean", *store]) == 0
+        assert "1.0" in capsys.readouterr().out
+
+
 class TestCliFigures:
     def test_figure7_small_run(self, capsys):
         assert main(["figure7", "--scenario", "both", "--tasks", "30", "--seed", "2"]) == 0

@@ -14,7 +14,20 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-from check_docs import DOCUMENTS, check_file, extract_blocks  # noqa: E402
+from check_docs import (  # noqa: E402
+    API_PACKAGES,
+    DOCUMENTS,
+    api_coverage_failures,
+    check_file,
+    extract_blocks,
+    public_api,
+)
+from check_links import (  # noqa: E402
+    check_documents,
+    check_link,
+    github_slug,
+    heading_anchors,
+)
 
 
 @pytest.mark.parametrize("name", DOCUMENTS)
@@ -38,3 +51,66 @@ def test_paper_mapping_covers_every_benchmark():
     assert benchmarks, "no benchmarks found"
     missing = [b.name for b in benchmarks if b.name not in mapping]
     assert not missing, f"benchmarks absent from docs/paper_mapping.md: {missing}"
+
+
+class TestApiCoverage:
+    """Every repro.* export must be documented in docs/api.md."""
+
+    def test_every_public_symbol_is_documented(self):
+        failures = api_coverage_failures()
+        assert not failures, f"exports missing from docs/api.md: {failures}"
+
+    def test_coverage_spans_every_subpackage(self):
+        exports = public_api()
+        assert set(exports) == set(API_PACKAGES)
+        # The serving layer's surface is part of the contract.
+        assert "EstimationService" in exports["repro.serving"]
+        assert "PermutationBatch" in exports["repro.core"]
+        for package, symbols in exports.items():
+            assert symbols, f"{package} exports nothing (missing __all__?)"
+
+    def test_missing_symbol_is_detected(self, monkeypatch, tmp_path):
+        """The checker actually fails when a symbol leaves the reference."""
+        import check_docs
+
+        text = (REPO_ROOT / "docs/api.md").read_text(encoding="utf-8")
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "api.md").write_text(
+            text.replace("PermutationBatch", "Permutation_Redacted")
+        )
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        failures = api_coverage_failures()
+        assert "repro.core.PermutationBatch" in failures
+
+
+class TestMarkdownLinks:
+    """README + docs internal links (paths and anchors) must stay alive."""
+
+    def test_no_dead_links_in_the_repo(self):
+        failures = check_documents()
+        assert not failures, f"dead markdown links: {failures}"
+
+    def test_github_slugs(self):
+        seen = {}
+        assert github_slug("Serving layer — durable sessions", seen) == (
+            "serving-layer--durable-sessions"
+        )
+        assert github_slug("`EstimationService` (`repro.serving`)", {}) == (
+            "estimationservice-reproserving"
+        )
+        # Repeated headings get numbered suffixes.
+        assert github_slug("Repeat", seen := {}) == "repeat"
+        assert github_slug("Repeat", seen) == "repeat-1"
+
+    def test_dead_paths_and_anchors_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Only Heading\n\nsee [x](gone.md) and [y](#nope)\n")
+        assert check_link(page, "gone.md") == "file does not exist"
+        assert "nope" in check_link(page, "#nope")
+        assert check_link(page, "#only-heading") == ""
+        assert check_link(page, "https://example.com/anything") == ""
+
+    def test_anchors_inside_code_fences_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Real\n\n```text\n# not a heading\n```\n")
+        assert heading_anchors(page) == ["real"]

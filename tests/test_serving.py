@@ -1,0 +1,387 @@
+"""The multi-tenant serving layer: EstimationService + SessionStore.
+
+Covers the tentpole behaviors: named sessions, idempotent batched
+ingestion (duplicate deliveries are no-ops), estimate caching keyed on
+the state's mutation version, snapshot/restore through both store
+backends, LRU eviction with transparent revival, and thread-safe
+ingestion.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.registry import get_estimator
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.streaming import (
+    DirectorySessionStore,
+    EstimationService,
+    MemorySessionStore,
+    StreamingSession,
+    check_session_name,
+)
+
+
+def _columns(rng, num_items, count, touched=6):
+    columns = []
+    for _ in range(count):
+        items = rng.choice(num_items, size=min(touched, num_items), replace=False)
+        votes = rng.choice([CLEAN, DIRTY], size=items.size)
+        columns.append({int(item): int(vote) for item, vote in zip(items, votes)})
+    return columns
+
+
+class TestSessionLifecycle:
+    def test_create_ingest_estimates_matches_batch_reference(self):
+        rng = np.random.default_rng(0)
+        service = EstimationService()
+        service.create_session("alpha", range(20), ["voting", "chao92"])
+        columns = _columns(rng, 20, 8)
+        service.ingest("alpha", columns, worker_ids=list(range(8)))
+        reference = ResponseMatrix(list(range(20)))
+        for worker, votes in enumerate(columns):
+            reference.add_column(votes, worker)
+        results = service.estimates("alpha")
+        for name in ("voting", "chao92"):
+            batch = get_estimator(name).estimate(reference)
+            assert results[name].estimate == batch.estimate
+            assert results[name].details == batch.details
+
+    def test_duplicate_name_rejected_even_when_stored(self):
+        service = EstimationService()
+        service.create_session("alpha", [0, 1], ["voting"])
+        with pytest.raises(ConfigurationError, match="already exists"):
+            service.create_session("alpha", [0, 1], ["voting"])
+        service.snapshot("alpha")
+        service.evict("alpha")
+        with pytest.raises(ConfigurationError, match="already exists"):
+            service.create_session("alpha", [0, 1], ["voting"])
+
+    def test_unknown_session_errors_list_available(self):
+        service = EstimationService()
+        service.create_session("alpha", [0], ["voting"])
+        with pytest.raises(ConfigurationError, match="alpha"):
+            service.estimates("beta")
+        with pytest.raises(ConfigurationError, match="unknown session"):
+            service.ingest("beta", [{0: DIRTY}])
+
+    def test_invalid_session_names_rejected(self):
+        service = EstimationService()
+        for bad in ("", "../escape", "a/b", ".hidden", "white space"):
+            with pytest.raises(ValidationError, match="session name"):
+                service.create_session(bad, [0], ["voting"])
+        with pytest.raises(ValidationError):
+            check_session_name("-leading-dash")
+
+    def test_drop_removes_live_and_stored_state(self):
+        service = EstimationService()
+        service.create_session("alpha", [0], ["voting"])
+        service.snapshot("alpha")
+        service.drop("alpha")
+        assert service.sessions() == []
+        with pytest.raises(ConfigurationError, match="unknown session"):
+            service.drop("alpha")
+        # The name is reusable after a drop.
+        service.create_session("alpha", [0], ["voting"])
+
+
+class TestIdempotentIngestion:
+    def test_duplicated_batch_is_a_noop(self):
+        service = EstimationService()
+        service.create_session("alpha", range(10), ["voting", "chao92"])
+        batch = [{0: DIRTY, 1: CLEAN}, {2: DIRTY}]
+        first = service.ingest("alpha", batch, source="loader", sequence=7)
+        assert (first.applied, first.duplicate) == (2, False)
+        before = service.estimates("alpha")
+        replay = service.ingest("alpha", batch, source="loader", sequence=7)
+        assert (replay.applied, replay.duplicate) == (0, True)
+        assert replay.num_columns == first.num_columns
+        assert replay.total_votes == first.total_votes
+        after = service.estimates("alpha")
+        assert {n: r.estimate for n, r in after.items()} == {
+            n: r.estimate for n, r in before.items()
+        }
+
+    def test_stale_and_advancing_sequences(self):
+        service = EstimationService()
+        service.create_session("alpha", range(5), ["voting"])
+        service.ingest("alpha", [{0: DIRTY}], source="loader", sequence=5)
+        stale = service.ingest("alpha", [{1: DIRTY}], source="loader", sequence=4)
+        assert stale.duplicate and stale.applied == 0
+        advanced = service.ingest("alpha", [{1: DIRTY}], source="loader", sequence=6)
+        assert advanced.applied == 1 and not advanced.duplicate
+
+    def test_sources_are_independent(self):
+        service = EstimationService()
+        service.create_session("alpha", range(5), ["voting"])
+        service.ingest("alpha", [{0: DIRTY}], source="a", sequence=1)
+        other = service.ingest("alpha", [{1: DIRTY}], source="b", sequence=1)
+        assert other.applied == 1 and not other.duplicate
+
+    def test_unsourced_ingestion_is_never_deduplicated(self):
+        service = EstimationService()
+        service.create_session("alpha", range(5), ["voting"])
+        assert service.ingest("alpha", [{0: DIRTY}]).applied == 1
+        assert service.ingest("alpha", [{0: DIRTY}]).applied == 1
+        assert service.progress("alpha")["num_columns"] == 2.0
+
+    def test_source_and_sequence_must_travel_together(self):
+        service = EstimationService()
+        service.create_session("alpha", [0], ["voting"])
+        with pytest.raises(ValidationError, match="together"):
+            service.ingest("alpha", [{0: DIRTY}], source="loader")
+        with pytest.raises(ValidationError, match="together"):
+            service.ingest("alpha", [{0: DIRTY}], sequence=1)
+
+    def test_worker_ids_length_checked(self):
+        service = EstimationService()
+        service.create_session("alpha", [0], ["voting"])
+        with pytest.raises(ValidationError, match="worker_ids"):
+            service.ingest("alpha", [{0: DIRTY}], worker_ids=[1, 2])
+
+    def test_failed_batch_is_atomic_and_safely_retryable(self):
+        """A batch rejected mid-validation leaves no partial state, so the
+        client can fix it and redeliver under the same sequence number."""
+        service = EstimationService()
+        service.create_session("alpha", range(5), ["voting"])
+        with pytest.raises(ValidationError, match="DIRTY"):
+            service.ingest(
+                "alpha", [{0: DIRTY}, {1: 7}], source="loader", sequence=1
+            )
+        with pytest.raises(ValidationError, match="unknown item"):
+            service.ingest(
+                "alpha", [{0: DIRTY}, {99: DIRTY}], source="loader", sequence=1
+            )
+        progress = service.progress("alpha")
+        assert progress["num_columns"] == 0.0
+        assert progress["total_votes"] == 0.0
+        fixed = service.ingest(
+            "alpha", [{0: DIRTY}, {1: CLEAN}], source="loader", sequence=1
+        )
+        assert (fixed.applied, fixed.duplicate) == (2, False)
+
+    def test_idempotency_survives_snapshot_restore(self):
+        store = MemorySessionStore()
+        service = EstimationService(store)
+        service.create_session("alpha", range(5), ["voting"])
+        service.ingest("alpha", [{0: DIRTY}], source="loader", sequence=3)
+        service.snapshot("alpha")
+        revived = EstimationService(store)
+        replay = revived.ingest("alpha", [{0: DIRTY}], source="loader", sequence=3)
+        assert replay.duplicate
+        fresh = revived.ingest("alpha", [{1: DIRTY}], source="loader", sequence=4)
+        assert fresh.applied == 1
+
+
+class TestEstimateCaching:
+    def test_idle_polls_return_cached_objects(self):
+        service = EstimationService()
+        service.create_session("alpha", range(5), ["voting", "chao92"])
+        service.ingest("alpha", [{0: DIRTY, 1: CLEAN}])
+        first = service.estimates("alpha")
+        second = service.estimates("alpha")
+        assert second["chao92"] is first["chao92"]
+        assert second["voting"] is first["voting"]
+        assert service.estimate_cache_hits == 1
+        assert service.estimates_served == 2
+
+    def test_mutations_invalidate_the_cache(self):
+        service = EstimationService()
+        service.create_session("alpha", range(5), ["voting"])
+        service.ingest("alpha", [{0: DIRTY}])
+        first = service.estimates("alpha")
+        service.ingest("alpha", [{1: DIRTY}])
+        second = service.estimates("alpha")
+        assert second["voting"] is not first["voting"]
+        assert second["voting"].estimate == 2.0
+        assert service.estimate_cache_hits == 0
+
+    def test_duplicate_batches_do_not_invalidate_the_cache(self):
+        service = EstimationService()
+        service.create_session("alpha", range(5), ["voting"])
+        service.ingest("alpha", [{0: DIRTY}], source="s", sequence=1)
+        first = service.estimates("alpha")
+        service.ingest("alpha", [{0: DIRTY}], source="s", sequence=1)  # no-op
+        assert service.estimates("alpha")["voting"] is first["voting"]
+
+
+class TestDurabilityAndEviction:
+    def test_restored_session_estimates_bit_identically(self):
+        rng = np.random.default_rng(4)
+        store = MemorySessionStore()
+        service = EstimationService(store)
+        service.create_session("alpha", range(15), ["voting", "chao92", "switch_total"])
+        service.ingest("alpha", _columns(rng, 15, 10))
+        live = service.estimates("alpha")
+        service.snapshot("alpha")
+        revived = EstimationService(store)
+        restored = revived.estimates("alpha")
+        for name in live:
+            assert restored[name] == live[name]
+
+    def test_lru_eviction_and_transparent_revival(self):
+        service = EstimationService(max_active=2)
+        service.create_session("a", [0, 1], ["voting"])
+        service.ingest("a", [{0: DIRTY}])
+        service.create_session("b", [0, 1], ["voting"])
+        service.create_session("c", [0, 1], ["voting"])  # evicts "a" (LRU)
+        assert service.active_sessions() == ["b", "c"]
+        assert "a" in service.store.names()
+        assert service.sessions_evicted == 1
+        # Touching "a" revives it (and evicts the new LRU, "b").
+        assert service.estimates("a")["voting"].estimate == 1.0
+        assert service.active_sessions() == ["c", "a"]
+        assert service.sessions_restored == 1
+
+    def test_explicit_evict_parks_and_next_touch_restores(self):
+        service = EstimationService()
+        service.create_session("alpha", [0, 1], ["voting"])
+        service.ingest("alpha", [{0: DIRTY}])
+        assert service.evict("alpha") == "alpha"
+        assert service.active_sessions() == []
+        assert service.progress("alpha")["num_columns"] == 1.0
+        assert service.active_sessions() == ["alpha"]
+
+    def test_evict_without_name_picks_lru(self):
+        service = EstimationService()
+        assert service.evict() is None
+        service.create_session("a", [0], ["voting"])
+        service.create_session("b", [0], ["voting"])
+        service.progress("a")  # "a" becomes most-recently-used
+        assert service.evict() == "b"
+        with pytest.raises(ConfigurationError, match="not live"):
+            service.evict("b")
+
+    def test_directory_store_survives_processes(self, tmp_path):
+        rng = np.random.default_rng(11)
+        first = EstimationService(DirectorySessionStore(tmp_path / "sessions"))
+        first.create_session("alpha", range(12), ["voting", "switch_total"])
+        first.ingest("alpha", _columns(rng, 12, 6), source="cli", sequence=1)
+        first.snapshot("alpha")
+        live = first.estimates("alpha")
+        second = EstimationService(DirectorySessionStore(tmp_path / "sessions"))
+        assert second.sessions() == ["alpha"]
+        restored = second.estimates("alpha")
+        for name in live:
+            assert restored[name] == live[name]
+        assert second.ingest(
+            "alpha", [{0: DIRTY}], source="cli", sequence=1
+        ).duplicate
+
+    def test_restore_imports_a_foreign_snapshot_under_a_new_name(self):
+        service = EstimationService()
+        service.create_session("alpha", [0, 1], ["voting"])
+        service.ingest("alpha", [{0: DIRTY}])
+        snapshot = service.snapshot("alpha")
+        progress = service.restore("clone", snapshot)
+        assert progress["num_columns"] == 1.0
+        assert service.estimates("clone") == service.estimates("alpha")
+
+
+class TestSessionStores:
+    @pytest.mark.parametrize("backend", ["memory", "directory"])
+    def test_store_contract(self, backend, tmp_path):
+        store = (
+            MemorySessionStore()
+            if backend == "memory"
+            else DirectorySessionStore(tmp_path / "root")
+        )
+        session = StreamingSession([0, 1, 2], ["voting"])
+        session.add_column({0: DIRTY, 2: CLEAN})
+        snapshot = session.snapshot()
+        assert store.names() == []
+        assert "alpha" not in store
+        store.save("alpha", snapshot)
+        assert store.names() == ["alpha"] and "alpha" in store and len(store) == 1
+        loaded = store.load("alpha")
+        assert loaded.manifest == snapshot.manifest
+        for key in snapshot.arrays:
+            assert np.array_equal(loaded.arrays[key], snapshot.arrays[key])
+        # Loads are independent copies: mutating one does not leak back.
+        loaded.arrays["positive"][0] = 99
+        assert store.load("alpha").arrays["positive"][0] != 99
+        store.delete("alpha")
+        assert store.names() == []
+        with pytest.raises(ConfigurationError, match="no stored session"):
+            store.load("alpha")
+        with pytest.raises(ConfigurationError, match="no stored session"):
+            store.delete("alpha")
+
+    def test_directory_store_overwrites_atomically(self, tmp_path):
+        store = DirectorySessionStore(tmp_path / "root")
+        session = StreamingSession([0, 1], ["voting"])
+        store.save("alpha", session.snapshot())
+        session.add_column({0: DIRTY})
+        store.save("alpha", session.snapshot())
+        assert store.load("alpha").manifest["num_columns"] == 1
+        # No staging leftovers.
+        assert [p.name for p in (tmp_path / "root").iterdir()] == ["alpha"]
+
+
+class TestThreadSafety:
+    def test_concurrent_ingestion_across_sessions_matches_serial(self):
+        rng = np.random.default_rng(21)
+        per_session = {
+            f"tenant-{i}": _columns(np.random.default_rng(100 + i), 25, 30)
+            for i in range(6)
+        }
+        service = EstimationService()
+        for name in per_session:
+            service.create_session(name, range(25), ["voting", "chao92"])
+
+        def run(name):
+            for sequence, column in enumerate(per_session[name], start=1):
+                service.ingest(name, [column], source="t", sequence=sequence)
+
+        threads = [
+            threading.Thread(target=run, args=(name,)) for name in per_session
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for name, columns in per_session.items():
+            reference = StreamingSession(list(range(25)), ["voting", "chao92"])
+            for column in columns:
+                reference.add_column(column)
+            live = service.estimates(name)
+            for est_name, result in reference.estimate().items():
+                assert live[est_name].estimate == result.estimate, (name, est_name)
+
+    def test_concurrent_ingestion_into_one_session_loses_nothing(self):
+        """Per-session locking: interleaved writers never drop or double votes."""
+        service = EstimationService()
+        service.create_session("shared", range(10), ["voting"])
+        per_thread = 40
+
+        def run(thread_index):
+            for sequence in range(1, per_thread + 1):
+                service.ingest(
+                    "shared",
+                    [{thread_index: DIRTY}],
+                    source=f"writer-{thread_index}",
+                    sequence=sequence,
+                )
+                # A concurrent retry of the same batch must stay a no-op.
+                service.ingest(
+                    "shared",
+                    [{thread_index: DIRTY}],
+                    source=f"writer-{thread_index}",
+                    sequence=sequence,
+                )
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        progress = service.progress("shared")
+        assert progress["num_columns"] == 8 * per_thread
+        assert progress["total_votes"] == 8 * per_thread
+        # Order-independent statistics match the batch reference exactly.
+        assert service.estimates("shared")["voting"].estimate == 8.0

@@ -334,6 +334,78 @@ class TestStreamingSessionEdgeCases:
         assert session.num_columns == 2
 
 
+class TestServingUseEdgeCases:
+    """Session behavior the serving layer leans on: restored-but-empty
+    sessions, replaying matrices into sessions that already hold columns,
+    and lean (keep_votes=False) snapshot round trips."""
+
+    def test_empty_just_restored_session_reports_and_estimates_zero(self):
+        """progress() and estimate() work before any votes reach a restored
+        session, and match a never-snapshotted empty session exactly."""
+        fresh = StreamingSession([0, 1, 2], ["voting", "chao92", "switch_total"])
+        restored = StreamingSession.from_snapshot(fresh.snapshot())
+        assert restored.progress() == fresh.progress()
+        assert restored.progress()["num_columns"] == 0.0
+        for name, result in restored.estimate().items():
+            assert result.estimate == 0.0, name
+            assert result.remaining == 0.0, name
+        # The restored empty session ingests normally afterwards.
+        restored.add_column({0: DIRTY})
+        assert restored.estimate("voting").estimate == 1.0
+        assert restored.matrix().num_columns == 1
+
+    def test_extend_from_into_session_with_existing_columns(self):
+        """Replaying a matrix into a non-empty session appends its columns,
+        equal to batch estimation over the concatenation."""
+        rng = np.random.default_rng(17)
+        head = _random_matrix(rng, num_items=8, num_columns=4)
+        tail = ResponseMatrix.from_array(
+            np.asarray(_random_matrix(rng, num_items=8, num_columns=5).values),
+            item_ids=head.item_ids,
+        )
+        session = StreamingSession(head.item_ids, _registry_estimators())
+        session.extend_from(head)
+        ingested = session.extend_from(tail)
+        assert ingested == tail.num_columns
+        assert session.num_columns == head.num_columns + tail.num_columns
+        combined = ResponseMatrix.from_array(
+            np.concatenate(
+                [np.asarray(head.values), np.asarray(tail.values)], axis=1
+            ),
+            item_ids=head.item_ids,
+        )
+        for name, result in session.estimate().items():
+            reference = get_estimator(name).estimate(combined)
+            assert result.estimate == reference.estimate, name
+            assert result.details == reference.details, name
+
+    def test_replay_into_restored_session_continues_the_stream(self):
+        """Snapshot mid-stream, restore, then replay the rest of the matrix."""
+        rng = np.random.default_rng(23)
+        matrix = _random_matrix(rng, num_items=10, num_columns=8)
+        session = StreamingSession(matrix.item_ids, ["voting", "switch_total"])
+        _feed_columns(session, matrix, 3)
+        restored = StreamingSession.from_snapshot(session.snapshot())
+        assert restored.extend_from(matrix, start=3) == 5
+        for name, result in restored.estimate().items():
+            reference = get_estimator(name).estimate(matrix)
+            assert result.estimate == reference.estimate, name
+
+    def test_keep_votes_false_snapshot_roundtrip_stays_lean_and_exact(self):
+        """A lean session round-trips: same estimates, still O(state) memory."""
+        rng = np.random.default_rng(29)
+        matrix = _random_matrix(rng, num_items=12, num_columns=7)
+        lean = StreamingSession.replay(
+            matrix, ["voting", "chao92", "switch"], keep_votes=False
+        )
+        restored = StreamingSession.from_snapshot(lean.snapshot())
+        for name, result in restored.estimate().items():
+            assert result.estimate == lean.estimate(name).estimate, name
+        with pytest.raises(ConfigurationError, match="keep_votes"):
+            restored.matrix()
+        assert restored.progress() == lean.progress()
+
+
 class TestSnapshotCaching:
     """Repeated estimate reads between updates are O(1): the positive-vote
     and switch fingerprints are snapshotted once per mutation, not once per

@@ -1,20 +1,33 @@
-"""Execute the ``python`` code blocks of the markdown documentation.
+"""Keep the markdown documentation honest: runnable blocks + API coverage.
 
-Keeps README.md and docs/*.md honest: every fenced ```python block must
-run (blocks within one file share a namespace, top to bottom, so docs
-can build examples progressively).  Used two ways:
+Two checks live here:
 
-* CI's docs job runs ``PYTHONPATH=src python tools/check_docs.py``;
-* ``tests/test_docs.py`` calls :func:`check_file` per document so a
-  stale snippet fails the tier-1 gate with a precise location.
+* **Executable docs** (the default): every fenced ```python block in
+  README.md and docs/*.md must run (blocks within one file share a
+  namespace, top to bottom, so docs can build examples progressively).
+* **API coverage** (``--api-coverage``): every public symbol exported
+  from a ``repro.*`` subpackage ``__init__`` (its ``__all__``) must be
+  mentioned in ``docs/api.md`` — an export the reference never names is
+  either undocumented surface or a leftover export, and both deserve a
+  red build.
+
+Used three ways:
+
+* CI's docs job runs ``PYTHONPATH=src python tools/check_docs.py`` and
+  ``PYTHONPATH=src python tools/check_docs.py --api-coverage``;
+* ``tests/test_docs.py`` calls :func:`check_file` per document and
+  :func:`api_coverage_failures` so a stale snippet or a missing export
+  mention fails the tier-1 gate with a precise location.
 """
 
 from __future__ import annotations
 
+import argparse
+import importlib
 import re
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -26,7 +39,26 @@ DOCUMENTS = (
     "docs/api.md",
     "docs/scenarios.md",
     "docs/performance.md",
+    "docs/serving.md",
 )
+
+#: Packages whose ``__all__`` must be covered by docs/api.md.
+API_PACKAGES = (
+    "repro",
+    "repro.common",
+    "repro.core",
+    "repro.crowd",
+    "repro.data",
+    "repro.er",
+    "repro.prioritization",
+    "repro.streaming",
+    "repro.serving",
+    "repro.experiments",
+    "repro.scenarios",
+)
+
+#: The document that must mention every public symbol.
+API_REFERENCE = "docs/api.md"
 
 _BLOCK_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -56,7 +88,58 @@ def check_file(path: Path) -> int:
     return len(blocks)
 
 
-def main() -> int:
+def public_api() -> Dict[str, List[str]]:
+    """``{package: sorted __all__}`` for every package in ``API_PACKAGES``.
+
+    A package without ``__all__`` is itself a failure — the coverage
+    contract requires an explicit export list — reported by the caller.
+    """
+    exports: Dict[str, List[str]] = {}
+    for package in API_PACKAGES:
+        module = importlib.import_module(package)
+        exports[package] = sorted(getattr(module, "__all__", []))
+    return exports
+
+
+def api_coverage_failures() -> List[str]:
+    """Exported-but-undocumented symbols, as ``package.symbol`` strings.
+
+    A symbol counts as documented when it appears as a whole word
+    anywhere in ``docs/api.md`` (prose, table or code block) — the goal
+    is that a reader searching the reference for any public name gets at
+    least one hit.
+    """
+    text = (REPO_ROOT / API_REFERENCE).read_text(encoding="utf-8")
+    words = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", text))
+    failures = []
+    for package, symbols in public_api().items():
+        if not symbols:
+            failures.append(f"{package}.__all__ is missing or empty")
+            continue
+        for symbol in symbols:
+            if symbol not in words:
+                failures.append(f"{package}.{symbol}")
+    return failures
+
+
+def run_api_coverage() -> int:
+    failures = api_coverage_failures()
+    exports = public_api()
+    total = sum(len(symbols) for symbols in exports.values())
+    if failures:
+        print(
+            f"{len(failures)} public symbol(s) missing from {API_REFERENCE}:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"ok {API_REFERENCE}: covers all {total} exported symbols "
+          f"across {len(exports)} packages")
+    return 0
+
+
+def run_documents() -> int:
     total = 0
     for name in DOCUMENTS:
         path = REPO_ROOT / name
@@ -70,6 +153,21 @@ def main() -> int:
         print("no python blocks found — check the fence language tags", file=sys.stderr)
         return 1
     return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Execute doc code blocks and/or check API doc coverage."
+    )
+    parser.add_argument(
+        "--api-coverage",
+        action="store_true",
+        help=f"check that every repro.* export is mentioned in {API_REFERENCE}",
+    )
+    args = parser.parse_args(argv)
+    if args.api_coverage:
+        return run_api_coverage()
+    return run_documents()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,152 @@
+"""Markdown link checker for README.md and docs/ (CI docs job).
+
+Validates every inline markdown link whose target is *internal*:
+
+* ``[text](relative/path.md)`` — the path must exist, resolved against
+  the linking file's directory;
+* ``[text](relative/path.md#anchor)`` — the path must exist **and** the
+  target file must contain a heading whose GitHub slug equals
+  ``anchor``;
+* ``[text](#anchor)`` — the same file must contain the heading.
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+CI must not depend on the network.  Bare URLs outside ``[]()`` syntax
+are not checked.
+
+Exit status 1 lists every dead link as ``file:line: target — reason``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documents whose links must stay alive.
+DOCUMENTS = ("README.md", "CHANGES.md", "docs")
+
+#: Inline links: [text](target) — images share the syntax via a leading !.
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """The GitHub anchor slug of a heading text.
+
+    Lowercase; spaces become hyphens; everything that is not a word
+    character, hyphen or space is dropped (inline code backticks and
+    link syntax included); repeated headings get ``-1``, ``-2``, ...
+    suffixes in document order.
+    """
+    # Strip inline markdown that does not contribute to the slug.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links -> text
+    text = text.replace("`", "")
+    slug = re.sub(r"[^\w\- ]", "", text.strip().lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_anchors(path: Path) -> List[str]:
+    """Every heading anchor a markdown file defines, in GitHub slug form."""
+    seen: Dict[str, int] = {}
+    anchors = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_PATTERN.match(line)
+        if match:
+            anchors.append(github_slug(match.group(2), seen))
+    return anchors
+
+
+def iter_links(path: Path) -> List[Tuple[int, str]]:
+    """``(line_number, target)`` for every inline link in the file.
+
+    Links inside fenced code blocks are skipped — code examples often
+    contain bracketed indexing that only looks like a link.
+    """
+    links = []
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_PATTERN.finditer(line):
+            links.append((number, match.group(1)))
+    return links
+
+
+def check_link(path: Path, target: str) -> str:
+    """Return a failure reason for ``target`` linked from ``path``, or ''."""
+    if target.startswith(_EXTERNAL_PREFIXES):
+        return ""
+    if target.startswith("#"):
+        anchor = target[1:].lower()
+        if anchor not in heading_anchors(path):
+            return f"no heading with anchor #{anchor}"
+        return ""
+    raw, _, anchor = target.partition("#")
+    resolved = (path.parent / raw).resolve()
+    if not resolved.exists():
+        return "file does not exist"
+    if anchor:
+        if resolved.suffix.lower() != ".md":
+            return f"anchor #{anchor} into a non-markdown file"
+        if anchor.lower() not in heading_anchors(resolved):
+            return f"no heading with anchor #{anchor} in {raw}"
+    return ""
+
+
+def collect_documents() -> List[Path]:
+    """The markdown files the checker covers."""
+    documents: List[Path] = []
+    for name in DOCUMENTS:
+        path = REPO_ROOT / name
+        if path.is_dir():
+            documents.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            documents.append(path)
+    return documents
+
+
+def check_documents() -> List[str]:
+    """Every dead link as ``file:line: target — reason``."""
+    failures = []
+    for path in collect_documents():
+        for line, target in iter_links(path):
+            reason = check_link(path, target)
+            if reason:
+                relative = path.relative_to(REPO_ROOT)
+                failures.append(f"{relative}:{line}: {target} — {reason}")
+    return failures
+
+
+def main() -> int:
+    documents = collect_documents()
+    failures = check_documents()
+    if failures:
+        print(f"{len(failures)} dead link(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    total = sum(len(iter_links(path)) for path in documents)
+    print(f"ok: {total} internal/external link(s) across {len(documents)} document(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
