@@ -16,6 +16,8 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro session create mydata --items 500   # durable serving session
     python -m repro session ingest mydata --votes batch.json --source loader --sequence 1
     python -m repro session estimate mydata
+    python -m repro session compact mydata    # fold the session's log into a snapshot
+    python -m repro session create other --items 200 --shards 4   # hash-sharded store
 
 Every command prints the same text tables the benchmark harness produces,
 so the CLI is the quickest way to eyeball a figure without running pytest.
@@ -26,7 +28,13 @@ canonical trajectory JSON — byte-identical to the golden file when run at
 the scenario's default seed); ``session`` drives the multi-tenant serving
 layer against an on-disk session store, so successive invocations build
 one durable estimation session (idempotent when ``--source/--sequence``
-accompany each ingested batch).
+accompany each ingested batch).  The store is log-structured: ingests
+append to a per-session write-ahead log and ``session compact`` folds the
+log into a fresh snapshot; ``--shards N`` partitions sessions across N
+hash-routed stores under the same root (the shard count is recorded in
+the root manifest and reused by later invocations).  Store errors —
+unknown sessions, corrupt session directories — exit with code 2 and a
+one-line ``error:`` message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -191,7 +199,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     session = sub.add_parser(
         "session",
-        help="durable serving sessions: create/ingest/estimate/snapshot/restore/list",
+        help="durable serving sessions: create/ingest/estimate/compact/snapshot/restore/list",
     )
     session_sub = session.add_subparsers(dest="session_command", required=True)
 
@@ -203,6 +211,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "--store",
             default=DEFAULT_SESSION_STORE,
             help=f"session store directory (default: {DEFAULT_SESSION_STORE})",
+        )
+        sub_parser.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="partition sessions across N hash-routed shard stores "
+            "(recorded in the store root on first use; later invocations "
+            "may omit it)",
         )
         return sub_parser
 
@@ -232,6 +248,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     _session_parser("estimate", "print the session's current estimates")
+    _session_parser("compact", "fold the session's write-ahead log into a snapshot")
     session_snapshot = _session_parser("snapshot", "persist the session snapshot")
     session_snapshot.add_argument(
         "--out", default=None, help="also export the snapshot to this directory"
@@ -391,17 +408,34 @@ def _print_estimates(results) -> None:
         )
 
 
+def _build_session_service(args: argparse.Namespace):
+    """The serving façade behind ``repro session`` — sharded when asked.
+
+    A root that carries a shard manifest (or an explicit ``--shards``)
+    gets the hash-partitioned :class:`ShardedEstimationService`; anything
+    else stays a single :class:`EstimationService` over a directory
+    store, exactly as before the split.
+    """
+    from repro.streaming import DirectorySessionStore, EstimationService
+    from repro.streaming.serving import SHARD_MANIFEST_FILENAME, ShardedEstimationService
+
+    shards = getattr(args, "shards", None)
+    manifest = Path(args.store) / SHARD_MANIFEST_FILENAME
+    if shards is not None or manifest.exists():
+        return ShardedEstimationService(args.store, num_shards=shards)
+    return EstimationService(DirectorySessionStore(args.store))
+
+
 def _run_session_command(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.streaming import (
-        DirectorySessionStore,
-        EstimationService,
-        read_snapshot,
-        write_snapshot,
-    )
+    from repro.streaming import read_snapshot, write_snapshot
 
-    service = EstimationService(DirectorySessionStore(args.store))
+    service = _build_session_service(args)
+    # On a log-structured store every mutation is durable the moment the
+    # call returns, so the explicit post-command snapshots below are only
+    # needed for stores without a write-ahead log.
+    needs_snapshot = not service.wal_enabled
 
     if args.session_command == "create":
         item_ids = args.item_ids if args.item_ids is not None else range(args.items)
@@ -411,7 +445,8 @@ def _run_session_command(args: argparse.Namespace) -> int:
             args.estimators,
             keep_votes=not args.no_keep_votes,
         )
-        service.snapshot(args.name)  # durable from the first moment
+        if needs_snapshot:
+            service.snapshot(args.name)  # durable from the first moment
         print(f"created session {args.name!r} in {args.store}")
         return 0
 
@@ -435,7 +470,8 @@ def _run_session_command(args: argparse.Namespace) -> int:
             source=args.source,
             sequence=args.sequence,
         )
-        service.snapshot(args.name)
+        if needs_snapshot:
+            service.snapshot(args.name)
         status = "duplicate batch skipped" if result.duplicate else "applied"
         print(
             f"{status}: {result.applied} column(s); session now at "
@@ -445,6 +481,11 @@ def _run_session_command(args: argparse.Namespace) -> int:
 
     if args.session_command == "estimate":
         _print_estimates(service.estimates(args.name))
+        return 0
+
+    if args.session_command == "compact":
+        service.compact(args.name)
+        print(f"compacted {args.name!r}: log folded into a fresh snapshot")
         return 0
 
     if args.session_command == "snapshot":
@@ -458,7 +499,8 @@ def _run_session_command(args: argparse.Namespace) -> int:
     if args.session_command == "restore":
         snapshot = read_snapshot(args.source_dir) if args.source_dir else None
         progress = service.restore(args.name, snapshot)
-        service.snapshot(args.name)
+        if needs_snapshot:
+            service.snapshot(args.name)
         print(f"restored {args.name!r}: " + ", ".join(
             f"{key}={value:.0f}" for key, value in progress.items()
         ))
@@ -489,7 +531,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenario_command(args)
 
     if args.command == "session":
-        return _run_session_command(args)
+        from repro.common.exceptions import ConfigurationError, ValidationError
+
+        try:
+            return _run_session_command(args)
+        except (ConfigurationError, ValidationError) as error:
+            # Unknown sessions, corrupt session directories, bad batches:
+            # operator-facing problems get a one-line diagnosis and a
+            # distinct exit code, not a traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     if args.command == "bench":
         from repro.experiments.bench import run_from_args

@@ -14,7 +14,14 @@ Two workload families are recorded:
 * **serving** workloads time the multi-tenant serving layer
   (:class:`repro.serving.EstimationService`): batched idempotent
   ingestion across many concurrent sessions, cached estimate reads and a
-  full snapshot/restore cycle, reported as columns/s and votes/s.
+  full snapshot/restore cycle, reported as columns/s and votes/s;
+* **wal** workloads time log-structured durable ingestion end to end —
+  ingest through the write-ahead log, simulate a crash, recover by log
+  replay and verify the recovered estimates are bit-identical — then run
+  the snapshot-per-save baseline under a wall-clock budget derived from
+  the WAL time, recording how many sessions the baseline completed (the
+  ``wal-100k`` shape is exactly the workload the old full-snapshot path
+  cannot finish inside the budget).
 
 Regression checking is **relative**: wall times are machine-specific, but
 the batch-vs-serial speedup ratio is not, so ``--check`` fails when the
@@ -156,6 +163,85 @@ SERVING_WORKLOADS: Dict[str, ServingWorkload] = {
         num_sessions=6,
         num_items=600,
         num_columns=80,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class WalWorkload:
+    """One pinned durable-ingestion workload (WAL vs snapshot-per-save).
+
+    ``num_sessions`` sessions are created and fed ``num_batches`` batches
+    of ``columns_per_batch`` task columns each through a
+    :class:`~repro.streaming.store.DirectorySessionStore` write-ahead
+    log, with ``max_active`` bounding live memory (eviction is free under
+    a WAL).  A crash is then simulated — the service and its in-memory
+    sessions are dropped — and a sample of ``verify_sample`` sessions is
+    recovered by snapshot + log replay and checked **bit-identical**
+    against the estimates recorded live.  Finally the snapshot-per-save
+    baseline (the pre-WAL durable path: a full npz snapshot after every
+    mutation) runs the same ingestion under a wall-clock budget of
+    ``max(wal_time * baseline_budget_factor, baseline_budget_floor_s)``
+    seconds, recording how many sessions it completed.
+
+    Columns are a pure arithmetic function of (session, batch, column) —
+    no RNG state to carry — so any subset of sessions can be regenerated
+    independently for verification.
+    """
+
+    name: str
+    num_sessions: int
+    num_items: int = 30
+    num_batches: int = 4
+    columns_per_batch: int = 3
+    items_per_column: int = 8
+    max_active: int = 256
+    verify_sample: int = 25
+    baseline_budget_factor: float = 3.0
+    baseline_budget_floor_s: float = 5.0
+    estimators: Tuple[str, ...] = ("voting", "chao92")
+
+    def session_name(self, session_index: int) -> str:
+        return f"wal-{session_index:06d}"
+
+    def batch(self, session_index: int, batch_index: int) -> List[Dict[int, int]]:
+        """The batch's columns, regenerable for any session independently."""
+        columns = []
+        for column_index in range(self.columns_per_batch):
+            base = (
+                session_index * 7919
+                + batch_index * 104729
+                + column_index * 1299709
+            )
+            columns.append(
+                {
+                    (base + slot * 17) % self.num_items: (
+                        CLEAN if (base >> slot) & 1 else DIRTY
+                    )
+                    for slot in range(self.items_per_column)
+                }
+            )
+        return columns
+
+    def verify_indexes(self) -> List[int]:
+        """Evenly spread sample of sessions to recover and verify."""
+        sample = min(self.verify_sample, self.num_sessions)
+        step = max(1, self.num_sessions // sample)
+        return list(range(0, self.num_sessions, step))[:sample]
+
+
+#: Registered WAL workloads: the CI-sized shape and the acceptance-criterion
+#: 100k-session shape the snapshot-per-save baseline cannot complete.
+WAL_WORKLOADS: Dict[str, WalWorkload] = {
+    "wal-smoke": WalWorkload(
+        name="wal_smoke_400x12",
+        num_sessions=400,
+    ),
+    "wal-100k": WalWorkload(
+        name="wal_100000x12",
+        num_sessions=100_000,
+        baseline_budget_factor=2.0,
+        baseline_budget_floor_s=30.0,
     ),
 }
 
@@ -354,6 +440,145 @@ def run_serving_workload(
     }
 
 
+def run_wal_workload(workload: WalWorkload) -> Dict[str, object]:
+    """Time one durable-ingestion workload and build a record entry.
+
+    Three phases, all over real directory stores in a temporary root:
+
+    1. **WAL ingest** — create every session and ingest every batch
+       through the write-ahead log (O(batch) appends, LRU eviction free),
+       recording live estimates for the verification sample.
+    2. **Crash + recover** — drop the service, reopen the store cold and
+       verify the sampled sessions' recovered estimates are bit-identical
+       to the live ones (``RuntimeError`` on any mismatch — a throughput
+       number for a lossy log is worse than none).
+    3. **Snapshot-per-save baseline** — the pre-WAL durable path (full
+       npz snapshot after every mutation) under a wall-clock budget
+       derived from phase 1, recording completed sessions and whether
+       the budget ran out.
+    """
+    import shutil
+    import tempfile
+
+    from repro.streaming import DirectorySessionStore, EstimationService
+
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+    try:
+        verify = workload.verify_indexes()
+        live_estimates: Dict[str, object] = {}
+
+        gc.collect()
+        service = EstimationService(
+            DirectorySessionStore(root / "wal"), max_active=workload.max_active
+        )
+        start = time.perf_counter()
+        for session_index in range(workload.num_sessions):
+            name = workload.session_name(session_index)
+            service.create_session(
+                name,
+                range(workload.num_items),
+                list(workload.estimators),
+                keep_votes=False,
+            )
+            for batch_index in range(workload.num_batches):
+                service.ingest(
+                    name,
+                    workload.batch(session_index, batch_index),
+                    source="bench",
+                    sequence=batch_index + 1,
+                )
+        wal_seconds = time.perf_counter() - start
+        for session_index in verify:
+            name = workload.session_name(session_index)
+            live_estimates[name] = service.estimates(name)
+
+        # Crash simulation: the service (and every live session) is gone;
+        # only the store's snapshots + logs survive.  A cold service must
+        # rebuild the sampled sessions by log replay, bit-identically.
+        del service
+        gc.collect()
+        start = time.perf_counter()
+        recovered = EstimationService(DirectorySessionStore(root / "wal"))
+        for session_index in verify:
+            name = workload.session_name(session_index)
+            if recovered.estimates(name) != live_estimates[name]:
+                raise RuntimeError(
+                    f"recovered estimates for {name!r} differ from the live "
+                    "session — refusing to record the benchmark"
+                )
+        verify_seconds = time.perf_counter() - start
+
+        # Snapshot-per-save baseline under a budget: the old durable path
+        # wrote a full snapshot after every mutation, so it pays O(state)
+        # where the WAL pays O(batch).
+        budget = max(
+            wal_seconds * workload.baseline_budget_factor,
+            workload.baseline_budget_floor_s,
+        )
+        gc.collect()
+        baseline = EstimationService(
+            DirectorySessionStore(root / "baseline"),
+            max_active=workload.max_active,
+            wal=False,
+        )
+        completed = 0
+        exceeded = False
+        start = time.perf_counter()
+        for session_index in range(workload.num_sessions):
+            if time.perf_counter() - start > budget:
+                exceeded = True
+                break
+            name = workload.session_name(session_index)
+            baseline.create_session(
+                name,
+                range(workload.num_items),
+                list(workload.estimators),
+                keep_votes=False,
+            )
+            baseline.snapshot(name)
+            for batch_index in range(workload.num_batches):
+                baseline.ingest(
+                    name,
+                    workload.batch(session_index, batch_index),
+                    source="bench",
+                    sequence=batch_index + 1,
+                )
+                baseline.snapshot(name)
+            completed += 1
+        baseline_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    columns_per_session = workload.num_batches * workload.columns_per_batch
+    total_columns = workload.num_sessions * columns_per_session
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_info(),
+        "params": asdict(workload),
+        "timings_s": {
+            "wal_ingest": round(wal_seconds, 4),
+            "recovery_verify": round(verify_seconds, 4),
+            "baseline_snapshot_per_save": round(baseline_seconds, 4),
+        },
+        "wal": {
+            "columns_per_s": round(total_columns / wal_seconds, 1),
+            "verified_sessions": len(verify),
+            "bit_identical": True,
+            "baseline": {
+                "budget_s": round(budget, 2),
+                "completed_sessions": completed,
+                "total_sessions": workload.num_sessions,
+                "budget_exceeded": exceeded,
+                "columns_per_s": round(
+                    completed * columns_per_session / baseline_seconds, 1
+                )
+                if baseline_seconds > 0
+                else None,
+            },
+        },
+    }
+
+
 def load_record(path: Path) -> Dict[str, object]:
     """Read (or initialise) the benchmark record document."""
     if path.exists():
@@ -432,6 +657,24 @@ def regression_failure(
 def format_summary(entry: Dict[str, object]) -> str:
     """The one-line summary printed in CI logs."""
     timings = entry["timings_s"]
+    if "wal" in entry:
+        wal = entry["wal"]
+        base = wal["baseline"]
+        completed = (
+            f"completed {base['completed_sessions']}/{base['total_sessions']} "
+            f"sessions before the {base['budget_s']:.0f}s budget ran out"
+            if base["budget_exceeded"]
+            else f"completed all {base['total_sessions']} sessions "
+            f"in {timings['baseline_snapshot_per_save']:.3f}s"
+        )
+        return (
+            f"BENCH {entry['params']['name']}: WAL ingest "
+            f"{timings['wal_ingest']:.3f}s ({wal['columns_per_s']:.0f} col/s), "
+            f"crash-recovery verified {wal['verified_sessions']} session(s) "
+            f"bit-identical in {timings['recovery_verify']:.3f}s; "
+            f"snapshot-per-save baseline {completed} "
+            f"on {entry['machine']['usable_cpus']} usable cpu(s)"
+        )
     if "throughput" in entry:
         throughput = entry["throughput"]
         return (
@@ -469,14 +712,16 @@ def run_and_record(
     dry_run: bool = False,
 ) -> int:
     """The ``repro bench`` implementation.  Returns a process exit code."""
-    if workload not in WORKLOADS and workload not in SERVING_WORKLOADS:
+    known = {**WORKLOADS, **SERVING_WORKLOADS, **WAL_WORKLOADS}
+    if workload not in known:
         raise ValueError(
-            f"unknown workload {workload!r}; available: "
-            f"{sorted(WORKLOADS) + sorted(SERVING_WORKLOADS)}"
+            f"unknown workload {workload!r}; available: {sorted(known)}"
         )
     path = Path(output or DEFAULT_RECORD)
     record = load_record(path)
-    if workload in SERVING_WORKLOADS:
+    if workload in WAL_WORKLOADS:
+        entry = run_wal_workload(WAL_WORKLOADS[workload])
+    elif workload in SERVING_WORKLOADS:
         entry = run_serving_workload(SERVING_WORKLOADS[workload], repeats=repeats)
     else:
         entry = run_workload(WORKLOADS[workload], n_jobs=n_jobs, repeats=repeats)
@@ -502,9 +747,9 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     which = parser.add_mutually_exclusive_group()
     which.add_argument(
         "--workload",
-        choices=sorted(WORKLOADS) + sorted(SERVING_WORKLOADS),
+        choices=sorted(WORKLOADS) + sorted(SERVING_WORKLOADS) + sorted(WAL_WORKLOADS),
         default="full",
-        help="which pinned workload to time (runner or serving family)",
+        help="which pinned workload to time (runner, serving or wal family)",
     )
     which.add_argument(
         "--smoke", action="store_true",

@@ -13,11 +13,21 @@ Quick use::
     service.ingest("tenant-a", [{0: 1, 3: 0}], source="loader", sequence=1)
     print(service.estimates("tenant-a")["chao92"].remaining)
 
-See ``docs/serving.md`` for the full tour: idempotent ingestion, cached
-estimates, LRU eviction and bit-identical snapshot/restore.
+See ``docs/serving.md`` for the full tour (idempotent ingestion, cached
+estimates, LRU eviction, bit-identical snapshot/restore) and
+``docs/persistence.md`` for the log-structured store underneath it: the
+per-session write-ahead log, size-triggered compaction, and the
+hash-sharded :class:`ShardedEstimationService` front.
 """
 
-from repro.streaming.serving import EstimationService, IngestResult
+from repro.streaming.serving import (
+    DEFAULT_COMPACT_BYTES,
+    EstimationService,
+    IngestResult,
+    ShardedEstimationService,
+    replay_batch_record,
+    shard_index,
+)
 from repro.streaming.session import (
     SNAPSHOT_FORMAT_VERSION,
     SessionSnapshot,
@@ -28,11 +38,19 @@ from repro.streaming.store import (
     DirectorySessionStore,
     MemorySessionStore,
     SessionStore,
+    UnknownSessionError,
     check_session_name,
+)
+from repro.streaming.wal import (
+    WAL_FORMAT_VERSION,
+    BatchRecord,
+    CreateRecord,
+    SessionLog,
 )
 
 __all__ = [
     "EstimationService",
+    "ShardedEstimationService",
     "IngestResult",
     "SessionSnapshot",
     "SNAPSHOT_FORMAT_VERSION",
@@ -41,5 +59,13 @@ __all__ = [
     "SessionStore",
     "MemorySessionStore",
     "DirectorySessionStore",
+    "UnknownSessionError",
     "check_session_name",
+    "SessionLog",
+    "CreateRecord",
+    "BatchRecord",
+    "WAL_FORMAT_VERSION",
+    "DEFAULT_COMPACT_BYTES",
+    "replay_batch_record",
+    "shard_index",
 ]

@@ -13,10 +13,21 @@ On top of the single session sits the serving layer
 :class:`EstimationService` hosts many named sessions with idempotent
 batched ingestion, cached estimates, LRU eviction and durable
 snapshot/restore through a :class:`SessionStore`
-(:mod:`repro.streaming.store`).
+(:mod:`repro.streaming.store`).  On a directory store, persistence is
+log-structured: ingests append O(batch) records to a per-session
+write-ahead log (:mod:`repro.streaming.wal`) and compaction folds the
+log into a fresh snapshot.  :class:`ShardedEstimationService` partitions
+sessions across N such services by session-key hash.
 """
 
-from repro.streaming.serving import EstimationService, IngestResult
+from repro.streaming.serving import (
+    DEFAULT_COMPACT_BYTES,
+    EstimationService,
+    IngestResult,
+    ShardedEstimationService,
+    replay_batch_record,
+    shard_index,
+)
 from repro.streaming.session import (
     SNAPSHOT_FORMAT_VERSION,
     SessionSnapshot,
@@ -28,7 +39,14 @@ from repro.streaming.store import (
     DirectorySessionStore,
     MemorySessionStore,
     SessionStore,
+    UnknownSessionError,
     check_session_name,
+)
+from repro.streaming.wal import (
+    WAL_FORMAT_VERSION,
+    BatchRecord,
+    CreateRecord,
+    SessionLog,
 )
 
 __all__ = [
@@ -38,9 +56,18 @@ __all__ = [
     "read_snapshot",
     "write_snapshot",
     "EstimationService",
+    "ShardedEstimationService",
     "IngestResult",
     "SessionStore",
     "MemorySessionStore",
     "DirectorySessionStore",
+    "UnknownSessionError",
     "check_session_name",
+    "SessionLog",
+    "CreateRecord",
+    "BatchRecord",
+    "WAL_FORMAT_VERSION",
+    "DEFAULT_COMPACT_BYTES",
+    "replay_batch_record",
+    "shard_index",
 ]

@@ -23,26 +23,75 @@ the robustness features a long-running deployment needs:
   versioned npz + JSON snapshot codec and a pluggable
   :class:`~repro.streaming.store.SessionStore`; a restored session's
   estimates are bit-identical to one that never stopped.
+* **Log-structured ingestion** — on a store with a write-ahead log
+  (:class:`~repro.streaming.store.DirectorySessionStore`), every applied
+  batch is appended as one O(batch) log record *before* it mutates the
+  in-memory session, so the store copy is never behind the live one;
+  recovery is last snapshot + log replay, and a size-triggered
+  **compaction** folds the log into a fresh snapshot.  A snapshot-only
+  store (:class:`~repro.streaming.store.MemorySessionStore`) is the
+  degenerate no-WAL case with exactly the pre-WAL behaviour.
 * **Bounded memory** — with ``max_active`` set, the least-recently-used
   live sessions are transparently evicted to the store and revived on
-  next touch.
+  next touch (free under a WAL, since the store already holds every
+  applied batch).
 * **Thread safety** — ingestion into one session is serialised by a
   per-session lock; different sessions proceed concurrently.
+
+For deployments whose throughput outgrows one service,
+:class:`ShardedEstimationService` partitions sessions across N
+single-process shards by session-key hash behind the same façade —
+``N=1`` is exactly one :class:`EstimationService`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Union
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.common.exceptions import ConfigurationError, ValidationError
 from repro.common.labels import CLEAN, DIRTY
 from repro.common.validation import check_int
 from repro.core.base import EstimateResult, EstimatorProtocol
 from repro.streaming.session import SessionSnapshot, StreamingSession
-from repro.streaming.store import MemorySessionStore, SessionStore, check_session_name
+from repro.streaming.store import (
+    DirectorySessionStore,
+    MemorySessionStore,
+    SessionStore,
+    UnknownSessionError,
+    check_session_name,
+)
+from repro.streaming.wal import BatchRecord, CreateRecord, check_batch_record
+
+#: Compact a session once its write-ahead log grows past this size.
+DEFAULT_COMPACT_BYTES = 1 << 20
+
+
+def replay_batch_record(
+    session: StreamingSession, sources: Dict[str, int], record: BatchRecord
+) -> bool:
+    """Apply one logged batch to ``session``; returns False for duplicates.
+
+    The replay twin of :meth:`EstimationService.ingest`: the same
+    ``(source, sequence)`` high-water-mark check guards it, so a
+    re-appended duplicate batch record is a no-op on recovery exactly as
+    its delivery was live.
+    """
+    if record.source is not None:
+        last = sources.get(record.source)
+        if last is not None and record.sequence <= last:
+            return False
+    session.add_columns(record.column_mappings(), record.worker_ids)
+    if record.source is not None:
+        sources[record.source] = record.sequence
+    return True
 
 
 @dataclass(frozen=True)
@@ -104,6 +153,16 @@ class EstimationService:
         Maximum number of live in-memory sessions; beyond it the
         least-recently-used session is snapshotted to the store and
         dropped from memory.  ``None`` (default) keeps every session live.
+    wal:
+        ``"auto"`` (default) uses the store's write-ahead log when it has
+        one (``store.supports_wal``); ``True`` requires one; ``False``
+        forces the snapshot-only behaviour even on a log-structured
+        store.  With a WAL, creation and every applied ingest batch are
+        durable before the call returns, in O(batch).
+    compact_after_bytes:
+        Fold the log into a fresh snapshot once it grows past this many
+        bytes (checked after each applied batch).  ``None`` disables
+        automatic compaction; :meth:`compact` always remains available.
 
     Examples
     --------
@@ -122,11 +181,29 @@ class EstimationService:
         store: Optional[SessionStore] = None,
         *,
         max_active: Optional[int] = None,
+        wal: Union[str, bool] = "auto",
+        compact_after_bytes: Optional[int] = DEFAULT_COMPACT_BYTES,
     ) -> None:
         self._store = store if store is not None else MemorySessionStore()
         if max_active is not None:
             max_active = check_int(max_active, "max_active", minimum=1)
         self._max_active = max_active
+        if wal == "auto":
+            self._wal = bool(getattr(self._store, "supports_wal", False))
+        elif isinstance(wal, bool):
+            if wal and not getattr(self._store, "supports_wal", False):
+                raise ConfigurationError(
+                    f"wal=True requires a log-structured store; "
+                    f"{type(self._store).__name__} has no write-ahead log"
+                )
+            self._wal = wal
+        else:
+            raise ValidationError(f"wal must be 'auto', True or False, got {wal!r}")
+        if compact_after_bytes is not None:
+            compact_after_bytes = check_int(
+                compact_after_bytes, "compact_after_bytes", minimum=1
+            )
+        self._compact_after_bytes = compact_after_bytes
         self._active: "OrderedDict[str, _ActiveSession]" = OrderedDict()
         self._lock = threading.Lock()
         #: tombstones of dropped names: closes the race where an accessor
@@ -154,6 +231,11 @@ class EstimationService:
         """The snapshot store backing eviction and durability."""
         return self._store
 
+    @property
+    def wal_enabled(self) -> bool:
+        """Whether ingestion lands in the store's write-ahead log."""
+        return self._wal
+
     def create_session(
         self,
         name: str,
@@ -167,6 +249,9 @@ class EstimationService:
         Raises ``ConfigurationError`` when the name is already in use —
         live or stored — since silently rebinding a tenant's name would
         orphan its history.
+
+        On a write-ahead-log store the creation itself is durable before
+        the call returns — as one O(1) create record, not a snapshot.
         """
         check_session_name(name)
         session = StreamingSession(item_ids, estimators, keep_votes=keep_votes)
@@ -178,6 +263,20 @@ class EstimationService:
                 )
             self._dropped.discard(name)
             self._active[name] = _ActiveSession(session)
+        if self._wal:
+            try:
+                self._store.append(
+                    name,
+                    CreateRecord(
+                        item_ids=tuple(int(item) for item in session.state.item_ids),
+                        estimators=tuple(est.name for est in session.estimators),
+                        keep_votes=keep_votes,
+                    ),
+                )
+            except Exception:
+                with self._lock:
+                    self._active.pop(name, None)
+                raise
         self._enforce_limit(keep=name)
         return name
 
@@ -248,6 +347,12 @@ class EstimationService:
         checked (known item ids, DIRTY/CLEAN votes) before any column is
         applied, so a rejected batch leaves the session untouched and can
         be fixed and redelivered under the same sequence number.
+
+        On a write-ahead-log store the validated batch is appended to the
+        session's log — one O(batch) record — *before* it mutates the
+        in-memory session, so an applied batch is always durable and the
+        store never lags the live state.  Once the log outgrows
+        ``compact_after_bytes`` it is folded into a fresh snapshot.
         """
         if (source is None) != (sequence is None):
             raise ValidationError(
@@ -289,11 +394,25 @@ class EstimationService:
                                 f"votes must be DIRTY ({DIRTY}) or CLEAN "
                                 f"({CLEAN}); got {vote!r} for item {item_id}"
                             )
-                for index, votes in enumerate(columns):
-                    worker = worker_ids[index] if worker_ids is not None else None
-                    session.add_column(votes, worker)
+                if self._wal:
+                    # Log first, apply second: a crash between the two
+                    # replays the record on recovery, so the durable state
+                    # is never behind what the client saw acknowledged.
+                    self._store.append(
+                        name,
+                        BatchRecord.from_columns(
+                            columns, worker_ids, source, sequence
+                        ),
+                    )
+                session.add_columns(columns, worker_ids)
                 if source is not None:
                     handle.sources[source] = sequence
+                if (
+                    self._wal
+                    and self._compact_after_bytes is not None
+                    and self._store.log_size(name) >= self._compact_after_bytes
+                ):
+                    self._store.save(name, self._snapshot_locked(handle))
                 return IngestResult(
                     session=name,
                     applied=len(columns),
@@ -343,6 +462,10 @@ class EstimationService:
         (per-source sequence high-water marks) in its manifest, so a
         restored session keeps rejecting the duplicates its predecessor
         already saw.  The session stays live.
+
+        On a write-ahead-log store this **is** compaction: the store
+        folds the session's log into the fresh snapshot and restarts the
+        log empty (see :meth:`compact`).
         """
         while True:
             handle = self._activate(name)
@@ -352,6 +475,16 @@ class EstimationService:
                 snapshot = self._snapshot_locked(handle)
                 self._store.save(name, snapshot)
                 return snapshot
+
+    def compact(self, name: str) -> SessionSnapshot:
+        """Fold the named session's log into a fresh snapshot now.
+
+        Recovery cost is proportional to the log tail, so a periodic
+        compaction (or the automatic ``compact_after_bytes`` trigger)
+        keeps reopen latency flat.  On a snapshot-only store this is
+        simply :meth:`snapshot`.  Returns the compacted snapshot.
+        """
+        return self.snapshot(name)
 
     def restore(
         self,
@@ -369,15 +502,23 @@ class EstimationService:
         """
         check_session_name(name)
         if snapshot is None:
-            snapshot = self._store.load(name)
-        session = StreamingSession.from_snapshot(snapshot, estimators)
-        sources = self._serving_sources(snapshot)
+            session, sources = self._recover_session(name, estimators)
+        else:
+            session = StreamingSession.from_snapshot(snapshot, estimators)
+            sources = self._serving_sources(snapshot)
         with self._lock:
             previous = self._active.pop(name, None)
             if previous is not None:
                 previous.evicted = True
             self._dropped.discard(name)
-            self._active[name] = _ActiveSession(session, sources)
+            handle = _ActiveSession(session, sources)
+            self._active[name] = handle
+        if self._wal and snapshot is not None:
+            # An imported foreign snapshot exists nowhere in the store;
+            # persist it so the WAL invariant (store ≥ live state) holds
+            # and a later eviction can stay write-free.
+            with handle.lock:
+                self._store.save(name, self._snapshot_locked(handle))
         self._count("sessions_restored")
         self._enforce_limit(keep=name)
         return session.progress()
@@ -426,6 +567,44 @@ class EstimationService:
         sources = serving.get("sources", {}) if isinstance(serving, dict) else {}
         return {str(key): int(value) for key, value in sources.items()}
 
+    def _recover_session(
+        self,
+        name: str,
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+    ) -> Tuple[StreamingSession, Dict[str, int]]:
+        """Rebuild ``name`` from the store: base snapshot + log replay.
+
+        On a snapshot-only store this degenerates to plain snapshot
+        restoration (the record list is empty).  On a log-structured
+        store the base may even be absent — then the log's leading
+        create record builds the empty session — and every batch record
+        replays through the same idempotency gate live ingestion uses,
+        so duplicate records are no-ops and the recovered state is
+        bit-identical to the pre-crash live session.
+        """
+        snapshot, records = self._store.recovery(name)
+        if snapshot is not None:
+            session = StreamingSession.from_snapshot(snapshot, estimators)
+            sources = self._serving_sources(snapshot)
+        else:
+            head = records[0] if records else None
+            if not isinstance(head, CreateRecord):
+                raise ConfigurationError(
+                    f"stored session {name!r} has neither a snapshot nor a "
+                    "leading create record — its log is not a valid "
+                    "ingestion history"
+                )
+            session = StreamingSession(
+                list(head.item_ids),
+                list(head.estimators) if estimators is None else estimators,
+                keep_votes=head.keep_votes,
+            )
+            sources = {}
+            records = records[1:]
+        for record in records:
+            replay_batch_record(session, sources, check_batch_record(record))
+        return session, sources
+
     def _activate(self, name: str) -> _ActiveSession:
         """Return the live handle for ``name``, reviving from the store.
 
@@ -440,20 +619,19 @@ class EstimationService:
                 self._active.move_to_end(name)
                 return handle
             if handle is not None:
-                # An evicted husk awaiting table removal; its snapshot is
-                # already durable (the evicted flag is set only after the
-                # store save completes), so reviving from the store is safe.
+                # An evicted husk awaiting table removal; its state is
+                # already durable (snapshot saved before the evicted flag
+                # flips, or every batch logged under a WAL), so reviving
+                # from the store is safe.
                 del self._active[name]
-        # Load outside the table lock: store I/O can be slow and must not
-        # serialise unrelated sessions.
+        # Recover outside the table lock: store I/O can be slow and must
+        # not serialise unrelated sessions.
         try:
-            snapshot = self._store.load(name)
-        except ConfigurationError:
+            session, sources = self._recover_session(name)
+        except UnknownSessionError:
             raise ConfigurationError(
                 f"unknown session {name!r}; available: {self.sessions()}"
             ) from None
-        session = StreamingSession.from_snapshot(snapshot)
-        sources = self._serving_sources(snapshot)
         with self._lock:
             if name in self._dropped:
                 raise ConfigurationError(
@@ -502,10 +680,17 @@ class EstimationService:
         writer acquiring the lock afterwards sees ``evicted`` and
         re-activates); the ``evicted`` flag flips only once the snapshot
         is durable, so a concurrent revival always loads complete state.
+
+        Under a write-ahead log the save is skipped entirely: every
+        mutation was already logged before it was applied, so the store
+        copy is complete and eviction is a free in-memory drop — what
+        lets ``max_active`` bound memory over very large session counts
+        without turning eviction into an O(state) write.
         """
         with handle.lock:
             if not handle.evicted:
-                self._store.save(name, self._snapshot_locked(handle))
+                if not self._wal:
+                    self._store.save(name, self._snapshot_locked(handle))
                 handle.evicted = True
                 self._count("sessions_evicted")
         with self._lock:
@@ -516,4 +701,257 @@ class EstimationService:
         return (
             f"EstimationService(active={len(self._active)}, "
             f"stored={len(self._store)}, max_active={self._max_active})"
+        )
+
+
+#: Root manifest of a sharded serving directory.
+SHARD_MANIFEST_FILENAME = "shards.json"
+
+#: Sharded-root manifest format version; bump when the layout changes.
+SHARD_MANIFEST_VERSION = 1
+
+
+def shard_index(name: str, num_shards: int) -> int:
+    """The shard owning session ``name`` (stable across processes).
+
+    A keyed hash (not Python's salted ``hash``) so every process — and
+    every future reopen of the same root — routes a name to the same
+    shard.
+    """
+    digest = hashlib.sha256(check_session_name(name).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % check_int(
+        num_shards, "num_shards", minimum=1
+    )
+
+
+class ShardedEstimationService:
+    """Partition sessions across N single-process service shards.
+
+    Each shard is a full :class:`EstimationService` over its own store;
+    a session lives on exactly one shard, chosen by a stable hash of its
+    name (:func:`shard_index`).  The façade is the same as a single
+    service — ``N=1`` **is** exactly today's service, shard 0 — which
+    makes the split shard-ready: moving a shard to its own process (or
+    machine) changes where the shard runs, not what callers see.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one :class:`DirectorySessionStore` per shard
+        (``<root>/shard-<i>/``) plus a ``shards.json`` manifest
+        recording the shard count.  Reopening a root with a different
+        ``num_shards`` raises — resharding would silently strand every
+        session whose hash moved.  ``None`` serves from per-shard
+        in-memory stores instead.
+    num_shards:
+        Shard count.  ``None`` reads the manifest (new in-memory or new
+        on-disk roots default to 1).
+    max_active:
+        Per-shard live-session bound, passed to each shard's service.
+    wal / compact_after_bytes:
+        Passed to each shard's service (see :class:`EstimationService`).
+    store_factory:
+        Build shard ``i``'s store (overrides ``root``/memory defaults);
+        mostly for tests.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        *,
+        num_shards: Optional[int] = None,
+        max_active: Optional[int] = None,
+        wal: Union[str, bool] = "auto",
+        compact_after_bytes: Optional[int] = DEFAULT_COMPACT_BYTES,
+        store_factory: Optional[Callable[[int], SessionStore]] = None,
+    ) -> None:
+        self.root = None if root is None else Path(root)
+        if self.root is not None:
+            num_shards = self._reconcile_manifest(num_shards)
+        elif num_shards is None:
+            num_shards = 1
+        self._num_shards = check_int(num_shards, "num_shards", minimum=1)
+        if store_factory is None:
+            if self.root is None:
+                store_factory = lambda index: MemorySessionStore()  # noqa: E731
+            else:
+                store_factory = lambda index: DirectorySessionStore(  # noqa: E731
+                    self.root / f"shard-{index:04d}"
+                )
+        self._shards: Tuple[EstimationService, ...] = tuple(
+            EstimationService(
+                store_factory(index),
+                max_active=max_active,
+                wal=wal,
+                compact_after_bytes=compact_after_bytes,
+            )
+            for index in range(self._num_shards)
+        )
+
+    def _reconcile_manifest(self, num_shards: Optional[int]) -> int:
+        """Validate ``num_shards`` against the root manifest (or write it)."""
+        manifest_path = self.root / SHARD_MANIFEST_FILENAME
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if manifest.get("format_version") != SHARD_MANIFEST_VERSION:
+                raise ConfigurationError(
+                    f"unsupported shard manifest version in {manifest_path}: "
+                    f"{manifest.get('format_version')!r}"
+                )
+            recorded = int(manifest["num_shards"])
+            if num_shards is not None and num_shards != recorded:
+                raise ConfigurationError(
+                    f"shard count mismatch for {self.root}: the root was "
+                    f"created with {recorded} shard(s) but {num_shards} were "
+                    "requested — resharding would strand sessions whose hash "
+                    "moved; open with the recorded count (or omit num_shards)"
+                )
+            return recorded
+        resolved = 1 if num_shards is None else num_shards
+        self.root.mkdir(parents=True, exist_ok=True)
+        descriptor, staging = tempfile.mkstemp(
+            prefix=f".{SHARD_MANIFEST_FILENAME}.tmp-", dir=self.root
+        )
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "format_version": SHARD_MANIFEST_VERSION,
+                    "num_shards": int(resolved),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        os.replace(staging, manifest_path)
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """The shard count recorded for this root."""
+        return self._num_shards
+
+    @property
+    def shards(self) -> Tuple[EstimationService, ...]:
+        """The per-shard services, by shard index."""
+        return self._shards
+
+    def shard_of(self, name: str) -> int:
+        """The shard index owning session ``name``."""
+        return shard_index(name, self._num_shards)
+
+    @property
+    def wal_enabled(self) -> bool:
+        """True when every shard ingests through a write-ahead log."""
+        return all(shard.wal_enabled for shard in self._shards)
+
+    def _shard(self, name: str) -> EstimationService:
+        return self._shards[self.shard_of(name)]
+
+    # ------------------------------------------------------------------ #
+    # the EstimationService façade, routed by session-name hash
+    # ------------------------------------------------------------------ #
+    def create_session(
+        self,
+        name: str,
+        item_ids: Sequence[int],
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+        *,
+        keep_votes: bool = True,
+    ) -> str:
+        """Create the session on its owning shard; returns the name."""
+        return self._shard(name).create_session(
+            name, item_ids, estimators, keep_votes=keep_votes
+        )
+
+    def ingest(
+        self,
+        name: str,
+        columns: Sequence[Mapping[int, int]],
+        *,
+        worker_ids: Optional[Sequence[Optional[int]]] = None,
+        source: Optional[str] = None,
+        sequence: Optional[int] = None,
+    ) -> IngestResult:
+        """Ingest into the owning shard (same contract as one service)."""
+        return self._shard(name).ingest(
+            name, columns, worker_ids=worker_ids, source=source, sequence=sequence
+        )
+
+    def estimates(self, name: str) -> Dict[str, EstimateResult]:
+        """Current (cached) estimates from the owning shard."""
+        return self._shard(name).estimates(name)
+
+    def progress(self, name: str) -> Dict[str, float]:
+        """The named session's stream-progress summary."""
+        return self._shard(name).progress(name)
+
+    def snapshot(self, name: str) -> SessionSnapshot:
+        """Snapshot (compact) the session on its owning shard."""
+        return self._shard(name).snapshot(name)
+
+    def compact(self, name: str) -> SessionSnapshot:
+        """Fold the session's log into a fresh snapshot on its shard."""
+        return self._shard(name).compact(name)
+
+    def restore(
+        self,
+        name: str,
+        snapshot: Optional[SessionSnapshot] = None,
+        estimators: Optional[Sequence[Union[str, EstimatorProtocol]]] = None,
+    ) -> Dict[str, float]:
+        """Restore on the owning shard (hash routing keeps imports findable)."""
+        return self._shard(name).restore(name, snapshot, estimators)
+
+    def drop(self, name: str) -> None:
+        """Forget the session on its owning shard."""
+        self._shard(name).drop(name)
+
+    def evict(self, name: Optional[str] = None) -> Optional[str]:
+        """Park a live session; ``None`` picks the first shard's LRU victim."""
+        if name is not None:
+            return self._shard(name).evict(name)
+        for shard in self._shards:
+            victim = shard.evict()
+            if victim is not None:
+                return victim
+        return None
+
+    def sessions(self) -> List[str]:
+        """Every known session name across all shards, sorted."""
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.sessions())
+        return sorted(names)
+
+    def active_sessions(self) -> List[str]:
+        """Live in-memory session names across shards (shard order)."""
+        return [name for shard in self._shards for name in shard.active_sessions()]
+
+    # ------------------------------------------------------------------ #
+    # aggregated serving counters
+    # ------------------------------------------------------------------ #
+    @property
+    def estimates_served(self) -> int:
+        return sum(shard.estimates_served for shard in self._shards)
+
+    @property
+    def estimate_cache_hits(self) -> int:
+        return sum(shard.estimate_cache_hits for shard in self._shards)
+
+    @property
+    def sessions_restored(self) -> int:
+        return sum(shard.sessions_restored for shard in self._shards)
+
+    @property
+    def sessions_evicted(self) -> int:
+        return sum(shard.sessions_evicted for shard in self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"ShardedEstimationService(num_shards={self._num_shards}, "
+            f"root={str(self.root) if self.root else None!r})"
         )

@@ -365,6 +365,29 @@ class StreamingSession:
         self._state.apply_column(rows, values)
         return index
 
+    def add_columns(
+        self,
+        columns: Sequence[Mapping[int, int]],
+        worker_ids: Optional[Sequence[Optional[int]]] = None,
+    ) -> int:
+        """Ingest a batch of task columns in order; returns the count.
+
+        The single entry point shared by live serving ingestion and
+        write-ahead-log replay (:mod:`repro.streaming.wal`): both paths
+        make exactly these ``add_column`` calls, which is what makes a
+        replayed session bit-identical to the live one.
+        """
+        if worker_ids is not None and len(worker_ids) != len(columns):
+            raise ValidationError(
+                f"worker_ids length {len(worker_ids)} does not match "
+                f"{len(columns)} column(s)"
+            )
+        for index, votes in enumerate(columns):
+            self.add_column(
+                votes, worker_ids[index] if worker_ids is not None else None
+            )
+        return len(columns)
+
     def add_vote(self, item_id: int, vote: int, worker_id: Optional[int] = None) -> int:
         """Ingest a single vote as its own one-item task column.
 

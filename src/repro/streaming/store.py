@@ -10,11 +10,20 @@ one long-lived session across processes.
 Two backends cover the operational spectrum:
 
 * :class:`MemorySessionStore` — a process-local dict; zero I/O, the
-  default for tests and single-process serving.
-* :class:`DirectorySessionStore` — one snapshot directory per session
-  under a root path (``<root>/<name>/manifest.json`` + ``arrays.npz``),
-  written atomically-enough for the single-writer serving model (a fresh
-  temporary directory is renamed into place).
+  default for tests and single-process serving.  It is the degenerate
+  no-WAL case: ``supports_wal`` is False and recovery is just a load.
+* :class:`DirectorySessionStore` — a **log-structured** store, one
+  directory per session under a root path.  Each session directory
+  holds at most one snapshot *generation* (``gen-<n>/manifest.json`` +
+  ``arrays.npz``) plus the write-ahead log paired with it
+  (``wal-<n>.log``, see :mod:`repro.streaming.wal`).  ``append`` is the
+  hot path — O(batch) per durable ingest; ``save`` is **compaction** —
+  it writes a fresh snapshot as generation ``n+1``, starts an empty
+  ``wal-<n+1>.log`` and removes the old generation.  Recovery reads the
+  newest *valid* generation and replays its paired log, so a kill at
+  any point of a compaction leaves a recoverable store: either the old
+  generation+log pair is still intact, or the new snapshot is already
+  in place (a new generation is only visible after an atomic rename).
 
 Both backends return independent snapshot copies: mutating a loaded
 snapshot (or the session restored from it) never corrupts the stored
@@ -27,17 +36,36 @@ import re
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.common.exceptions import ConfigurationError, ValidationError
 from repro.streaming.session import (
+    ARRAYS_FILENAME,
+    MANIFEST_FILENAME,
     SessionSnapshot,
     read_snapshot,
     write_snapshot,
 )
+from repro.streaming.wal import SessionLog, WalRecord
 
 #: Session names double as directory names, so keep them filesystem-safe.
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+#: Snapshot generations and their paired logs inside a session directory.
+_GENERATION_PATTERN = re.compile(r"^gen-(\d{8})$")
+_WAL_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
+
+#: Staging leftovers a crashed writer can orphan (swept on store open).
+_STALE_PATTERN = re.compile(r"^\..*\.(?:tmp|staging)-")
+
+
+class UnknownSessionError(ConfigurationError):
+    """The requested session is not in the store.
+
+    A distinct subclass so the serving layer can map "unknown name" to
+    its own error message while letting genuine corruption reports
+    (also ``ConfigurationError``) surface unchanged.
+    """
 
 
 def check_session_name(name: str) -> str:
@@ -59,11 +87,22 @@ class SessionStore:
     """Interface of a snapshot store (see module docstring).
 
     Subclasses implement :meth:`save`, :meth:`load`, :meth:`delete` and
-    :meth:`names`; the convenience dunders are shared.
+    :meth:`names`; the convenience dunders are shared.  Log-structured
+    backends additionally set :attr:`supports_wal` and implement
+    :meth:`append` / :meth:`recovery` / :meth:`log_size`; the defaults
+    here make every plain snapshot store the degenerate no-WAL case.
     """
 
+    #: Whether :meth:`append` lands records in a durable write-ahead log.
+    supports_wal = False
+
     def save(self, name: str, snapshot: SessionSnapshot) -> None:
-        """Persist ``snapshot`` under ``name`` (overwriting any previous)."""
+        """Persist ``snapshot`` under ``name`` (overwriting any previous).
+
+        On a log-structured store this is **compaction**: the snapshot
+        becomes the new base generation and the session's log restarts
+        empty.
+        """
         raise NotImplementedError
 
     def load(self, name: str) -> SessionSnapshot:
@@ -82,15 +121,46 @@ class SessionStore:
         """Stored session names, sorted."""
         raise NotImplementedError
 
+    def append(self, name: str, record: WalRecord) -> None:
+        """Append one durable log record for ``name`` (O(record)).
+
+        Only meaningful when :attr:`supports_wal` is True.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} has no write-ahead log; use a "
+            "log-structured store (DirectorySessionStore) or snapshot "
+            "explicitly"
+        )
+
+    def recovery(self, name: str) -> Tuple[Optional[SessionSnapshot], List[WalRecord]]:
+        """Everything needed to rebuild ``name``: base snapshot + log tail.
+
+        The default (no-WAL) implementation returns ``(load(name), [])``.
+        Log-structured stores may return ``(None, records)`` for a
+        session whose whole history still lives in its log.
+        """
+        return self.load(name), []
+
+    def log_size(self, name: str) -> int:
+        """Bytes in the session's active log (0 on snapshot-only stores)."""
+        return 0
+
     def __contains__(self, name: str) -> bool:
         return name in self.names()
 
     def __len__(self) -> int:
         return len(self.names())
 
-    def _unknown(self, name: str) -> ConfigurationError:
-        return ConfigurationError(
-            f"no stored session named {name!r}; available: {self.names()}"
+    def _unknown(self, name: str) -> UnknownSessionError:
+        names = self.names()
+        if len(names) > 10:
+            # A 100k-session store should not render 100k names into one
+            # error message.
+            listed = f"{names[:10]} … ({len(names)} total)"
+        else:
+            listed = f"{names}"
+        return UnknownSessionError(
+            f"no stored session named {name!r}; available: {listed}"
         )
 
 
@@ -124,64 +194,256 @@ class MemorySessionStore(SessionStore):
 
 
 class DirectorySessionStore(SessionStore):
-    """On-disk snapshot store: one snapshot directory per session name.
+    """On-disk log-structured store: one directory per session name.
 
     Parameters
     ----------
     root:
-        Directory holding the per-session snapshot directories; created
-        on first save.
+        Directory holding the per-session directories; created on first
+        write.  Stale staging leftovers from crashed writers are swept
+        when the store opens.
+    sync:
+        Fsync the log after every append (see
+        :class:`~repro.streaming.wal.SessionLog`).
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
+    supports_wal = True
 
+    def __init__(self, root: Union[str, Path], *, sync: bool = False) -> None:
+        self.root = Path(root)
+        self.sync = bool(sync)
+        self._sweep_stale_files()
+
+    # ------------------------------------------------------------------ #
+    # layout helpers
+    # ------------------------------------------------------------------ #
     def _path(self, name: str) -> Path:
         return self.root / check_session_name(name)
 
-    def save(self, name: str, snapshot: SessionSnapshot) -> None:
-        """Write the snapshot, replacing any previous one atomically-enough.
+    @staticmethod
+    def _generation_dir(session_dir: Path, generation: int) -> Path:
+        return session_dir / f"gen-{generation:08d}"
 
-        The snapshot is written to a temporary sibling directory first and
-        renamed into place, so a crash mid-write never leaves a torn
-        snapshot under the session's name.
+    @staticmethod
+    def _wal_path(session_dir: Path, generation: int) -> Path:
+        return session_dir / f"wal-{generation:08d}.log"
+
+    @staticmethod
+    def _snapshot_complete(directory: Path) -> bool:
+        return (directory / MANIFEST_FILENAME).exists() and (
+            directory / ARRAYS_FILENAME
+        ).exists()
+
+    def _generations(self, session_dir: Path) -> List[int]:
+        """Complete snapshot generations, ascending (legacy layout = 0)."""
+        if not session_dir.is_dir():
+            return []
+        found = []
+        if self._snapshot_complete(session_dir):
+            # Pre-WAL layout: the snapshot lives directly in the session
+            # directory.  It reads as generation 0 and is upgraded (and
+            # removed) by the next compaction.
+            found.append(0)
+        for entry in session_dir.iterdir():
+            match = _GENERATION_PATTERN.match(entry.name)
+            if match and self._snapshot_complete(entry):
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def _wal_numbers(self, session_dir: Path) -> List[int]:
+        if not session_dir.is_dir():
+            return []
+        return sorted(
+            int(match.group(1))
+            for entry in session_dir.iterdir()
+            if (match := _WAL_PATTERN.match(entry.name))
+        )
+
+    def _active_generation(self, session_dir: Path) -> int:
+        """The generation new appends and reads belong to.
+
+        The newest generation wins whether it is a snapshot or a log
+        (legacy pre-WAL snapshots read as generation 0, so their paired
+        log is ``wal-00000000.log``); a fresh log-only session starts at
+        generation 1.
         """
-        target = self._path(name)
-        self.root.mkdir(parents=True, exist_ok=True)
+        numbers = self._generations(session_dir) + self._wal_numbers(session_dir)
+        return max(numbers) if numbers else 1
+
+    def _sweep_stale_files(self) -> None:
+        """Remove staging leftovers a crashed writer orphaned.
+
+        A save stages its snapshot in a dot-prefixed ``*.tmp-…`` sibling
+        and renames it into place; a crash between the two leaves the
+        staging directory behind.  Swept here (store open) because no
+        writer can hold a stale staging path across processes.
+        """
+        if not self.root.is_dir():
+            return
+        candidates = [self.root]
+        candidates.extend(
+            entry
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _NAME_PATTERN.match(entry.name)
+        )
+        for directory in candidates:
+            for entry in directory.iterdir():
+                if _STALE_PATTERN.match(entry.name):
+                    if entry.is_dir():
+                        shutil.rmtree(entry, ignore_errors=True)
+                    else:
+                        entry.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # snapshot interface (save = compaction)
+    # ------------------------------------------------------------------ #
+    def save(self, name: str, snapshot: SessionSnapshot) -> None:
+        """Compact: write a fresh generation and restart the log empty.
+
+        The snapshot is staged in a temporary sibling and renamed into
+        place, so a kill at any point leaves either the old
+        generation+log pair intact or the new generation already
+        visible — never a torn snapshot.  Only after the new generation
+        is durable are the previous generation, its log, and any legacy
+        layout files removed.
+        """
+        session_dir = self._path(name)
+        session_dir.mkdir(parents=True, exist_ok=True)
+        old_generations = self._generations(session_dir)
+        old_wals = self._wal_numbers(session_dir)
+        new_generation = max(old_generations + old_wals, default=0) + 1
         staging = Path(
-            tempfile.mkdtemp(prefix=f".{name}.staging-", dir=self.root)
+            tempfile.mkdtemp(
+                prefix=f".gen-{new_generation:08d}.tmp-", dir=session_dir
+            )
         )
         try:
             write_snapshot(snapshot, staging)
-            if target.exists():
-                shutil.rmtree(target)
-            staging.rename(target)
+            staging.rename(self._generation_dir(session_dir, new_generation))
         except Exception:
             shutil.rmtree(staging, ignore_errors=True)
             raise
+        # The new generation is durable; start its (empty) log and only
+        # then clear out the superseded generation(s).
+        self._wal_path(session_dir, new_generation).touch()
+        for number in old_wals:
+            self._wal_path(session_dir, number).unlink(missing_ok=True)
+        for generation in old_generations:
+            if generation == 0:
+                (session_dir / MANIFEST_FILENAME).unlink(missing_ok=True)
+                (session_dir / ARRAYS_FILENAME).unlink(missing_ok=True)
+            else:
+                shutil.rmtree(
+                    self._generation_dir(session_dir, generation),
+                    ignore_errors=True,
+                )
 
     def load(self, name: str) -> SessionSnapshot:
-        """Read the stored snapshot from disk."""
-        path = self._path(name)
-        if not path.is_dir():
-            raise self._unknown(name)
-        return read_snapshot(path)
+        """Read the stored base snapshot (the newest valid generation).
+
+        Pending log records are *not* folded in — use :meth:`recovery`
+        (or an :class:`~repro.streaming.serving.EstimationService`) to
+        rebuild the live state of a session with a non-empty log.
+        """
+        snapshot, records = self.recovery(name)
+        if snapshot is None:
+            raise ConfigurationError(
+                f"session {name!r} has no base snapshot yet ({len(records)} "
+                "log record(s) only); open it through an EstimationService "
+                "or compact it first"
+            )
+        return snapshot
 
     def delete(self, name: str) -> None:
-        """Remove the session's snapshot directory."""
+        """Remove the session's directory (snapshot and log)."""
         path = self._path(name)
         if not path.is_dir():
             raise self._unknown(name)
         shutil.rmtree(path)
 
     def names(self) -> List[str]:
-        """Stored session names, sorted (non-snapshot directories ignored)."""
+        """Stored session names, sorted (non-session directories ignored)."""
         if not self.root.is_dir():
             return []
-        return sorted(
-            entry.name
-            for entry in self.root.iterdir()
-            if entry.is_dir()
-            and _NAME_PATTERN.match(entry.name)
-            and (entry / "manifest.json").exists()
+        found = []
+        for entry in self.root.iterdir():
+            if not entry.is_dir() or not _NAME_PATTERN.match(entry.name):
+                continue
+            if self._generations(entry) or self._wal_numbers(entry):
+                found.append(entry.name)
+        return sorted(found)
+
+    def __contains__(self, name: str) -> bool:
+        """O(one session directory) — ``names()`` would scan the store.
+
+        The serving layer probes membership on every ``create_session``,
+        so this must not degrade to O(sessions) as the store grows.
+        """
+        try:
+            session_dir = self._path(name)
+        except ValidationError:
+            return False
+        return bool(self._generations(session_dir) or self._wal_numbers(session_dir))
+
+    # ------------------------------------------------------------------ #
+    # write-ahead log interface
+    # ------------------------------------------------------------------ #
+    def append(self, name: str, record: WalRecord) -> None:
+        """Append one record to the session's active log — O(record)."""
+        session_dir = self._path(name)
+        session_dir.mkdir(parents=True, exist_ok=True)
+        generation = self._active_generation(session_dir)
+        SessionLog(self._wal_path(session_dir, generation), sync=self.sync).append(
+            record
         )
+
+    def recovery(self, name: str) -> Tuple[Optional[SessionSnapshot], List[WalRecord]]:
+        """The newest valid generation's snapshot plus its replayable log.
+
+        A torn final log record (crash mid-append) is detected by its
+        checksum, ignored, and truncated away so later appends extend a
+        valid prefix.  A generation whose snapshot turns out unreadable
+        falls back to the next older valid generation; only when no
+        generation and no log survives is the session reported corrupt.
+        """
+        session_dir = self._path(name)
+        generations = self._generations(session_dir)
+        wal_numbers = self._wal_numbers(session_dir)
+        if not generations and not wal_numbers:
+            raise self._unknown(name)
+        failure: Optional[Exception] = None
+        for generation in reversed(generations):
+            directory = (
+                session_dir
+                if generation == 0
+                else self._generation_dir(session_dir, generation)
+            )
+            try:
+                snapshot = read_snapshot(directory)
+            except Exception as error:  # corrupt bytes — try the older one
+                failure = error
+                continue
+            return snapshot, self._log_records(session_dir, generation)
+        if generations:
+            raise ConfigurationError(
+                f"stored session {name!r} is corrupt: no readable snapshot "
+                f"generation ({failure!r})"
+            )
+        # Log-only session: its whole history is the newest log.
+        return None, self._log_records(session_dir, wal_numbers[-1])
+
+    def _log_records(self, session_dir: Path, generation: int) -> List[WalRecord]:
+        log = SessionLog(self._wal_path(session_dir, generation), sync=self.sync)
+        records, _, torn = log.scan()
+        if torn:
+            log.repair()
+        return records
+
+    def log_size(self, name: str) -> int:
+        """Size of the session's active log in bytes."""
+        session_dir = self._path(name)
+        if not session_dir.is_dir():
+            return 0
+        return SessionLog(
+            self._wal_path(session_dir, self._active_generation(session_dir))
+        ).size_bytes()

@@ -256,11 +256,55 @@ class TestCliSession:
         assert main(["session", "list", *store]) == 0
         assert " 2 " in capsys.readouterr().out.replace("\n", " ")
 
-    def test_unknown_session_fails_with_available_names(self, tmp_path):
-        from repro.common.exceptions import ConfigurationError
+    def test_compact_folds_the_log_into_a_snapshot(self, capsys, tmp_path):
+        import json
 
-        with pytest.raises(ConfigurationError, match="unknown session"):
-            main(["session", "estimate", "ghost", *self._store_args(tmp_path)])
+        from repro.streaming import DirectorySessionStore
+
+        store = self._store_args(tmp_path)
+        assert main(["session", "create", "packed", "--items", "4",
+                     "--estimators", "voting", *store]) == 0
+        batch = tmp_path / "c.json"
+        batch.write_text(json.dumps([{"0": 1, "2": 0}]))
+        assert main(["session", "ingest", "packed", "--votes", str(batch), *store]) == 0
+        directory = DirectorySessionStore(tmp_path / "sessions")
+        assert directory.log_size("packed") > 0
+        capsys.readouterr()
+        assert main(["session", "compact", "packed", *store]) == 0
+        assert "compacted 'packed'" in capsys.readouterr().out
+        assert directory.log_size("packed") == 0
+        assert main(["session", "estimate", "packed", *store]) == 0
+        assert "voting" in capsys.readouterr().out
+
+    def test_sharded_store_records_and_reuses_the_shard_count(self, capsys, tmp_path):
+        import json
+
+        store = self._store_args(tmp_path)
+        assert main(["session", "create", "alpha", "--items", "4",
+                     "--estimators", "voting", "--shards", "3", *store]) == 0
+        assert (tmp_path / "sessions" / "shards.json").exists()
+        batch = tmp_path / "s.json"
+        batch.write_text(json.dumps([{"0": 1}]))
+        # Later invocations pick the shard count up from the manifest.
+        assert main(["session", "ingest", "alpha", "--votes", str(batch), *store]) == 0
+        assert main(["session", "create", "beta", "--items", "4",
+                     "--estimators", "voting", *store]) == 0
+        capsys.readouterr()
+        assert main(["session", "list", *store]) == 0
+        listing = capsys.readouterr().out
+        assert "alpha" in listing and "beta" in listing
+        # A mismatching explicit count is an operator error, not a traceback.
+        assert main(["session", "list", "--shards", "5", *store]) == 2
+        assert "shard count mismatch" in capsys.readouterr().err
+
+    def test_unknown_session_fails_with_available_names(self, capsys, tmp_path):
+        # Operator-facing store errors surface as a one-line message and a
+        # distinct exit code, never as a traceback.
+        assert main(["session", "estimate", "ghost", *self._store_args(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "unknown session" in captured.err
+        assert captured.err.count("\n") == 1
 
     def test_no_keep_votes_session_still_estimates(self, capsys, tmp_path):
         import json

@@ -6,10 +6,15 @@ produces estimates identical to a session that never stopped, at the
 restore point **and at every prefix after it**.  Pinned here by a
 hypothesis property test over random matrices and split points, plus the
 edge cases (empty sessions, ``keep_votes=False``, foreign estimators,
-format versioning).
+format versioning).  A second property test extends the guarantee to the
+log-structured store: crashes (service rebuilt cold from disk) and
+compactions injected at random points between ingests never change a
+single estimate at any future prefix.
 """
 
 from __future__ import annotations
+
+import tempfile
 
 import numpy as np
 import pytest
@@ -22,6 +27,8 @@ from repro.core.registry import available_estimators, get_estimator
 from repro.core.state import StreamingState
 from repro.crowd.response_matrix import ResponseMatrix
 from repro.streaming import (
+    DirectorySessionStore,
+    EstimationService,
     SNAPSHOT_FORMAT_VERSION,
     StreamingSession,
     read_snapshot,
@@ -106,6 +113,61 @@ def test_snapshot_roundtrip_is_bit_identical_property(case, keep_votes):
     if keep_votes and matrix.num_columns:
         assert np.array_equal(restored.matrix().values, matrix.values)
         assert restored.matrix().column_workers == matrix.column_workers
+
+
+@given(matrices, st.booleans(), st.lists(st.integers(0, 2), min_size=1, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_wal_recovery_is_bit_identical_at_every_prefix_property(
+    case, keep_votes, actions
+):
+    """Property: the log-structured path never changes an estimate.
+
+    One column is ingested per batch through an ``EstimationService``
+    over a :class:`DirectorySessionStore`; after each ingest, ``actions``
+    picks nothing (0), a crash — the service and all in-memory sessions
+    dropped, a cold one rebuilt from snapshot + log replay (1) — or a
+    compaction (2).  At every prefix the served estimates must equal an
+    uninterrupted in-memory session's, bit for bit.
+    """
+    rows, _ = case
+    n_cols = len(rows[0]) if rows and rows[0] else 0
+    votes = np.array(rows, dtype=np.int8).reshape(len(rows), n_cols)
+    matrix = ResponseMatrix.from_array(votes)
+    estimators = ["voting", "chao92", "vchao92", "switch_total"]
+
+    uninterrupted = StreamingSession(matrix.item_ids, estimators, keep_votes=keep_votes)
+    workers = matrix.column_workers
+    with tempfile.TemporaryDirectory() as root:
+        service = EstimationService(
+            DirectorySessionStore(root), compact_after_bytes=None
+        )
+        service.create_session(
+            "s", matrix.item_ids, estimators, keep_votes=keep_votes
+        )
+        for column in range(matrix.num_columns):
+            service.ingest(
+                "s",
+                [matrix.column_votes(column)],
+                worker_ids=[workers[column]],
+                source="prop",
+                sequence=column + 1,
+            )
+            uninterrupted.add_column(matrix.column_votes(column), workers[column])
+            action = actions[column % len(actions)]
+            if action == 1:  # crash: only the store survives
+                service = EstimationService(
+                    DirectorySessionStore(root), compact_after_bytes=None
+                )
+            elif action == 2:
+                service.compact("s")
+            _assert_same_results(
+                uninterrupted.estimate(), service.estimates("s"), f"prefix {column + 1}"
+            )
+        # One final cold recovery, whatever mix of log and snapshot remains.
+        recovered = EstimationService(DirectorySessionStore(root))
+        _assert_same_results(
+            uninterrupted.estimate(), recovered.estimates("s"), "final recovery"
+        )
 
 
 class TestSnapshotDiskFormat:

@@ -1,0 +1,387 @@
+"""Log-structured session persistence: WAL codec, compaction, recovery.
+
+The durability contract under test: every mutation the serving layer
+acknowledges is on disk before the call returns, a crash at *any* point
+(mid-append, mid-compaction) loses at most the unacknowledged tail, and
+recovery — newest valid snapshot generation plus log replay — rebuilds
+estimates bit-identical to the live session.  Torn final records are
+detected by checksum and ignored; duplicate ``(source, sequence)``
+records replay as no-ops exactly as their deliveries did live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.common.labels import CLEAN, DIRTY
+from repro.streaming import (
+    DirectorySessionStore,
+    EstimationService,
+    StreamingSession,
+    UnknownSessionError,
+    write_snapshot,
+)
+from repro.streaming.wal import (
+    BatchRecord,
+    CreateRecord,
+    SessionLog,
+    WAL_FORMAT_VERSION,
+    check_batch_record,
+    decode_payload,
+    encode_record,
+)
+
+ESTIMATORS = ["voting", "chao92", "switch_total"]
+
+
+def _batch(offset: int = 0):
+    """A small deterministic ingest batch (two columns)."""
+    return [
+        {offset % 5: DIRTY, (offset + 1) % 5: CLEAN},
+        {(offset + 2) % 5: DIRTY},
+    ]
+
+
+def _service(root, **kwargs) -> EstimationService:
+    kwargs.setdefault("compact_after_bytes", None)
+    return EstimationService(DirectorySessionStore(root), **kwargs)
+
+
+def _estimates(service, name="s"):
+    return service.estimates(name)
+
+
+class TestRecordCodec:
+    def test_create_record_roundtrip(self):
+        record = CreateRecord(item_ids=(0, 3, 7), estimators=("voting",), keep_votes=False)
+        frame = encode_record(record)
+        assert decode_payload(frame[12:]) == record
+
+    def test_batch_record_roundtrip_preserves_order_and_workers(self):
+        record = BatchRecord.from_columns(
+            [{3: DIRTY, 1: CLEAN}, {0: DIRTY}],
+            worker_ids=[7, None],
+            source="loader",
+            sequence=4,
+        )
+        decoded = decode_payload(encode_record(record)[12:])
+        assert decoded == record
+        assert decoded.column_mappings() == [{3: DIRTY, 1: CLEAN}, {0: DIRTY}]
+        assert decoded.worker_ids == (7, None)
+
+    def test_unknown_kind_and_wrong_version_rejected(self):
+        import json
+
+        with pytest.raises(ConfigurationError, match="unknown WAL record kind"):
+            decode_payload(
+                json.dumps({"kind": "mystery", "format": WAL_FORMAT_VERSION}).encode()
+            )
+        with pytest.raises(ConfigurationError, match="format"):
+            decode_payload(
+                json.dumps({"kind": "create", "format": WAL_FORMAT_VERSION + 1}).encode()
+            )
+        with pytest.raises(ConfigurationError, match="undecodable"):
+            decode_payload(b"not json at all")
+
+    def test_mid_log_create_record_rejected_by_replay_guard(self):
+        create = CreateRecord(item_ids=(0,), estimators=("voting",))
+        with pytest.raises(ValidationError, match="middle of a session log"):
+            check_batch_record(create)
+        batch = BatchRecord.from_columns([{0: DIRTY}])
+        assert check_batch_record(batch) is batch
+
+
+class TestSessionLog:
+    def _records(self):
+        return [
+            CreateRecord(item_ids=(0, 1, 2), estimators=("voting",)),
+            BatchRecord.from_columns(_batch(0), source="a", sequence=1),
+            BatchRecord.from_columns(_batch(1), source="a", sequence=2),
+        ]
+
+    def test_append_scan_roundtrip(self, tmp_path):
+        log = SessionLog(tmp_path / "s.log")
+        assert log.records() == []
+        for record in self._records():
+            size = log.append(record)
+        assert size == log.size_bytes()
+        records, valid, torn = log.scan()
+        assert records == self._records()
+        assert valid == log.size_bytes()
+        assert not torn
+
+    def test_torn_final_record_is_ignored_and_repaired(self, tmp_path):
+        log = SessionLog(tmp_path / "s.log")
+        for record in self._records():
+            log.append(record)
+        intact = log.size_bytes()
+        # A crash mid-append leaves a half-written frame at the tail.
+        with open(log.path, "ab") as handle:
+            handle.write(encode_record(self._records()[1])[:-5])
+        records, valid, torn = log.scan()
+        assert records == self._records()
+        assert valid == intact
+        assert torn
+        assert log.repair()
+        assert log.size_bytes() == intact
+        assert not log.repair()  # healthy log: no-op
+        # Appends after repair extend a valid prefix.
+        extra = BatchRecord.from_columns(_batch(2))
+        log.append(extra)
+        assert log.records() == self._records() + [extra]
+
+    def test_mid_file_corruption_stops_replay_at_the_valid_prefix(self, tmp_path):
+        log = SessionLog(tmp_path / "s.log")
+        first = self._records()[0]
+        boundary = log.append(first)
+        for record in self._records()[1:]:
+            log.append(record)
+        data = bytearray(log.path.read_bytes())
+        data[boundary + 20] ^= 0xFF  # flip one payload byte of record 2
+        log.path.write_bytes(bytes(data))
+        records, valid, torn = log.scan()
+        assert records == [first]
+        assert valid == boundary
+        assert torn
+
+    def test_missing_log_reads_empty_and_repair_is_noop(self, tmp_path):
+        log = SessionLog(tmp_path / "missing.log")
+        assert log.records() == []
+        assert log.size_bytes() == 0
+        assert not log.repair()
+
+
+class TestLogStructuredStore:
+    def test_log_only_session_has_no_loadable_snapshot(self, tmp_path):
+        store = DirectorySessionStore(tmp_path)
+        store.append("s", CreateRecord(item_ids=(0, 1), estimators=("voting",)))
+        assert "s" in store
+        assert store.names() == ["s"]
+        snapshot, records = store.recovery("s")
+        assert snapshot is None
+        assert len(records) == 1
+        with pytest.raises(ConfigurationError, match="no base snapshot"):
+            store.load("s")
+
+    def test_save_compacts_and_truncates_the_log(self, tmp_path):
+        store = DirectorySessionStore(tmp_path)
+        session = StreamingSession([0, 1, 2], ["voting"])
+        store.append("s", CreateRecord(item_ids=(0, 1, 2), estimators=("voting",)))
+        store.append("s", BatchRecord.from_columns(_batch()))
+        assert store.log_size("s") > 0
+        store.save("s", session.snapshot())
+        assert store.log_size("s") == 0
+        snapshot, records = store.recovery("s")
+        assert snapshot is not None and records == []
+        # Exactly one generation + its fresh log remain.
+        entries = sorted(p.name for p in (tmp_path / "s").iterdir())
+        assert entries == ["gen-00000002", "wal-00000002.log"]
+
+    def test_legacy_prewal_layout_reads_as_generation_zero(self, tmp_path):
+        # A pre-WAL store put the snapshot directly in the session dir.
+        session = StreamingSession([0, 1, 2], ESTIMATORS)
+        session.add_column({0: DIRTY, 2: CLEAN}, worker_id=1)
+        write_snapshot(session.snapshot(), tmp_path / "old")
+        store = DirectorySessionStore(tmp_path)
+        assert store.names() == ["old"]
+        assert store.load("old").manifest == session.snapshot().manifest
+        # Appends pair with the legacy generation's log.
+        store.append("old", BatchRecord.from_columns(_batch()))
+        assert (tmp_path / "old" / "wal-00000000.log").exists()
+        snapshot, records = store.recovery("old")
+        assert snapshot is not None and len(records) == 1
+        # Compaction upgrades the layout and removes the legacy files.
+        store.save("old", session.snapshot())
+        remaining = sorted(p.name for p in (tmp_path / "old").iterdir())
+        assert remaining == ["gen-00000001", "wal-00000001.log"]
+
+    def test_kill_mid_compaction_staging_is_swept_and_old_generation_wins(self, tmp_path):
+        store = DirectorySessionStore(tmp_path)
+        session = StreamingSession([0, 1], ["voting"])
+        store.save("s", session.snapshot())
+        # Crash before the rename: only the staging directory exists for
+        # the new generation.
+        staging = tmp_path / "s" / ".gen-00000002.tmp-dead"
+        staging.mkdir()
+        (staging / "manifest.json").write_text("{}", encoding="utf-8")
+        reopened = DirectorySessionStore(tmp_path)
+        assert not staging.exists(), "stale staging must be swept on open"
+        snapshot, records = reopened.recovery("s")
+        assert snapshot is not None and records == []
+
+    def test_kill_mid_compaction_after_rename_picks_the_new_generation(self, tmp_path):
+        store = DirectorySessionStore(tmp_path)
+        old = StreamingSession([0, 1], ["voting"])
+        store.save("s", old.snapshot())
+        old_log = tmp_path / "s" / "wal-00000001.log"
+        SessionLog(old_log).append(BatchRecord.from_columns(_batch()))
+        # Crash after the new generation became visible but before the old
+        # pair was cleaned up: both generations and the old log coexist.
+        new = StreamingSession([0, 1], ["voting"])
+        new.add_column({0: DIRTY})
+        write_snapshot(new.snapshot(), tmp_path / "s" / "gen-00000002")
+        snapshot, records = DirectorySessionStore(tmp_path).recovery("s")
+        # The newest generation wins and the stale old log is NOT replayed
+        # onto it (its records are already folded into generation 2).
+        assert snapshot.manifest["num_columns"] == 1
+        assert records == []
+
+    def test_corrupt_newest_generation_falls_back_to_older_one(self, tmp_path):
+        store = DirectorySessionStore(tmp_path)
+        good = StreamingSession([0, 1], ["voting"])
+        store.save("s", good.snapshot())
+        later = StreamingSession([0, 1], ["voting"])
+        later.add_column({1: DIRTY})
+        store.save("s", later.snapshot())  # gen-00000002 (gen 1 cleaned up)
+        newest = tmp_path / "s" / "gen-00000002"
+        (newest / "arrays.npz").write_bytes(b"garbage")
+        # Only an older generation remains readable.
+        write_snapshot(good.snapshot(), tmp_path / "s" / "gen-00000001")
+        snapshot, _ = DirectorySessionStore(tmp_path).recovery("s")
+        assert snapshot.manifest["num_columns"] == 0
+
+    def test_unknown_and_corrupt_sessions_are_distinct_errors(self, tmp_path):
+        store = DirectorySessionStore(tmp_path)
+        with pytest.raises(UnknownSessionError):
+            store.recovery("ghost")
+        session = StreamingSession([0], ["voting"])
+        store.save("bad", session.snapshot())
+        for path in (tmp_path / "bad" / "gen-00000001").iterdir():
+            path.write_bytes(b"garbage")
+        with pytest.raises(ConfigurationError, match="corrupt") as exc_info:
+            DirectorySessionStore(tmp_path).recovery("bad")
+        assert not isinstance(exc_info.value, UnknownSessionError)
+
+    def test_stale_staging_files_swept_on_open(self, tmp_path):
+        """Regression: orphaned ``*.tmp`` staging entries are removed."""
+        store = DirectorySessionStore(tmp_path)
+        session = StreamingSession([0], ["voting"])
+        store.save("s", session.snapshot())
+        stale_root_file = tmp_path / ".snapshot.tmp-1234"
+        stale_root_file.write_text("partial", encoding="utf-8")
+        stale_dir = tmp_path / ".export.staging-77"
+        stale_dir.mkdir()
+        (stale_dir / "arrays.npz").write_bytes(b"partial")
+        stale_session_file = tmp_path / "s" / ".gen-00000009.tmp-99"
+        stale_session_file.write_text("partial", encoding="utf-8")
+        DirectorySessionStore(tmp_path)
+        assert not stale_root_file.exists()
+        assert not stale_dir.exists()
+        assert not stale_session_file.exists()
+        # The real session was untouched.
+        assert DirectorySessionStore(tmp_path).load("s") is not None
+
+
+class TestServiceCrashConsistency:
+    def _reference(self, batches):
+        reference = StreamingSession(range(5), ESTIMATORS)
+        for batch in batches:
+            for column in batch:
+                reference.add_column(column)
+        return reference.estimate()
+
+    def test_crash_and_recover_is_bit_identical(self, tmp_path):
+        service = _service(tmp_path)
+        service.create_session("s", range(5), ESTIMATORS)
+        batches = [_batch(0), _batch(1), _batch(2)]
+        for sequence, batch in enumerate(batches, start=1):
+            service.ingest("s", batch, source="l", sequence=sequence)
+        live = _estimates(service)
+        del service  # crash: all in-memory state gone
+        recovered = _service(tmp_path)
+        assert _estimates(recovered) == live
+        assert _estimates(recovered) == self._reference(batches)
+
+    def test_torn_final_record_is_ignored_on_replay(self, tmp_path):
+        service = _service(tmp_path)
+        service.create_session("s", range(5), ESTIMATORS)
+        batches = [_batch(0), _batch(1)]
+        for sequence, batch in enumerate(batches, start=1):
+            service.ingest("s", batch, source="l", sequence=sequence)
+        # Crash mid-append: a half-written frame lands at the log tail.
+        wal = tmp_path / "s" / "wal-00000001.log"
+        with open(wal, "ab") as handle:
+            handle.write(encode_record(BatchRecord.from_columns(_batch(9)))[:-7])
+        recovered = _service(tmp_path)
+        assert _estimates(recovered) == self._reference(batches)
+        # The log was repaired, so the next ingest extends a valid prefix.
+        recovered.ingest("s", _batch(2), source="l", sequence=3)
+        assert _estimates(_service(tmp_path)) == self._reference(
+            batches + [_batch(2)]
+        )
+
+    def test_duplicate_batch_record_replays_as_noop(self, tmp_path):
+        service = _service(tmp_path)
+        service.create_session("s", range(5), ESTIMATORS)
+        service.ingest("s", _batch(0), source="l", sequence=1)
+        # A retried delivery that crashed after its append leaves the same
+        # (source, sequence) record in the log twice.
+        service.store.append(
+            "s", BatchRecord.from_columns(_batch(0), source="l", sequence=1)
+        )
+        recovered = _service(tmp_path)
+        assert _estimates(recovered) == self._reference([_batch(0)])
+        # The duplicate also keeps blocking live redelivery after recovery.
+        assert recovered.ingest("s", _batch(0), source="l", sequence=1).duplicate
+
+    def test_create_is_durable_without_any_snapshot(self, tmp_path):
+        service = _service(tmp_path)
+        service.create_session("s", range(5), ESTIMATORS, keep_votes=False)
+        recovered = _service(tmp_path)
+        assert recovered.sessions() == ["s"]
+        assert recovered.progress("s")["num_columns"] == 0
+
+    def test_eviction_is_free_and_lossless_under_wal(self, tmp_path):
+        service = _service(tmp_path, max_active=1)
+        service.create_session("a", range(5), ESTIMATORS)
+        service.create_session("b", range(5), ESTIMATORS)  # evicts "a"
+        service.ingest("a", _batch(0), source="l", sequence=1)  # revives "a"
+        service.ingest("b", _batch(1), source="l", sequence=1)
+        assert service.sessions_evicted >= 2
+        # No snapshot generation was ever written — the sessions live
+        # entirely in their logs — yet a crash loses nothing.
+        assert not list((tmp_path / "a").glob("gen-*"))
+        recovered = _service(tmp_path)
+        assert _estimates(recovered, "a") == self._reference([_batch(0)])
+        assert _estimates(recovered, "b") == self._reference([_batch(1)])
+
+    def test_size_triggered_compaction_folds_the_log(self, tmp_path):
+        service = EstimationService(
+            DirectorySessionStore(tmp_path), compact_after_bytes=1
+        )
+        service.create_session("s", range(5), ESTIMATORS)
+        service.ingest("s", _batch(0), source="l", sequence=1)
+        # Every ingest exceeds the 1-byte threshold, so the log is folded
+        # into a snapshot generation immediately.
+        assert service.store.log_size("s") == 0
+        assert service.store.load("s").manifest["num_columns"] == len(_batch(0))
+        assert _estimates(_service(tmp_path)) == self._reference([_batch(0)])
+
+    def test_explicit_compact_preserves_estimates(self, tmp_path):
+        service = _service(tmp_path)
+        service.create_session("s", range(5), ESTIMATORS)
+        service.ingest("s", _batch(0), source="l", sequence=1)
+        before = _estimates(service)
+        service.compact("s")
+        assert service.store.log_size("s") == 0
+        assert _estimates(_service(tmp_path)) == before
+
+    def test_wal_rejected_on_snapshot_only_store(self):
+        from repro.streaming import MemorySessionStore
+
+        with pytest.raises(ConfigurationError, match="write-ahead log"):
+            EstimationService(MemorySessionStore(), wal=True)
+        service = EstimationService(MemorySessionStore())
+        assert not service.wal_enabled
+
+    def test_wal_opt_out_restores_snapshot_per_save_behaviour(self, tmp_path):
+        service = EstimationService(DirectorySessionStore(tmp_path), wal=False)
+        assert not service.wal_enabled
+        service.create_session("s", range(5), ESTIMATORS)
+        service.ingest("s", _batch(0), source="l", sequence=1)
+        # Nothing durable until an explicit snapshot (the pre-WAL contract).
+        assert DirectorySessionStore(tmp_path).names() == []
+        service.snapshot("s")
+        assert _estimates(_service(tmp_path)) == self._reference([_batch(0)])

@@ -40,6 +40,7 @@ DOCUMENTS = (
     "docs/scenarios.md",
     "docs/performance.md",
     "docs/serving.md",
+    "docs/persistence.md",
 )
 
 #: Packages whose ``__all__`` must be covered by docs/api.md.
