@@ -18,6 +18,7 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro session estimate mydata
     python -m repro session compact mydata    # fold the session's log into a snapshot
     python -m repro session create other --items 200 --shards 4   # hash-sharded store
+    python -m repro serve --port 8080 --store .repro-sessions     # HTTP JSON API
 
 Every command prints the same text tables the benchmark harness produces,
 so the CLI is the quickest way to eyeball a figure without running pytest.
@@ -33,8 +34,13 @@ append to a per-session write-ahead log and ``session compact`` folds the
 log into a fresh snapshot; ``--shards N`` partitions sessions across N
 hash-routed stores under the same root (the shard count is recorded in
 the root manifest and reused by later invocations).  Store errors —
-unknown sessions, corrupt session directories — exit with code 2 and a
-one-line ``error:`` message instead of a traceback.
+unknown sessions, corrupt session directories, malformed ``--votes``
+payloads — exit with code 2 and a one-line ``error:`` message instead of
+a traceback.  ``serve`` exposes the same store over a JSON HTTP API
+(:mod:`repro.serving.http`): it prints one parseable ``serving on
+http://host:port`` line, runs until SIGTERM/SIGINT, and shuts down
+cleanly with exit code 0; bind failures and store errors exit 2 with the
+same one-line diagnosis.
 """
 
 from __future__ import annotations
@@ -72,7 +78,7 @@ EXPERIMENTS = (
 )
 
 #: Workload-independent tool commands.
-TOOLS = ("list", "quality", "stream", "sweep", "scenario", "bench", "session")
+TOOLS = ("list", "quality", "stream", "sweep", "scenario", "bench", "session", "serve")
 
 #: Where ``repro session`` keeps its snapshots unless ``--store`` says else.
 DEFAULT_SESSION_STORE = ".repro-sessions"
@@ -261,6 +267,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="import a foreign snapshot directory under this name",
     )
     _session_parser("list", "list stored sessions with progress", named=False)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the session store over a JSON HTTP API (see docs/http.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default: 0 = ephemeral; the resolved port is printed)",
+    )
+    serve.add_argument(
+        "--store",
+        default=DEFAULT_SESSION_STORE,
+        help=f"session store directory (default: {DEFAULT_SESSION_STORE})",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition sessions across N hash-routed shard stores",
+    )
     return parser
 
 
@@ -451,18 +480,27 @@ def _run_session_command(args: argparse.Namespace) -> int:
         return 0
 
     if args.session_command == "ingest":
-        if args.votes == "-":
-            payload = _json.load(sys.stdin)
-        else:
-            with open(args.votes, "r", encoding="utf-8") as handle:
-                payload = _json.load(handle)
-        columns, workers = [], []
-        for entry in payload:
-            # Two accepted shapes per column: {"votes": {...}, "worker": n}
-            # or the bare {item: vote} mapping itself.
-            votes = entry["votes"] if "votes" in entry else entry
-            columns.append({int(item): int(vote) for item, vote in votes.items()})
-            workers.append(int(entry["worker"]) if "worker" in entry else None)
+        from repro.common.exceptions import ConfigurationError, ValidationError
+        from repro.serving.http import parse_columns_payload
+
+        try:
+            if args.votes == "-":
+                payload = _json.load(sys.stdin)
+            else:
+                with open(args.votes, "r", encoding="utf-8") as handle:
+                    payload = _json.load(handle)
+        except _json.JSONDecodeError as error:
+            raise ValidationError(
+                f"--votes payload is not valid JSON: {error}"
+            ) from error
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read --votes file {args.votes!r}: {error}"
+            ) from error
+        # Same column grammar as the HTTP batch endpoint: either
+        # {"votes": {...}, "worker": n} or the bare {item: vote} mapping,
+        # with every malformed shape diagnosed as a ValidationError.
+        columns, workers = parse_columns_payload(payload)
         result = service.ingest(
             args.name,
             columns,
@@ -523,6 +561,44 @@ def _run_session_command(args: argparse.Namespace) -> int:
     return 1  # pragma: no cover - argparse enforces the subcommand choices
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """``repro serve``: the session store behind the JSON HTTP API.
+
+    Prints one parseable ``serving on http://host:port`` line once the
+    socket is bound (ephemeral ``--port 0`` included), then serves until
+    SIGTERM/SIGINT asks for a clean shutdown.  Runs the listener on its
+    own thread and waits on an event here, because calling
+    ``shutdown()`` from a signal handler on the serving thread would
+    deadlock the poll loop it interrupts.
+    """
+    import signal
+    import threading
+
+    from repro.serving.http import HttpServingServer
+
+    service = _build_session_service(args)
+    server = HttpServingServer(service, host=args.host, port=args.port)
+
+    # Handlers go in before the banner: a supervisor that signals the
+    # moment it parses the URL must still get a clean shutdown.
+    stop = threading.Event()
+    previous = {
+        signum: signal.signal(signum, lambda *_: stop.set())
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(f"serving on {server.url} (store: {args.store})", flush=True)
+    try:
+        server.start()
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        server.shutdown()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("shutdown complete", flush=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -530,15 +606,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "scenario":
         return _run_scenario_command(args)
 
-    if args.command == "session":
+    if args.command in ("session", "serve"):
         from repro.common.exceptions import ConfigurationError, ValidationError
 
         try:
+            if args.command == "serve":
+                return _run_serve_command(args)
             return _run_session_command(args)
-        except (ConfigurationError, ValidationError) as error:
-            # Unknown sessions, corrupt session directories, bad batches:
-            # operator-facing problems get a one-line diagnosis and a
-            # distinct exit code, not a traceback.
+        except (ConfigurationError, ValidationError, OSError) as error:
+            # Unknown sessions, corrupt session directories, bad batches,
+            # occupied ports: operator-facing problems get a one-line
+            # diagnosis and a distinct exit code, not a traceback.
             print(f"error: {error}", file=sys.stderr)
             return 2
 

@@ -246,6 +246,63 @@ WAL_WORKLOADS: Dict[str, WalWorkload] = {
 }
 
 
+@dataclass(frozen=True)
+class HttpWorkload:
+    """One pinned HTTP serving workload (synthetic worker fleet).
+
+    A real :class:`~repro.serving.http.HttpServingServer` is booted
+    in-process over an in-memory store (so the numbers isolate the wire
+    path, not the disk), and a :class:`~repro.serving.loadgen.FleetConfig`
+    worker fleet drives it concurrently through the urllib
+    :class:`~repro.serving.http.SessionClient` — bursty arrivals,
+    deliberate duplicate re-sends and reordered deliveries included.
+    Before anything is recorded, the served estimates are checked
+    **bit-identical** against :func:`replay_applied_batches` replaying the
+    acknowledged batches through plain sessions; a throughput number for
+    a server that loses or double-applies batches is worse than none.
+
+    The recorded entry carries multi-client throughput (requests/s,
+    columns/s) and the request-latency tail (p50/p95/p99 ms).  Like the
+    serving family it records machine-specific numbers and therefore has
+    no ``speedups`` ratio and no regression gate.
+    """
+
+    name: str
+    num_sessions: int = 2
+    num_workers: int = 6
+    num_items: int = 100
+    batches_per_worker: int = 5
+    columns_per_batch: int = 3
+    items_per_column: int = 10
+    workers_per_burst: int = 4
+    burst_gap_s: float = 0.0
+    duplicate_every: int = 3
+    reorder_every: int = 4
+    estimators: Tuple[str, ...] = ("voting", "chao92", "switch_total")
+    seed: int = 7
+
+
+#: Registered HTTP workloads: the CI-sized smoke shape and the heavier
+#: multi-burst load shape behind the recorded latency tail.
+HTTP_WORKLOADS: Dict[str, HttpWorkload] = {
+    "http-smoke": HttpWorkload(
+        name="http_smoke_2x6",
+    ),
+    "http-load": HttpWorkload(
+        name="http_load_4x16",
+        num_sessions=4,
+        num_workers=16,
+        num_items=250,
+        batches_per_worker=12,
+        columns_per_batch=4,
+        items_per_column=12,
+        workers_per_burst=4,
+        burst_gap_s=0.05,
+        reorder_every=5,
+    ),
+}
+
+
 def machine_info() -> Dict[str, object]:
     """The environment fingerprint stored with every entry."""
     try:
@@ -579,6 +636,82 @@ def run_wal_workload(workload: WalWorkload) -> Dict[str, object]:
     }
 
 
+def run_http_workload(workload: HttpWorkload) -> Dict[str, object]:
+    """Time one HTTP serving workload and build a record entry.
+
+    Boots the threaded HTTP server over an in-memory service, runs the
+    workload's worker fleet against it through real sockets, then
+    replays the acknowledged batches through plain
+    :class:`~repro.streaming.StreamingSession` objects and refuses to
+    record unless every session's served estimates are bit-identical to
+    the replay.
+    """
+    from repro.serving import (
+        EstimationService,
+        FleetConfig,
+        HttpServingServer,
+        LoadGenerator,
+        MemorySessionStore,
+        SessionClient,
+        replay_applied_batches,
+    )
+
+    config = FleetConfig(
+        num_sessions=workload.num_sessions,
+        num_workers=workload.num_workers,
+        num_items=workload.num_items,
+        batches_per_worker=workload.batches_per_worker,
+        columns_per_batch=workload.columns_per_batch,
+        items_per_column=workload.items_per_column,
+        workers_per_burst=workload.workers_per_burst,
+        burst_gap_s=workload.burst_gap_s,
+        duplicate_every=workload.duplicate_every,
+        reorder_every=workload.reorder_every,
+        estimators=workload.estimators,
+        seed=workload.seed,
+    )
+    gc.collect()
+    service = EstimationService(MemorySessionStore())
+    with HttpServingServer(service) as server:
+        client = SessionClient(server.url)
+        report = LoadGenerator(client, config).run()
+        served = {
+            name: client.estimates(name) for name in config.session_names()
+        }
+    replayed = replay_applied_batches(report)
+    for name, results in served.items():
+        if results != replayed[name]:
+            raise RuntimeError(
+                f"served estimates for {name!r} differ from the deterministic "
+                "replay of the acknowledged batches — refusing to record the "
+                "benchmark"
+            )
+
+    latency = report.latency_summary()
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_info(),
+        "params": asdict(workload),
+        "timings_s": {
+            "fleet_wall": round(report.wall_s, 4),
+        },
+        "http": {
+            "requests": report.deliveries,
+            "applied_batches": report.applied_deliveries,
+            "duplicate_acks": report.duplicate_acks,
+            "late_drops": report.late_drops,
+            "requests_per_s": round(report.requests_per_s, 1),
+            "columns_per_s": round(report.columns_per_s, 1),
+            "votes_applied": report.votes_applied,
+            "latency_ms": {
+                key: round(value * 1000, 3) for key, value in latency.items()
+            },
+            "verified_sessions": len(served),
+            "bit_identical": True,
+        },
+    }
+
+
 def load_record(path: Path) -> Dict[str, object]:
     """Read (or initialise) the benchmark record document."""
     if path.exists():
@@ -657,6 +790,18 @@ def regression_failure(
 def format_summary(entry: Dict[str, object]) -> str:
     """The one-line summary printed in CI logs."""
     timings = entry["timings_s"]
+    if "http" in entry:
+        http = entry["http"]
+        latency = http["latency_ms"]
+        return (
+            f"BENCH {entry['params']['name']}: {http['requests']} requests in "
+            f"{timings['fleet_wall']:.3f}s ({http['requests_per_s']:.0f} req/s, "
+            f"{http['columns_per_s']:.0f} col/s), latency p50/p95/p99 "
+            f"{latency['p50']:.1f}/{latency['p95']:.1f}/{latency['p99']:.1f} ms, "
+            f"{http['duplicate_acks']} duplicate(s) acknowledged, "
+            f"{http['verified_sessions']} session(s) verified bit-identical "
+            f"on {entry['machine']['usable_cpus']} usable cpu(s)"
+        )
     if "wal" in entry:
         wal = entry["wal"]
         base = wal["baseline"]
@@ -712,14 +857,16 @@ def run_and_record(
     dry_run: bool = False,
 ) -> int:
     """The ``repro bench`` implementation.  Returns a process exit code."""
-    known = {**WORKLOADS, **SERVING_WORKLOADS, **WAL_WORKLOADS}
+    known = {**WORKLOADS, **SERVING_WORKLOADS, **WAL_WORKLOADS, **HTTP_WORKLOADS}
     if workload not in known:
         raise ValueError(
             f"unknown workload {workload!r}; available: {sorted(known)}"
         )
     path = Path(output or DEFAULT_RECORD)
     record = load_record(path)
-    if workload in WAL_WORKLOADS:
+    if workload in HTTP_WORKLOADS:
+        entry = run_http_workload(HTTP_WORKLOADS[workload])
+    elif workload in WAL_WORKLOADS:
         entry = run_wal_workload(WAL_WORKLOADS[workload])
     elif workload in SERVING_WORKLOADS:
         entry = run_serving_workload(SERVING_WORKLOADS[workload], repeats=repeats)
@@ -747,9 +894,12 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     which = parser.add_mutually_exclusive_group()
     which.add_argument(
         "--workload",
-        choices=sorted(WORKLOADS) + sorted(SERVING_WORKLOADS) + sorted(WAL_WORKLOADS),
+        choices=sorted(WORKLOADS)
+        + sorted(SERVING_WORKLOADS)
+        + sorted(WAL_WORKLOADS)
+        + sorted(HTTP_WORKLOADS),
         default="full",
-        help="which pinned workload to time (runner, serving or wal family)",
+        help="which pinned workload to time (runner, serving, wal or http family)",
     )
     which.add_argument(
         "--smoke", action="store_true",

@@ -1,0 +1,128 @@
+"""``repro.serving`` — the multi-tenant serving layer, by its public name.
+
+This package is the stable import surface for the serving stack; the
+in-process façade lives next to the session machinery it builds on
+(:mod:`repro.streaming.serving` and :mod:`repro.streaming.store`), while
+the network boundary is native to this package:
+
+* :mod:`repro.serving.http` — a JSON HTTP API over an
+  :class:`EstimationService` (or :class:`ShardedEstimationService`):
+  session CRUD, batched idempotent ingestion, cached estimate reads,
+  snapshot/compact, with structured error mapping (unknown session →
+  404, validation → 400, store corruption → 500).
+* :mod:`repro.serving.loadgen` — the synthetic worker fleet that hammers
+  that API end to end: bursty arrivals, per-worker accuracy/latency,
+  deliberate duplicate and reordered deliveries, and a deterministic
+  replay check proving the served estimates are bit-identical to a
+  direct :class:`~repro.streaming.StreamingSession` replay.
+
+Quick use::
+
+    from repro.serving import DirectorySessionStore, EstimationService
+
+    service = EstimationService(DirectorySessionStore("sessions"), max_active=32)
+    service.create_session("tenant-a", item_ids=range(100), estimators=["chao92"])
+    service.ingest("tenant-a", [{0: 1, 3: 0}], source="loader", sequence=1)
+    print(service.estimates("tenant-a")["chao92"].remaining)
+
+Or over the wire (``repro serve`` runs the same server from the CLI)::
+
+    from repro.serving import EstimationService, HttpServingServer, SessionClient
+
+    with HttpServingServer(EstimationService()) as server:
+        client = SessionClient(server.url)
+        client.create_session("tenant-a", item_ids=range(100), estimators=["chao92"])
+        client.ingest("tenant-a", [{0: 1, 3: 0}], source="loader", sequence=1)
+        print(client.estimates("tenant-a")["chao92"].remaining)
+
+See ``docs/http.md`` for the wire API and the load harness,
+``docs/serving.md`` for the full in-process tour (idempotent ingestion,
+cached estimates, LRU eviction, bit-identical snapshot/restore) and
+``docs/persistence.md`` for the log-structured store underneath it: the
+per-session write-ahead log, size-triggered compaction, and the
+hash-sharded :class:`ShardedEstimationService` front.
+"""
+
+from repro.serving.http import (
+    HttpApiError,
+    HttpServingServer,
+    ServingApi,
+    SessionClient,
+    parse_columns_payload,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.serving.loadgen import (
+    FleetConfig,
+    FleetReport,
+    LoadGenerator,
+    latency_percentiles,
+    replay_applied_batches,
+)
+from repro.streaming.serving import (
+    DEFAULT_COMPACT_BYTES,
+    EstimateReport,
+    EstimationService,
+    IngestResult,
+    ShardedEstimationService,
+    replay_batch_record,
+    shard_index,
+)
+from repro.streaming.session import (
+    SNAPSHOT_FORMAT_VERSION,
+    SessionSnapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.streaming.store import (
+    DirectorySessionStore,
+    MemorySessionStore,
+    SessionStore,
+    StoreCorruptionError,
+    UnknownSessionError,
+    check_session_name,
+)
+from repro.streaming.wal import (
+    WAL_FORMAT_VERSION,
+    BatchRecord,
+    CreateRecord,
+    SessionLog,
+)
+
+__all__ = [
+    "EstimationService",
+    "ShardedEstimationService",
+    "IngestResult",
+    "EstimateReport",
+    "SessionSnapshot",
+    "SNAPSHOT_FORMAT_VERSION",
+    "read_snapshot",
+    "write_snapshot",
+    "SessionStore",
+    "MemorySessionStore",
+    "DirectorySessionStore",
+    "UnknownSessionError",
+    "StoreCorruptionError",
+    "check_session_name",
+    "SessionLog",
+    "CreateRecord",
+    "BatchRecord",
+    "WAL_FORMAT_VERSION",
+    "DEFAULT_COMPACT_BYTES",
+    "replay_batch_record",
+    "shard_index",
+    # the HTTP boundary (repro.serving.http)
+    "ServingApi",
+    "HttpServingServer",
+    "SessionClient",
+    "HttpApiError",
+    "parse_columns_payload",
+    "result_to_payload",
+    "result_from_payload",
+    # the synthetic-crowd load harness (repro.serving.loadgen)
+    "FleetConfig",
+    "FleetReport",
+    "LoadGenerator",
+    "latency_percentiles",
+    "replay_applied_batches",
+]

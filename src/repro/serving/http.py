@@ -1,0 +1,661 @@
+"""The HTTP boundary of the serving layer: a JSON API over a service.
+
+:class:`ServingApi` maps a small REST surface onto an
+:class:`~repro.streaming.serving.EstimationService` (or the hash-sharded
+:class:`~repro.streaming.serving.ShardedEstimationService` — the façade
+is identical, so the wire layer cannot tell them apart):
+
+====== =================================== =====================================
+Method Path                                Meaning
+====== =================================== =====================================
+GET    ``/health``                         liveness + session/shard counts
+GET    ``/sessions``                       known session names
+POST   ``/sessions``                       create a session
+GET    ``/sessions/<name>``                progress summary
+DELETE ``/sessions/<name>``                drop the session everywhere
+POST   ``/sessions/<name>/batches``        ingest one batch (idempotent)
+GET    ``/sessions/<name>/estimates``      cached estimates + state version
+POST   ``/sessions/<name>/snapshot``       persist a snapshot to the store
+POST   ``/sessions/<name>/compact``        fold the session's log into a snapshot
+====== =================================== =====================================
+
+The ``(source, sequence)`` pair of the ingest body is the **wire-level
+retry contract**: a client that dies before reading its acknowledgement
+simply re-POSTs the whole batch, and a batch whose sequence does not
+advance its source's high-water mark is acknowledged as a no-op
+(``duplicate: true``, 200) instead of double-counting votes.  The
+``version`` triple in the estimates response lets that client verify the
+retry really changed nothing.
+
+Errors are structured, never tracebacks:
+
+* unknown session → **404** (:class:`~repro.streaming.store.UnknownSessionError`)
+* malformed body / bad votes / bad names → **400** (``ValidationError``)
+* conflicting configuration (name already exists, unknown estimator)
+  → **409** (``ConfigurationError``)
+* unreadable stored bytes → **500**
+  (:class:`~repro.streaming.store.StoreCorruptionError`)
+
+Transport is the stdlib :class:`http.server.ThreadingHTTPServer` — one
+thread per connection, which the per-session locks of the service were
+built for.  :class:`ServingApi` itself is transport-free (``handle`` maps
+``(method, path, body)`` to ``(status, payload)``), so tests can drive
+the full routing and error mapping without opening a socket, and
+:class:`SessionClient` is the matching stdlib ``urllib`` client whose
+methods return the same dataclasses as the in-process façade.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.core.base import EstimateResult
+from repro.streaming.serving import EstimateReport, IngestResult
+from repro.streaming.store import StoreCorruptionError, UnknownSessionError
+
+#: Bodies larger than this are rejected up front (64 MiB is far beyond
+#: any sane vote batch and keeps a misbehaving client from ballooning
+#: the handler thread).
+MAX_BODY_BYTES = 64 << 20
+
+_JSON_CONTENT_TYPE = "application/json"
+
+
+class HttpApiError(ConfigurationError):
+    """An error response from the serving API, with its HTTP status.
+
+    Raised by :class:`SessionClient`; ``status`` carries the mapped code
+    (404 unknown session, 400 validation, 409 conflict, 500 corruption or
+    internal failure) and ``kind`` the server's error classification.
+    """
+
+    def __init__(self, status: int, message: str, kind: str = "error") -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.kind = str(kind)
+
+
+# --------------------------------------------------------------------- #
+# wire codecs (shared by the server, the client and the CLI)
+# --------------------------------------------------------------------- #
+def _plain(value):
+    """JSON-safe scalar: numpy scalars become their Python equivalents."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    return value
+
+
+def parse_columns_payload(
+    payload: object,
+) -> Tuple[List[Dict[int, int]], List[Optional[int]]]:
+    """Decode the JSON wire shape of a vote batch into ingest arguments.
+
+    The accepted shape — shared by ``POST /sessions/<name>/batches`` and
+    ``repro session ingest`` — is a list with one entry per task column,
+    each either ``{"votes": {"<item>": vote, ...}, "worker": id}`` or the
+    bare ``{"<item>": vote}`` mapping itself.  Anything else raises
+    ``ValidationError`` with the offending entry's position; nothing here
+    lets a malformed body escape as a raw traceback.
+    """
+    if not isinstance(payload, list):
+        raise ValidationError(
+            f"vote batch must be a JSON list of column objects, "
+            f"got {type(payload).__name__}"
+        )
+    columns: List[Dict[int, int]] = []
+    workers: List[Optional[int]] = []
+    for position, entry in enumerate(payload):
+        if not isinstance(entry, dict):
+            raise ValidationError(
+                f"column {position} must be an object, got {type(entry).__name__}"
+            )
+        worker = None
+        votes = entry
+        if "votes" in entry:
+            votes = entry["votes"]
+            if not isinstance(votes, dict):
+                raise ValidationError(
+                    f"column {position}: 'votes' must be an object mapping "
+                    f"item ids to votes, got {type(votes).__name__}"
+                )
+            worker = entry.get("worker")
+            unknown = sorted(set(entry) - {"votes", "worker"})
+            if unknown:
+                raise ValidationError(
+                    f"column {position}: unknown key(s) {unknown}; "
+                    "expected 'votes' and optional 'worker'"
+                )
+        column: Dict[int, int] = {}
+        for item, vote in votes.items():
+            try:
+                column[int(item)] = int(vote)
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"column {position}: item ids and votes must be "
+                    f"integers, got {item!r}: {vote!r}"
+                ) from None
+        try:
+            workers.append(None if worker is None else int(worker))
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"column {position}: 'worker' must be an integer, got {worker!r}"
+            ) from None
+        columns.append(column)
+    return columns, workers
+
+
+def result_to_payload(result: EstimateResult) -> Dict[str, object]:
+    """One :class:`EstimateResult` as its JSON wire object."""
+    return {
+        "estimate": _plain(float(result.estimate)),
+        "observed": _plain(float(result.observed)),
+        "remaining": _plain(float(result.remaining)),
+        "details": _plain(dict(result.details)),
+    }
+
+
+def result_from_payload(payload: Mapping[str, object]) -> EstimateResult:
+    """The client-side inverse of :func:`result_to_payload`.
+
+    JSON floats round-trip exactly (the encoder emits the shortest
+    representation that parses back to the identical double), so the
+    reconstructed :class:`EstimateResult` compares equal bit for bit with
+    the server's — the property the end-to-end harness pins.
+    """
+    return EstimateResult(
+        estimate=float(payload["estimate"]),
+        observed=float(payload["observed"]),
+        details={str(key): value for key, value in dict(payload.get("details", {})).items()},
+    )
+
+
+def report_to_payload(report: EstimateReport) -> Dict[str, object]:
+    """One :class:`EstimateReport` as the estimates response body."""
+    return {
+        "session": report.session,
+        "version": [int(part) for part in report.version],
+        "estimates": {
+            name: result_to_payload(result)
+            for name, result in sorted(report.results.items())
+        },
+    }
+
+
+def report_from_payload(payload: Mapping[str, object]) -> EstimateReport:
+    """The client-side inverse of :func:`report_to_payload`."""
+    return EstimateReport(
+        session=str(payload["session"]),
+        version=tuple(int(part) for part in payload["version"]),
+        results={
+            str(name): result_from_payload(result)
+            for name, result in dict(payload["estimates"]).items()
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# the transport-free API core
+# --------------------------------------------------------------------- #
+class ServingApi:
+    """Route ``(method, path, body)`` requests onto a serving façade.
+
+    Works over anything with the :class:`EstimationService` surface —
+    including :class:`ShardedEstimationService`.  Thread-safe to exactly
+    the degree the underlying service is; the only state of its own is a
+    lock-guarded request counter.
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Requests handled and error responses sent so far."""
+        with self._stats_lock:
+            return {"requests": self._requests, "errors": self._errors}
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def handle(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, Dict[str, object]]:
+        """One request in, ``(status, JSON-safe payload)`` out.
+
+        Every library error is mapped to a structured JSON error body —
+        the transport layer never sees an exception for a client-caused
+        problem.
+        """
+        with self._stats_lock:
+            self._requests += 1
+        try:
+            status, payload = self._route(method.upper(), path, body)
+        except UnknownSessionError as error:
+            status, payload = 404, {"error": str(error), "kind": "unknown_session"}
+        except StoreCorruptionError as error:
+            status, payload = 500, {"error": str(error), "kind": "store_corruption"}
+        except ValidationError as error:
+            status, payload = 400, {"error": str(error), "kind": "validation"}
+        except ConfigurationError as error:
+            status, payload = 409, {"error": str(error), "kind": "conflict"}
+        if status >= 400:
+            with self._stats_lock:
+                self._errors += 1
+        return status, payload
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        parts = [part for part in path.split("?", 1)[0].split("/") if part]
+        if parts == ["health"] and method == "GET":
+            return self._health()
+        if parts == ["sessions"]:
+            if method == "GET":
+                return 200, {"sessions": self.service.sessions()}
+            if method == "POST":
+                return self._create(self._json_body(body))
+        if len(parts) == 2 and parts[0] == "sessions":
+            name = parts[1]
+            if method == "GET":
+                return 200, {
+                    "session": name,
+                    "progress": _plain(self.service.progress(name)),
+                }
+            if method == "DELETE":
+                self.service.drop(name)
+                return 200, {"session": name, "dropped": True}
+        if len(parts) == 3 and parts[0] == "sessions":
+            name, action = parts[1], parts[2]
+            if action == "batches" and method == "POST":
+                return self._ingest(name, self._json_body(body))
+            if action == "estimates" and method == "GET":
+                return 200, report_to_payload(self.service.estimate_report(name))
+            if action == "snapshot" and method == "POST":
+                self.service.snapshot(name)
+                return 200, {"session": name, "snapshotted": True}
+            if action == "compact" and method == "POST":
+                self.service.compact(name)
+                return 200, {"session": name, "compacted": True}
+        return 404, {
+            "error": f"no route for {method} {path}",
+            "kind": "unknown_route",
+        }
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def _health(self) -> Tuple[int, Dict[str, object]]:
+        service = self.service
+        return 200, {
+            "status": "ok",
+            "sessions": len(service.sessions()),
+            "active_sessions": len(service.active_sessions()),
+            "shards": int(getattr(service, "num_shards", 1)),
+            "wal": bool(getattr(service, "wal_enabled", False)),
+        }
+
+    def _create(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        name = payload.get("name")
+        if not isinstance(name, str):
+            raise ValidationError("create body requires a string 'name'")
+        unknown = sorted(
+            set(payload) - {"name", "item_ids", "items", "estimators", "keep_votes"}
+        )
+        if unknown:
+            raise ValidationError(
+                f"unknown create key(s) {unknown}; expected 'name', "
+                "'item_ids' or 'items', optional 'estimators' and 'keep_votes'"
+            )
+        if ("item_ids" in payload) == ("items" in payload):
+            raise ValidationError(
+                "create body requires exactly one of 'item_ids' (explicit id "
+                "list) or 'items' (ids 0..N-1)"
+            )
+        if "item_ids" in payload:
+            raw = payload["item_ids"]
+            if not isinstance(raw, list):
+                raise ValidationError("'item_ids' must be a list of integers")
+            try:
+                item_ids = [int(item) for item in raw]
+            except (TypeError, ValueError):
+                raise ValidationError("'item_ids' must be a list of integers") from None
+        else:
+            try:
+                item_ids = list(range(int(payload["items"])))
+            except (TypeError, ValueError):
+                raise ValidationError("'items' must be an integer") from None
+        estimators = payload.get("estimators")
+        if estimators is not None:
+            if not isinstance(estimators, list) or not all(
+                isinstance(entry, str) for entry in estimators
+            ):
+                raise ValidationError("'estimators' must be a list of registry names")
+        keep_votes = payload.get("keep_votes", True)
+        if not isinstance(keep_votes, bool):
+            raise ValidationError("'keep_votes' must be a boolean")
+        self.service.create_session(name, item_ids, estimators, keep_votes=keep_votes)
+        return 201, {
+            "session": name,
+            "num_items": len(item_ids),
+            "keep_votes": keep_votes,
+        }
+
+    def _ingest(
+        self, name: str, payload: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"ingest body must be an object, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - {"columns", "source", "sequence"})
+        if unknown:
+            raise ValidationError(
+                f"unknown ingest key(s) {unknown}; expected 'columns', "
+                "optional 'source' and 'sequence'"
+            )
+        columns, workers = parse_columns_payload(payload.get("columns"))
+        source = payload.get("source")
+        if source is not None and not isinstance(source, str):
+            raise ValidationError(f"'source' must be a string, got {source!r}")
+        sequence = payload.get("sequence")
+        if sequence is not None:
+            try:
+                sequence = int(sequence)
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"'sequence' must be an integer, got {sequence!r}"
+                ) from None
+        result = self.service.ingest(
+            name, columns, worker_ids=workers, source=source, sequence=sequence
+        )
+        return 200, {
+            "session": result.session,
+            "applied": result.applied,
+            "duplicate": result.duplicate,
+            "num_columns": result.num_columns,
+            "total_votes": result.total_votes,
+        }
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, object]:
+        if not body:
+            raise ValidationError("request body must be a JSON object, got nothing")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValidationError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+
+# --------------------------------------------------------------------- #
+# the stdlib transport
+# --------------------------------------------------------------------- #
+class _ServingRequestHandler(BaseHTTPRequestHandler):
+    """Thin glue: bytes in from the socket, ``ServingApi.handle``, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serving"
+
+    def _respond(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            status, payload = 400, {
+                "error": f"request body exceeds {MAX_BODY_BYTES} bytes",
+                "kind": "validation",
+            }
+            self.rfile.read(length)  # drain so keep-alive stays usable
+        else:
+            body = self.rfile.read(length) if length else b""
+            try:
+                status, payload = self.server.api.handle(self.command, self.path, body)
+            except Exception as error:  # never leak a traceback onto the wire
+                status, payload = 500, {"error": repr(error), "kind": "internal"}
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", _JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    do_GET = do_POST = do_DELETE = _respond
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the per-request stderr chatter (stats() has the counts)."""
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Ephemeral test servers come and go on the same port; don't linger.
+    allow_reuse_address = True
+
+    def __init__(self, address, api: ServingApi) -> None:
+        super().__init__(address, _ServingRequestHandler)
+        self.api = api
+
+
+class HttpServingServer:
+    """An :class:`EstimationService` behind a real TCP port.
+
+    Parameters
+    ----------
+    service:
+        The façade to serve — an
+        :class:`~repro.streaming.serving.EstimationService` or
+        :class:`~repro.streaming.serving.ShardedEstimationService`.
+    host / port:
+        Bind address.  ``port=0`` (the default) binds an ephemeral port;
+        read the resolved one from :attr:`port` / :attr:`url`.
+
+    The socket is bound (and the port resolved) at construction time;
+    :meth:`start` begins serving on a daemon thread and is what the
+    context-manager protocol calls.  ``repro serve`` uses
+    :meth:`serve_forever` instead to stay in the foreground.
+
+    Examples
+    --------
+    >>> from repro.serving import EstimationService
+    >>> with HttpServingServer(EstimationService()) as server:
+    ...     client = SessionClient(server.url)
+    ...     client.health()["status"]
+    'ok'
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.api = ServingApi(service)
+        self._server = _ServingHTTPServer((host, int(port)), self.api)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def service(self):
+        """The façade being served."""
+        return self.api.service
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved even when constructed with 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HttpServingServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"repro-serving:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` is called."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "HttpServingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# the stdlib client
+# --------------------------------------------------------------------- #
+class SessionClient:
+    """A ``urllib``-based client speaking the :class:`ServingApi` wire format.
+
+    Methods mirror the in-process façade and return the same dataclasses
+    (:class:`IngestResult`, :class:`EstimateReport`,
+    :class:`~repro.core.base.EstimateResult`), so code — including the
+    load generator — can run against either without changes.  Error
+    responses raise :class:`HttpApiError` carrying the HTTP status and
+    the server's error kind.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": _JSON_CONTENT_TYPE}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = _JSON_CONTENT_TYPE
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(raw)
+                message = str(parsed.get("error", raw))
+                kind = str(parsed.get("kind", "error"))
+            except json.JSONDecodeError:
+                message, kind = raw or str(error), "error"
+            raise HttpApiError(error.code, message, kind) from None
+        return body
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/health")
+
+    def sessions(self) -> List[str]:
+        return [str(name) for name in self._request("GET", "/sessions")["sessions"]]
+
+    def create_session(
+        self,
+        name: str,
+        item_ids: Optional[Sequence[int]] = None,
+        estimators: Optional[Sequence[str]] = None,
+        *,
+        items: Optional[int] = None,
+        keep_votes: bool = True,
+    ) -> str:
+        payload: Dict[str, object] = {"name": name, "keep_votes": keep_votes}
+        if item_ids is not None:
+            payload["item_ids"] = [int(item) for item in item_ids]
+        if items is not None:
+            payload["items"] = int(items)
+        if estimators is not None:
+            payload["estimators"] = list(estimators)
+        self._request("POST", "/sessions", payload)
+        return name
+
+    def progress(self, name: str) -> Dict[str, float]:
+        payload = self._request("GET", f"/sessions/{name}")["progress"]
+        return {str(key): float(value) for key, value in payload.items()}
+
+    def ingest(
+        self,
+        name: str,
+        columns: Sequence[Mapping[int, int]],
+        *,
+        worker_ids: Optional[Sequence[Optional[int]]] = None,
+        source: Optional[str] = None,
+        sequence: Optional[int] = None,
+    ) -> IngestResult:
+        wire_columns: List[Dict[str, object]] = []
+        for index, votes in enumerate(columns):
+            entry: Dict[str, object] = {
+                "votes": {str(item): int(vote) for item, vote in votes.items()}
+            }
+            if worker_ids is not None and worker_ids[index] is not None:
+                entry["worker"] = int(worker_ids[index])
+            wire_columns.append(entry)
+        payload: Dict[str, object] = {"columns": wire_columns}
+        if source is not None:
+            payload["source"] = source
+        if sequence is not None:
+            payload["sequence"] = int(sequence)
+        body = self._request("POST", f"/sessions/{name}/batches", payload)
+        return IngestResult(
+            session=str(body["session"]),
+            applied=int(body["applied"]),
+            duplicate=bool(body["duplicate"]),
+            num_columns=int(body["num_columns"]),
+            total_votes=int(body["total_votes"]),
+        )
+
+    def estimate_report(self, name: str) -> EstimateReport:
+        return report_from_payload(
+            self._request("GET", f"/sessions/{name}/estimates")
+        )
+
+    def estimates(self, name: str) -> Dict[str, EstimateResult]:
+        return self.estimate_report(name).results
+
+    def snapshot(self, name: str) -> Dict[str, object]:
+        return self._request("POST", f"/sessions/{name}/snapshot", {})
+
+    def compact(self, name: str) -> Dict[str, object]:
+        return self._request("POST", f"/sessions/{name}/compact", {})
+
+    def drop(self, name: str) -> None:
+        self._request("DELETE", f"/sessions/{name}")

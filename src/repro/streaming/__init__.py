@@ -22,6 +22,7 @@ sessions across N such services by session-key hash.
 
 from repro.streaming.serving import (
     DEFAULT_COMPACT_BYTES,
+    EstimateReport,
     EstimationService,
     IngestResult,
     ShardedEstimationService,
@@ -39,6 +40,7 @@ from repro.streaming.store import (
     DirectorySessionStore,
     MemorySessionStore,
     SessionStore,
+    StoreCorruptionError,
     UnknownSessionError,
     check_session_name,
 )
@@ -58,10 +60,12 @@ __all__ = [
     "EstimationService",
     "ShardedEstimationService",
     "IngestResult",
+    "EstimateReport",
     "SessionStore",
     "MemorySessionStore",
     "DirectorySessionStore",
     "UnknownSessionError",
+    "StoreCorruptionError",
     "check_session_name",
     "SessionLog",
     "CreateRecord",

@@ -65,6 +65,7 @@ from repro.streaming.store import (
     DirectorySessionStore,
     MemorySessionStore,
     SessionStore,
+    StoreCorruptionError,  # noqa: F401 - re-exported for error-mapping callers
     UnknownSessionError,
     check_session_name,
 )
@@ -92,6 +93,31 @@ def replay_batch_record(
     if record.source is not None:
         sources[record.source] = record.sequence
     return True
+
+
+@dataclass(frozen=True)
+class EstimateReport:
+    """One :meth:`EstimationService.estimate_report` read, with its version.
+
+    Attributes
+    ----------
+    session:
+        The session the read addressed.
+    version:
+        The state's mutation version at read time — ``(num_columns,
+        total_votes, fingerprint_version)``.  Two reads with equal
+        versions saw the identical state, which is what lets a wire
+        client assert "that retried batch really was a no-op" without
+        comparing every estimate.
+    results:
+        ``{estimator name: EstimateResult}``, exactly what
+        :meth:`EstimationService.estimates` returns (and served from the
+        same version-keyed cache).
+    """
+
+    session: str
+    version: Tuple[int, int, int]
+    results: Dict[str, EstimateResult]
 
 
 @dataclass(frozen=True)
@@ -311,7 +337,7 @@ class EstimationService:
             if handle is not None or stored:
                 self._dropped.add(name)
                 return
-        raise ConfigurationError(
+        raise UnknownSessionError(
             f"unknown session {name!r}; available: {self.sessions()}"
         )
 
@@ -428,6 +454,15 @@ class EstimationService:
         idle session returns the previously computed ``EstimateResult``
         objects without touching an estimator.
         """
+        return self.estimate_report(name).results
+
+    def estimate_report(self, name: str) -> EstimateReport:
+        """Like :meth:`estimates`, plus the state version the read saw.
+
+        Version and results are captured under the session lock, so the
+        pair is consistent — the wire contract a retrying client needs to
+        verify its duplicate delivery left the session untouched.
+        """
         while True:
             handle = self._activate(name)
             with handle.lock:
@@ -437,11 +472,11 @@ class EstimationService:
                 version = handle.session.state.version
                 if handle.cache is not None and handle.cache_version == version:
                     self._count("estimate_cache_hits")
-                    return dict(handle.cache)
+                    return EstimateReport(name, version, dict(handle.cache))
                 results = handle.session.estimate()
                 handle.cache = results
                 handle.cache_version = version
-                return dict(results)
+                return EstimateReport(name, version, dict(results))
 
     def progress(self, name: str) -> Dict[str, float]:
         """The named session's stream-progress summary."""
@@ -629,12 +664,12 @@ class EstimationService:
         try:
             session, sources = self._recover_session(name)
         except UnknownSessionError:
-            raise ConfigurationError(
+            raise UnknownSessionError(
                 f"unknown session {name!r}; available: {self.sessions()}"
             ) from None
         with self._lock:
             if name in self._dropped:
-                raise ConfigurationError(
+                raise UnknownSessionError(
                     f"unknown session {name!r}; available: {self.sessions()}"
                 )
             existing = self._active.get(name)
@@ -792,7 +827,17 @@ class ShardedEstimationService:
         """Validate ``num_shards`` against the root manifest (or write it)."""
         manifest_path = self.root / SHARD_MANIFEST_FILENAME
         if manifest_path.exists():
-            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"unreadable shard manifest {manifest_path}: {error}"
+                ) from error
+            if not isinstance(manifest, dict):
+                raise ConfigurationError(
+                    f"unreadable shard manifest {manifest_path}: expected a "
+                    f"JSON object, got {type(manifest).__name__}"
+                )
             if manifest.get("format_version") != SHARD_MANIFEST_VERSION:
                 raise ConfigurationError(
                     f"unsupported shard manifest version in {manifest_path}: "
@@ -884,6 +929,10 @@ class ShardedEstimationService:
     def estimates(self, name: str) -> Dict[str, EstimateResult]:
         """Current (cached) estimates from the owning shard."""
         return self._shard(name).estimates(name)
+
+    def estimate_report(self, name: str) -> EstimateReport:
+        """Versioned estimate read from the owning shard."""
+        return self._shard(name).estimate_report(name)
 
     def progress(self, name: str) -> Dict[str, float]:
         """The named session's stream-progress summary."""

@@ -68,6 +68,16 @@ class UnknownSessionError(ConfigurationError):
     """
 
 
+class StoreCorruptionError(ConfigurationError):
+    """The stored bytes for a session are unreadable.
+
+    Distinct from :class:`UnknownSessionError` (the session exists but
+    cannot be rebuilt) and from plain configuration mistakes: the HTTP
+    layer maps it to a server-side 500 where unknown names are a 404 and
+    bad requests a 400.
+    """
+
+
 def check_session_name(name: str) -> str:
     """Validate a session name (shared by every store and the service).
 
@@ -425,7 +435,7 @@ class DirectorySessionStore(SessionStore):
                 continue
             return snapshot, self._log_records(session_dir, generation)
         if generations:
-            raise ConfigurationError(
+            raise StoreCorruptionError(
                 f"stored session {name!r} is corrupt: no readable snapshot "
                 f"generation ({failure!r})"
             )

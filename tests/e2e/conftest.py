@@ -1,0 +1,44 @@
+"""Fixtures shared by the end-to-end HTTP tests.
+
+Every fixture boots a real threaded server on an ephemeral port, so the
+tests exercise actual sockets, content-length framing and concurrent
+request handling — not a stubbed transport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    DirectorySessionStore,
+    EstimationService,
+    HttpServingServer,
+    MemorySessionStore,
+    SessionClient,
+)
+
+
+@pytest.fixture
+def memory_server():
+    """An HTTP server over a fresh in-memory service."""
+    with HttpServingServer(EstimationService(MemorySessionStore())) as server:
+        yield server
+
+
+@pytest.fixture
+def client(memory_server):
+    """A wire client bound to ``memory_server``."""
+    return SessionClient(memory_server.url)
+
+
+@pytest.fixture
+def store_server(tmp_path):
+    """An HTTP server over a WAL-backed directory store in ``tmp_path``.
+
+    Yields ``(server, store_root)`` so tests can reach under the server
+    to corrupt or inspect the on-disk state.
+    """
+    root = tmp_path / "store"
+    service = EstimationService(DirectorySessionStore(root))
+    with HttpServingServer(service) as server:
+        yield server, root

@@ -1,0 +1,172 @@
+"""Concurrent fleet runs over real sockets, pinned to bit-identity.
+
+Every test here ends the same way: whatever interleaving the threaded
+server actually applied is reconstructed from the acknowledgements and
+replayed through plain :class:`~repro.streaming.StreamingSession`
+objects, and the estimates served over HTTP must equal the replay bit
+for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.serving import (
+    EstimationService,
+    FleetConfig,
+    LoadGenerator,
+    SessionClient,
+    latency_percentiles,
+    replay_applied_batches,
+)
+from repro.serving.loadgen import AppliedBatch, build_worker_plan
+
+
+class TestFleetOverHttp:
+    def test_bursty_fleet_with_faults_is_bit_identical_to_replay(
+        self, memory_server, client
+    ):
+        """The tentpole assertion: dups + reorders + threads, zero drift."""
+        config = FleetConfig(
+            num_sessions=2,
+            num_workers=6,
+            batches_per_worker=6,
+            duplicate_every=3,
+            reorder_every=2,
+            workers_per_burst=3,
+            burst_gap_s=0.01,
+            latency_s=(0.0, 0.002),
+        )
+        report = LoadGenerator(client, config).run()
+
+        # The fault injection really happened: planned retries were all
+        # acknowledged as duplicates, and reordered (late) batches were
+        # dropped by the high-water mark.
+        assert report.deliveries == report.applied_deliveries + report.duplicate_acks
+        assert report.late_drops > 0
+        assert report.duplicate_acks > report.late_drops  # retries too
+        assert len(report.latencies_s) == report.deliveries
+
+        replayed = replay_applied_batches(report)
+        for name in config.session_names():
+            assert client.estimates(name) == replayed[name]
+            # And the wire agrees with the server's own in-process view.
+            assert client.estimates(name) == memory_server.service.estimates(name)
+
+    def test_overlapping_sessions_under_n_threads_match_serial_replay(self, client):
+        """Satellite: N concurrent writers per session, deterministic replay."""
+        config = FleetConfig(
+            num_sessions=2,
+            num_workers=8,  # four writer threads per session
+            batches_per_worker=5,
+            duplicate_every=0,
+            reorder_every=0,
+        )
+        report = LoadGenerator(client, config).run()
+        assert report.duplicate_acks == 0
+        expected_columns = (
+            config.num_workers * config.batches_per_worker * config.columns_per_batch
+        )
+        assert report.columns_applied == expected_columns
+
+        replayed = replay_applied_batches(report)
+        for name in config.session_names():
+            served = client.estimate_report(name)
+            assert served.results == replayed[name]
+            # Both sessions saw all four of their writers' columns.
+            assert served.version[0] == expected_columns // config.num_sessions
+
+    def test_loadgen_drives_the_in_process_facade_identically(self):
+        """The generator is client-agnostic: no-socket runs work too."""
+        config = FleetConfig(num_sessions=1, num_workers=3, batches_per_worker=4)
+        service = EstimationService()
+        report = LoadGenerator(service, config).run()
+        replayed = replay_applied_batches(report)
+        name = config.session_names()[0]
+        assert service.estimates(name) == replayed[name]
+
+    def test_worker_failures_surface_instead_of_vanishing(self, memory_server):
+        """A fleet whose sessions were never created must raise, not hang."""
+        config = FleetConfig(num_sessions=1, num_workers=2, batches_per_worker=1)
+        generator = LoadGenerator(SessionClient(memory_server.url), config)
+        with pytest.raises(Exception) as exc_info:
+            generator.run(create_sessions=False)
+        assert "unknown session" in str(exc_info.value)
+
+
+class TestPlansAndReplay:
+    def test_worker_plans_are_deterministic(self):
+        config = FleetConfig(seed=42)
+        assert build_worker_plan(config, 3) == build_worker_plan(config, 3)
+        assert build_worker_plan(config, 3) != build_worker_plan(config, 4)
+
+    def test_plan_reordering_swaps_adjacent_sequences(self):
+        config = FleetConfig(
+            num_workers=1, batches_per_worker=4, reorder_every=2, duplicate_every=0
+        )
+        sequences = [d.sequence for d in build_worker_plan(config, 0)]
+        # Every second batch is swapped with its successor, so sequence 3
+        # lands before sequence 2 — a late delivery the server must drop.
+        assert sequences == [1, 3, 2, 4]
+
+    def test_plan_duplicates_are_flagged_retries(self):
+        config = FleetConfig(
+            num_workers=1, batches_per_worker=4, reorder_every=0, duplicate_every=2
+        )
+        plan = build_worker_plan(config, 0)
+        retries = [d for d in plan if d.is_retry]
+        assert len(retries) == 2
+        for retry in retries:
+            original = plan[plan.index(retry) - 1]
+            assert (retry.sequence, retry.columns) == (
+                original.sequence, original.columns,
+            )
+
+    def test_replay_refuses_non_contiguous_acknowledgements(self):
+        config = FleetConfig(num_sessions=1)
+        report = LoadGenerator(EstimationService(), config).run()
+        # Drop one applied batch: the tiling check must catch the hole.
+        batches = sorted(report.applied_batches, key=lambda batch: batch.start)
+        report.applied_batches = batches[:1] + batches[2:]
+        with pytest.raises(ValidationError, match="do not tile"):
+            replay_applied_batches(report)
+
+    def test_replay_refuses_double_applied_batches(self):
+        config = FleetConfig(num_sessions=1)
+        report = LoadGenerator(EstimationService(), config).run()
+        duplicate = report.applied_batches[0]
+        report.applied_batches.append(
+            AppliedBatch(
+                session=duplicate.session,
+                start=duplicate.start,
+                columns=duplicate.columns,
+                worker_ids=duplicate.worker_ids,
+            )
+        )
+        with pytest.raises(ValidationError, match="do not tile"):
+            replay_applied_batches(report)
+
+
+class TestLatencyPercentiles:
+    def test_nearest_rank_values_come_from_the_sample(self):
+        sample = [0.004, 0.001, 0.002, 0.003]
+        summary = latency_percentiles(sample, (50, 95, 99, 100))
+        assert summary == {"p50": 0.002, "p95": 0.004, "p99": 0.004, "p100": 0.004}
+
+    def test_empty_sample_is_an_error(self):
+        with pytest.raises(ValidationError, match="empty latency sample"):
+            latency_percentiles([])
+
+    def test_out_of_range_quantile_is_an_error(self):
+        with pytest.raises(ValidationError, match="percentile"):
+            latency_percentiles([0.1], (0,))
+
+    def test_fleet_report_summary_has_the_recorded_tail(self):
+        config = FleetConfig(num_sessions=1, num_workers=2, batches_per_worker=2)
+        report = LoadGenerator(EstimationService(), config).run()
+        summary = report.latency_summary()
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert all(value >= 0 for value in summary.values())
+        assert report.requests_per_s > 0
+        assert report.columns_per_s > 0

@@ -1,0 +1,103 @@
+"""The wire-level retry contract, exercised the way clients fail.
+
+A loader that dies between POSTing a batch and reading its
+acknowledgement knows nothing about what the server applied.  The
+contract says it never has to: re-send the whole batch with the same
+``(source, sequence)`` and the server acknowledges it as a no-op,
+leaving every estimate version untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import FleetConfig, HttpApiError, SessionClient
+from repro.serving.loadgen import build_worker_plan
+
+
+def _send(client, delivery):
+    return client.ingest(
+        delivery.session,
+        list(delivery.columns),
+        worker_ids=list(delivery.worker_ids),
+        source=delivery.source,
+        sequence=delivery.sequence,
+    )
+
+
+class TestRetryContract:
+    def test_killed_client_resends_whole_batch_as_a_noop(self, memory_server, client):
+        """Kill a loadgen client mid-batch; the re-send must change nothing."""
+        config = FleetConfig(
+            num_sessions=1, num_workers=1, batches_per_worker=4,
+            duplicate_every=0, reorder_every=0,
+        )
+        client.create_session(
+            config.session_names()[0],
+            range(config.num_items),
+            list(config.estimators),
+            keep_votes=config.keep_votes,
+        )
+        plan = build_worker_plan(config, 0)
+
+        # The client delivers two batches, then "crashes" mid-delivery of
+        # the third: the server applied it, but the acknowledgement never
+        # reached the loader.
+        for delivery in plan[:2]:
+            assert not _send(client, delivery).duplicate
+        lost_ack = _send(client, plan[2])
+        assert not lost_ack.duplicate
+        before = client.estimate_report(plan[2].session)
+
+        # A fresh client (the restarted loader) re-sends the whole batch.
+        retry_client = SessionClient(memory_server.url)
+        ack = _send(retry_client, plan[2])
+        assert ack.duplicate and ack.applied == 0
+        assert ack.num_columns == lost_ack.num_columns
+        assert ack.total_votes == lost_ack.total_votes
+
+        # Whole-batch no-op: version triple and every estimate unchanged.
+        after = retry_client.estimate_report(plan[2].session)
+        assert after.version == before.version
+        assert after == before
+
+        # The loader then proceeds with the next sequence as normal.
+        assert not _send(retry_client, plan[3]).duplicate
+
+    def test_every_replayed_delivery_is_acknowledged_not_applied(self, client):
+        """Replaying an entire delivery history is harmless."""
+        config = FleetConfig(
+            num_sessions=1, num_workers=2, batches_per_worker=3,
+            duplicate_every=0, reorder_every=0,
+        )
+        name = config.session_names()[0]
+        client.create_session(
+            name, range(config.num_items), list(config.estimators)
+        )
+        plans = [build_worker_plan(config, worker) for worker in range(2)]
+        for plan in plans:
+            for delivery in plan:
+                _send(client, delivery)
+        before = client.estimate_report(name)
+        for plan in plans:  # the whole history again, in order
+            for delivery in plan:
+                ack = _send(client, delivery)
+                assert ack.duplicate and ack.applied == 0
+        assert client.estimate_report(name) == before
+
+    def test_rejected_batch_leaves_the_session_and_sequence_untouched(self, client):
+        """A 400 must not burn the sequence number or mutate state."""
+        client.create_session("s", items=10, estimators=["voting"])
+        client.ingest("s", [{0: 1}], source="loader", sequence=1)
+        before = client.estimate_report("s")
+
+        with pytest.raises(HttpApiError) as exc_info:
+            # Item 99 does not exist in this 10-item session.
+            client.ingest("s", [{99: 1}], source="loader", sequence=2)
+        assert exc_info.value.status == 400
+        assert client.estimate_report("s") == before
+
+        # The corrected batch reuses the failed sequence and applies.
+        fixed = client.ingest("s", [{5: 1}], source="loader", sequence=2)
+        assert not fixed.duplicate and fixed.applied == 1
+        assert client.estimate_report("s").version > before.version

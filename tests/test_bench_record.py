@@ -9,11 +9,13 @@ import pytest
 from repro.experiments import bench
 from repro.experiments.bench import (
     BenchWorkload,
+    HttpWorkload,
     ServingWorkload,
     format_summary,
     load_record,
     regression_failure,
     run_and_record,
+    run_http_workload,
     run_serving_workload,
     run_workload,
     save_record,
@@ -109,6 +111,56 @@ class TestRunServingWorkload:
         assert f"BENCH {TINY_SERVING.name}:" in output
         record = json.loads(path.read_text())
         assert record["workloads"][TINY_SERVING.name]["baseline"] is not None
+
+
+#: An HTTP workload small enough for unit tests to serve end-to-end.
+TINY_HTTP = HttpWorkload(
+    name="http_tiny_1x3",
+    num_sessions=1,
+    num_workers=3,
+    num_items=40,
+    batches_per_worker=3,
+    columns_per_batch=2,
+    items_per_column=5,
+    estimators=("voting", "chao92"),
+)
+
+
+class TestRunHttpWorkload:
+    def test_entry_shape_latency_tail_and_bit_identity(self):
+        entry = run_http_workload(TINY_HTTP)
+        assert entry["params"]["name"] == TINY_HTTP.name
+        assert entry["timings_s"]["fleet_wall"] > 0.0
+        http = entry["http"]
+        assert http["requests"] > http["applied_batches"]  # retries happened
+        assert http["duplicate_acks"] > 0
+        assert http["requests_per_s"] > 0.0
+        assert set(http["latency_ms"]) == {"p50", "p95", "p99"}
+        assert http["latency_ms"]["p50"] <= http["latency_ms"]["p99"]
+        assert http["bit_identical"] is True
+        assert http["verified_sessions"] == TINY_HTTP.num_sessions
+        assert "speedups" not in entry
+
+    def test_http_entries_are_exempt_from_the_speedup_gate(self):
+        entry = run_http_workload(TINY_HTTP)
+        assert regression_failure(entry, entry) is None
+
+    def test_http_summary_line_mentions_the_latency_tail(self):
+        entry = run_http_workload(TINY_HTTP)
+        summary = format_summary(entry)
+        assert "req/s" in summary and "p50/p95/p99" in summary
+        assert "bit-identical" in summary
+
+    def test_run_and_record_http_workload(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(bench.HTTP_WORKLOADS, "http-tiny", TINY_HTTP)
+        path = tmp_path / "BENCH.json"
+        assert (
+            run_and_record(workload="http-tiny", output=str(path), check=True) == 0
+        )
+        output = capsys.readouterr().out
+        assert f"BENCH {TINY_HTTP.name}:" in output
+        record = json.loads(path.read_text())
+        assert record["workloads"][TINY_HTTP.name]["baseline"] is not None
 
 
 class TestRecordPersistence:

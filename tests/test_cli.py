@@ -318,6 +318,83 @@ class TestCliSession:
         assert main(["session", "estimate", "lean", *store]) == 0
         assert "1.0" in capsys.readouterr().out
 
+    def _ingest_fails_one_line(self, capsys, tmp_path, batch, needle):
+        """A malformed --votes payload: exit 2, one `error:` line, no traceback.
+
+        The payload is diagnosed before the store is consulted, so these
+        run against an empty store — regression coverage for the raw
+        ``json.JSONDecodeError``/``KeyError`` tracebacks this path used
+        to leak.
+        """
+        store = self._store_args(tmp_path)
+        assert main(["session", "ingest", "mal", "--votes", str(batch), *store]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert needle in captured.err
+        assert captured.err.count("\n") == 1
+        assert "Traceback" not in captured.err
+
+    def test_ingest_rejects_invalid_json_with_one_line_error(self, capsys, tmp_path):
+        batch = tmp_path / "broken.json"
+        batch.write_text('{"oops": ')
+        self._ingest_fails_one_line(capsys, tmp_path, batch, "not valid JSON")
+
+    def test_ingest_rejects_non_list_payload_with_one_line_error(self, capsys, tmp_path):
+        import json
+
+        batch = tmp_path / "notalist.json"
+        batch.write_text(json.dumps({"0": 1}))
+        self._ingest_fails_one_line(
+            capsys, tmp_path, batch, "must be a JSON list of column objects"
+        )
+
+    def test_ingest_rejects_non_integer_votes_with_one_line_error(self, capsys, tmp_path):
+        import json
+
+        batch = tmp_path / "badvote.json"
+        batch.write_text(json.dumps([{"votes": {"0": "dirty"}}]))
+        self._ingest_fails_one_line(
+            capsys, tmp_path, batch, "item ids and votes must be integers"
+        )
+
+    def test_ingest_rejects_unknown_column_keys_with_one_line_error(self, capsys, tmp_path):
+        import json
+
+        batch = tmp_path / "extrakey.json"
+        batch.write_text(json.dumps([{"votes": {"0": 1}, "wrker": 3}]))
+        self._ingest_fails_one_line(capsys, tmp_path, batch, "unknown key(s)")
+
+    def test_ingest_rejects_missing_votes_file_with_one_line_error(self, capsys, tmp_path):
+        self._ingest_fails_one_line(
+            capsys, tmp_path, tmp_path / "nope.json", "cannot read --votes file"
+        )
+
+    def test_rejected_ingest_leaves_the_session_untouched(self, capsys, tmp_path):
+        import json
+
+        store = self._store_args(tmp_path)
+        assert main(["session", "create", "mal", "--items", "5",
+                     "--estimators", "voting", *store]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text('[{"votes": 3}]')
+        assert main(["session", "ingest", "mal", "--votes", str(bad), *store]) == 2
+        capsys.readouterr()
+        assert main(["session", "list", *store]) == 0
+        listing = capsys.readouterr().out
+        assert "mal" in listing and "0" in listing  # still zero columns
+
+
+class TestCliServe:
+    """`repro serve` argument surface (process behaviour lives in tests/e2e)."""
+
+    def test_serve_is_listed_as_a_tool(self, capsys):
+        assert main(["list"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--no-such-flag"])
+
 
 class TestCliFigures:
     def test_figure7_small_run(self, capsys):

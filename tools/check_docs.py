@@ -41,6 +41,7 @@ DOCUMENTS = (
     "docs/performance.md",
     "docs/serving.md",
     "docs/persistence.md",
+    "docs/http.md",
 )
 
 #: Packages whose ``__all__`` must be covered by docs/api.md.
