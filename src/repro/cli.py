@@ -290,6 +290,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="partition sessions across N hash-routed shard stores",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run each shard in its own worker process (process-per-shard "
+        "serving; implies a sharded store with this many shards)",
+    )
     return parser
 
 
@@ -440,15 +447,29 @@ def _print_estimates(results) -> None:
 def _build_session_service(args: argparse.Namespace):
     """The serving façade behind ``repro session`` — sharded when asked.
 
-    A root that carries a shard manifest (or an explicit ``--shards``)
-    gets the hash-partitioned :class:`ShardedEstimationService`; anything
-    else stays a single :class:`EstimationService` over a directory
-    store, exactly as before the split.
+    ``--workers N`` gets the process-per-shard
+    :class:`~repro.serving.workers.ProcessShardedService` (each shard in
+    its own worker process, exclusively owning its store).  A root that
+    carries a shard manifest (or an explicit ``--shards``) gets the
+    in-process hash-partitioned :class:`ShardedEstimationService`;
+    anything else stays a single :class:`EstimationService` over a
+    directory store, exactly as before the split.
     """
     from repro.streaming import DirectorySessionStore, EstimationService
     from repro.streaming.serving import SHARD_MANIFEST_FILENAME, ShardedEstimationService
 
     shards = getattr(args, "shards", None)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        from repro.common.exceptions import ConfigurationError
+        from repro.serving.workers import ProcessShardedService
+
+        if shards is not None and shards != workers:
+            raise ConfigurationError(
+                f"--workers {workers} conflicts with --shards {shards}: "
+                "process serving runs exactly one worker per shard"
+            )
+        return ProcessShardedService(args.store, num_shards=workers)
     manifest = Path(args.store) / SHARD_MANIFEST_FILENAME
     if shards is not None or manifest.exists():
         return ShardedEstimationService(args.store, num_shards=shards)
@@ -593,6 +614,11 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             stop.wait(0.2)
     finally:
         server.shutdown()
+        # Process-sharded services drain their shard workers here; the
+        # in-process façades expose no close() and are skipped.
+        drain = getattr(service, "close", None)
+        if callable(drain):
+            drain()
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     print("shutdown complete", flush=True)

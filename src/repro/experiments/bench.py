@@ -5,7 +5,7 @@ workloads and appends the measurements to ``BENCH_runner.json``.  The
 file accumulates machine info, workload parameters, wall times and
 speedups per run, so performance drift is a diff instead of folklore.
 
-Two workload families are recorded:
+Several workload families are recorded:
 
 * **runner** workloads time the permutation-averaged estimation runner
   through both engines — the classic one-permutation-at-a-time
@@ -21,7 +21,13 @@ Two workload families are recorded:
   the snapshot-per-save baseline under a wall-clock budget derived from
   the WAL time, recording how many sessions the baseline completed (the
   ``wal-100k`` shape is exactly the workload the old full-snapshot path
-  cannot finish inside the budget).
+  cannot finish inside the budget);
+* **proc-shards** workloads time hash-sharded ingestion through the
+  per-shard worker processes (:class:`repro.serving.ProcessShardedService`)
+  against the single-process :class:`repro.streaming.ShardedEstimationService`
+  over the same deterministic workload, verify the two topologies produce
+  bit-identical estimate reports, and record the machine-specific scaling
+  ratio (no regression gate — single-core machines cannot show a win).
 
 Regression checking is **relative**: wall times are machine-specific, but
 the batch-vs-serial speedup ratio is not, so ``--check`` fails when the
@@ -299,6 +305,81 @@ HTTP_WORKLOADS: Dict[str, HttpWorkload] = {
         workers_per_burst=4,
         burst_gap_s=0.05,
         reorder_every=5,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ProcShardsWorkload:
+    """One pinned process-sharding workload (worker processes vs one process).
+
+    ``num_sessions`` sessions are spread over ``num_shards`` shards by the
+    sha256 routing both services share and fed ``num_batches`` batches of
+    ``columns_per_batch`` columns each from ``threads`` concurrent client
+    threads — first through the single-process
+    :class:`~repro.streaming.ShardedEstimationService`, then through the
+    :class:`~repro.serving.ProcessShardedService` per-shard worker
+    processes over a fresh root.  Before anything is recorded every
+    session's estimate report is checked **bit-identical** between the
+    two topologies.
+
+    Columns are a pure arithmetic function of (session, batch, column) in
+    the WAL-workload style, so both runs ingest the same bytes without
+    carrying RNG state.  Wall times are machine-specific, so the entry
+    records a ``scaling`` section (not ``speedups``) and carries no
+    regression gate — a single-core machine cannot show a multi-process
+    win.
+    """
+
+    name: str
+    num_shards: int = 4
+    num_sessions: int = 16
+    num_items: int = 30
+    num_batches: int = 6
+    columns_per_batch: int = 4
+    items_per_column: int = 8
+    threads: int = 4
+    estimators: Tuple[str, ...] = ("voting", "chao92")
+
+    def session_name(self, session_index: int) -> str:
+        return f"tenant-{session_index:04d}"
+
+    def batch(self, session_index: int, batch_index: int) -> List[Dict[int, int]]:
+        """The batch's columns, regenerable for any session independently."""
+        columns = []
+        for column_index in range(self.columns_per_batch):
+            base = (
+                session_index * 7919
+                + batch_index * 104729
+                + column_index * 1299709
+            )
+            columns.append(
+                {
+                    (base + slot * 17) % self.num_items: (
+                        CLEAN if (base >> slot) & 1 else DIRTY
+                    )
+                    for slot in range(self.items_per_column)
+                }
+            )
+        return columns
+
+
+#: Registered process-sharding workloads: the CI-sized smoke shape and the
+#: heavier shape behind the recorded multi-core scaling ratio.
+PROC_SHARDS_WORKLOADS: Dict[str, ProcShardsWorkload] = {
+    "proc-shards": ProcShardsWorkload(
+        name="proc_shards_4x32",
+        num_shards=4,
+        num_sessions=32,
+        num_batches=10,
+        threads=8,
+    ),
+    "proc-shards-smoke": ProcShardsWorkload(
+        name="proc_shards_smoke_2x8",
+        num_shards=2,
+        num_sessions=8,
+        num_batches=4,
+        threads=4,
     ),
 }
 
@@ -712,6 +793,112 @@ def run_http_workload(workload: HttpWorkload) -> Dict[str, object]:
     }
 
 
+def run_proc_shards_workload(workload: ProcShardsWorkload) -> Dict[str, object]:
+    """Time one process-sharding workload and build a record entry.
+
+    Both topologies ingest the identical deterministic workload from
+    ``workload.threads`` client threads over real directory stores in a
+    temporary root: the single-process
+    :class:`~repro.streaming.ShardedEstimationService` first, then the
+    :class:`~repro.serving.ProcessShardedService` per-shard worker
+    processes.  Every session's estimate report is compared
+    **bit-identically** between the two (``RuntimeError`` on mismatch — a
+    scaling number for a topology that changes answers is worse than
+    none) before the entry is built.
+    """
+    import shutil
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serving import ProcessShardedService
+    from repro.serving.http import report_to_payload
+    from repro.streaming import ShardedEstimationService
+
+    def feed(service, session_index: int) -> None:
+        name = workload.session_name(session_index)
+        for batch_index in range(workload.num_batches):
+            service.ingest(
+                name,
+                workload.batch(session_index, batch_index),
+                source="bench",
+                sequence=batch_index + 1,
+            )
+
+    def drive(service) -> float:
+        for session_index in range(workload.num_sessions):
+            service.create_session(
+                workload.session_name(session_index),
+                range(workload.num_items),
+                list(workload.estimators),
+                keep_votes=False,
+            )
+        gc.collect()
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=workload.threads) as pool:
+            for future in [
+                pool.submit(feed, service, index)
+                for index in range(workload.num_sessions)
+            ]:
+                future.result()
+        return time.perf_counter() - start
+
+    def reports(service) -> Dict[str, str]:
+        return {
+            workload.session_name(index): json.dumps(
+                report_to_payload(
+                    service.estimate_report(workload.session_name(index))
+                ),
+                sort_keys=True,
+            )
+            for index in range(workload.num_sessions)
+        }
+
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-proc-"))
+    try:
+        single = ShardedEstimationService(
+            root / "single", num_shards=workload.num_shards
+        )
+        single_seconds = drive(single)
+        single_reports = reports(single)
+
+        with ProcessShardedService(
+            root / "workers", num_shards=workload.num_shards
+        ) as workers:
+            workers_seconds = drive(workers)
+            worker_reports = reports(workers)
+            worker_count = len(workers.worker_pids())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    for name, expected in single_reports.items():
+        if worker_reports[name] != expected:
+            raise RuntimeError(
+                f"process-worker estimates for {name!r} differ from the "
+                "single-process shards — refusing to record the benchmark"
+            )
+
+    total_columns = (
+        workload.num_sessions * workload.num_batches * workload.columns_per_batch
+    )
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_info(),
+        "params": asdict(workload),
+        "timings_s": {
+            "single_process_ingest": round(single_seconds, 4),
+            "process_workers_ingest": round(workers_seconds, 4),
+        },
+        "scaling": {
+            "single_columns_per_s": round(total_columns / single_seconds, 1),
+            "workers_columns_per_s": round(total_columns / workers_seconds, 1),
+            "proc_vs_single": round(single_seconds / workers_seconds, 2),
+            "workers": worker_count,
+            "verified_sessions": workload.num_sessions,
+            "bit_identical": True,
+        },
+    }
+
+
 def load_record(path: Path) -> Dict[str, object]:
     """Read (or initialise) the benchmark record document."""
     if path.exists():
@@ -790,6 +977,19 @@ def regression_failure(
 def format_summary(entry: Dict[str, object]) -> str:
     """The one-line summary printed in CI logs."""
     timings = entry["timings_s"]
+    if "scaling" in entry:
+        scaling = entry["scaling"]
+        return (
+            f"BENCH {entry['params']['name']}: single-process "
+            f"{timings['single_process_ingest']:.3f}s "
+            f"({scaling['single_columns_per_s']:.0f} col/s), "
+            f"{scaling['workers']} worker process(es) "
+            f"{timings['process_workers_ingest']:.3f}s "
+            f"({scaling['workers_columns_per_s']:.0f} col/s, "
+            f"{scaling['proc_vs_single']:.2f}x), "
+            f"{scaling['verified_sessions']} session(s) verified bit-identical "
+            f"on {entry['machine']['usable_cpus']} usable cpu(s)"
+        )
     if "http" in entry:
         http = entry["http"]
         latency = http["latency_ms"]
@@ -857,14 +1057,22 @@ def run_and_record(
     dry_run: bool = False,
 ) -> int:
     """The ``repro bench`` implementation.  Returns a process exit code."""
-    known = {**WORKLOADS, **SERVING_WORKLOADS, **WAL_WORKLOADS, **HTTP_WORKLOADS}
+    known = {
+        **WORKLOADS,
+        **SERVING_WORKLOADS,
+        **WAL_WORKLOADS,
+        **HTTP_WORKLOADS,
+        **PROC_SHARDS_WORKLOADS,
+    }
     if workload not in known:
         raise ValueError(
             f"unknown workload {workload!r}; available: {sorted(known)}"
         )
     path = Path(output or DEFAULT_RECORD)
     record = load_record(path)
-    if workload in HTTP_WORKLOADS:
+    if workload in PROC_SHARDS_WORKLOADS:
+        entry = run_proc_shards_workload(PROC_SHARDS_WORKLOADS[workload])
+    elif workload in HTTP_WORKLOADS:
         entry = run_http_workload(HTTP_WORKLOADS[workload])
     elif workload in WAL_WORKLOADS:
         entry = run_wal_workload(WAL_WORKLOADS[workload])
@@ -897,9 +1105,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         choices=sorted(WORKLOADS)
         + sorted(SERVING_WORKLOADS)
         + sorted(WAL_WORKLOADS)
-        + sorted(HTTP_WORKLOADS),
+        + sorted(HTTP_WORKLOADS)
+        + sorted(PROC_SHARDS_WORKLOADS),
         default="full",
-        help="which pinned workload to time (runner, serving, wal or http family)",
+        help=(
+            "which pinned workload to time "
+            "(runner, serving, wal, http or proc-shards family)"
+        ),
     )
     which.add_argument(
         "--smoke", action="store_true",

@@ -10,6 +10,11 @@ the network boundary is native to this package:
   session CRUD, batched idempotent ingestion, cached estimate reads,
   snapshot/compact, with structured error mapping (unknown session →
   404, validation → 400, store corruption → 500).
+* :mod:`repro.serving.workers` — process-per-shard serving:
+  :class:`ProcessShardedService` presents the same façade but runs each
+  shard in its own worker process that exclusively owns its shard store
+  (``repro serve --workers N``), with per-request timeouts, bounded
+  crash-restart-and-recover, and graceful drain.
 * :mod:`repro.serving.loadgen` — the synthetic worker fleet that hammers
   that API end to end: bursty arrivals, per-worker accuracy/latency,
   deliberate duplicate and reordered deliveries, and a deterministic
@@ -44,10 +49,19 @@ hash-sharded :class:`ShardedEstimationService` front.
 """
 
 from repro.serving.http import (
+    CLIENT_ERROR_TYPES,
+    SERVER_ERROR_TAXONOMY,
     HttpApiError,
+    HttpConflictError,
     HttpServingServer,
+    HttpShardUnavailableError,
+    HttpStoreCorruptionError,
+    HttpUnknownSessionError,
+    HttpValidationError,
     ServingApi,
     SessionClient,
+    classify_error,
+    error_from_kind,
     parse_columns_payload,
     result_from_payload,
     result_to_payload,
@@ -59,12 +73,14 @@ from repro.serving.loadgen import (
     latency_percentiles,
     replay_applied_batches,
 )
+from repro.serving.workers import ProcessShardedService
 from repro.streaming.serving import (
     DEFAULT_COMPACT_BYTES,
     EstimateReport,
     EstimationService,
     IngestResult,
     ShardedEstimationService,
+    ShardUnavailableError,
     replay_batch_record,
     shard_index,
 )
@@ -92,6 +108,8 @@ from repro.streaming.wal import (
 __all__ = [
     "EstimationService",
     "ShardedEstimationService",
+    "ProcessShardedService",
+    "ShardUnavailableError",
     "IngestResult",
     "EstimateReport",
     "SessionSnapshot",
@@ -116,6 +134,15 @@ __all__ = [
     "HttpServingServer",
     "SessionClient",
     "HttpApiError",
+    "HttpUnknownSessionError",
+    "HttpValidationError",
+    "HttpConflictError",
+    "HttpStoreCorruptionError",
+    "HttpShardUnavailableError",
+    "SERVER_ERROR_TAXONOMY",
+    "CLIENT_ERROR_TYPES",
+    "classify_error",
+    "error_from_kind",
     "parse_columns_payload",
     "result_to_payload",
     "result_from_payload",

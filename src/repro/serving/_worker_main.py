@@ -1,0 +1,14 @@
+"""Subprocess entry point for shard workers.
+
+A separate module (not imported by ``repro.serving.__init__``) so that
+``python -m repro.serving._worker_main`` executes cleanly — running
+``-m`` on a module the package already imported would re-execute it and
+trip runpy's double-import warning on the worker's stderr.
+"""
+
+import sys
+
+from repro.serving.workers import worker_main
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

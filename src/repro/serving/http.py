@@ -57,9 +57,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.common.exceptions import ConfigurationError, ValidationError
+from repro.common.exceptions import ConfigurationError, ReproError, ValidationError
 from repro.core.base import EstimateResult
-from repro.streaming.serving import EstimateReport, IngestResult
+from repro.streaming.serving import EstimateReport, IngestResult, ShardUnavailableError
 from repro.streaming.store import StoreCorruptionError, UnknownSessionError
 
 #: Bodies larger than this are rejected up front (64 MiB is far beyond
@@ -70,12 +70,22 @@ MAX_BODY_BYTES = 64 << 20
 _JSON_CONTENT_TYPE = "application/json"
 
 
-class HttpApiError(ConfigurationError):
+class HttpApiError(ReproError):
     """An error response from the serving API, with its HTTP status.
 
     Raised by :class:`SessionClient`; ``status`` carries the mapped code
     (404 unknown session, 400 validation, 409 conflict, 500 corruption or
     internal failure) and ``kind`` the server's error classification.
+
+    Known error kinds raise the dual-typed subclasses below
+    (:class:`HttpUnknownSessionError` and friends), which are *also* the
+    exception type the in-process façade would have raised — so code
+    written against :class:`~repro.streaming.serving.EstimationService`
+    catches exactly the same exceptions over the wire (``except
+    UnknownSessionError`` keeps meaning "no such session", and a 404 is
+    no longer catchable as a 409-style ``ConfigurationError`` conflict).
+    Only responses the client cannot classify (unknown kinds, non-JSON
+    bodies, unroutable paths) surface as this bare base class.
     """
 
     def __init__(self, status: int, message: str, kind: str = "error") -> None:
@@ -84,17 +94,84 @@ class HttpApiError(ConfigurationError):
         self.kind = str(kind)
 
 
+class HttpUnknownSessionError(UnknownSessionError, HttpApiError):
+    """404: the named session does not exist (in-process twin: ``UnknownSessionError``)."""
+
+
+class HttpValidationError(ValidationError, HttpApiError):
+    """400: the request was malformed (in-process twin: ``ValidationError``)."""
+
+
+class HttpConflictError(ConfigurationError, HttpApiError):
+    """409: conflicting configuration (in-process twin: ``ConfigurationError``)."""
+
+
+class HttpStoreCorruptionError(StoreCorruptionError, HttpApiError):
+    """500: unreadable stored bytes (in-process twin: ``StoreCorruptionError``)."""
+
+
+class HttpShardUnavailableError(ShardUnavailableError, HttpApiError):
+    """500: a shard worker process is down (in-process twin: ``ShardUnavailableError``)."""
+
+
+#: How the server classifies library errors: ``(exception, status, kind)``,
+#: checked in order (subclasses before their bases).  Shared by
+#: :meth:`ServingApi.handle` and the per-shard worker processes
+#: (:mod:`repro.serving.workers`), so the two boundaries cannot drift.
+SERVER_ERROR_TAXONOMY: Tuple[Tuple[type, int, str], ...] = (
+    (UnknownSessionError, 404, "unknown_session"),
+    (StoreCorruptionError, 500, "store_corruption"),
+    (ShardUnavailableError, 500, "shard_unavailable"),
+    (ValidationError, 400, "validation"),
+    (ConfigurationError, 409, "conflict"),
+)
+
+#: The client-side inverse: the server's ``kind`` field back to the typed
+#: exception a caller of the in-process façade would have seen.
+CLIENT_ERROR_TYPES: Dict[str, type] = {
+    "unknown_session": HttpUnknownSessionError,
+    "validation": HttpValidationError,
+    "conflict": HttpConflictError,
+    "store_corruption": HttpStoreCorruptionError,
+    "shard_unavailable": HttpShardUnavailableError,
+}
+
+
+def classify_error(error: BaseException) -> Optional[Tuple[int, str]]:
+    """Map a library exception onto ``(status, kind)`` — ``None`` if unmapped."""
+    for exception_type, status, kind in SERVER_ERROR_TAXONOMY:
+        if isinstance(error, exception_type):
+            return status, kind
+    return None
+
+
+def error_from_kind(status: int, message: str, kind: str) -> HttpApiError:
+    """Build the typed client-side exception for a structured error response.
+
+    Known kinds return the dual-typed subclass (e.g. ``unknown_session``
+    → :class:`HttpUnknownSessionError`, catchable as
+    ``UnknownSessionError``); unknown kinds fall back to the bare
+    :class:`HttpApiError`.  Status and kind stay attached either way.
+    """
+    return CLIENT_ERROR_TYPES.get(kind, HttpApiError)(status, message, kind)
+
+
 # --------------------------------------------------------------------- #
 # wire codecs (shared by the server, the client and the CLI)
 # --------------------------------------------------------------------- #
 def _plain(value):
-    """JSON-safe scalar: numpy scalars become their Python equivalents."""
+    """JSON-safe value: numpy scalars and arrays become Python equivalents."""
     if isinstance(value, np.bool_):
         return bool(value)
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
         return float(value)
+    if isinstance(value, np.ndarray):
+        # Estimator ``details`` legitimately carry arrays (frequency
+        # tables, per-checkpoint traces); ``tolist`` yields nested lists
+        # of exact Python scalars instead of crashing ``json.dumps``.
+        return value.tolist()
     if isinstance(value, (list, tuple)):
         return [_plain(item) for item in value]
     if isinstance(value, dict):
@@ -249,14 +326,12 @@ class ServingApi:
             self._requests += 1
         try:
             status, payload = self._route(method.upper(), path, body)
-        except UnknownSessionError as error:
-            status, payload = 404, {"error": str(error), "kind": "unknown_session"}
-        except StoreCorruptionError as error:
-            status, payload = 500, {"error": str(error), "kind": "store_corruption"}
-        except ValidationError as error:
-            status, payload = 400, {"error": str(error), "kind": "validation"}
-        except ConfigurationError as error:
-            status, payload = 409, {"error": str(error), "kind": "conflict"}
+        except ReproError as error:
+            mapped = classify_error(error)
+            if mapped is None:
+                raise  # unmapped library error: the transport's 500 path
+            status, kind = mapped
+            payload = {"error": str(error), "kind": kind}
         if status >= 400:
             with self._stats_lock:
                 self._errors += 1
@@ -429,7 +504,14 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
                 "error": f"request body exceeds {MAX_BODY_BYTES} bytes",
                 "kind": "validation",
             }
-            self.rfile.read(length)  # drain so keep-alive stays usable
+            # Never materialise (or even wait for) the declared body: a
+            # single ``read(length)`` here would allocate whatever
+            # Content-Length the client claimed — exactly the ballooning
+            # the guard exists to prevent — and would block until those
+            # bytes actually arrived.  The connection is closed after the
+            # error response instead of drained for keep-alive; a client
+            # that declares gigabytes does not deserve its socket back.
+            self.close_connection = True
         else:
             body = self.rfile.read(length) if length else b""
             try:
@@ -440,6 +522,8 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", _JSON_CONTENT_TYPE)
         self.send_header("Content-Length", str(len(encoded)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -490,6 +574,10 @@ class HttpServingServer:
         self.api = ServingApi(service)
         self._server = _ServingHTTPServer((host, int(port)), self.api)
         self._thread: Optional[threading.Thread] = None
+        #: whether ``serve_forever`` ever began: ``BaseServer.shutdown``
+        #: waits on an event only ``serve_forever`` sets, so calling it on
+        #: a server that never served would block forever.
+        self._serving = False
 
     @property
     def service(self):
@@ -513,6 +601,7 @@ class HttpServingServer:
     def start(self) -> "HttpServingServer":
         """Serve on a background daemon thread; returns ``self``."""
         if self._thread is None:
+            self._serving = True
             self._thread = threading.Thread(
                 target=self._server.serve_forever,
                 name=f"repro-serving:{self.port}",
@@ -523,11 +612,20 @@ class HttpServingServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` is called."""
+        self._serving = True
         self._server.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop serving and release the port (idempotent)."""
-        self._server.shutdown()
+        """Stop serving and release the port (idempotent).
+
+        Safe on a server that was constructed but never started: the
+        stdlib ``BaseServer.shutdown`` waits on an event only
+        ``serve_forever`` sets, so it is skipped unless serving actually
+        began — the port is released either way.
+        """
+        if self._serving:
+            self._serving = False
+            self._server.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
@@ -550,8 +648,11 @@ class SessionClient:
     (:class:`IngestResult`, :class:`EstimateReport`,
     :class:`~repro.core.base.EstimateResult`), so code — including the
     load generator — can run against either without changes.  Error
-    responses raise :class:`HttpApiError` carrying the HTTP status and
-    the server's error kind.
+    responses raise the typed exception the façade would have raised
+    (``unknown_session`` → :class:`HttpUnknownSessionError`, catchable as
+    ``UnknownSessionError``, and so on per :data:`CLIENT_ERROR_TYPES`);
+    every raised error is also an :class:`HttpApiError` carrying the HTTP
+    status and the server's error kind.
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
@@ -580,7 +681,7 @@ class SessionClient:
                 kind = str(parsed.get("kind", "error"))
             except json.JSONDecodeError:
                 message, kind = raw or str(error), "error"
-            raise HttpApiError(error.code, message, kind) from None
+            raise error_from_kind(error.code, message, kind) from None
         return body
 
     def health(self) -> Dict[str, object]:
@@ -621,6 +722,14 @@ class SessionClient:
         source: Optional[str] = None,
         sequence: Optional[int] = None,
     ) -> IngestResult:
+        if worker_ids is not None and len(worker_ids) != len(columns):
+            # The same check the in-process façade makes; without it a
+            # short ``worker_ids`` would escape as a bare ``IndexError``
+            # below instead of a diagnosable validation failure.
+            raise ValidationError(
+                f"worker_ids length {len(worker_ids)} does not match "
+                f"{len(columns)} column(s)"
+            )
         wire_columns: List[Dict[str, object]] = []
         for index, votes in enumerate(columns):
             entry: Dict[str, object] = {

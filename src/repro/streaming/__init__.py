@@ -26,6 +26,8 @@ from repro.streaming.serving import (
     EstimationService,
     IngestResult,
     ShardedEstimationService,
+    ShardUnavailableError,
+    reconcile_shard_manifest,
     replay_batch_record,
     shard_index,
 )
@@ -74,4 +76,6 @@ __all__ = [
     "DEFAULT_COMPACT_BYTES",
     "replay_batch_record",
     "shard_index",
+    "ShardUnavailableError",
+    "reconcile_shard_manifest",
 ]

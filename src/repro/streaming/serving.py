@@ -75,6 +75,19 @@ from repro.streaming.wal import BatchRecord, CreateRecord, check_batch_record
 DEFAULT_COMPACT_BYTES = 1 << 20
 
 
+class ShardUnavailableError(ConfigurationError):
+    """A shard's backing worker cannot serve requests right now.
+
+    Raised by process-sharded deployments when the worker process owning
+    a session's shard has died mid-request, exceeded its per-request
+    timeout, or exhausted its restart budget.  The session's durable
+    state (snapshot + write-ahead log) is intact — retrying after the
+    worker recovers, with the same idempotency ``(source, sequence)``
+    pair, is always safe.  Maps to HTTP 500 with kind
+    ``"shard_unavailable"``.
+    """
+
+
 def replay_batch_record(
     session: StreamingSession, sources: Dict[str, int], record: BatchRecord
 ) -> bool:
@@ -746,6 +759,64 @@ SHARD_MANIFEST_FILENAME = "shards.json"
 SHARD_MANIFEST_VERSION = 1
 
 
+def reconcile_shard_manifest(root: Path, num_shards: Optional[int]) -> int:
+    """Validate ``num_shards`` against ``root``'s manifest, or write one.
+
+    The single source of truth for a sharded root's shard count, shared
+    by every deployment shape (in-process :class:`ShardedEstimationService`
+    and the process-per-shard parent): an existing ``shards.json`` wins —
+    reopening with a different requested count raises, since resharding
+    would silently strand every session whose hash moved — and a fresh
+    root records the requested count (default 1) atomically.
+    Returns the authoritative shard count.
+    """
+    manifest_path = root / SHARD_MANIFEST_FILENAME
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"unreadable shard manifest {manifest_path}: {error}"
+            ) from error
+        if not isinstance(manifest, dict):
+            raise ConfigurationError(
+                f"unreadable shard manifest {manifest_path}: expected a "
+                f"JSON object, got {type(manifest).__name__}"
+            )
+        if manifest.get("format_version") != SHARD_MANIFEST_VERSION:
+            raise ConfigurationError(
+                f"unsupported shard manifest version in {manifest_path}: "
+                f"{manifest.get('format_version')!r}"
+            )
+        recorded = int(manifest["num_shards"])
+        if num_shards is not None and num_shards != recorded:
+            raise ConfigurationError(
+                f"shard count mismatch for {root}: the root was "
+                f"created with {recorded} shard(s) but {num_shards} were "
+                "requested — resharding would strand sessions whose hash "
+                "moved; open with the recorded count (or omit num_shards)"
+            )
+        return recorded
+    resolved = 1 if num_shards is None else num_shards
+    root.mkdir(parents=True, exist_ok=True)
+    descriptor, staging = tempfile.mkstemp(
+        prefix=f".{SHARD_MANIFEST_FILENAME}.tmp-", dir=root
+    )
+    with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "format_version": SHARD_MANIFEST_VERSION,
+                "num_shards": int(resolved),
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    os.replace(staging, manifest_path)
+    return resolved
+
+
 def shard_index(name: str, num_shards: int) -> int:
     """The shard owning session ``name`` (stable across processes).
 
@@ -802,7 +873,7 @@ class ShardedEstimationService:
     ) -> None:
         self.root = None if root is None else Path(root)
         if self.root is not None:
-            num_shards = self._reconcile_manifest(num_shards)
+            num_shards = reconcile_shard_manifest(self.root, num_shards)
         elif num_shards is None:
             num_shards = 1
         self._num_shards = check_int(num_shards, "num_shards", minimum=1)
@@ -822,54 +893,6 @@ class ShardedEstimationService:
             )
             for index in range(self._num_shards)
         )
-
-    def _reconcile_manifest(self, num_shards: Optional[int]) -> int:
-        """Validate ``num_shards`` against the root manifest (or write it)."""
-        manifest_path = self.root / SHARD_MANIFEST_FILENAME
-        if manifest_path.exists():
-            try:
-                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-            except json.JSONDecodeError as error:
-                raise ConfigurationError(
-                    f"unreadable shard manifest {manifest_path}: {error}"
-                ) from error
-            if not isinstance(manifest, dict):
-                raise ConfigurationError(
-                    f"unreadable shard manifest {manifest_path}: expected a "
-                    f"JSON object, got {type(manifest).__name__}"
-                )
-            if manifest.get("format_version") != SHARD_MANIFEST_VERSION:
-                raise ConfigurationError(
-                    f"unsupported shard manifest version in {manifest_path}: "
-                    f"{manifest.get('format_version')!r}"
-                )
-            recorded = int(manifest["num_shards"])
-            if num_shards is not None and num_shards != recorded:
-                raise ConfigurationError(
-                    f"shard count mismatch for {self.root}: the root was "
-                    f"created with {recorded} shard(s) but {num_shards} were "
-                    "requested — resharding would strand sessions whose hash "
-                    "moved; open with the recorded count (or omit num_shards)"
-                )
-            return recorded
-        resolved = 1 if num_shards is None else num_shards
-        self.root.mkdir(parents=True, exist_ok=True)
-        descriptor, staging = tempfile.mkstemp(
-            prefix=f".{SHARD_MANIFEST_FILENAME}.tmp-", dir=self.root
-        )
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(
-                {
-                    "format_version": SHARD_MANIFEST_VERSION,
-                    "num_shards": int(resolved),
-                },
-                handle,
-                indent=2,
-                sort_keys=True,
-            )
-            handle.write("\n")
-        os.replace(staging, manifest_path)
-        return resolved
 
     # ------------------------------------------------------------------ #
     # topology

@@ -32,11 +32,17 @@ bytes.
 
 from __future__ import annotations
 
+import os
 import re
 import shutil
 import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
+
+try:  # pragma: no cover - always present on the POSIX targets we support
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback: no advisory locks
+    fcntl = None
 
 from repro.common.exceptions import ConfigurationError, ValidationError
 from repro.streaming.session import (
@@ -215,14 +221,74 @@ class DirectorySessionStore(SessionStore):
     sync:
         Fsync the log after every append (see
         :class:`~repro.streaming.wal.SessionLog`).
+    exclusive:
+        Claim sole ownership of the root with an advisory ``flock`` on
+        ``<root>/.lock``.  A second exclusive open of the same root —
+        from any process — raises ``ConfigurationError`` instead of
+        silently interleaving two writers' WAL appends.  The lock is a
+        kernel lease on the open file descriptor, so it vanishes with
+        the process (including ``kill -9``), which is exactly what the
+        process-per-shard serving layer needs: a restarted worker can
+        always reclaim its shard.  Released by :meth:`close` (or
+        process exit).
     """
 
     supports_wal = True
 
-    def __init__(self, root: Union[str, Path], *, sync: bool = False) -> None:
+    #: Name of the advisory ownership lockfile inside the root.
+    LOCK_FILENAME = ".lock"
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        sync: bool = False,
+        exclusive: bool = False,
+    ) -> None:
         self.root = Path(root)
         self.sync = bool(sync)
+        self._lock_descriptor: Optional[int] = None
+        if exclusive:
+            self._acquire_exclusive()
         self._sweep_stale_files()
+
+    def _acquire_exclusive(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            raise ConfigurationError(
+                "exclusive store ownership requires fcntl.flock, which this "
+                "platform does not provide"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(
+            self.root / self.LOCK_FILENAME, os.O_RDWR | os.O_CREAT, 0o644
+        )
+        try:
+            fcntl.flock(descriptor, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(descriptor)
+            raise ConfigurationError(
+                f"store root {self.root} is exclusively owned by another "
+                "process (stale owners release the lock automatically when "
+                "they die)"
+            ) from None
+        self._lock_descriptor = descriptor
+
+    @property
+    def exclusive(self) -> bool:
+        """Whether this store currently holds the root's ownership lock."""
+        return self._lock_descriptor is not None
+
+    def close(self) -> None:
+        """Release the exclusive ownership lock, if held.  Idempotent."""
+        if self._lock_descriptor is not None:
+            os.close(self._lock_descriptor)
+            self._lock_descriptor = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # layout helpers
