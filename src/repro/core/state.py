@@ -38,13 +38,23 @@ estimators hold.
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from repro.common.exceptions import ValidationError
 from repro.common.labels import CLEAN, DIRTY
 from repro.common.validation import check_int
+from repro.core.backend import ArrayBackend, NumpyBackend, resolve_backend
 from repro.core.fstatistics import (
     Fingerprint,
     IncrementalFingerprint,
@@ -323,6 +333,11 @@ class PermutationBatch:
         Prefix lengths to evaluate at (resolved with
         :meth:`~repro.crowd.response_matrix.ResponseMatrix.resolve_upto`,
         shared by every permutation).
+    backend:
+        The :class:`~repro.core.backend.ArrayBackend` (instance or name)
+        the tensor kernels run on; ``None`` resolves via ``REPRO_BACKEND``
+        and defaults to the numpy reference.  Every backend yields
+        bit-identical estimates (pinned by the backend-parity suite).
     """
 
     def __init__(
@@ -330,7 +345,9 @@ class PermutationBatch:
         matrix: ResponseMatrix,
         orders: Sequence[Optional[Sequence[int]]],
         checkpoints: Sequence[int],
+        backend: Union[ArrayBackend, str, None] = None,
     ):
+        self.backend = resolve_backend(backend)
         self.matrix = matrix
         self.num_items = matrix.num_items
         num_columns = matrix.num_columns
@@ -369,9 +386,16 @@ class PermutationBatch:
     # ------------------------------------------------------------------ #
     @cached_property
     def _stacked(self) -> np.ndarray:
-        """(R, N, K) int8 — every permuted matrix, stacked."""
+        """(R, N, K) int8 — every permuted matrix, stacked (host copy)."""
         gathered = self.matrix.values[:, self._orders]  # (N, R, K)
         return np.ascontiguousarray(gathered.transpose(1, 0, 2))
+
+    @cached_property
+    def _stacked_device(self):
+        """The stacked tensor on the batch's backend (host array = itself)."""
+        if isinstance(self.backend, NumpyBackend):
+            return self._stacked
+        return self.backend.asarray(self._stacked)
 
     def _label_table(self, label: int) -> np.ndarray:
         """(R, m, N) per-item counts of ``label`` votes at each checkpoint.
@@ -379,25 +403,30 @@ class PermutationBatch:
         The same incremental segment-sum scheme as
         :meth:`ResponseMatrix._label_counts_at`, run once over the whole
         stack: one pass over ``R x N x K`` covers every permutation and
-        every checkpoint.
+        every checkpoint.  The pass runs on the batch's backend; the
+        finished tables come back to host NumPy (integer counts — exact
+        on every backend).
         """
         resolved = self.resolved
         if not resolved:
             return np.zeros((self.num_permutations, 0, self.num_items), dtype=np.int32)
-        mask = self._stacked == label
+        xp = self.backend
+        mask = self._stacked_device == label
         # int32 halves the table's memory traffic; counts are bounded by
         # the column count, far below the int32 range.
-        running = np.zeros((self.num_permutations, self.num_items), dtype=np.int32)
+        running = xp.zeros((self.num_permutations, self.num_items), np.int32)
         table: Dict[int, np.ndarray] = {}
         previous = 0
         for checkpoint in sorted(set(resolved)):
             if checkpoint > previous:
-                running = running + mask[:, :, previous:checkpoint].sum(
-                    axis=2, dtype=np.int32
+                running = running + xp.sum(
+                    mask[:, :, previous:checkpoint], axis=2, dtype=np.int32
                 )
             table[checkpoint] = running
             previous = checkpoint
-        return np.stack([table[checkpoint] for checkpoint in resolved], axis=1)
+        return np.stack(
+            [xp.asnumpy(table[checkpoint]) for checkpoint in resolved], axis=1
+        )
 
     @cached_property
     def positive_table(self) -> np.ndarray:
@@ -425,7 +454,7 @@ class PermutationBatch:
         flat = self._stacked.reshape(
             self.num_permutations * self.num_items, self.matrix.num_columns
         )
-        return _SwitchScan(flat)
+        return _SwitchScan(flat, backend=self.backend)
 
     @cached_property
     def _event_offsets(self) -> np.ndarray:
@@ -526,16 +555,22 @@ class PermutationBatch:
         num_columns = self.matrix.num_columns
         history = np.zeros((self.num_permutations, num_columns + 1), dtype=np.int64)
         if num_columns:
+            xp = self.backend
             scan = self._scan
             bounds = np.searchsorted(
                 scan.vote_rows, np.arange(self.num_permutations + 1) * self.num_items
             )
             for permutation in range(self.num_permutations):
                 low, high = bounds[permutation : permutation + 2]
-                net_per_column = np.bincount(
-                    scan.vote_cols[low:high],
-                    weights=scan.vote_majority_delta[low:high],
-                    minlength=num_columns,
+                # Integer deltas summed in the bincount's float64
+                # accumulator stay exact (|sum| <= K << 2**53), so the
+                # fold is bit-identical on every backend.
+                net_per_column = xp.asnumpy(
+                    xp.bincount(
+                        xp.asarray(scan.vote_cols[low:high]),
+                        weights=xp.asarray(scan.vote_majority_delta[low:high]),
+                        minlength=num_columns,
+                    )
                 ).astype(np.int64)
                 np.cumsum(net_per_column, out=history[permutation, 1:])
         return history

@@ -40,12 +40,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.common.exceptions import ValidationError
 from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core import _scan_kernels
+from repro.core.backend import ArrayBackend, NumpyBackend, resolve_backend
 from repro.core.base import EstimateResult, StateEstimatorMixin
 from repro.core.chao92 import (
     _pair_sum,
@@ -63,6 +65,29 @@ from repro.crowd.response_matrix import ResponseMatrix
 #: Direction labels for switches.
 POSITIVE = "positive"  # consensus flips clean -> dirty
 NEGATIVE = "negative"  # consensus flips dirty -> clean
+
+
+def _seen_count_dtype(num_columns: int) -> type:
+    """Dtype of the cumulative seen-vote table (bounded by the column count).
+
+    int16 halves the memory traffic of the scan's largest table, but a
+    row's cumulative count can reach ``num_columns`` — promote to int32
+    once that no longer fits, instead of wrapping silently (pinned at the
+    boundary by ``tests/test_backend.py``).
+    """
+    return np.int16 if num_columns < np.iinfo(np.int16).max else np.int32
+
+
+def _margin_cumsum_dtype(num_votes: int) -> type:
+    """Dtype of the *global* margin accumulator of the vectorised compaction.
+
+    Per-row margins are bounded by the column count, but the vectorised
+    formulation subtracts a row base from one global running sum whose
+    magnitude is bounded only by the total vote count ``V = R * N * K`` —
+    promote to int64 before ``V`` can exceed the int32 range (the fused
+    numba kernel has no global accumulator and needs no promotion).
+    """
+    return np.int64 if num_votes > np.iinfo(np.int32).max else np.int32
 
 
 @dataclass(frozen=True)
@@ -169,16 +194,40 @@ class _SwitchScan:
 
     All event arrays are aligned and sorted in row-major scan order (item
     row, then column) — the same order the sequential scan emitted events.
+
+    The bulk array work routes through an
+    :class:`~repro.core.backend.ArrayBackend` (default: the numpy
+    reference, or whatever ``REPRO_BACKEND`` names).  Device backends run
+    the O(N x K) and O(votes) passes on their own arrays and materialise
+    the results back to host NumPy; the numba backend swaps the
+    vectorised compaction for the fused loop of
+    :mod:`repro.core._scan_kernels`.  Every backend produces bit-identical
+    event arrays (all-integer arithmetic, pinned by the parity suite).
     """
 
-    def __init__(self, values: np.ndarray):
+    def __init__(
+        self,
+        values: np.ndarray,
+        backend: Union[ArrayBackend, str, None] = None,
+    ):
+        backend = resolve_backend(backend)
+        self.backend = backend
         num_items, num_columns = values.shape
         self.num_columns = int(num_columns)
         self._values = values
         self._seen = values != UNSEEN
-        count_dtype = np.int16 if num_columns < np.iinfo(np.int16).max else np.int32
-        #: (N, K) cumulative count of seen (non-UNSEEN) votes per item.
-        self.seen_cum = np.cumsum(self._seen, axis=1, dtype=count_dtype)
+        count_dtype = _seen_count_dtype(num_columns)
+        on_device = not isinstance(backend, NumpyBackend)
+        device_values = device_seen = None
+        if on_device and num_columns:
+            device_values = backend.asarray(values)
+            device_seen = device_values != UNSEEN
+            #: (N, K) cumulative count of seen (non-UNSEEN) votes per item.
+            self.seen_cum = backend.asnumpy(
+                backend.cumsum(device_seen, axis=1, dtype=count_dtype)
+            )
+        else:
+            self.seen_cum = np.cumsum(self._seen, axis=1, dtype=count_dtype)
         empty = np.zeros(0, dtype=np.int64)
         #: (V,) row / column of every seen vote, in row-major scan order.
         self.vote_rows = empty
@@ -193,16 +242,49 @@ class _SwitchScan:
         self.event_next_col = empty
         if num_columns == 0:
             return
+        if on_device:
+            compacted = self._compact_device(backend, device_values, device_seen)
+        else:
+            compacted = self._compact_host(backend, values)
+        if compacted is None:
+            return
+        seen_rows, seen_cols, votes_state, is_event, majority_delta = compacted
+        self.vote_rows = seen_rows
+        self.vote_cols = seen_cols
+        self.vote_majority_delta = majority_delta
+        self.event_rows = seen_rows[is_event].astype(np.int64)
+        self.event_cols = seen_cols[is_event].astype(np.int64)
+        self.event_states = votes_state[is_event].astype(np.int64)
+        self.event_vote_index = self.seen_cum[
+            self.event_rows, self.event_cols
+        ].astype(np.int64)
+        num_events = self.event_rows.size
+        event_next_col = np.full(num_events, num_columns, dtype=np.int64)
+        if num_events > 1:
+            same_item = self.event_rows[:-1] == self.event_rows[1:]
+            event_next_col[:-1][same_item] = self.event_cols[1:][same_item]
+        self.event_next_col = event_next_col
+
+    def _compact_host(self, backend: ArrayBackend, values: np.ndarray):
+        """Per-vote states/events on the host (vectorised or numba-fused).
+
+        Everything runs on the compacted stream of seen votes (O(votes),
+        not O(N x K)).  The vectorised path derives the per-vote margin
+        from a segmented cumulative sum: a global cumsum of the ±1 deltas
+        minus each row's base offset (the cumulative value just before
+        the row's first vote).  The fused kernel keeps one scalar margin
+        per row run instead — no global accumulator, no temporaries.
+        """
         seen_rows, seen_cols = np.nonzero(self._seen)
         if seen_rows.size == 0:
-            return
-        # Everything below runs on the compacted stream of seen votes
-        # (O(votes), not O(N x K)).  The per-vote margin comes from a
-        # segmented cumulative sum: a global cumsum of the ±1 deltas minus
-        # each row's base offset (the cumulative value just before the
-        # row's first vote).
+            return None
         deltas = np.where(values[seen_rows, seen_cols] == DIRTY, np.int32(1), np.int32(-1))
-        cumulative = np.cumsum(deltas, dtype=np.int32)
+        if backend.compiled_scans:
+            votes_state, is_event, majority_delta = _scan_kernels.compact_events(
+                seen_rows.astype(np.int64, copy=False), deltas
+            )
+            return seen_rows, seen_cols, votes_state, is_event, majority_delta
+        cumulative = np.cumsum(deltas, dtype=_margin_cumsum_dtype(deltas.size))
         positions = np.arange(deltas.size, dtype=np.int64)
         new_row = np.empty(deltas.shape, dtype=bool)
         new_row[0] = True
@@ -216,27 +298,61 @@ class _SwitchScan:
             (margin_at_vote == 0) & (previous_margin < 0)
         )
         is_dirty = margin_at_vote > 0
-        self.vote_rows = seen_rows
-        self.vote_cols = seen_cols
-        self.vote_majority_delta = is_dirty.astype(np.int8) - (previous_margin > 0)
+        majority_delta = is_dirty.astype(np.int8) - (previous_margin > 0)
         previous_state = np.zeros_like(votes_state)
         previous_state[1:] = votes_state[:-1]
         # The first seen vote of each row compares against the default
         # clean state, not against the previous row's last vote.
         previous_state[new_row] = False
         is_event = votes_state != previous_state
-        self.event_rows = seen_rows[is_event].astype(np.int64)
-        self.event_cols = seen_cols[is_event].astype(np.int64)
-        self.event_states = votes_state[is_event].astype(np.int64)
-        self.event_vote_index = self.seen_cum[
-            self.event_rows, self.event_cols
-        ].astype(np.int64)
-        num_events = self.event_rows.size
-        event_next_col = np.full(num_events, num_columns, dtype=np.int64)
-        if num_events > 1:
-            same_item = self.event_rows[:-1] == self.event_rows[1:]
-            event_next_col[:-1][same_item] = self.event_cols[1:][same_item]
-        self.event_next_col = event_next_col
+        return seen_rows, seen_cols, votes_state, is_event, majority_delta
+
+    def _compact_device(self, backend: ArrayBackend, device_values, device_seen):
+        """The vectorised compaction, on the backend's own arrays.
+
+        Mirrors the host formulation op for op through the seam (plus the
+        libraries' native elementwise operators), then materialises the
+        five per-vote outputs back to host NumPy; the downstream event
+        slicing and all scalar estimator arithmetic stay host-side and
+        backend-agnostic.
+        """
+        device_rows, device_cols = backend.nonzero(device_seen)
+        seen_rows = backend.asnumpy(device_rows).astype(np.int64, copy=False)
+        if seen_rows.size == 0:
+            return None
+        num_votes = seen_rows.shape[0]
+        cum_dtype = _margin_cumsum_dtype(num_votes)
+        deltas = backend.astype(
+            backend.where(device_values[device_rows, device_cols] == DIRTY, 1, -1),
+            cum_dtype,
+        )
+        cumulative = backend.cumsum(deltas, axis=0, dtype=cum_dtype)
+        positions = backend.arange(num_votes, dtype=np.int64)
+        new_row = backend.zeros((num_votes,), np.bool_)
+        new_row[0] = True
+        new_row[1:] = device_rows[1:] != device_rows[:-1]
+        row_base = (cumulative - deltas)[
+            backend.maximum_accumulate(backend.where(new_row, positions, 0))
+        ]
+        margin_at_vote = cumulative - row_base
+        previous_margin = margin_at_vote - deltas
+        votes_state = (margin_at_vote > 0) | (
+            (margin_at_vote == 0) & (previous_margin < 0)
+        )
+        majority_delta = backend.astype(margin_at_vote > 0, np.int8) - backend.astype(
+            previous_margin > 0, np.int8
+        )
+        previous_state = backend.zeros((num_votes,), np.bool_)
+        previous_state[1:] = votes_state[:-1]
+        previous_state[new_row] = False
+        is_event = votes_state != previous_state
+        return (
+            seen_rows,
+            backend.asnumpy(device_cols).astype(np.int64, copy=False),
+            backend.asnumpy(votes_state),
+            backend.asnumpy(is_event),
+            backend.asnumpy(majority_delta).astype(np.int8, copy=False),
+        )
 
     @cached_property
     def state(self) -> np.ndarray:
@@ -477,6 +593,10 @@ class _SwitchSweepCells:
         resolved: Sequence[int],
         total_votes: np.ndarray,
     ):
+        if scan.backend.compiled_scans:
+            self.total_votes = total_votes
+            self._from_kernel(scan, low, high, resolved)
+            return
         checkpoints = np.asarray(resolved, dtype=np.int64)[None, :]
         rows = scan.event_rows[low:high]
         cols = scan.event_cols[low:high]
@@ -522,6 +642,32 @@ class _SwitchSweepCells:
         ):
             first = _first_columns_per_row(rows[event_filter], cols[event_filter])
             self.items[direction] = np.searchsorted(first, checkpoints[0], side="left")
+
+    def _from_kernel(
+        self, scan: _SwitchScan, low: int, high: int, resolved: Sequence[int]
+    ) -> None:
+        """Fill the per-checkpoint tables from the fused scan kernel.
+
+        One compiled loop over the active (event, checkpoint) pairs
+        replaces the ~10 dense ``(events x checkpoints)`` temporaries of
+        the vectorised formulation; the kernel's integers are identical
+        by construction (see :mod:`repro.core._scan_kernels`).
+        """
+        n_switch, counts, singletons, pair_sums, items = _scan_kernels.sweep_cells(
+            scan.event_rows[low:high],
+            scan.event_cols[low:high],
+            scan.event_vote_index[low:high],
+            scan.event_next_col[low:high],
+            scan.event_states[low:high] == 1,
+            scan.seen_cum,
+            np.asarray(resolved, dtype=np.int64),
+        )
+        self.n_switch = n_switch
+        directions = (None, POSITIVE, NEGATIVE)
+        self.counts = {d: counts[i] for i, d in enumerate(directions)}
+        self.singletons = {d: singletons[i] for i, d in enumerate(directions)}
+        self.pair_sums = {d: pair_sums[i] for i, d in enumerate(directions)}
+        self.items = {d: items[i] for i, d in enumerate(directions)}
 
 
 def _first_columns_per_row(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:

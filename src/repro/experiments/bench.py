@@ -53,8 +53,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.common.exceptions import ConfigurationError
 from repro.common.labels import CLEAN, DIRTY, UNSEEN
 from repro.common.validation import check_int, check_positive
+from repro.core.backend import get_backend
 from repro.crowd.response_matrix import ResponseMatrix
 from repro.experiments.runner import EstimationRunner, RunnerConfig
 
@@ -98,7 +100,9 @@ class BenchWorkload:
         return ResponseMatrix.from_array(votes)
 
 
-#: Registered runner workloads: the acceptance-criterion shape and a CI-size one.
+#: Registered runner workloads: the acceptance-criterion shape, a CI-size one,
+#: and the wide sweeps (R >= 32) where the (R, N, K) tensor engine and the
+#: compiled scan kernels are meant to pay off.
 WORKLOADS: Dict[str, BenchWorkload] = {
     "full": BenchWorkload(
         name="runner_5000x200",
@@ -113,6 +117,20 @@ WORKLOADS: Dict[str, BenchWorkload] = {
         num_columns=120,
         num_permutations=6,
         num_checkpoints=12,
+    ),
+    "wide": BenchWorkload(
+        name="runner_wide_3000x200x32",
+        num_items=3000,
+        num_columns=200,
+        num_permutations=32,
+        num_checkpoints=20,
+    ),
+    "wide-smoke": BenchWorkload(
+        name="runner_wide_smoke_800x100x32",
+        num_items=800,
+        num_columns=100,
+        num_permutations=32,
+        num_checkpoints=10,
     ),
 }
 
@@ -419,15 +437,29 @@ def _series_values(result) -> Dict[str, List[tuple]]:
 
 
 def run_workload(
-    workload: BenchWorkload, *, n_jobs: int = 1, repeats: int = 2
+    workload: BenchWorkload,
+    *,
+    n_jobs: int = 1,
+    repeats: int = 2,
+    backend: "Optional[str]" = None,
 ) -> Dict[str, object]:
     """Time one workload through both engines and build a record entry.
+
+    ``backend`` selects the array backend the *batch* engine runs on
+    (``None`` = ``$REPRO_BACKEND`` or numpy); the serial engine always runs
+    the numpy reference, so the mandatory serial-vs-batch equality check is
+    also a cross-backend bit-identity verification.  When a non-numpy
+    backend is selected the numpy batch engine is timed as well, giving the
+    like-for-like ``backend_vs_numpy_batch`` speedup.
 
     Raises ``RuntimeError`` if the engines disagree on a single estimate —
     a benchmark that silently measures a wrong result is worse than none.
     """
     check_int(n_jobs, "n_jobs", minimum=1)
     check_int(repeats, "repeats", minimum=1)
+    # Resolve up front: an unknown/unavailable backend must fail before any
+    # timing work, and the entry records the resolved name, not None.
+    backend_name = get_backend(backend).name
     matrix = workload.build_matrix()
     shared = dict(
         num_permutations=workload.num_permutations,
@@ -435,10 +467,11 @@ def run_workload(
         seed=3,
     )
     estimators = list(workload.estimators)
-    # Warm-up outside the timed region (imports, registry, allocator).
-    EstimationRunner(estimators, RunnerConfig(num_permutations=1, num_checkpoints=2)).run(
-        matrix.prefix(min(10, matrix.num_columns))
-    )
+    # Warm-up outside the timed region (imports, registry, allocator, and —
+    # for the numba backend — JIT compilation of the scan kernels).
+    EstimationRunner(
+        estimators, RunnerConfig(num_permutations=1, num_checkpoints=2, backend=backend)
+    ).run(matrix.prefix(min(10, matrix.num_columns)))
 
     serial_seconds, serial_result = _time_run(
         EstimationRunner(estimators, RunnerConfig(engine="serial", **shared)),
@@ -446,20 +479,39 @@ def run_workload(
         repeats,
     )
     batch_seconds, batch_result = _time_run(
-        EstimationRunner(estimators, RunnerConfig(engine="batch", **shared)),
+        EstimationRunner(
+            estimators, RunnerConfig(engine="batch", backend=backend, **shared)
+        ),
         matrix,
         repeats,
     )
     if _series_values(serial_result) != _series_values(batch_result):
         raise RuntimeError(
-            "serial and batch engines disagree — refusing to record the benchmark"
+            f"serial and batch engines disagree (backend {backend_name!r}) — "
+            "refusing to record the benchmark"
         )
+
+    numpy_batch_seconds = None
+    if backend_name != "numpy":
+        numpy_batch_seconds, numpy_batch_result = _time_run(
+            EstimationRunner(
+                estimators, RunnerConfig(engine="batch", backend="numpy", **shared)
+            ),
+            matrix,
+            repeats,
+        )
+        if _series_values(numpy_batch_result) != _series_values(batch_result):
+            raise RuntimeError(
+                f"numpy and {backend_name!r} batch engines disagree — "
+                "refusing to record the benchmark"
+            )
 
     parallel_seconds = None
     if n_jobs > 1:
         parallel_seconds, parallel_result = _time_run(
             EstimationRunner(
-                estimators, RunnerConfig(engine="batch", n_jobs=n_jobs, **shared)
+                estimators,
+                RunnerConfig(engine="batch", n_jobs=n_jobs, backend=backend, **shared),
             ),
             matrix,
             repeats,
@@ -473,9 +525,15 @@ def run_workload(
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": machine_info(),
         "params": asdict(workload),
+        "backend": backend_name,
         "timings_s": {
             "serial_engine": round(serial_seconds, 4),
             "batch_engine": round(batch_seconds, 4),
+            "batch_engine_numpy": (
+                round(numpy_batch_seconds, 4)
+                if numpy_batch_seconds is not None
+                else None
+            ),
             "batch_engine_parallel": (
                 round(parallel_seconds, 4) if parallel_seconds is not None else None
             ),
@@ -484,6 +542,11 @@ def run_workload(
         },
         "speedups": {
             "batch_vs_serial": round(serial_seconds / batch_seconds, 3),
+            "backend_vs_numpy_batch": (
+                round(numpy_batch_seconds / batch_seconds, 3)
+                if numpy_batch_seconds is not None
+                else None
+            ),
             "parallel_vs_serial": (
                 round(serial_seconds / parallel_seconds, 3)
                 if parallel_seconds
@@ -899,6 +962,18 @@ def run_proc_shards_workload(workload: ProcShardsWorkload) -> Dict[str, object]:
     }
 
 
+#: Schema note written into the record document (refreshed on every save so
+#: an existing file picks up wording changes).
+RECORD_NOTE = (
+    "Performance trajectory of the estimation runner; append entries with "
+    "`repro bench`. Regression checks compare batch-vs-serial speedup ratios "
+    "(machine-independent), not raw wall times. Runner entries carry a "
+    "'backend' field (numpy/numba/cupy/torch); each workload keeps per-backend "
+    "baselines under 'baselines' and `--check` compares like-for-like backends "
+    "only ('baseline' remains the first entry ever recorded, for back-compat)."
+)
+
+
 def load_record(path: Path) -> Dict[str, object]:
     """Read (or initialise) the benchmark record document."""
     if path.exists():
@@ -911,13 +986,14 @@ def load_record(path: Path) -> Dict[str, object]:
         return record
     return {
         "format_version": FORMAT_VERSION,
-        "note": (
-            "Performance trajectory of the estimation runner; append entries "
-            "with `repro bench`. Regression checks compare batch-vs-serial "
-            "speedup ratios (machine-independent), not raw wall times."
-        ),
+        "note": RECORD_NOTE,
         "workloads": {},
     }
+
+
+def _entry_backend(entry: Dict[str, object]) -> str:
+    """The backend an entry was recorded on (pre-backend entries: numpy)."""
+    return str(entry.get("backend") or "numpy")
 
 
 def update_record(
@@ -925,14 +1001,29 @@ def update_record(
 ) -> Optional[Dict[str, object]]:
     """Append ``entry`` to its workload's history; returns the baseline.
 
-    The first entry recorded for a workload becomes the baseline the
-    regression check compares against (``None`` is returned for it).
+    Baselines are kept *per backend* (``slot["baselines"][backend]``) so
+    the regression gate only ever compares like-for-like: a numba entry is
+    never judged against a numpy baseline or vice versa.  The first entry
+    recorded for a given (workload, backend) pair becomes that pair's
+    baseline and ``None`` is returned for it.  The legacy top-level
+    ``slot["baseline"]`` (first entry ever, any backend) is preserved for
+    readers of the old schema and seeds the per-backend table on upgrade.
     """
     name = entry["params"]["name"]
+    backend = _entry_backend(entry)
     workloads = record.setdefault("workloads", {})
     slot = workloads.setdefault(name, {"baseline": None, "history": []})
-    baseline = slot["baseline"]
+    baselines = slot.setdefault("baselines", {})
+    legacy = slot.get("baseline")
+    if (
+        legacy is not None
+        and _entry_backend(legacy) not in baselines
+    ):
+        baselines[_entry_backend(legacy)] = legacy
+    baseline = baselines.get(backend)
     if baseline is None:
+        baselines[backend] = entry
+    if slot.get("baseline") is None:
         slot["baseline"] = entry
     slot["history"].append(entry)
     return baseline
@@ -962,6 +1053,12 @@ def regression_failure(
     if "speedups" not in entry or "speedups" not in baseline:
         # Serving entries record machine-specific throughput, not a
         # machine-independent ratio, so they carry no regression gate.
+        return None
+    if _entry_backend(entry) != _entry_backend(baseline):
+        # Like-for-like only: comparing a numba entry against a numpy
+        # baseline (or the reverse) would measure the backend, not a
+        # regression.  ``update_record`` already returns the matching
+        # per-backend baseline; this guards callers holding older records.
         return None
     current = float(entry["speedups"]["batch_vs_serial"])
     recorded = float(baseline["speedups"]["batch_vs_serial"])
@@ -1032,6 +1129,15 @@ def format_summary(entry: Dict[str, object]) -> str:
             f"on {entry['machine']['usable_cpus']} usable cpu(s)"
         )
     speedups = entry["speedups"]
+    backend = (
+        f"[{_entry_backend(entry)}] " if entry.get("backend") is not None else ""
+    )
+    versus_numpy = (
+        f", numpy batch {timings['batch_engine_numpy']:.3f}s "
+        f"({speedups['backend_vs_numpy_batch']:.2f}x vs numpy)"
+        if timings.get("batch_engine_numpy") is not None
+        else ""
+    )
     parallel = (
         f", n_jobs={timings['n_jobs']} {timings['batch_engine_parallel']:.3f}s "
         f"({speedups['parallel_vs_serial']:.2f}x)"
@@ -1039,9 +1145,10 @@ def format_summary(entry: Dict[str, object]) -> str:
         else ""
     )
     return (
-        f"BENCH {entry['params']['name']}: serial {timings['serial_engine']:.3f}s, "
+        f"BENCH {entry['params']['name']}: {backend}serial "
+        f"{timings['serial_engine']:.3f}s, "
         f"batch {timings['batch_engine']:.3f}s "
-        f"({speedups['batch_vs_serial']:.2f}x){parallel} "
+        f"({speedups['batch_vs_serial']:.2f}x){versus_numpy}{parallel} "
         f"on {entry['machine']['usable_cpus']} usable cpu(s)"
     )
 
@@ -1051,6 +1158,7 @@ def run_and_record(
     workload: str = "full",
     n_jobs: int = 1,
     repeats: int = 2,
+    backend: Optional[str] = None,
     output: Optional[str] = None,
     check: bool = False,
     factor: float = 3.0,
@@ -1068,8 +1176,14 @@ def run_and_record(
         raise ValueError(
             f"unknown workload {workload!r}; available: {sorted(known)}"
         )
+    if backend is not None and workload not in WORKLOADS:
+        raise ConfigurationError(
+            f"--backend only applies to the runner workloads "
+            f"{sorted(WORKLOADS)}; {workload!r} does not run the tensor engine"
+        )
     path = Path(output or DEFAULT_RECORD)
     record = load_record(path)
+    record["note"] = RECORD_NOTE
     if workload in PROC_SHARDS_WORKLOADS:
         entry = run_proc_shards_workload(PROC_SHARDS_WORKLOADS[workload])
     elif workload in HTTP_WORKLOADS:
@@ -1079,7 +1193,9 @@ def run_and_record(
     elif workload in SERVING_WORKLOADS:
         entry = run_serving_workload(SERVING_WORKLOADS[workload], repeats=repeats)
     else:
-        entry = run_workload(WORKLOADS[workload], n_jobs=n_jobs, repeats=repeats)
+        entry = run_workload(
+            WORKLOADS[workload], n_jobs=n_jobs, repeats=repeats, backend=backend
+        )
     baseline = update_record(record, entry)
     print(format_summary(entry))
     if not dry_run:
@@ -1117,6 +1233,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "--smoke", action="store_true",
         help="shorthand for --workload smoke (the CI-sized workload)",
     )
+    parser.add_argument(
+        "--backend", default=None,
+        help=(
+            "array backend for the batch engine on runner workloads "
+            "(numpy/numba/cupy/torch; default: $REPRO_BACKEND or numpy)"
+        ),
+    )
     parser.add_argument("--n-jobs", type=int, default=1, help="also time the chunked parallel dispatch")
     parser.add_argument("--repeats", type=int, default=2, help="best-of-N timing repeats")
     parser.add_argument("--output", default=DEFAULT_RECORD, help="record file to update")
@@ -1139,6 +1262,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         workload="smoke" if args.smoke else args.workload,
         n_jobs=args.n_jobs,
         repeats=args.repeats,
+        backend=args.backend,
         output=args.output,
         check=args.check,
         factor=args.factor,

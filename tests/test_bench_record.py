@@ -44,19 +44,25 @@ TINY_SERVING = ServingWorkload(
 )
 
 
-def _entry(speedup: float) -> dict:
+def _entry(speedup: float, backend: str = "numpy") -> dict:
     return {
         "recorded_at": "2026-07-30T00:00:00+00:00",
         "machine": {"usable_cpus": 1},
         "params": {"name": TINY.name},
+        "backend": backend,
         "timings_s": {
             "serial_engine": speedup,
             "batch_engine": 1.0,
+            "batch_engine_numpy": None,
             "batch_engine_parallel": None,
             "n_jobs": 1,
             "repeats": 2,
         },
-        "speedups": {"batch_vs_serial": speedup, "parallel_vs_serial": None},
+        "speedups": {
+            "batch_vs_serial": speedup,
+            "backend_vs_numpy_batch": None,
+            "parallel_vs_serial": None,
+        },
     }
 
 
@@ -64,14 +70,33 @@ class TestRunWorkload:
     def test_entry_shape_and_engine_agreement(self):
         entry = run_workload(TINY, repeats=1)
         assert entry["params"]["name"] == TINY.name
+        assert entry["backend"] == "numpy"
         assert entry["timings_s"]["serial_engine"] > 0.0
         assert entry["timings_s"]["batch_engine"] > 0.0
+        # numpy is the reference: no separate like-for-like numpy timing.
+        assert entry["timings_s"]["batch_engine_numpy"] is None
+        assert entry["speedups"]["backend_vs_numpy_batch"] is None
         assert entry["timings_s"]["batch_engine_parallel"] is None
         assert entry["speedups"]["batch_vs_serial"] > 0.0
         assert entry["machine"]["usable_cpus"] >= 1
 
+    def test_explicit_numpy_backend_matches_default(self):
+        assert run_workload(TINY, repeats=1, backend="numpy")["backend"] == "numpy"
+
+    def test_unknown_backend_fails_before_timing(self):
+        from repro.common.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            run_workload(TINY, repeats=1, backend="not-a-backend")
+
     def test_deterministic_matrix(self):
         assert (TINY.build_matrix().values == TINY.build_matrix().values).all()
+
+    def test_wide_workloads_exercise_many_permutations(self):
+        # The acceptance-criterion shape: R >= 32 for the compiled-kernel
+        # payoff workloads (both the recorded one and the CI smoke).
+        assert bench.WORKLOADS["wide"].num_permutations >= 32
+        assert bench.WORKLOADS["wide-smoke"].num_permutations >= 32
 
 
 class TestRunServingWorkload:
@@ -173,6 +198,30 @@ class TestRecordPersistence:
         assert update_record(record, second) is first
         assert record["workloads"][TINY.name]["history"] == [first, second]
 
+    def test_baselines_are_kept_per_backend(self, tmp_path):
+        record = load_record(tmp_path / "BENCH.json")
+        numpy_first = _entry(2.0)
+        assert update_record(record, numpy_first) is None
+        numba_first = _entry(5.0, backend="numba")
+        # First numba entry: no numba baseline yet, even though a numpy
+        # baseline exists — the gate must never compare across backends.
+        assert update_record(record, numba_first) is None
+        assert update_record(record, _entry(5.2, backend="numba")) is numba_first
+        assert update_record(record, _entry(2.1)) is numpy_first
+        slot = record["workloads"][TINY.name]
+        assert slot["baseline"] is numpy_first  # legacy: first entry ever
+        assert slot["baselines"] == {"numpy": numpy_first, "numba": numba_first}
+
+    def test_legacy_slot_seeds_the_per_backend_table(self, tmp_path):
+        # A record written before the backend field existed: its baseline
+        # has no "backend" key and counts as numpy.
+        record = load_record(tmp_path / "BENCH.json")
+        legacy = _entry(2.0)
+        del legacy["backend"]
+        record["workloads"] = {TINY.name: {"baseline": legacy, "history": [legacy]}}
+        assert update_record(record, _entry(2.1)) is legacy
+        assert record["workloads"][TINY.name]["baselines"]["numpy"] is legacy
+
     def test_round_trip(self, tmp_path):
         path = tmp_path / "BENCH.json"
         record = load_record(path)
@@ -202,6 +251,12 @@ class TestRegressionCheck:
     def test_factor_is_configurable(self):
         assert regression_failure(_entry(1.1), _entry(2.0), factor=2.0) is None
         assert regression_failure(_entry(0.9), _entry(2.0), factor=2.0) is not None
+
+    def test_cross_backend_comparison_is_never_a_regression(self):
+        # A numpy entry 10x below a numba baseline is not a regression —
+        # it is a different backend.  Like-for-like only.
+        assert regression_failure(_entry(0.5), _entry(5.0, backend="numba")) is None
+        assert regression_failure(_entry(0.5, backend="numba"), _entry(5.0)) is None
 
 
 class TestCliFlow:
@@ -233,3 +288,19 @@ class TestCliFlow:
 
     def test_summary_line_mentions_speedup(self):
         assert "1.80x" in format_summary(_entry(1.8))
+
+    def test_summary_line_tags_the_backend(self):
+        assert "[numpy]" in format_summary(_entry(1.8))
+        entry = _entry(4.0, backend="numba")
+        entry["timings_s"]["batch_engine_numpy"] = 2.5
+        entry["speedups"]["backend_vs_numpy_batch"] = 2.5
+        summary = format_summary(entry)
+        assert "[numba]" in summary
+        assert "2.50x vs numpy" in summary
+
+    def test_pre_backend_entries_keep_their_old_summary_shape(self):
+        entry = _entry(1.8)
+        del entry["backend"]
+        del entry["timings_s"]["batch_engine_numpy"]
+        summary = format_summary(entry)
+        assert "[" not in summary and "1.80x" in summary

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 
 from repro.common.exceptions import ValidationError
 from repro.common.labels import CLEAN, DIRTY, UNSEEN
+from repro.core.backend import available_backends
 from repro.core.base import EstimateResult, batch_estimates, sweep_estimates
 from repro.core.registry import available_estimators, get_estimator
 from repro.core.state import PermutationBatch
@@ -24,10 +25,15 @@ from repro.core.switch import switch_statistics
 from repro.crowd.consensus import majority_count_history
 from repro.crowd.response_matrix import ResponseMatrix
 
+#: Every backend importable on this machine (always at least numpy).  The
+#: whole equivalence suite runs once per backend: the serial sweep is the
+#: numpy reference, so each parameterization is a bit-identity check.
+BACKENDS = available_backends()
 
-def _assert_batch_matches_serial(matrix, orders, checkpoints, names=None):
+
+def _assert_batch_matches_serial(matrix, orders, checkpoints, names=None, backend=None):
     """Exact equality of the batched and serial sweeps for all estimators."""
-    batch = PermutationBatch(matrix, orders, checkpoints)
+    batch = PermutationBatch(matrix, orders, checkpoints, backend=backend)
     for name in names or available_estimators():
         estimator = get_estimator(name)
         batched = batch_estimates(estimator, batch)
@@ -41,6 +47,7 @@ def _assert_batch_matches_serial(matrix, orders, checkpoints, names=None):
                 assert got.details == want.details, (name, p)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestPropertyEquivalence:
     @given(
         num_items=st.integers(min_value=1, max_value=10),
@@ -51,7 +58,13 @@ class TestPropertyEquivalence:
     )
     @settings(max_examples=25)
     def test_batch_equals_serial_sweep(
-        self, num_items, num_columns, num_permutations, matrix_seed, checkpoint_seed
+        self,
+        backend,
+        num_items,
+        num_columns,
+        num_permutations,
+        matrix_seed,
+        checkpoint_seed,
     ):
         rng = np.random.default_rng(matrix_seed)
         votes = rng.choice(
@@ -70,9 +83,10 @@ class TestPropertyEquivalence:
             [int(i) for i in cp_rng.permutation(num_columns)]
             for _ in range(num_permutations - 1)
         ]
-        _assert_batch_matches_serial(matrix, orders, checkpoints)
+        _assert_batch_matches_serial(matrix, orders, checkpoints, backend=backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestDegenerateMatrices:
     CHECKPOINTS = [0, 1, 2, 5, 8]
 
@@ -82,34 +96,42 @@ class TestDegenerateMatrices:
             [int(i) for i in rng.permutation(num_columns)] for _ in range(count - 1)
         ]
 
-    def test_all_clean_matrix(self):
+    def test_all_clean_matrix(self, backend):
         votes = np.full((6, 8), CLEAN, dtype=np.int8)
         matrix = ResponseMatrix.from_array(votes)
-        _assert_batch_matches_serial(matrix, self._orders(8), self.CHECKPOINTS)
+        _assert_batch_matches_serial(
+            matrix, self._orders(8), self.CHECKPOINTS, backend=backend
+        )
 
-    def test_all_unseen_matrix(self):
+    def test_all_unseen_matrix(self, backend):
         votes = np.full((6, 8), UNSEEN, dtype=np.int8)
         matrix = ResponseMatrix.from_array(votes)
-        _assert_batch_matches_serial(matrix, self._orders(8), self.CHECKPOINTS)
+        _assert_batch_matches_serial(
+            matrix, self._orders(8), self.CHECKPOINTS, backend=backend
+        )
 
-    def test_all_dirty_matrix(self):
+    def test_all_dirty_matrix(self, backend):
         votes = np.full((6, 8), DIRTY, dtype=np.int8)
         matrix = ResponseMatrix.from_array(votes)
-        _assert_batch_matches_serial(matrix, self._orders(8), self.CHECKPOINTS)
+        _assert_batch_matches_serial(
+            matrix, self._orders(8), self.CHECKPOINTS, backend=backend
+        )
 
-    def test_single_column(self):
+    def test_single_column(self, backend):
         votes = np.array([[DIRTY], [CLEAN], [UNSEEN], [DIRTY]], dtype=np.int8)
         matrix = ResponseMatrix.from_array(votes)
-        _assert_batch_matches_serial(matrix, [None, [0], [0]], [0, 1])
+        _assert_batch_matches_serial(matrix, [None, [0], [0]], [0, 1], backend=backend)
 
-    def test_single_item(self):
+    def test_single_item(self, backend):
         votes = np.array([[DIRTY, CLEAN, DIRTY, UNSEEN]], dtype=np.int8)
         matrix = ResponseMatrix.from_array(votes)
-        _assert_batch_matches_serial(matrix, self._orders(4), [0, 1, 2, 4])
+        _assert_batch_matches_serial(
+            matrix, self._orders(4), [0, 1, 2, 4], backend=backend
+        )
 
-    def test_zero_columns(self):
+    def test_zero_columns(self, backend):
         matrix = ResponseMatrix.from_array(np.zeros((3, 0), dtype=np.int8))
-        _assert_batch_matches_serial(matrix, [None, [], []], [0])
+        _assert_batch_matches_serial(matrix, [None, [], []], [0], backend=backend)
 
 
 class TestBatchInternals:
