@@ -78,7 +78,17 @@ EXPERIMENTS = (
 )
 
 #: Workload-independent tool commands.
-TOOLS = ("list", "quality", "stream", "sweep", "scenario", "bench", "session", "serve")
+TOOLS = (
+    "list",
+    "quality",
+    "stream",
+    "sweep",
+    "scenario",
+    "replay",
+    "bench",
+    "session",
+    "serve",
+)
 
 #: Where ``repro session`` keeps its snapshots unless ``--store`` says else.
 DEFAULT_SESSION_STORE = ".repro-sessions"
@@ -207,6 +217,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenario_check.add_argument(
         "names", nargs="*", help="scenarios to check (default: all)"
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="convert a recorded session WAL into a traced scenario "
+        "(the trace-replay regression codec)",
+    )
+    replay.add_argument("wal", help="path to a session write-ahead log file")
+    replay.add_argument(
+        "--name", required=True, help="name for the traced scenario"
+    )
+    replay.add_argument(
+        "--estimators",
+        nargs="+",
+        default=None,
+        help="override the estimator list recorded in the log",
+    )
+    replay.add_argument(
+        "--run",
+        action="store_true",
+        help="run the traced scenario and print its canonical trajectory "
+        "JSON instead of the scenario spec",
     )
 
     session = sub.add_parser(
@@ -441,6 +473,31 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     return 1  # pragma: no cover - argparse enforces the subcommand choices
 
 
+def _run_replay_command(args: argparse.Namespace) -> int:
+    """``repro replay``: session WAL in, traced scenario (or trajectory) out.
+
+    Prints canonical JSON either way — piping the spec into a file and
+    registering it, or diffing the ``--run`` trajectory against a pinned
+    golden, both work byte-for-byte.
+    """
+    import json as _json
+
+    from repro.scenarios import ScenarioRunner, scenario_from_wal
+
+    scenario = scenario_from_wal(
+        args.wal, args.name, estimators=args.estimators
+    )
+    if args.run:
+        print(ScenarioRunner().run(scenario).canonical_json())
+        return 0
+    print(
+        _json.dumps(
+            scenario.to_dict(), sort_keys=True, indent=2, ensure_ascii=True
+        )
+    )
+    return 0
+
+
 def _print_estimates(results) -> None:
     print(f"  {'estimator':>16} {'estimate':>12} {'observed':>12} {'remaining':>12}")
     for name in sorted(results):
@@ -638,6 +695,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "scenario":
         return _run_scenario_command(args)
+
+    if args.command == "replay":
+        from repro.common.exceptions import ConfigurationError, ValidationError
+
+        try:
+            return _run_replay_command(args)
+        except (ConfigurationError, ValidationError, OSError) as error:
+            # Missing or torn log files, logs without a create record:
+            # operator-facing problems get a one-line diagnosis.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     if args.command in ("session", "serve"):
         from repro.common.exceptions import ConfigurationError, ValidationError

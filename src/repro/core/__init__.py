@@ -53,8 +53,10 @@ from repro.core.chao92 import (
     good_turing_coverage,
 )
 from repro.core.descriptive import (
+    CollusionReport,
     NominalEstimator,
     VotingEstimator,
+    collusion_report,
     majority_estimate,
     nominal_estimate,
 )
@@ -138,6 +140,8 @@ __all__ = [
     "VotingEstimator",
     "nominal_estimate",
     "majority_estimate",
+    "CollusionReport",
+    "collusion_report",
     "ExtrapolationEstimator",
     "extrapolate_from_sample",
     "SwitchEstimator",

@@ -31,6 +31,7 @@ from repro.crowd.simulator import CrowdSimulation, CrowdSimulator, SimulationCon
 from repro.crowd.worker import (
     CliqueRegime,
     CliqueWorker,
+    CrossSessionCliqueRegime,
     DriftRegime,
     HomogeneousRegime,
     MixtureRegime,
@@ -53,6 +54,7 @@ __all__ = [
     "DriftRegime",
     "CliqueRegime",
     "CliqueWorker",
+    "CrossSessionCliqueRegime",
     "StratifiedRegime",
     "StratifiedWorker",
     "Task",

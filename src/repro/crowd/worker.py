@@ -481,6 +481,38 @@ class CliqueRegime(WorkerRegime):
 
 
 @dataclass(frozen=True)
+class CrossSessionCliqueRegime(CliqueRegime):
+    """Cliques whose answer sheets are coordinated *across* crowds.
+
+    :class:`CliqueRegime` draws its clique answer-sheet seeds from the
+    pool rng, so two independently seeded pools — e.g. the crowds behind
+    two named serving sessions — produce unrelated cliques.  Here the
+    sheets derive from a fixed ``campaign_seed`` instead: colluders in
+    *any* pool built from this regime share the same per-clique answer
+    sheet, modelling a collusion campaign that spans sessions to poison
+    their estimates consistently.  Which workers join which clique still
+    follows the pool rng, so honest-worker behaviour is untouched.
+    """
+
+    campaign_seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_int(self.campaign_seed, "campaign_seed", minimum=0)
+
+    def setup(self, rng: np.random.Generator) -> List[int]:
+        """Derive the shared answer-sheet seeds from the campaign seed.
+
+        The pool rng is deliberately unused: the whole point is that the
+        sheets do not depend on which crowd is being built.
+        """
+        return [
+            int(derive_rng(self.campaign_seed, clique).integers(0, 2**31 - 1))
+            for clique in range(self.num_cliques)
+        ]
+
+
+@dataclass(frozen=True)
 class StratifiedRegime(WorkerRegime):
     """Class-imbalanced error rates: item strata with their own profiles.
 

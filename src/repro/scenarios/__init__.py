@@ -3,18 +3,25 @@
 This package is the regression surface of the estimator library.  A
 :class:`Scenario` describes a complete workload (dataset x worker regime
 x assignment x estimators x checkpoints) as plain data; the catalogue
-registers ~14 named scenarios including the adversarial crowd regimes
+registers ~20 named scenarios including the adversarial crowd regimes
 (spammers, colluding cliques, accuracy drift, abandoning workers,
-class-imbalanced errors, skewed attention); :class:`ScenarioRunner`
-executes any of them through the batch, sweep and streaming evaluation
-paths and emits one canonical JSON trajectory; the golden helpers pin
-those trajectories byte-for-byte under ``tests/golden/``.
+class-imbalanced errors, skewed attention) and the dynamic serving
+regimes (bursty churn, duplicate storms, reordered deliveries,
+cross-session collusion campaigns); :class:`ScenarioRunner` executes any
+of them through the batch, sweep, streaming and perm-batch evaluation
+paths — plus the serving path for scenarios with a
+:class:`SessionDynamics` block — and emits one canonical JSON
+trajectory; the golden helpers pin those trajectories byte-for-byte
+under ``tests/golden/``.  The replay codec
+(:func:`scenario_from_wal` / :func:`scenarios_from_fleet_report`) turns
+any recorded session log into a traced scenario, so production traffic
+becomes a golden regression test too.
 
 Quick use::
 
     from repro.scenarios import ScenarioRunner, get_scenario
-    trajectory = ScenarioRunner().run(get_scenario("colluding-cliques"))
-    print(trajectory.estimates["chao92"])
+    trajectory = ScenarioRunner().run(get_scenario("cross-session-collusion"))
+    print(trajectory.equivalence["serving_vs_replay"])
 """
 
 from repro.scenarios.catalog import (
@@ -23,6 +30,11 @@ from repro.scenarios.catalog import (
     get_scenario,
     register_scenario,
     unregister_scenario,
+)
+from repro.scenarios.dynamics import (
+    DynamicDriveReport,
+    build_delivery_plans,
+    drive_scenario,
 )
 from repro.scenarios.golden import (
     check_scenario,
@@ -33,6 +45,13 @@ from repro.scenarios.golden import (
     record_scenarios,
     write_golden,
 )
+from repro.scenarios.replay import (
+    TRACE_TAG,
+    TraceSimulation,
+    scenario_from_wal,
+    scenarios_from_fleet_report,
+    trace_matrix,
+)
 from repro.scenarios.runner import MODES, ScenarioRunner, ScenarioTrajectory
 from repro.scenarios.spec import (
     ADVERSARIAL_TAG,
@@ -40,6 +59,8 @@ from repro.scenarios.spec import (
     DatasetSpec,
     RegimeSpec,
     Scenario,
+    SessionDynamics,
+    TraceSpec,
 )
 
 __all__ = [
@@ -47,10 +68,20 @@ __all__ = [
     "DatasetSpec",
     "RegimeSpec",
     "AssignmentSpec",
+    "SessionDynamics",
+    "TraceSpec",
     "ADVERSARIAL_TAG",
+    "TRACE_TAG",
     "ScenarioRunner",
     "ScenarioTrajectory",
     "MODES",
+    "DynamicDriveReport",
+    "build_delivery_plans",
+    "drive_scenario",
+    "TraceSimulation",
+    "trace_matrix",
+    "scenario_from_wal",
+    "scenarios_from_fleet_report",
     "register_scenario",
     "unregister_scenario",
     "get_scenario",

@@ -21,6 +21,7 @@ from repro.scenarios.spec import (
     DatasetSpec,
     RegimeSpec,
     Scenario,
+    SessionDynamics,
 )
 
 _SCENARIOS: Registry[Scenario] = Registry("scenario")
@@ -249,6 +250,125 @@ def _register_builtins() -> None:
             estimators=_ESTIMATORS + ("extrapolation",),
             seed=114,
             tags=(ADVERSARIAL_TAG, "skew"),
+        ),
+        # -- dynamic serving traffic ----------------------------------- #
+        # These scenarios additionally travel the serving path: the same
+        # matrix is delivered as multi-session, multi-source traffic and
+        # the served estimates are pinned bit-identical to the
+        # acknowledged-batch replay oracle (``serving_vs_replay``).
+        Scenario(
+            name="churn-bursty-arrivals",
+            description="Honest crowd delivered in 3-session bursts with loop-point delays",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _HONEST}),
+            dynamics=SessionDynamics(
+                num_sessions=3,
+                sources_per_session=2,
+                columns_per_batch=4,
+                workers_per_burst=2,
+                loop_delay_s=(0.0, 0.002),
+            ),
+            seed=115,
+            tags=("dynamic", "churn"),
+        ),
+        Scenario(
+            name="churn-abandonment",
+            description="Half the delivery sources abandon mid-stream (truncated plans)",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "homogeneous", {"profile": _HONEST}, completion_rate=0.8
+            ),
+            dynamics=SessionDynamics(
+                num_sessions=2,
+                sources_per_session=3,
+                columns_per_batch=3,
+                abandon_rate=0.5,
+            ),
+            seed=116,
+            tags=("dynamic", "churn"),
+        ),
+        Scenario(
+            name="duplicate-storm",
+            description="Every delivery is immediately re-sent: all retries must no-op",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _HONEST}),
+            dynamics=SessionDynamics(
+                num_sessions=2,
+                sources_per_session=2,
+                columns_per_batch=3,
+                duplicate_every=1,
+            ),
+            seed=117,
+            tags=("dynamic", "retry"),
+        ),
+        Scenario(
+            name="reorder-heavy",
+            description="Every other adjacent delivery pair swapped: late batches dropped",
+            dataset=_SYNTH,
+            regime=RegimeSpec("homogeneous", {"profile": _HONEST}),
+            dynamics=SessionDynamics(
+                num_sessions=2,
+                sources_per_session=2,
+                columns_per_batch=2,
+                reorder_every=2,
+                duplicate_every=4,
+            ),
+            seed=118,
+            tags=("dynamic", "reorder"),
+        ),
+        Scenario(
+            name="cross-session-collusion",
+            description="One collusion campaign poisons 3 sessions with shared answer sheets",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "cross_session_cliques",
+                {
+                    "profile": _HONEST,
+                    "colluder_profile": {
+                        "false_negative_rate": 0.45,
+                        "false_positive_rate": 0.15,
+                    },
+                    "num_cliques": 2,
+                    "colluder_fraction": 0.35,
+                    "campaign_seed": 7001,
+                },
+            ),
+            dynamics=SessionDynamics(
+                num_sessions=3,
+                sources_per_session=2,
+                columns_per_batch=3,
+            ),
+            seed=119,
+            tags=(ADVERSARIAL_TAG, "dynamic", "collusion"),
+        ),
+        Scenario(
+            name="collusion-campaign-skew",
+            description="Cross-session cliques under Zipf attention, churned deliveries",
+            dataset=_SYNTH,
+            regime=RegimeSpec(
+                "cross_session_cliques",
+                {
+                    "profile": _HONEST,
+                    "colluder_profile": {
+                        "false_negative_rate": 0.5,
+                        "false_positive_rate": 0.2,
+                    },
+                    "num_cliques": 3,
+                    "colluder_fraction": 0.3,
+                    "campaign_seed": 7002,
+                },
+            ),
+            assignment=AssignmentSpec("skewed", {"exponent": 1.1}),
+            dynamics=SessionDynamics(
+                num_sessions=2,
+                sources_per_session=2,
+                columns_per_batch=3,
+                duplicate_every=3,
+                reorder_every=4,
+                abandon_rate=0.25,
+            ),
+            seed=120,
+            tags=(ADVERSARIAL_TAG, "dynamic", "collusion"),
         ),
     ]
     for scenario in builtins:

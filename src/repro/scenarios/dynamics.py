@@ -1,0 +1,307 @@
+"""Drive a scenario's columns through the serving layer.
+
+A scenario with a :class:`~repro.scenarios.spec.SessionDynamics` block is
+not just a matrix to sweep — it is *traffic*.  This module turns the
+simulated response matrix into per-source delivery plans (bursts,
+loop-point think times, duplicates, reorders, abandonment — the same
+fault vocabulary as :mod:`repro.serving.loadgen`), pushes them through
+the multi-tenant serving facade, and checks the served estimates against
+the acknowledged-batch replay oracle **bit for bit**.
+
+Two drives share one plan builder:
+
+* :func:`drive_scenario` — the deterministic serial drive used by the
+  golden harness: deliveries interleave round-robin across sources (the
+  reproducible stand-in for concurrency), think times are recorded but
+  not slept, and the resulting
+  :attr:`DynamicDriveReport.stats` are stable enough to byte-pin.
+* The threaded drive — pass the same plans to
+  :meth:`~repro.serving.loadgen.LoadGenerator.run` via its ``plans``
+  override to exercise real sockets and real concurrency (the slow e2e
+  path); landing positions then depend on thread scheduling, but the
+  replay oracle still pins the estimates exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import derive_rng
+from repro.core.base import EstimateResult
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.scenarios.spec import Scenario, SessionDynamics
+from repro.serving.loadgen import (
+    AppliedBatch,
+    Delivery,
+    FleetConfig,
+    FleetReport,
+    replay_batches,
+)
+
+#: Stream index dynamics randomness derives from (disjoint from the
+#: dataset's 11 and the simulator's 0-3 so plans never correlate with
+#: crowd noise).
+_DYNAMICS_STREAM = 29
+
+
+def _require_dynamics(scenario: Scenario) -> SessionDynamics:
+    if scenario.dynamics is None:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} has no dynamics block; only dynamic "
+            "scenarios can be driven through the serving layer"
+        )
+    return scenario.dynamics
+
+
+def fleet_config(scenario: Scenario, num_items: int) -> FleetConfig:
+    """The :class:`FleetConfig` carrier for a dynamic scenario's fleet.
+
+    Session names, estimator list and fault knobs all live here so the
+    load-generator machinery (session creation, threaded delivery,
+    replay) works on dynamic scenarios unchanged.  The per-worker batch
+    shape fields are placeholders — plans come from
+    :func:`build_delivery_plans`, not ``build_worker_plan``.
+    """
+    dynamics = _require_dynamics(scenario)
+    return FleetConfig(
+        num_sessions=dynamics.num_sessions,
+        num_workers=dynamics.num_sessions * dynamics.sources_per_session,
+        num_items=int(num_items),
+        columns_per_batch=dynamics.columns_per_batch,
+        items_per_column=1,
+        latency_s=dynamics.loop_delay_s,
+        workers_per_burst=dynamics.workers_per_burst,
+        burst_gap_s=dynamics.burst_gap_s,
+        duplicate_every=dynamics.duplicate_every,
+        reorder_every=dynamics.reorder_every,
+        estimators=tuple(scenario.estimators),
+        session_prefix=f"{scenario.name}-s",
+        keep_votes=False,
+        seed=scenario.seed,
+    )
+
+
+def build_delivery_plans(
+    scenario: Scenario, matrix: ResponseMatrix
+) -> List[List[Delivery]]:
+    """One delivery plan per source for ``matrix``'s columns.
+
+    Columns are spread round-robin over the dynamics' sessions, chopped
+    into ``columns_per_batch`` batches, and the batches dealt round-robin
+    to each session's sources (each source carrying its own ``(source,
+    sequence)`` idempotency stream).  Per source, in order: abandonment
+    truncates the plan after a uniformly drawn batch, reordering swaps
+    every n-th adjacent pair (so a lower sequence arrives late and must
+    be high-water-mark dropped), and every n-th surviving delivery gains
+    an immediate retry twin.  All randomness derives from the scenario
+    seed per source, so any one source's plan is stable under changes to
+    the others.
+    """
+    dynamics = _require_dynamics(scenario)
+    config = fleet_config(scenario, matrix.num_items)
+    session_names = config.session_names()
+    workers = matrix.column_workers
+
+    # Column indices per session, then batches per (session, source).
+    per_session: List[List[int]] = [[] for _ in session_names]
+    for column in range(matrix.num_columns):
+        per_session[column % len(session_names)].append(column)
+
+    plans: List[List[Delivery]] = []
+    root = derive_rng(scenario.seed, _DYNAMICS_STREAM)
+    for session_index, session in enumerate(session_names):
+        columns = per_session[session_index]
+        chunks = [
+            columns[start : start + dynamics.columns_per_batch]
+            for start in range(0, len(columns), dynamics.columns_per_batch)
+        ]
+        for source_index in range(dynamics.sources_per_session):
+            source = f"{session}-src{source_index:02d}"
+            rng = derive_rng(
+                root, session_index * dynamics.sources_per_session + source_index
+            )
+            batches: List[Delivery] = []
+            for sequence, chunk in enumerate(
+                chunks[source_index :: dynamics.sources_per_session], start=1
+            ):
+                batches.append(
+                    Delivery(
+                        session=session,
+                        source=source,
+                        sequence=sequence,
+                        columns=tuple(
+                            matrix.column_votes(column) for column in chunk
+                        ),
+                        worker_ids=tuple(workers[column] for column in chunk),
+                        think_s=float(rng.uniform(*dynamics.loop_delay_s)),
+                    )
+                )
+            if (
+                dynamics.abandon_rate
+                and len(batches) > 1
+                and float(rng.random()) < dynamics.abandon_rate
+            ):
+                batches = batches[: int(rng.integers(1, len(batches)))]
+            if dynamics.reorder_every:
+                for index in range(
+                    dynamics.reorder_every - 1,
+                    len(batches) - 1,
+                    dynamics.reorder_every,
+                ):
+                    batches[index], batches[index + 1] = (
+                        batches[index + 1],
+                        batches[index],
+                    )
+            plan: List[Delivery] = []
+            for index, delivery in enumerate(batches):
+                plan.append(delivery)
+                if (
+                    dynamics.duplicate_every
+                    and (index + 1) % dynamics.duplicate_every == 0
+                ):
+                    plan.append(
+                        Delivery(
+                            session=delivery.session,
+                            source=delivery.source,
+                            sequence=delivery.sequence,
+                            columns=delivery.columns,
+                            worker_ids=delivery.worker_ids,
+                            is_retry=True,
+                            think_s=0.0,
+                        )
+                    )
+            plans.append(plan)
+    return plans
+
+
+@dataclass
+class DynamicDriveReport:
+    """One serving-path drive of a dynamic scenario, plus its oracle."""
+
+    report: FleetReport
+    served: Dict[str, Dict[str, EstimateResult]]
+    replayed: Dict[str, Dict[str, EstimateResult]]
+
+    @property
+    def serving_matches_replay(self) -> bool:
+        """Whether every served estimate equals its replay-oracle twin."""
+        if set(self.served) != set(self.replayed):
+            return False
+        for session, results in self.served.items():
+            oracle = self.replayed[session]
+            if set(results) != set(oracle):
+                return False
+            for name, result in results.items():
+                twin = oracle[name]
+                if result.estimate != twin.estimate or result.observed != twin.observed:
+                    return False
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """Deterministic traffic counters (what the golden payload pins)."""
+        report = self.report
+        return {
+            "deliveries": report.deliveries,
+            "applied_deliveries": report.applied_deliveries,
+            "duplicate_acks": report.duplicate_acks,
+            "late_drops": report.late_drops,
+            "columns_applied": report.columns_applied,
+            "votes_applied": report.votes_applied,
+            "num_sessions": report.config.num_sessions,
+        }
+
+
+def drive_scenario(
+    scenario: Scenario,
+    matrix: ResponseMatrix,
+    client=None,
+) -> DynamicDriveReport:
+    """Serially drive ``matrix`` through the serving layer per the spec.
+
+    ``client`` is anything with the service surface (``create_session`` /
+    ``ingest`` / ``estimates``); ``None`` builds a fresh in-memory
+    :class:`~repro.streaming.serving.EstimationService`.  Deliveries
+    interleave round-robin across sources — one delivery each per turn —
+    which stands in for concurrency while keeping landing positions (and
+    therefore the golden payload) deterministic.  Think times are part of
+    the plan but never slept here.
+    """
+    if client is None:
+        from repro.streaming.serving import EstimationService
+
+        client = EstimationService()
+    config = fleet_config(scenario, matrix.num_items)
+    plans = build_delivery_plans(scenario, matrix)
+    for name in config.session_names():
+        client.create_session(
+            name,
+            range(config.num_items),
+            list(config.estimators),
+            keep_votes=config.keep_votes,
+        )
+
+    counts = {"deliveries": 0, "applied": 0, "duplicates": 0, "late_drops": 0,
+              "columns": 0, "votes": 0}
+    latencies: List[float] = []
+    applied_batches: List[AppliedBatch] = []
+    start = time.perf_counter()
+    pending = [list(plan) for plan in plans]
+    while any(pending):
+        for plan in pending:
+            if not plan:
+                continue
+            delivery = plan.pop(0)
+            begin = time.perf_counter()
+            result = client.ingest(
+                delivery.session,
+                list(delivery.columns),
+                worker_ids=list(delivery.worker_ids),
+                source=delivery.source,
+                sequence=delivery.sequence,
+            )
+            latencies.append(time.perf_counter() - begin)
+            counts["deliveries"] += 1
+            if result.duplicate:
+                counts["duplicates"] += 1
+                if not delivery.is_retry:
+                    counts["late_drops"] += 1
+            else:
+                counts["applied"] += 1
+                counts["columns"] += result.applied
+                counts["votes"] += sum(len(column) for column in delivery.columns)
+                applied_batches.append(
+                    AppliedBatch(
+                        session=delivery.session,
+                        start=result.num_columns - result.applied,
+                        columns=delivery.columns,
+                        worker_ids=delivery.worker_ids,
+                    )
+                )
+    wall = time.perf_counter() - start
+
+    report = FleetReport(
+        config=config,
+        wall_s=wall,
+        deliveries=counts["deliveries"],
+        applied_deliveries=counts["applied"],
+        duplicate_acks=counts["duplicates"],
+        late_drops=counts["late_drops"],
+        columns_applied=counts["columns"],
+        votes_applied=counts["votes"],
+        latencies_s=latencies,
+        applied_batches=applied_batches,
+    )
+    served = {
+        name: client.estimates(name) for name in config.session_names()
+    }
+    replayed = replay_batches(
+        applied_batches,
+        config.num_items,
+        list(config.estimators),
+        keep_votes=config.keep_votes,
+        session_names=config.session_names(),
+    )
+    return DynamicDriveReport(report=report, served=served, replayed=replayed)

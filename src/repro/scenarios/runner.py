@@ -55,10 +55,13 @@ class ScenarioTrajectory:
     estimates: Dict[str, List[float]]
     observed: Dict[str, List[float]]
     equivalence: Dict[str, bool] = field(default_factory=dict)
+    #: Deterministic serving-traffic counters, present only for scenarios
+    #: with a dynamics block (``None`` keeps pre-dynamics goldens stable).
+    dynamics_stats: Optional[Dict[str, int]] = None
 
     def payload(self) -> Dict[str, object]:
         """The JSON document recorded in golden files."""
-        return {
+        payload: Dict[str, object] = {
             "format_version": FORMAT_VERSION,
             "scenario": self.scenario.to_dict(),
             "seed": self.seed,
@@ -76,6 +79,9 @@ class ScenarioTrajectory:
                 for name in sorted(self.estimates)
             },
         }
+        if self.dynamics_stats is not None:
+            payload["dynamics"] = dict(self.dynamics_stats)
+        return payload
 
     def canonical_json(self) -> str:
         """Deterministic JSON text (no trailing newline).
@@ -119,8 +125,17 @@ class ScenarioRunner:
         self.backend = backend
 
     def simulate(self, scenario: Scenario, seed: Optional[int] = None) -> CrowdSimulation:
-        """Run just the crowd simulation of ``scenario``."""
+        """Run just the crowd simulation of ``scenario``.
+
+        A traced scenario has no crowd to simulate: its recorded columns
+        rebuild the matrix verbatim (the dataset / regime / assignment
+        specs and the seed are ignored — a trace *is* its own data).
+        """
         seed = scenario.seed if seed is None else int(seed)
+        if scenario.trace is not None:
+            from repro.scenarios.replay import simulate_trace
+
+            return simulate_trace(scenario.trace)
         dataset = scenario.dataset.build(seed)
         config = SimulationConfig(
             num_tasks=scenario.num_tasks,
@@ -199,6 +214,19 @@ class ScenarioRunner:
                 _series_equal(perm_batch[name], sweep[name]) for name in sweep
             ),
         }
+
+        # Dynamic scenarios additionally travel the serving path: the same
+        # matrix, delivered as bursty / duplicated / reordered / abandoned
+        # traffic, must serve estimates bit-identical to the acknowledged
+        # batch replay oracle.
+        dynamics_stats: Optional[Dict[str, int]] = None
+        if scenario.dynamics is not None:
+            from repro.scenarios.dynamics import drive_scenario
+
+            drive = drive_scenario(scenario, matrix)
+            equivalence["serving_vs_replay"] = drive.serving_matches_replay
+            dynamics_stats = drive.stats()
+
         if self.strict and not all(equivalence.values()):
             failing = sorted(key for key, ok in equivalence.items() if not ok)
             raise ConfigurationError(
@@ -223,4 +251,5 @@ class ScenarioRunner:
                 for name, series in sweep.items()
             },
             equivalence=equivalence,
+            dynamics_stats=dynamics_stats,
         )

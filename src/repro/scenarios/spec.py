@@ -23,10 +23,16 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.exceptions import ConfigurationError
 from repro.common.rng import RandomState, derive_rng
-from repro.common.validation import check_int, check_known_keys
+from repro.common.validation import (
+    check_int,
+    check_known_keys,
+    check_non_negative,
+    check_probability,
+)
 from repro.crowd.assignment import SkewedAssigner
 from repro.crowd.worker import (
     CliqueRegime,
+    CrossSessionCliqueRegime,
     DriftRegime,
     HomogeneousRegime,
     MixtureRegime,
@@ -113,6 +119,10 @@ class RegimeSpec:
     * ``"drift"`` — ``start``, ``end``, ``horizon``;
     * ``"cliques"`` — ``profile``, ``colluder_profile``, ``num_cliques``,
       ``colluder_fraction``;
+    * ``"cross_session_cliques"`` — the same knobs plus ``campaign_seed``:
+      clique answer sheets derive from the campaign seed instead of the
+      pool rng, so colluders in independently seeded pools (e.g. separate
+      serving sessions) share identical sheets;
     * ``"stratified"`` — ``profile``, ``num_strata``,
       ``stratum_profiles``: mapping from stratum (stringified int, as in
       JSON) to profile.
@@ -149,6 +159,13 @@ class RegimeSpec:
                 "num_cliques": int,
                 "colluder_fraction": float,
             },
+            "cross_session_cliques": {
+                "profile": _profile,
+                "colluder_profile": _profile,
+                "num_cliques": int,
+                "colluder_fraction": float,
+                "campaign_seed": int,
+            },
             "stratified": {
                 "profile": _profile,
                 "num_strata": int,
@@ -163,6 +180,7 @@ class RegimeSpec:
             "mixture": MixtureRegime,
             "drift": DriftRegime,
             "cliques": CliqueRegime,
+            "cross_session_cliques": CrossSessionCliqueRegime,
             "stratified": StratifiedRegime,
         }
         if self.kind not in classes:
@@ -244,6 +262,168 @@ class AssignmentSpec:
 
 
 @dataclass(frozen=True)
+class SessionDynamics:
+    """How a scenario's columns reach the serving layer.
+
+    A scenario with dynamics is additionally driven through the
+    multi-tenant serving facade (``EstimationService`` or a
+    ``SessionClient``) as a fleet of delivery sources: columns are split
+    across named sessions, chopped into batches, reordered, duplicated
+    and abandoned according to these knobs, and the served estimates are
+    asserted bit-identical to the acknowledged-batch replay oracle
+    (``equivalence["serving_vs_replay"]`` in the trajectory).
+
+    Attributes
+    ----------
+    num_sessions:
+        Named serving sessions the columns are spread over (round-robin
+        by column index).
+    sources_per_session:
+        Independent delivery sources per session; each source carries its
+        own ``(source, sequence)`` idempotency stream.
+    columns_per_batch:
+        Task columns per ingest batch.
+    workers_per_burst / burst_gap_s:
+        Burst shape for the threaded (load-generator) drive; the
+        deterministic serial drive ignores the gap.
+    loop_delay_s:
+        ``(low, high)`` uniform think-time range between a source's
+        deliveries — the loop-point delivery time.  Recorded in the
+        delivery plan; only the threaded drive sleeps.
+    duplicate_every:
+        Every n-th batch of a source is re-delivered with the same
+        sequence number (0 disables); the retry must be acknowledged as a
+        duplicate no-op.
+    reorder_every:
+        Every n-th adjacent batch pair of a source is swapped before
+        delivery (0 disables), exercising the high-water-mark drop path.
+    abandon_rate:
+        Probability that a source abandons mid-stream, truncating its
+        plan after a uniformly drawn batch.
+    """
+
+    num_sessions: int = 1
+    sources_per_session: int = 2
+    columns_per_batch: int = 3
+    workers_per_burst: int = 4
+    burst_gap_s: float = 0.0
+    loop_delay_s: Tuple[float, float] = (0.0, 0.0)
+    duplicate_every: int = 0
+    reorder_every: int = 0
+    abandon_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_int(self.num_sessions, "num_sessions", minimum=1)
+        check_int(self.sources_per_session, "sources_per_session", minimum=1)
+        check_int(self.columns_per_batch, "columns_per_batch", minimum=1)
+        check_int(self.workers_per_burst, "workers_per_burst", minimum=1)
+        check_non_negative(self.burst_gap_s, "burst_gap_s")
+        check_int(self.duplicate_every, "duplicate_every", minimum=0)
+        check_int(self.reorder_every, "reorder_every", minimum=0)
+        check_probability(self.abandon_rate, "abandon_rate")
+        low, high = self.loop_delay_s
+        check_non_negative(low, "loop_delay_s[0]")
+        check_non_negative(high, "loop_delay_s[1]")
+        if float(low) > float(high):
+            raise ConfigurationError(
+                f"loop_delay_s low {low!r} exceeds high {high!r}"
+            )
+        object.__setattr__(self, "loop_delay_s", (float(low), float(high)))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_sessions": self.num_sessions,
+            "sources_per_session": self.sources_per_session,
+            "columns_per_batch": self.columns_per_batch,
+            "workers_per_burst": self.workers_per_burst,
+            "burst_gap_s": self.burst_gap_s,
+            "loop_delay_s": list(self.loop_delay_s),
+            "duplicate_every": self.duplicate_every,
+            "reorder_every": self.reorder_every,
+            "abandon_rate": self.abandon_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SessionDynamics":
+        converters: Dict[str, Callable[[object], object]] = {
+            "num_sessions": int,
+            "sources_per_session": int,
+            "columns_per_batch": int,
+            "workers_per_burst": int,
+            "burst_gap_s": float,
+            "loop_delay_s": lambda value: tuple(float(v) for v in value),
+            "duplicate_every": int,
+            "reorder_every": int,
+            "abandon_rate": float,
+        }
+        check_known_keys(data, "dynamics keys", converters)
+        kwargs = {
+            name: convert(data[name])
+            for name, convert in converters.items()
+            if name in data
+        }
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A recorded column stream, replayable as a scenario.
+
+    Instead of simulating a crowd, a traced scenario rebuilds its
+    response matrix verbatim from ``columns`` — ordered ``(item, vote)``
+    pair tuples exactly as they were applied by a live run (a WAL replay
+    or an acknowledged-batch fleet record).  ``true_errors`` is the gold
+    error count when known, or ``-1`` when the trace carries no ground
+    truth (production traces usually don't).
+    """
+
+    item_ids: Tuple[int, ...] = ()
+    columns: Tuple[Tuple[Tuple[int, int], ...], ...] = ()
+    worker_ids: Tuple[Optional[int], ...] = ()
+    true_errors: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.item_ids:
+            raise ConfigurationError("a trace needs at least one item id")
+        if len(self.worker_ids) != len(self.columns):
+            raise ConfigurationError(
+                f"trace has {len(self.columns)} columns but "
+                f"{len(self.worker_ids)} worker ids"
+            )
+        check_int(self.true_errors, "true_errors", minimum=-1)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "item_ids": list(self.item_ids),
+            "columns": [
+                [[item, vote] for item, vote in column] for column in self.columns
+            ],
+            "worker_ids": list(self.worker_ids),
+            "true_errors": self.true_errors,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TraceSpec":
+        check_known_keys(
+            data,
+            "trace keys",
+            {"item_ids", "columns", "worker_ids", "true_errors"},
+        )
+        return cls(
+            item_ids=tuple(int(item) for item in data["item_ids"]),
+            columns=tuple(
+                tuple((int(item), int(vote)) for item, vote in column)
+                for column in data["columns"]
+            ),
+            worker_ids=tuple(
+                None if worker is None else int(worker)
+                for worker in data.get("worker_ids", [None] * len(data["columns"]))
+            ),
+            true_errors=int(data.get("true_errors", -1)),
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One named, fully reproducible estimation workload.
 
@@ -267,6 +447,14 @@ class Scenario:
     tags:
         Free-form labels; ``"adversarial"`` marks regimes outside the
         paper's assumptions.
+    dynamics:
+        Optional :class:`SessionDynamics`; when present the runner also
+        drives the scenario through the serving facade and records the
+        ``serving_vs_replay`` equivalence flag.
+    trace:
+        Optional :class:`TraceSpec`; when present the matrix is rebuilt
+        from the recorded columns instead of simulating a crowd (the
+        dataset / regime / assignment specs are ignored).
     """
 
     name: str
@@ -281,6 +469,8 @@ class Scenario:
     num_checkpoints: int = 8
     seed: int = 0
     tags: Tuple[str, ...] = ()
+    dynamics: Optional[SessionDynamics] = None
+    trace: Optional[TraceSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -306,8 +496,14 @@ class Scenario:
         return [p for p in points if p >= 1]
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly representation (embedded in golden files)."""
-        return {
+        """JSON-friendly representation (embedded in golden files).
+
+        The optional ``dynamics`` / ``trace`` keys are emitted only when
+        set, so the serialisation of every pre-existing scenario — and
+        therefore every pinned golden file — is byte-identical to what it
+        was before those fields existed.
+        """
+        data: Dict[str, object] = {
             "name": self.name,
             "description": self.description,
             "dataset": self.dataset.to_dict(),
@@ -321,6 +517,11 @@ class Scenario:
             "seed": self.seed,
             "tags": list(self.tags),
         }
+        if self.dynamics is not None:
+            data["dynamics"] = self.dynamics.to_dict()
+        if self.trace is not None:
+            data["trace"] = self.trace.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
@@ -342,6 +543,8 @@ class Scenario:
             "num_checkpoints": int,
             "seed": int,
             "tags": tuple,
+            "dynamics": SessionDynamics.from_dict,
+            "trace": TraceSpec.from_dict,
         }
         check_known_keys(
             data, "scenario keys", set(converters) | {"name", "description"}

@@ -67,11 +67,15 @@ from repro.serving.http import (
     result_to_payload,
 )
 from repro.serving.loadgen import (
+    AppliedBatch,
+    Delivery,
     FleetConfig,
     FleetReport,
     LoadGenerator,
     latency_percentiles,
+    ordered_session_batches,
     replay_applied_batches,
+    replay_batches,
 )
 from repro.serving.workers import ProcessShardedService
 from repro.streaming.serving import (
@@ -147,9 +151,13 @@ __all__ = [
     "result_to_payload",
     "result_from_payload",
     # the synthetic-crowd load harness (repro.serving.loadgen)
+    "AppliedBatch",
+    "Delivery",
     "FleetConfig",
     "FleetReport",
     "LoadGenerator",
     "latency_percentiles",
+    "ordered_session_batches",
     "replay_applied_batches",
+    "replay_batches",
 ]

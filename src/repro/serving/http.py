@@ -50,6 +50,7 @@ from __future__ import annotations
 import json
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -340,7 +341,12 @@ class ServingApi:
     def _route(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, object]]:
-        parts = [part for part in path.split("?", 1)[0].split("/") if part]
+        route, _, raw_query = path.partition("?")
+        parts = [part for part in route.split("/") if part]
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(raw_query).items()
+        }
         if parts == ["health"] and method == "GET":
             return self._health()
         if parts == ["sessions"]:
@@ -363,7 +369,10 @@ class ServingApi:
             if action == "batches" and method == "POST":
                 return self._ingest(name, self._json_body(body))
             if action == "estimates" and method == "GET":
-                return 200, report_to_payload(self.service.estimate_report(name))
+                payload = report_to_payload(self.service.estimate_report(name))
+                if _query_flag(query, "collusion"):
+                    payload["collusion"] = self._collusion(name, query)
+                return 200, payload
             if action == "snapshot" and method == "POST":
                 self.service.snapshot(name)
                 return 200, {"session": name, "snapshotted": True}
@@ -378,6 +387,38 @@ class ServingApi:
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
+    def _collusion(self, name: str, query: Dict[str, str]) -> Dict[str, object]:
+        """The estimates route's ``?collusion=1`` extension.
+
+        Optional ``threshold`` / ``min_overlap`` query parameters tune
+        the agreement scan; a service without the capability (the
+        process-sharded facade keeps its worker RPC surface minimal)
+        answers with a 400 rather than a confusing unknown-route 404.
+        """
+        reporter = getattr(self.service, "collusion_report", None)
+        if reporter is None:
+            raise ValidationError(
+                "this service does not support collusion reports "
+                "(process-sharded serving keeps the worker protocol to the "
+                "core ingest/estimate surface)"
+            )
+        kwargs: Dict[str, object] = {}
+        if "threshold" in query:
+            try:
+                kwargs["threshold"] = float(query["threshold"])
+            except ValueError:
+                raise ValidationError(
+                    f"'threshold' must be a number, got {query['threshold']!r}"
+                ) from None
+        if "min_overlap" in query:
+            try:
+                kwargs["min_overlap"] = int(query["min_overlap"])
+            except ValueError:
+                raise ValidationError(
+                    f"'min_overlap' must be an integer, got {query['min_overlap']!r}"
+                ) from None
+        return reporter(name, **kwargs).to_dict()
+
     def _health(self) -> Tuple[int, Dict[str, object]]:
         service = self.service
         return 200, {
@@ -641,6 +682,14 @@ class HttpServingServer:
 # --------------------------------------------------------------------- #
 # the stdlib client
 # --------------------------------------------------------------------- #
+def _query_flag(query: Mapping[str, str], key: str) -> bool:
+    """Whether a query parameter is present and truthy (``0``/``false`` off)."""
+    value = query.get(key)
+    if value is None:
+        return False
+    return value.strip().lower() not in {"", "0", "false", "no"}
+
+
 class SessionClient:
     """A ``urllib``-based client speaking the :class:`ServingApi` wire format.
 
@@ -759,6 +808,30 @@ class SessionClient:
 
     def estimates(self, name: str) -> Dict[str, EstimateResult]:
         return self.estimate_report(name).results
+
+    def collusion_report(
+        self,
+        name: str,
+        *,
+        threshold: Optional[float] = None,
+        min_overlap: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """The estimates route's collusion extension, as a plain payload.
+
+        Mirrors ``EstimationService.collusion_report`` over the wire
+        (``GET /sessions/{name}/estimates?collusion=1``); omitted knobs
+        take the server-side defaults.
+        """
+        params = {"collusion": "1"}
+        if threshold is not None:
+            params["threshold"] = repr(float(threshold))
+        if min_overlap is not None:
+            params["min_overlap"] = str(int(min_overlap))
+        body = self._request(
+            "GET",
+            f"/sessions/{name}/estimates?" + urllib.parse.urlencode(params),
+        )
+        return dict(body["collusion"])
 
     def snapshot(self, name: str) -> Dict[str, object]:
         return self._request("POST", f"/sessions/{name}/snapshot", {})

@@ -296,19 +296,31 @@ class LoadGenerator:
             )
         return names
 
-    def run(self, *, create_sessions: bool = True) -> FleetReport:
+    def run(
+        self,
+        *,
+        create_sessions: bool = True,
+        plans: Optional[Sequence[Sequence[Delivery]]] = None,
+    ) -> FleetReport:
         """Drive the whole fleet; returns the :class:`FleetReport`.
 
         Workers run as real threads, launched in bursts; a worker failure
         (an unexpected error response, a dead server) is re-raised here
-        after every thread has stopped.
+        after every thread has stopped.  ``plans`` overrides the default
+        per-worker plans (``build_worker_plan`` for every worker) — the
+        dynamic-scenario drive injects its own delivery plans this way
+        while reusing the threading, bursting and acknowledgement
+        bookkeeping unchanged.
         """
         config = self.config
         if create_sessions:
             self.create_sessions()
-        plans = [
-            build_worker_plan(config, worker) for worker in range(config.num_workers)
-        ]
+        if plans is None:
+            plans = [
+                build_worker_plan(config, worker)
+                for worker in range(config.num_workers)
+            ]
+        plans = [list(plan) for plan in plans]
 
         lock = threading.Lock()
         latencies: List[float] = []
@@ -385,6 +397,70 @@ class LoadGenerator:
         )
 
 
+def ordered_session_batches(
+    applied_batches: Sequence[AppliedBatch],
+    session_names: Optional[Sequence[str]] = None,
+) -> Dict[str, List[AppliedBatch]]:
+    """Group applied batches by session in server-side application order.
+
+    Sorting a session's batches by their acknowledged landing position
+    *is* the order the server applied them; the tiling check (no gaps, no
+    overlaps) means a lost or double-applied batch cannot hide.  This is
+    the shared first step of :func:`replay_applied_batches` and the
+    trace-replay codec in :mod:`repro.scenarios.replay`.
+    """
+    by_session: Dict[str, List[AppliedBatch]] = {
+        name: [] for name in (session_names or [])
+    }
+    for batch in applied_batches:
+        by_session.setdefault(batch.session, []).append(batch)
+    ordered: Dict[str, List[AppliedBatch]] = {}
+    for name, batches in by_session.items():
+        batches = sorted(batches, key=lambda batch: batch.start)
+        expected_start = 0
+        for batch in batches:
+            if batch.start != expected_start:
+                raise ValidationError(
+                    f"applied batches for session {name!r} do not tile the "
+                    f"column range: expected a batch starting at column "
+                    f"{expected_start}, found {batch.start} — a delivery was "
+                    "lost or double-applied"
+                )
+            expected_start += len(batch.columns)
+        ordered[name] = batches
+    return ordered
+
+
+def replay_batches(
+    applied_batches: Sequence[AppliedBatch],
+    num_items: int,
+    estimators: Sequence[str],
+    *,
+    keep_votes: bool = False,
+    session_names: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, EstimateResult]]:
+    """Replay acknowledged batches through plain sessions, per session.
+
+    The generic core of :func:`replay_applied_batches`: any collection of
+    :class:`AppliedBatch` records — a fleet report's, or the serial
+    dynamic-scenario drive's — replays into fresh
+    :class:`~repro.streaming.StreamingSession` instances, one per
+    session, in the acknowledged application order.  Returns
+    ``{session: {estimator: EstimateResult}}``.
+    """
+    replayed: Dict[str, Dict[str, EstimateResult]] = {}
+    for name, batches in ordered_session_batches(
+        applied_batches, session_names
+    ).items():
+        session = StreamingSession(
+            range(num_items), list(estimators), keep_votes=keep_votes
+        )
+        for batch in batches:
+            session.add_columns(list(batch.columns), list(batch.worker_ids))
+        replayed[name] = session.estimate()
+    return replayed
+
+
 def replay_applied_batches(
     report: FleetReport,
     estimators: Optional[Sequence[str]] = None,
@@ -401,30 +477,10 @@ def replay_applied_batches(
     **bit-identical**.
     """
     config = report.config
-    by_session: Dict[str, List[AppliedBatch]] = {
-        name: [] for name in config.session_names()
-    }
-    for batch in report.applied_batches:
-        by_session.setdefault(batch.session, []).append(batch)
-
-    replayed: Dict[str, Dict[str, EstimateResult]] = {}
-    for name, batches in by_session.items():
-        ordered = sorted(batches, key=lambda batch: batch.start)
-        session = StreamingSession(
-            range(config.num_items),
-            list(estimators if estimators is not None else config.estimators),
-            keep_votes=config.keep_votes,
-        )
-        expected_start = 0
-        for batch in ordered:
-            if batch.start != expected_start:
-                raise ValidationError(
-                    f"applied batches for session {name!r} do not tile the "
-                    f"column range: expected a batch starting at column "
-                    f"{expected_start}, found {batch.start} — a delivery was "
-                    "lost or double-applied"
-                )
-            session.add_columns(list(batch.columns), list(batch.worker_ids))
-            expected_start += len(batch.columns)
-        replayed[name] = session.estimate()
-    return replayed
+    return replay_batches(
+        report.applied_batches,
+        config.num_items,
+        list(estimators if estimators is not None else config.estimators),
+        keep_votes=config.keep_votes,
+        session_names=config.session_names(),
+    )

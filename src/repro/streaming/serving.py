@@ -500,6 +500,31 @@ class EstimationService:
                     continue
                 return handle.session.progress()
 
+    def collusion_report(
+        self, name: str, *, threshold: float = 0.9, min_overlap: int = 5
+    ):
+        """Pairwise-agreement collusion diagnostics for the session.
+
+        Materialises the session's retained votes and runs
+        :func:`repro.core.descriptive.collusion_report` over them — the
+        detection-side answer to the cross-session clique regimes.
+        Requires the session to have been created with
+        ``keep_votes=True`` (the materialisation raises
+        ``ConfigurationError`` otherwise, which the HTTP layer maps to a
+        400).
+        """
+        from repro.core.descriptive import collusion_report as _collusion_report
+
+        while True:
+            handle = self._activate(name)
+            with handle.lock:
+                if handle.evicted:
+                    continue
+                matrix = handle.session.matrix()
+                return _collusion_report(
+                    matrix, threshold=threshold, min_overlap=min_overlap
+                )
+
     # ------------------------------------------------------------------ #
     # durability
     # ------------------------------------------------------------------ #
@@ -960,6 +985,14 @@ class ShardedEstimationService:
     def progress(self, name: str) -> Dict[str, float]:
         """The named session's stream-progress summary."""
         return self._shard(name).progress(name)
+
+    def collusion_report(
+        self, name: str, *, threshold: float = 0.9, min_overlap: int = 5
+    ):
+        """Collusion diagnostics from the owning shard."""
+        return self._shard(name).collusion_report(
+            name, threshold=threshold, min_overlap=min_overlap
+        )
 
     def snapshot(self, name: str) -> SessionSnapshot:
         """Snapshot (compact) the session on its owning shard."""

@@ -7,6 +7,8 @@ request handling — not a stubbed transport.
 
 from __future__ import annotations
 
+import errno
+
 import pytest
 
 from repro.serving import (
@@ -17,11 +19,35 @@ from repro.serving import (
     SessionClient,
 )
 
+#: Bounded budget for re-binding on ``EADDRINUSE``.  Ephemeral ports are
+#: handed out by the kernel, but parallel CI runners (and tests that just
+#: closed a server) can still race a port into TIME_WAIT between the
+#: kernel's pick and our bind; a few retries absorb that without masking
+#: a genuinely unbindable configuration.
+BIND_ATTEMPTS = 5
+
+
+def start_server(service, host: str = "127.0.0.1", port: int = 0) -> HttpServingServer:
+    """Construct an :class:`HttpServingServer`, retrying transient binds.
+
+    Only ``EADDRINUSE`` is retried, and only ``BIND_ATTEMPTS`` times —
+    every other ``OSError`` (bad host, permissions) is a real
+    configuration problem and propagates immediately, as does the final
+    ``EADDRINUSE``.
+    """
+    for attempt in range(BIND_ATTEMPTS):
+        try:
+            return HttpServingServer(service, host=host, port=port)
+        except OSError as error:
+            if error.errno != errno.EADDRINUSE or attempt == BIND_ATTEMPTS - 1:
+                raise
+    raise AssertionError("unreachable: the loop returns or raises")
+
 
 @pytest.fixture
 def memory_server():
     """An HTTP server over a fresh in-memory service."""
-    with HttpServingServer(EstimationService(MemorySessionStore())) as server:
+    with start_server(EstimationService(MemorySessionStore())) as server:
         yield server
 
 
@@ -40,5 +66,5 @@ def store_server(tmp_path):
     """
     root = tmp_path / "store"
     service = EstimationService(DirectorySessionStore(root))
-    with HttpServingServer(service) as server:
+    with start_server(service) as server:
         yield server, root

@@ -1,0 +1,122 @@
+"""Graceful drain: SIGTERM mid-traffic never loses or double-applies a batch.
+
+The contract under test is the serve loop's drain guarantee: when the
+process receives SIGTERM while deliveries are in flight, every batch it
+acknowledged is durably in the WAL, every batch it did not acknowledge
+can be redelivered with the same ``(source, sequence)`` pair, and the
+union is exactly-once — the restarted server's final state equals a
+clean serial replay of the full delivery schedule.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.common.labels import CLEAN, DIRTY
+from repro.serving import SessionClient
+from repro.streaming.session import StreamingSession
+
+from e2e.test_serve_cli import _spawn, _url
+
+pytestmark = pytest.mark.slow
+
+NUM_ITEMS = 30
+ESTIMATORS = ["voting", "chao92"]
+
+
+def batch_schedule(num_batches: int = 24):
+    """A deterministic run of single-column batches for source ``w``."""
+    schedule = []
+    for sequence in range(1, num_batches + 1):
+        column = {
+            (sequence + offset) % NUM_ITEMS: (DIRTY if offset % 3 == 0 else CLEAN)
+            for offset in range(5)
+        }
+        schedule.append((sequence, [column]))
+    return schedule
+
+
+def serial_replay(schedule):
+    """The oracle: the same batches applied once each, in order."""
+    session = StreamingSession(range(NUM_ITEMS), ESTIMATORS)
+    for _, columns in schedule:
+        session.add_columns(columns)
+    return session.estimate()
+
+
+class TestGracefulDrain:
+    def test_sigterm_mid_delivery_is_exactly_once_after_restart(self, tmp_path):
+        store = tmp_path / "store"
+        schedule = batch_schedule()
+        process = _spawn(store=store)
+        acked = []
+        stop = threading.Event()
+        poster = None
+        try:
+            client = SessionClient(_url(process))
+            client.create_session("drain", items=NUM_ITEMS, estimators=ESTIMATORS)
+
+            def deliver():
+                for sequence, columns in schedule:
+                    if stop.is_set():
+                        return
+                    try:
+                        result = client.ingest(
+                            "drain", columns, source="w", sequence=sequence
+                        )
+                    except Exception:
+                        # The server went away mid-request: the whole point.
+                        return
+                    acked.append((sequence, result.applied, result.duplicate))
+                    time.sleep(0.005)
+
+            poster = threading.Thread(target=deliver)
+            poster.start()
+            # Let a few batches land, then pull the rug mid-stream.
+            deadline = time.monotonic() + 10.0
+            while len(acked) < 3 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert len(acked) >= 3, "server never acknowledged any batches"
+        finally:
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=20)
+        stop.set()
+        if poster is not None:
+            poster.join(timeout=10)
+            assert not poster.is_alive()
+        assert process.returncode == 0, err
+        assert "shutdown complete" in out
+        # Every acknowledgement the client saw was a first-time apply.
+        assert all(applied == 1 and not duplicate for _, applied, duplicate in acked)
+
+        # Restart over the same store and redeliver the ENTIRE schedule
+        # with the original idempotency pairs.
+        process = _spawn(store=store)
+        try:
+            client = SessionClient(_url(process))
+            acked_sequences = {sequence for sequence, _, _ in acked}
+            redelivered = {}
+            for sequence, columns in schedule:
+                result = client.ingest("drain", columns, source="w", sequence=sequence)
+                redelivered[sequence] = (result.applied, result.duplicate)
+                # A batch the client saw acknowledged MUST be a duplicate
+                # now — the WAL made the ack durable before the drain.
+                if sequence in acked_sequences:
+                    assert redelivered[sequence] == (0, True), (
+                        f"acknowledged batch {sequence} was lost by the drain"
+                    )
+            # Exactly-once overall: each batch applied in phase 1 XOR phase 2.
+            for sequence, (applied, duplicate) in redelivered.items():
+                assert (applied, duplicate) in ((0, True), (1, False))
+
+            progress = client.progress("drain")
+            assert progress["num_columns"] == len(schedule)
+            assert client.estimates("drain") == serial_replay(schedule)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.communicate(timeout=20)
+        assert process.returncode == 0

@@ -1,0 +1,116 @@
+"""Dynamic catalog scenarios and collusion reports over real sockets.
+
+The catalogue's dynamic scenarios pin their serving-traffic counters in
+the golden files from an **in-process** drive; these tests re-drive the
+same scenarios through a threaded HTTP server and assert the identical
+counters and estimates come back — the wire adds latency, not drift.
+Marked ``slow``: each test boots a server and pushes a full fleet of
+traffic through it.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.common.exceptions import ValidationError
+from repro.common.labels import CLEAN, DIRTY
+from repro.scenarios import (
+    ScenarioRunner,
+    build_delivery_plans,
+    drive_scenario,
+    get_scenario,
+    read_golden,
+)
+from repro.scenarios.dynamics import fleet_config
+from repro.serving import LoadGenerator, replay_applied_batches
+from repro.streaming.store import UnknownSessionError
+
+pytestmark = pytest.mark.slow
+
+
+class TestDynamicScenariosOverHttp:
+    @pytest.mark.parametrize("name", ["duplicate-storm", "churn-abandonment"])
+    def test_http_drive_reproduces_the_pinned_golden_counters(self, client, name):
+        """The golden 'dynamics' block was recorded in-process; the same
+        scenario driven over HTTP must reproduce it byte for byte."""
+        scenario = get_scenario(name)
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        drive = drive_scenario(scenario, matrix, client=client)
+        assert drive.serving_matches_replay
+        golden = json.loads(read_golden(name))
+        assert drive.stats() == golden["dynamics"]
+
+    def test_threaded_fleet_on_dynamic_plans_matches_replay(self, client):
+        """Satellite path: the scenario's delivery plans drive the stock
+        threaded LoadGenerator over HTTP; the replay oracle still pins
+        every served estimate."""
+        scenario = get_scenario("churn-bursty-arrivals")
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        config = fleet_config(scenario, matrix.num_items)
+        plans = build_delivery_plans(scenario, matrix)
+        report = LoadGenerator(client, config).run(plans=plans)
+        assert report.deliveries == sum(len(plan) for plan in plans)
+        replayed = replay_applied_batches(report)
+        for name, results in replayed.items():
+            assert client.estimates(name) == results
+
+
+class TestCollusionOverHttp:
+    def poison(self, client, name="prod", colluders=3, honest=3):
+        client.create_session(name, items=20, estimators=["voting"])
+        sheet = {item: (DIRTY if item % 3 == 0 else CLEAN) for item in range(20)}
+        columns = [dict(sheet) for _ in range(colluders)]
+        columns += [
+            {
+                item: (DIRTY if (item // 2 + offset) % 4 == 0 else CLEAN)
+                for item in range(0, 20, 2)
+            }
+            for offset in range(1, honest + 1)
+        ]
+        client.ingest(name, columns, worker_ids=list(range(len(columns))))
+        return name
+
+    def test_collusion_flag_extends_the_estimates_payload(self, client):
+        name = self.poison(client)
+        report = client.collusion_report(name)
+        assert report["cliques"][0][:3] == [0, 1, 2]
+        assert set(report["flagged_workers"]) >= {0, 1, 2}
+        # Without the flag, the estimates payload is exactly as before.
+        estimates = client.estimates(name)
+        assert set(estimates) == {"voting"}
+
+    def test_threshold_and_min_overlap_travel_the_wire(self, client):
+        name = self.poison(client)
+        strict = client.collusion_report(name, threshold=1.0, min_overlap=10)
+        assert strict["threshold"] == 1.0
+        assert strict["min_overlap"] == 10
+        assert strict["cliques"] == [[0, 1, 2]]
+
+    def test_malformed_query_parameters_are_a_400(self, memory_server, client):
+        name = self.poison(client)
+        for param in ("threshold=abc", "min_overlap=1.5"):
+            url = f"{memory_server.url}/sessions/{name}/estimates?collusion=1&{param}"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_out_of_range_knobs_raise_typed_validation_errors(self, client):
+        name = self.poison(client)
+        with pytest.raises(ValidationError):
+            client.collusion_report(name, threshold=1.5)
+        with pytest.raises(ValidationError):
+            client.collusion_report(name, min_overlap=0)
+
+    def test_unknown_session_raises_the_typed_error(self, client):
+        with pytest.raises(UnknownSessionError):
+            client.collusion_report("ghost")
+
+    def test_keep_votes_false_session_answers_with_an_error(self, client):
+        client.create_session("fast", items=10, keep_votes=False)
+        client.ingest("fast", [{0: DIRTY}])
+        with pytest.raises(Exception, match="keep_votes"):
+            client.collusion_report("fast")

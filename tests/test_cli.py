@@ -256,6 +256,57 @@ class TestCliScenario:
             main(["scenario", "run", "not-a-scenario"])
 
 
+class TestCliReplay:
+    """`repro replay`: session WAL -> scenario spec / trajectory."""
+
+    @staticmethod
+    def make_wal(tmp_path):
+        from repro.serving import DirectorySessionStore, EstimationService
+
+        service = EstimationService(DirectorySessionStore(tmp_path / "store"))
+        service.create_session("prod", range(10), ["voting", "chao92"])
+        service.ingest("prod", [{0: 1, 3: 0}], source="w", sequence=1)
+        service.ingest("prod", [{1: 1, 4: 1}], source="w", sequence=2)
+        return tmp_path / "store" / "prod" / "wal-00000001.log"
+
+    def test_replay_prints_a_round_tripping_spec(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios import TRACE_TAG, Scenario
+
+        wal = self.make_wal(tmp_path)
+        assert main(["replay", str(wal), "--name", "prod-replay"]) == 0
+        scenario = Scenario.from_dict(json.loads(capsys.readouterr().out))
+        assert scenario.name == "prod-replay"
+        assert TRACE_TAG in scenario.tags
+        assert scenario.estimators == ("voting", "chao92")
+        assert len(scenario.trace.columns) == 2
+
+    def test_replay_run_prints_the_canonical_trajectory(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios.runner import MODES
+
+        wal = self.make_wal(tmp_path)
+        code = main(
+            ["replay", str(wal), "--name", "prod-replay", "--run",
+             "--estimators", "voting"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["modes"] == list(MODES)
+        assert all(payload["equivalence"].values())
+        assert set(payload["trajectories"]) == {"voting"}
+
+    def test_replay_on_a_bad_log_exits_2_with_one_line(self, capsys, tmp_path):
+        broken = tmp_path / "not-a-wal.log"
+        broken.write_bytes(b"junk bytes, no frame")
+        assert main(["replay", str(broken), "--name", "x"]) == 2
+        captured = capsys.readouterr()
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1 and lines[0].startswith("error: ")
+
+
 class TestCliSession:
     """The `repro session` serving commands against a temporary store."""
 

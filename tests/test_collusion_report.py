@@ -1,0 +1,178 @@
+"""Collusion diagnostics: the descriptive report, the cross-session
+regime that provokes it, and the serving surfaces that expose it."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.labels import CLEAN, DIRTY
+from repro.common.rng import derive_rng
+from repro.core import CollusionReport, collusion_report
+from repro.crowd import CrossSessionCliqueRegime, WorkerProfile
+from repro.crowd.response_matrix import ResponseMatrix
+from repro.streaming.serving import EstimationService, ShardedEstimationService
+
+HONEST = WorkerProfile(false_negative_rate=0.2, false_positive_rate=0.05)
+
+
+def matrix_with_one_clique() -> ResponseMatrix:
+    """Columns 0 and 1 share an answer sheet; 2 disagrees; 3 barely votes."""
+    sheet = {0: DIRTY, 1: DIRTY, 2: CLEAN, 3: CLEAN, 4: DIRTY}
+    opposite = {item: (CLEAN if vote == DIRTY else DIRTY) for item, vote in sheet.items()}
+    matrix = ResponseMatrix(range(6))
+    matrix.add_column(sheet, 10)
+    matrix.add_column(dict(sheet), 11)
+    matrix.add_column(opposite, 12)
+    matrix.add_column({0: DIRTY, 1: DIRTY}, 13)
+    return matrix
+
+
+class TestCollusionReportFunction:
+    def test_flags_the_identical_pair_and_nobody_else(self):
+        report = collusion_report(matrix_with_one_clique())
+        assert report.num_columns == 4
+        # Only the three 5-item columns meet the default overlap of 5.
+        assert report.num_pairs == 3
+        assert report.max_agreement == 1.0
+        assert report.mean_agreement == pytest.approx(1.0 / 3.0)
+        assert report.flagged_pairs == ((0, 1, 1.0),)
+        assert report.cliques == ((0, 1),)
+        assert report.flagged_workers == (10, 11)
+
+    def test_min_overlap_controls_which_pairs_count(self):
+        report = collusion_report(matrix_with_one_clique(), min_overlap=2)
+        # The 2-vote column now pairs with everyone: 6 pairs in total,
+        # and its agreement with columns 0/1 is total (it copies the sheet).
+        assert report.num_pairs == 6
+        assert report.cliques == ((0, 1, 3),)
+        assert report.flagged_workers == (10, 11, 13)
+
+    def test_threshold_one_still_flags_exact_copies(self):
+        report = collusion_report(matrix_with_one_clique(), threshold=1.0)
+        assert report.flagged_pairs == ((0, 1, 1.0),)
+
+    def test_empty_matrix_reports_cleanly(self):
+        report = collusion_report(ResponseMatrix(range(4)))
+        assert report.num_columns == 0
+        assert report.num_pairs == 0
+        assert report.mean_agreement == 0.0
+        assert report.flagged_pairs == ()
+
+    def test_parameter_validation(self):
+        matrix = matrix_with_one_clique()
+        with pytest.raises(Exception):
+            collusion_report(matrix, threshold=1.5)
+        with pytest.raises(Exception):
+            collusion_report(matrix, min_overlap=0)
+
+    def test_payload_round_trips_through_json(self):
+        report = collusion_report(matrix_with_one_clique(), min_overlap=2)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["cliques"] == [[0, 1, 3]]
+        assert payload["flagged_workers"] == [10, 11, 13]
+        assert payload["threshold"] == report.threshold
+        assert payload["min_overlap"] == report.min_overlap
+
+
+class TestCrossSessionCliqueRegime:
+    def regime(self, **overrides) -> CrossSessionCliqueRegime:
+        knobs = {
+            "profile": HONEST,
+            "colluder_profile": HONEST,
+            "num_cliques": 2,
+            "colluder_fraction": 0.4,
+            "campaign_seed": 7001,
+        }
+        knobs.update(overrides)
+        return CrossSessionCliqueRegime(**knobs)
+
+    def test_answer_sheets_ignore_the_pool_rng(self):
+        """The campaign property: every session pool sees the same sheets,
+        because the seeds derive from ``campaign_seed``, not the pool rng."""
+        regime = self.regime()
+        sheets_a = regime.setup(derive_rng(1, 0))
+        sheets_b = regime.setup(derive_rng(999, 42))
+        assert sheets_a == sheets_b
+        assert len(sheets_a) == 2
+        assert sheets_a[0] != sheets_a[1]
+
+    def test_campaign_seed_changes_the_sheets(self):
+        assert self.regime().setup(derive_rng(1, 0)) != self.regime(
+            campaign_seed=7002
+        ).setup(derive_rng(1, 0))
+
+    def test_plain_clique_regime_stays_pool_local(self):
+        """Contrast: the parent regime's sheets DO depend on the pool rng."""
+        from repro.crowd import CliqueRegime
+
+        regime = CliqueRegime(
+            profile=HONEST,
+            colluder_profile=HONEST,
+            num_cliques=2,
+            colluder_fraction=0.4,
+        )
+        assert regime.setup(derive_rng(1, 0)) != regime.setup(derive_rng(2, 0))
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            self.regime(campaign_seed=-1)
+
+
+def poisoned_columns(num_items: int, seed: int, colluders: int, honest: int):
+    """Columns where ``colluders`` copy one answer sheet verbatim."""
+    rng = np.random.default_rng(seed)
+    sheet = {
+        item: (DIRTY if rng.random() < 0.3 else CLEAN) for item in range(num_items)
+    }
+    columns = [dict(sheet) for _ in range(colluders)]
+    for _ in range(honest):
+        columns.append(
+            {
+                int(item): (DIRTY if rng.random() < 0.3 else CLEAN)
+                for item in rng.choice(num_items, size=num_items // 2, replace=False)
+            }
+        )
+    return columns
+
+
+class TestServiceCollusionSurface:
+    def test_service_reports_cliques_on_a_kept_votes_session(self):
+        service = EstimationService()
+        service.create_session("s", range(20), ["voting"], keep_votes=True)
+        columns = poisoned_columns(20, seed=3, colluders=3, honest=4)
+        service.ingest("s", columns, worker_ids=list(range(len(columns))))
+        report = service.collusion_report("s")
+        assert isinstance(report, CollusionReport)
+        assert (0, 1) == report.cliques[0][:2]
+        assert {0, 1, 2} <= set(report.flagged_workers)
+
+    def test_keep_votes_false_raises_a_configuration_error(self):
+        service = EstimationService()
+        service.create_session("s", range(10), ["voting"], keep_votes=False)
+        service.ingest("s", [{0: DIRTY}])
+        with pytest.raises(ConfigurationError, match="keep_votes"):
+            service.collusion_report("s")
+
+    def test_parameters_pass_through(self):
+        service = EstimationService()
+        service.create_session("s", range(20), ["voting"], keep_votes=True)
+        service.ingest("s", poisoned_columns(20, seed=3, colluders=2, honest=2))
+        report = service.collusion_report("s", threshold=0.5, min_overlap=3)
+        assert report.threshold == 0.5
+        assert report.min_overlap == 3
+
+    def test_sharded_service_delegates_to_the_owning_shard(self):
+        service = ShardedEstimationService(num_shards=3)
+        service.create_session("t", range(20), ["voting"], keep_votes=True)
+        service.ingest("t", poisoned_columns(20, seed=5, colluders=3, honest=3))
+        report = service.collusion_report("t")
+        assert report.cliques and report.cliques[0][:2] == (0, 1)
+
+    def test_unknown_session_raises(self):
+        service = EstimationService()
+        with pytest.raises(Exception):
+            service.collusion_report("nope")

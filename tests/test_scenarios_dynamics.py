@@ -1,0 +1,191 @@
+"""The dynamic-scenario subsystem: specs, plans, and the serving drive.
+
+The serving-path contract under test: a scenario's matrix, delivered as
+multi-session multi-source traffic with duplicates, reorders and
+abandonment, must serve estimates **bit-identical** to the
+acknowledged-batch replay oracle — and the whole drive must be
+deterministic enough to byte-pin.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.scenarios import (
+    Scenario,
+    ScenarioRunner,
+    SessionDynamics,
+    build_delivery_plans,
+    drive_scenario,
+    get_scenario,
+)
+from repro.scenarios.dynamics import fleet_config
+from repro.serving.loadgen import LoadGenerator, replay_applied_batches
+from repro.streaming.serving import EstimationService
+
+
+def dynamic_scenario(**overrides) -> Scenario:
+    base = get_scenario("baseline-uniform")
+    knobs = {
+        "num_sessions": 2,
+        "sources_per_session": 2,
+        "columns_per_batch": 3,
+        "duplicate_every": 2,
+        "reorder_every": 3,
+        "abandon_rate": 0.4,
+    }
+    knobs.update(overrides)
+    dynamics = SessionDynamics(**knobs)
+    return Scenario(
+        name="dyn-unit",
+        description="unit-test dynamic scenario",
+        dataset=base.dataset,
+        regime=base.regime,
+        assignment=base.assignment,
+        seed=21,
+        dynamics=dynamics,
+    )
+
+
+class TestSessionDynamicsSpec:
+    def test_round_trips_through_json(self):
+        dynamics = SessionDynamics(
+            num_sessions=3,
+            loop_delay_s=(0.1, 0.5),
+            duplicate_every=2,
+            abandon_rate=0.25,
+        )
+        rebuilt = SessionDynamics.from_dict(
+            json.loads(json.dumps(dynamics.to_dict()))
+        )
+        assert rebuilt == dynamics
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="dynamics keys"):
+            SessionDynamics.from_dict({"num_sessions": 2, "burst": 1})
+
+    def test_rejects_inverted_delay_range(self):
+        with pytest.raises(ConfigurationError, match="loop_delay_s"):
+            SessionDynamics(loop_delay_s=(0.5, 0.1))
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(Exception):
+            SessionDynamics(num_sessions=0)
+        with pytest.raises(Exception):
+            SessionDynamics(abandon_rate=1.5)
+
+    def test_scenario_serialisation_omits_absent_dynamics(self):
+        """Scenarios without dynamics serialise exactly as before the
+        field existed — the byte-stability contract of old goldens."""
+        plain = get_scenario("baseline-uniform")
+        assert "dynamics" not in plain.to_dict()
+        assert "trace" not in plain.to_dict()
+        dyn = dynamic_scenario()
+        assert "dynamics" in dyn.to_dict()
+        assert Scenario.from_dict(json.loads(json.dumps(dyn.to_dict()))) == dyn
+
+
+class TestDeliveryPlans:
+    def test_plans_are_deterministic_and_cover_every_column_once(self):
+        scenario = dynamic_scenario(abandon_rate=0.0, reorder_every=0)
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        plans_a = build_delivery_plans(scenario, matrix)
+        plans_b = build_delivery_plans(scenario, matrix)
+        assert plans_a == plans_b
+        # Without abandonment/reorder, the non-retry deliveries carry
+        # every matrix column exactly once.
+        delivered = sum(
+            len(d.columns)
+            for plan in plans_a
+            for d in plan
+            if not d.is_retry
+        )
+        assert delivered == matrix.num_columns
+
+    def test_retry_twins_repeat_source_and_sequence(self):
+        scenario = dynamic_scenario(abandon_rate=0.0, duplicate_every=1)
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        for plan in build_delivery_plans(scenario, matrix):
+            originals = [d for d in plan if not d.is_retry]
+            retries = [d for d in plan if d.is_retry]
+            assert len(retries) == len(originals)
+            for original, retry in zip(originals, retries):
+                assert retry.source == original.source
+                assert retry.sequence == original.sequence
+                assert retry.columns == original.columns
+
+    def test_each_source_owns_one_idempotency_stream(self):
+        scenario = dynamic_scenario(abandon_rate=0.0, reorder_every=0)
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        for plan in build_delivery_plans(scenario, matrix):
+            sources = {d.source for d in plan}
+            assert len(sources) == 1
+            sequences = [d.sequence for d in plan if not d.is_retry]
+            assert sequences == sorted(sequences)
+
+    def test_requires_a_dynamics_block(self):
+        plain = get_scenario("baseline-uniform")
+        matrix = ScenarioRunner().simulate(plain).matrix
+        with pytest.raises(ConfigurationError, match="no dynamics block"):
+            build_delivery_plans(plain, matrix)
+        with pytest.raises(ConfigurationError, match="no dynamics block"):
+            fleet_config(plain, matrix.num_items)
+
+
+class TestServingDrive:
+    def test_served_estimates_match_replay_oracle_bit_for_bit(self):
+        scenario = dynamic_scenario()
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        drive = drive_scenario(scenario, matrix)
+        assert drive.serving_matches_replay
+        # The fault injection actually fired: planned retries acknowledged
+        # as duplicates, and reordered batches dropped as late.
+        assert drive.report.duplicate_acks > 0
+        assert drive.report.late_drops > 0
+
+    def test_serial_drive_is_deterministic(self):
+        scenario = dynamic_scenario()
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        stats_a = drive_scenario(scenario, matrix).stats()
+        stats_b = drive_scenario(scenario, matrix).stats()
+        assert stats_a == stats_b
+
+    def test_runner_records_the_serving_equivalence_flag(self):
+        scenario = dynamic_scenario()
+        trajectory = ScenarioRunner().run(scenario)
+        assert trajectory.equivalence["serving_vs_replay"] is True
+        assert trajectory.dynamics_stats is not None
+        assert "dynamics" in trajectory.payload()
+        assert (
+            trajectory.payload()["dynamics"]["deliveries"]
+            == trajectory.dynamics_stats["deliveries"]
+        )
+
+    def test_plain_scenarios_keep_the_three_key_equivalence(self):
+        trajectory = ScenarioRunner().run(get_scenario("baseline-uniform"))
+        assert set(trajectory.equivalence) == {
+            "batch_vs_sweep",
+            "streaming_vs_sweep",
+            "perm_batch_vs_sweep",
+        }
+        assert trajectory.dynamics_stats is None
+        assert "dynamics" not in trajectory.payload()
+
+    def test_threaded_loadgen_accepts_injected_plans(self):
+        """The dynamics plans drive the stock LoadGenerator via its
+        ``plans`` override; the replay oracle still pins the estimates."""
+        scenario = dynamic_scenario()
+        matrix = ScenarioRunner().simulate(scenario).matrix
+        config = fleet_config(scenario, matrix.num_items)
+        plans = build_delivery_plans(scenario, matrix)
+        service = EstimationService()
+        report = LoadGenerator(service, config).run(plans=plans)
+        replayed = replay_applied_batches(report)
+        for name, results in replayed.items():
+            served = service.estimates(name)
+            for estimator, result in results.items():
+                assert served[estimator].estimate == result.estimate
+                assert served[estimator].observed == result.observed

@@ -37,9 +37,20 @@ def runner() -> ScenarioRunner:
 
 class TestCatalogueShape:
     def test_catalogue_meets_the_coverage_floor(self):
-        """The acceptance bar: >= 12 scenarios, >= 4 adversarial regimes."""
+        """The acceptance bar: >= 12 scenarios, >= 4 adversarial regimes,
+        >= 6 dynamic/collusion serving scenarios."""
         assert len(ALL_SCENARIOS) >= 12
         assert len(adversarial_scenarios()) >= 4
+        dynamic = [
+            name
+            for name in ALL_SCENARIOS
+            if get_scenario(name).dynamics is not None
+        ]
+        assert len(dynamic) >= 6
+        collusion_kinds = {
+            get_scenario(name).regime.kind for name in dynamic
+        }
+        assert "cross_session_cliques" in collusion_kinds
 
     def test_adversarial_scenarios_cover_the_distinct_regime_families(self):
         kinds = {get_scenario(name).regime.kind for name in adversarial_scenarios()}
@@ -70,12 +81,18 @@ class TestGoldenReplay:
         streaming disagree, so reaching the byte comparison already
         certifies the equivalence contract for this scenario's regime.
         """
-        trajectory = runner.run(get_scenario(name))
-        assert trajectory.equivalence == {
+        scenario = get_scenario(name)
+        trajectory = runner.run(scenario)
+        expected_keys = {
             "batch_vs_sweep": True,
             "streaming_vs_sweep": True,
             "perm_batch_vs_sweep": True,
         }
+        if scenario.dynamics is not None:
+            # Dynamic scenarios additionally travel the serving path and
+            # must match the acknowledged-batch replay oracle bit for bit.
+            expected_keys["serving_vs_replay"] = True
+        assert trajectory.equivalence == expected_keys
         assert trajectory.canonical_json() + "\n" == read_golden(name)
 
     def test_golden_payload_is_self_describing(self, name):
@@ -86,6 +103,9 @@ class TestGoldenReplay:
         rebuilt = Scenario.from_dict(payload["scenario"])
         assert rebuilt == get_scenario(name)
         assert payload["seed"] == rebuilt.seed
+        # Serving-traffic counters are pinned exactly when (and only
+        # when) the scenario declares session dynamics.
+        assert ("dynamics" in payload) == (rebuilt.dynamics is not None)
         trajectories = payload["trajectories"]
         assert set(trajectories) == set(rebuilt.estimators)
         for series in trajectories.values():
